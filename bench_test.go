@@ -1,0 +1,281 @@
+package querypricing
+
+// Benchmark harness: one benchmark (or sub-benchmark group) per table and
+// figure of the paper, as indexed in DESIGN.md. Scales are laptop-small so
+// `go test -bench=.` completes in minutes; cmd/pricebench regenerates the
+// full series with configurable scale. EXPERIMENTS.md records the measured
+// shapes against the paper's.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"querypricing/internal/bounds"
+	"querypricing/internal/experiments"
+	"querypricing/internal/lowerbounds"
+	"querypricing/internal/lp"
+	"querypricing/internal/pricing"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+)
+
+// scenarioCache builds each workload scenario once per bench run.
+var (
+	scenarioMu    sync.Mutex
+	scenarioCache = map[experiments.Workload]*experiments.Scenario{}
+)
+
+func benchScenario(b *testing.B, w experiments.Workload) *experiments.Scenario {
+	b.Helper()
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if sc, ok := scenarioCache[w]; ok {
+		return sc
+	}
+	cfg := experiments.Config{Workload: w, Scale: 0.25, SupportSize: 150, Seed: 1}
+	if w == experiments.Uniform {
+		cfg.UniformQueries = 200
+	}
+	sc, err := experiments.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarioCache[w] = sc
+	return sc
+}
+
+func benchTuning() experiments.Tuning {
+	return experiments.Tuning{LPIPCandidates: 6, CIPEpsilon: 1, CIPMaxCaps: 4, WithBound: false}
+}
+
+// ---- Figure 4 / Table 3: hypergraph construction ----
+
+func BenchmarkFig4Construction(b *testing.B) {
+	for _, w := range experiments.AllWorkloads {
+		sc := benchScenario(b, w) // datasets and queries prebuilt
+		b.Run(string(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := support.BuildHypergraph(set, sc.Queries, support.BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPruningAblation compares pruned vs naive conflict-set
+// construction (the DESIGN.md ablation).
+func BenchmarkPruningAblation(b *testing.B) {
+	sc := benchScenario(b, experiments.Skewed)
+	set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := sc.Queries[:200]
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"pruned", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := support.BuildHypergraph(set, qs, support.BuildOptions{DisablePruning: mode.disable}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figures 5a/5b/6a/6b/7: revenue sweeps ----
+
+func benchSweep(b *testing.B, w experiments.Workload, models []valuation.Model) {
+	sc := benchScenario(b, w)
+	tune := benchTuning()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sweep(sc.H, models, int64(i), tune); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5aSampledValuations(b *testing.B) {
+	models := []valuation.Model{valuation.Uniform{K: 100}, valuation.Zipf{A: 2}}
+	for _, w := range []experiments.Workload{experiments.Skewed, experiments.Uniform} {
+		b.Run(string(w), func(b *testing.B) { benchSweep(b, w, models) })
+	}
+}
+
+func BenchmarkFig5bScaledValuations(b *testing.B) {
+	models := []valuation.Model{valuation.ExponentialScaled{K: 1}, valuation.NormalScaled{K: 1}}
+	for _, w := range []experiments.Workload{experiments.Skewed, experiments.Uniform} {
+		b.Run(string(w), func(b *testing.B) { benchSweep(b, w, models) })
+	}
+}
+
+func BenchmarkFig6aSampledValuations(b *testing.B) {
+	models := []valuation.Model{valuation.Uniform{K: 100}, valuation.Zipf{A: 2}}
+	for _, w := range []experiments.Workload{experiments.SSB, experiments.TPCH} {
+		b.Run(string(w), func(b *testing.B) { benchSweep(b, w, models) })
+	}
+}
+
+func BenchmarkFig6bScaledValuations(b *testing.B) {
+	models := []valuation.Model{valuation.ExponentialScaled{K: 1}, valuation.NormalScaled{K: 1}}
+	for _, w := range []experiments.Workload{experiments.SSB, experiments.TPCH} {
+		b.Run(string(w), func(b *testing.B) { benchSweep(b, w, models) })
+	}
+}
+
+func BenchmarkFig7AdditiveValuations(b *testing.B) {
+	models := []valuation.Model{
+		valuation.Additive{K: 100, Dist: valuation.IndexUniform},
+		valuation.Additive{K: 100, Dist: valuation.IndexBinomial},
+	}
+	for _, w := range experiments.AllWorkloads {
+		b.Run(string(w), func(b *testing.B) { benchSweep(b, w, models) })
+	}
+}
+
+// ---- Figure 8 / Tables 5-6: support-size sweeps ----
+
+func BenchmarkFig8SupportSweep(b *testing.B) {
+	for _, w := range []experiments.Workload{experiments.Skewed, experiments.SSB} {
+		sc := benchScenario(b, w)
+		b.Run(string(w), func(b *testing.B) {
+			tune := benchTuning()
+			tune.SkipCIP = true
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.SupportSweep(sc, []int{30, 75, 150}, valuation.Uniform{K: 100}, 3, tune); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Table 4: per-algorithm runtimes ----
+
+func BenchmarkTab4Algorithms(b *testing.B) {
+	for _, w := range experiments.AllWorkloads {
+		sc := benchScenario(b, w)
+		valuation.Apply(sc.H, valuation.Uniform{K: 100}, 5)
+		b.Run(string(w)+"/UBP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pricing.UniformBundle(sc.H)
+			}
+		})
+		b.Run(string(w)+"/UIP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pricing.UniformItem(sc.H)
+			}
+		})
+		b.Run(string(w)+"/Layering", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pricing.Layering(sc.H)
+			}
+		})
+		b.Run(string(w)+"/LPIP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pricing.LPItem(sc.H, pricing.LPItemOptions{MaxCandidates: 6}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(string(w)+"/CIP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pricing.Capacity(sc.H, pricing.CapacityOptions{Epsilon: 1, MaxCapacities: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Subadditive bound (Section 6.1) ----
+
+func BenchmarkSubadditiveBound(b *testing.B) {
+	sc := benchScenario(b, experiments.Skewed)
+	valuation.Apply(sc.H, valuation.Uniform{K: 100}, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bounds.Subadditive(sc.H, bounds.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Lemmas 2-4 gap constructions ----
+
+func BenchmarkLowerBoundConstructions(b *testing.B) {
+	b.Run("lemma2-harmonic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst := lowerbounds.HarmonicAdditive(1000)
+			pricing.UniformBundle(inst.H)
+		}
+	})
+	b.Run("lemma3-partition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst := lowerbounds.PartitionUniform(128)
+			pricing.UniformItem(inst.H)
+		}
+	})
+	b.Run("lemma4-laminar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst := lowerbounds.LaminarSubmodular(5)
+			pricing.UniformBundle(inst.H)
+			pricing.UniformItem(inst.H)
+		}
+	})
+}
+
+// ---- LP solver micro-benchmarks ----
+
+func BenchmarkSimplex(b *testing.B) {
+	for _, size := range []struct{ n, m int }{{50, 20}, {200, 80}, {500, 150}} {
+		b.Run(fmt.Sprintf("n%d_m%d", size.n, size.m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := lp.NewProblem(lp.Maximize)
+				for j := 0; j < size.n; j++ {
+					p.AddVariable(1+float64(j%7), 0, 10)
+				}
+				for r := 0; r < size.m; r++ {
+					var idx []int
+					var coef []float64
+					for j := r % 3; j < size.n; j += 5 {
+						idx = append(idx, j)
+						coef = append(coef, 1+float64((r+j)%3))
+					}
+					p.MustAddConstraint(idx, coef, lp.LE, float64(10+r%20))
+				}
+				sol, err := p.Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Status != lp.Optimal {
+					b.Fatalf("status %v", sol.Status)
+				}
+			}
+		})
+	}
+}
+
+// ---- Conflict-set single-query path (broker quote latency) ----
+
+func BenchmarkConflictSet(b *testing.B) {
+	sc := benchScenario(b, experiments.Skewed)
+	q := sc.Queries[9] // W10: SELECT * FROM Country
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := support.ConflictSet(sc.Set, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command marketd runs a demonstration data-market broker over HTTP (the
+// Qirana role): it loads the synthetic world dataset, calibrates an
+// arbitrage-free pricing from the skewed workload, and serves quotes and
+// purchases for ad-hoc queries.
+//
+// Endpoints (all JSON):
+//
+//	GET  /stats              broker status (support size, algorithm, revenue)
+//	POST /quote              body: SelectQuery -> Quote
+//	POST /purchase?budget=N  body: SelectQuery -> answer + receipt
+//
+// A SelectQuery body looks like:
+//
+//	{"Name":"q","Tables":["Country"],
+//	 "Where":[{"Col":{"Table":"Country","Col":"Continent"},
+//	           "Op":0,"Val":{"K":3,"S":"Asia"}}],
+//	 "Select":[{"Table":"Country","Col":"Name"}]}
+//
+// Start with:
+//
+//	marketd -addr :8080 -algorithm LPIP
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/market"
+	"querypricing/internal/relational"
+	"querypricing/internal/valuation"
+	"querypricing/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		algo     = flag.String("algorithm", "LPIP", "UBP | UIP | LPIP | CIP | Layering | XOS")
+		supportN = flag.Int("support", 400, "support size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		valK     = flag.Float64("valuation-k", 100, "Uniform[1,k] calibration valuations")
+	)
+	flag.Parse()
+
+	log.Printf("marketd: generating world dataset...")
+	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: *seed})
+	broker, err := market.NewBroker(db, market.Config{
+		SupportSize:    *supportN,
+		Seed:           *seed,
+		LPIPCandidates: 16,
+		CIPEpsilon:     0.5,
+	})
+	if err != nil {
+		log.Fatalf("marketd: %v", err)
+	}
+	log.Printf("marketd: calibrating %s from the skewed workload...", *algo)
+	forecast := workloads.Skewed(db)
+	rev, err := broker.Calibrate(forecast, valuation.Uniform{K: *valK}, market.Algorithm(*algo))
+	if err != nil {
+		log.Fatalf("marketd: calibration: %v", err)
+	}
+	log.Printf("marketd: calibrated; forecast revenue %.2f over %d queries", rev, len(forecast))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"support_size": broker.SupportSize(),
+			"algorithm":    broker.Algorithm(),
+			"revenue":      broker.Revenue(),
+			"sales":        len(broker.Sales()),
+		})
+	})
+	mux.HandleFunc("POST /quote", func(w http.ResponseWriter, r *http.Request) {
+		q, err := decodeQuery(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		quote, err := broker.Quote(q)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, quote)
+	})
+	mux.HandleFunc("POST /purchase", func(w http.ResponseWriter, r *http.Request) {
+		q, err := decodeQuery(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "budget query parameter required"})
+			return
+		}
+		ans, receipt, err := broker.Purchase(q, budget)
+		if err != nil {
+			writeJSON(w, http.StatusPaymentRequired, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"receipt": receipt, "answer": ans})
+	})
+
+	log.Printf("marketd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func decodeQuery(r *http.Request) (*relational.SelectQuery, error) {
+	defer r.Body.Close()
+	var q relational.SelectQuery
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("bad query: %w", err)
+	}
+	if q.Name == "" {
+		q.Name = "adhoc"
+	}
+	return &q, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("marketd: encoding response: %v", err)
+	}
+}

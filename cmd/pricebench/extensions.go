@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"querypricing/internal/experiments"
+	"querypricing/internal/hypergraph"
+	"querypricing/internal/online"
+	"querypricing/internal/pricing"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+)
+
+// runOnline reproduces the "Learning buyer valuations" future-work
+// experiment: buyers with fixed hidden valuations arrive online and three
+// learners adapt posted prices from purchase feedback only.
+func (r *runner) runOnline() error {
+	sc, err := r.scenario(experiments.Skewed)
+	if err != nil {
+		return err
+	}
+	rounds := 20000
+	fmt.Println("== Online posted-price learning (Section 7.2 future work) ==")
+	fmt.Printf("skewed workload, %d rounds\n", rounds)
+	for _, model := range []valuation.Model{
+		valuation.Uniform{K: 100},
+		valuation.Additive{K: 100, Dist: valuation.IndexUniform},
+	} {
+		valuation.Apply(sc.H, model, r.seed)
+		grid := online.PriceGrid(1, 120, 16)
+		fmt.Printf("\n-- valuations: %s --\n", model.Name())
+		fmt.Printf("%-16s %12s %8s %10s %30s\n", "learner", "revenue", "sales", "vs-fixed", "revenue by quarter")
+		learners := []online.Pricer{
+			online.NewUCBBundle(grid),
+			online.NewEXP3Bundle(grid, 0.1, r.seed),
+			online.NewMultiplicativeItem(sc.H.NumItems(), 1, 0.1),
+		}
+		for _, l := range learners {
+			res := online.Simulate(sc.H, l, rounds, r.seed)
+			fmt.Printf("%-16s %12.1f %8d %10.3f %30v\n",
+				res.Learner, res.Revenue, res.Sales, res.Ratio(), quarters(res))
+		}
+	}
+	fmt.Println("\nvs-fixed = revenue / best fixed flat price in hindsight.")
+	fmt.Println("Flat-price bandits are robust under size-independent valuations; the")
+	fmt.Println("MWU item learner dominates (and can exceed 1.0) when value is")
+	fmt.Println("additive over items — the online echo of Lemma 2's separation.")
+	return nil
+}
+
+func quarters(r online.SimResult) [4]int {
+	var out [4]int
+	for i, v := range r.CumulativeByQuarter {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// runSupportSelection reproduces the "Choosing support set" future-work
+// experiment: query-aware (targeted) support vs random sampling.
+func (r *runner) runSupportSelection() error {
+	sc, err := r.scenario(experiments.Skewed)
+	if err != nil {
+		return err
+	}
+	// The selective per-country slice is where random sampling struggles.
+	sel := sc.Queries[35:335]
+	size := 300
+
+	start := time.Now()
+	randomSet, err := support.Generate(sc.DB, support.GenOptions{Size: size, Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	hr, _, err := support.BuildHypergraph(randomSet, sel, support.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	randomTime := time.Since(start)
+
+	start = time.Now()
+	targetSet, err := support.TargetedGenerate(sc.DB, sel, support.GenOptions{Size: size, Seed: r.seed})
+	if err != nil {
+		return err
+	}
+	ht, _, err := support.BuildHypergraph(targetSet, sel, support.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	targetTime := time.Since(start)
+
+	valuation.Apply(hr, valuation.Uniform{K: 100}, r.seed+1)
+	valuation.Apply(ht, valuation.Uniform{K: 100}, r.seed+1)
+
+	fmt.Println("== Support-set selection (Section 7.2 future work) ==")
+	fmt.Printf("%d selective queries, |S| = %d\n", len(sel), size)
+	fmt.Printf("%-12s %12s %12s %12s %12s %12s %12s\n",
+		"support", "build", "empty edges", "unique-item", "UIP", "LPIP", "Layering")
+	report := func(name string, d time.Duration, h *hypergraph.Hypergraph) error {
+		st := h.ComputeStats()
+		sum := h.TotalValuation()
+		uip := pricing.UniformItem(h).Revenue / sum
+		lpip, err := pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: r.lpipCap})
+		if err != nil {
+			return err
+		}
+		lay := pricing.Layering(h).Revenue / sum
+		fmt.Printf("%-12s %12s %12d %12d %12.3f %12.3f %12.3f\n",
+			name, d.Round(time.Millisecond), st.EmptyEdges, st.UniqueItem,
+			uip, lpip.Revenue/sum, lay)
+		return nil
+	}
+	if err := report("random", randomTime, hr); err != nil {
+		return err
+	}
+	if err := report("targeted", targetTime, ht); err != nil {
+		return err
+	}
+	fmt.Println("\nTargeted supports trade construction time for fewer empty conflict")
+	fmt.Println("sets and more unique items — exactly the lever the paper proposes.")
+	return nil
+}
+
+// runCIPAblation sweeps CIP's epsilon (the paper tunes it per workload to
+// trade the (1+eps) approximation factor against runtime, Section 6.4).
+func (r *runner) runCIPAblation() error {
+	sc, err := r.scenario(experiments.Skewed)
+	if err != nil {
+		return err
+	}
+	valuation.Apply(sc.H, valuation.Uniform{K: 100}, r.seed)
+	sum := sc.H.TotalValuation()
+	fmt.Println("== CIP epsilon ablation (Section 6.4) ==")
+	fmt.Printf("%8s %10s %12s %10s\n", "eps", "LPs", "revenue", "runtime")
+	for _, eps := range []float64{0.2, 0.5, 1, 2, 4} {
+		res, err := pricing.Capacity(sc.H, pricing.CapacityOptions{Epsilon: eps})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8.1f %10d %12.3f %10s\n",
+			eps, res.LPSolves, res.Revenue/sum, res.Runtime.Round(time.Millisecond))
+	}
+	fmt.Println("\nSmaller eps = denser capacity grid = more LPs: better revenue at")
+	fmt.Println("higher cost, the trade-off the paper works around by raising eps.")
+	return nil
+}
+
+// runRefineAblation measures the UBP -> item pricing LP refinement of
+// Section 6.3 (the paper reports 0.78 -> 0.99 on TPC-H).
+func (r *runner) runRefineAblation() error {
+	fmt.Println("== UBP LP-refinement ablation (Section 6.3) ==")
+	fmt.Printf("%-10s %12s %12s %12s\n", "workload", "UBP", "UBP+LP", "uplift")
+	for _, w := range experiments.AllWorkloads {
+		sc, err := r.scenario(w)
+		if err != nil {
+			return err
+		}
+		valuation.Apply(sc.H, valuation.Additive{K: 1, Dist: valuation.IndexUniform}, r.seed)
+		sum := sc.H.TotalValuation()
+		ubp := pricing.UniformBundle(sc.H)
+		ref, err := pricing.RefineUniformBundle(sc.H, ubp.BundlePrice)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %12.2fx\n",
+			w, ubp.Revenue/sum, ref.Revenue/sum, safeDiv(ref.Revenue, ubp.Revenue))
+	}
+	return nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

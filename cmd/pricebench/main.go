@@ -1,0 +1,266 @@
+// Command pricebench regenerates the paper's experimental artifacts: every
+// figure (4, 5a, 5b, 6a, 6b, 7, 8) and table (3, 4, 5, 6) of Chawla et al.,
+// "Revenue Maximization for Query Pricing" (PVLDB 13(1), 2019).
+//
+// Usage:
+//
+//	pricebench -experiment fig5a             # one artifact
+//	pricebench -experiment all -scale 2      # everything, larger instances
+//	pricebench -list                         # show the experiment index
+//
+// Absolute numbers differ from the paper (different hardware, synthetic
+// data, micro scales); the series shapes — which algorithm wins where, how
+// revenue and runtime move with the support size — are the reproduction
+// target. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"querypricing/internal/experiments"
+	"querypricing/internal/valuation"
+)
+
+var experimentIndex = []struct{ id, what string }{
+	{"fig4", "hyperedge size distributions, all four workloads"},
+	{"fig5a", "sampled valuations (uniform, zipf): skewed + uniform workloads"},
+	{"fig5b", "scaled valuations (exp, normal): skewed + uniform workloads"},
+	{"fig6a", "sampled valuations: SSB + TPC-H workloads"},
+	{"fig6b", "scaled valuations: SSB + TPC-H workloads"},
+	{"fig7", "additive item-price model, all workloads"},
+	{"fig8", "revenue vs support size: skewed + SSB"},
+	{"tab3", "hypergraph characteristics"},
+	{"tab4", "algorithm runtimes per workload"},
+	{"tab5", "runtimes vs support size (skewed)"},
+	{"tab6", "runtimes vs support size (SSB)"},
+	{"lemmas", "worst-case gap constructions (Lemmas 2-4)"},
+	{"online", "online posted-price learning (Section 7.2 future work)"},
+	{"support-selection", "query-aware support selection vs random (Section 7.2)"},
+	{"ablation-cip", "CIP epsilon sensitivity (Section 6.4)"},
+	{"ablation-refine", "UBP -> item pricing LP refinement (Section 6.3)"},
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "artifact id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "print the experiment index and exit")
+		scale      = flag.Float64("scale", 1, "dataset scale multiplier")
+		supportN   = flag.Int("support", 0, "support size |S| (0 = workload default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		lpipCap    = flag.Int("lpip-candidates", 16, "LPIP threshold cap (0 = all)")
+		skipCIP    = flag.Bool("skip-cip", false, "skip CIP and XOS (much faster)")
+	)
+	flag.Parse()
+
+	if *list || *experiment == "" {
+		fmt.Println("pricebench experiments:")
+		for _, e := range experimentIndex {
+			fmt.Printf("  %-8s %s\n", e.id, e.what)
+		}
+		if *experiment == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	r := &runner{
+		scale:    *scale,
+		supportN: *supportN,
+		seed:     *seed,
+		lpipCap:  *lpipCap,
+		skipCIP:  *skipCIP,
+		cache:    map[experiments.Workload]*experiments.Scenario{},
+	}
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = nil
+		for _, e := range experimentIndex {
+			ids = append(ids, e.id)
+		}
+	}
+	for _, id := range ids {
+		if err := r.run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "pricebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	scale    float64
+	supportN int
+	seed     int64
+	lpipCap  int
+	skipCIP  bool
+	cache    map[experiments.Workload]*experiments.Scenario
+}
+
+func (r *runner) scenario(w experiments.Workload) (*experiments.Scenario, error) {
+	if sc, ok := r.cache[w]; ok {
+		return sc, nil
+	}
+	start := time.Now()
+	fmt.Printf("-- building %s scenario (scale %.2g)...\n", w, r.scale)
+	sc, err := experiments.Build(experiments.Config{
+		Workload:    w,
+		Scale:       r.scale,
+		SupportSize: r.supportN,
+		Seed:        r.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("-- %s ready in %v: %s (construction: %d evals, %d pruned-by-columns, %d pruned-by-predicates)\n",
+		w, time.Since(start).Round(time.Millisecond), sc.H,
+		sc.Stats.QueryEvals, sc.Stats.PrunedByCols, sc.Stats.PrunedByPred)
+	r.cache[w] = sc
+	return sc, nil
+}
+
+func (r *runner) tuning(w experiments.Workload) experiments.Tuning {
+	t := experiments.DefaultTuning(w)
+	t.LPIPCandidates = r.lpipCap
+	t.SkipCIP = t.SkipCIP || r.skipCIP
+	return t
+}
+
+func (r *runner) run(id string) error {
+	switch id {
+	case "fig4":
+		for _, w := range experiments.AllWorkloads {
+			sc, err := r.scenario(w)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatHistogram("Figure 4: "+string(w)+" hyperedge sizes", sc.H, 12))
+		}
+	case "fig5a":
+		return r.revenueSweep("Figure 5a", []experiments.Workload{experiments.Skewed, experiments.Uniform}, experiments.SampledModels())
+	case "fig5b":
+		return r.revenueSweep("Figure 5b", []experiments.Workload{experiments.Skewed, experiments.Uniform}, experiments.ScaledModels())
+	case "fig6a":
+		return r.revenueSweep("Figure 6a", []experiments.Workload{experiments.SSB, experiments.TPCH}, experiments.SampledModels())
+	case "fig6b":
+		return r.revenueSweep("Figure 6b", []experiments.Workload{experiments.SSB, experiments.TPCH}, experiments.ScaledModels())
+	case "fig7":
+		return r.revenueSweep("Figure 7", experiments.AllWorkloads, experiments.AdditiveModels())
+	case "fig8":
+		for _, w := range []experiments.Workload{experiments.Skewed, experiments.SSB} {
+			sc, err := r.scenario(w)
+			if err != nil {
+				return err
+			}
+			sizes := supportGrid(sc.H.NumItems())
+			sweep, err := experiments.SupportSweep(sc, sizes, valuation.Uniform{K: 100}, r.seed, r.tuning(w))
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatSupportSweep(fmt.Sprintf("Figure 8: %s, uniform[1,100]", w), sweep))
+		}
+	case "tab3":
+		var scs []*experiments.Scenario
+		for _, w := range experiments.AllWorkloads {
+			sc, err := r.scenario(w)
+			if err != nil {
+				return err
+			}
+			scs = append(scs, sc)
+		}
+		fmt.Println(experiments.FormatStatsTable(scs))
+	case "tab4":
+		for _, w := range experiments.AllWorkloads {
+			sc, err := r.scenario(w)
+			if err != nil {
+				return err
+			}
+			tune := r.tuning(w)
+			tune.WithBound = false
+			pts, err := experiments.Sweep(sc.H, []valuation.Model{valuation.Uniform{K: 100}}, r.seed, tune)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.FormatRuntimeTable(
+				fmt.Sprintf("Table 4: %s (hypergraph construction: %v)", w, sc.BuildTime.Round(time.Millisecond)), pts))
+		}
+	case "tab5":
+		return r.supportRuntimeSweep("Table 5", experiments.Skewed)
+	case "tab6":
+		return r.supportRuntimeSweep("Table 6", experiments.SSB)
+	case "lemmas":
+		runLemmas()
+	case "online":
+		return r.runOnline()
+	case "support-selection":
+		return r.runSupportSelection()
+	case "ablation-cip":
+		return r.runCIPAblation()
+	case "ablation-refine":
+		return r.runRefineAblation()
+	default:
+		return fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+	return nil
+}
+
+func (r *runner) revenueSweep(title string, ws []experiments.Workload, models []valuation.Model) error {
+	for _, w := range ws {
+		sc, err := r.scenario(w)
+		if err != nil {
+			return err
+		}
+		pts, err := experiments.Sweep(sc.H, models, r.seed, r.tuning(w))
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatRevenueTable(
+			fmt.Sprintf("%s: %s workload, %d queries", title, w, len(sc.Queries)), pts))
+	}
+	return nil
+}
+
+func (r *runner) supportRuntimeSweep(title string, w experiments.Workload) error {
+	sc, err := r.scenario(w)
+	if err != nil {
+		return err
+	}
+	sizes := supportGrid(sc.H.NumItems())
+	sweep, err := experiments.SupportSweep(sc, sizes, valuation.Uniform{K: 100}, r.seed, r.tuning(w))
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatSupportSweep(
+		fmt.Sprintf("%s: %s runtimes and revenue vs |S|", title, w), sweep))
+	return nil
+}
+
+// supportGrid picks a sweep of support sizes up to the generated maximum,
+// mirroring the paper's {100, 500, 1000, 5000, 15000} shape.
+func supportGrid(max int) []int {
+	frac := []float64{0.01, 0.05, 0.1, 0.33, 0.66, 1.0}
+	var out []int
+	prev := 0
+	for _, f := range frac {
+		n := int(f * float64(max))
+		if n < 10 {
+			n = 10
+		}
+		if n > max {
+			n = max
+		}
+		if n != prev {
+			out = append(out, n)
+			prev = n
+		}
+	}
+	return out
+}
+
+func runLemmas() {
+	fmt.Println("== Lemmas 2-4: measured gaps of succinct pricings vs OPT ==")
+	fmt.Println(strings.Repeat("-", 64))
+	fmt.Println(lemmasReport())
+}

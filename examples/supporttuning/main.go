@@ -1,0 +1,62 @@
+// Supporttuning: explore the support-size trade-off of Section 6.5 — a
+// larger support set S gives item pricings finer price granularity (more
+// revenue) but costs more to build and to price against (Figure 8, Tables
+// 5 and 6). Uniform bundle pricing is flat: it ignores the items entirely.
+//
+// Run with:
+//
+//	go run ./examples/supporttuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"querypricing"
+)
+
+func main() {
+	db := querypricing.WorldDatabase(querypricing.WorldConfig{Countries: 239, Cities: 400, Seed: 21})
+	queries := querypricing.SkewedWorkload(db)
+	fmt.Printf("world dataset: %d tuples; %d queries\n\n", db.TotalRows(), len(queries))
+	fmt.Printf("%8s %12s %10s %10s %10s %10s %12s\n",
+		"|S|", "build", "UBP", "UIP", "LPIP", "Layering", "LPIP time")
+
+	for _, n := range []int{50, 150, 400, 800} {
+		start := time.Now()
+		set, err := querypricing.GenerateSupport(db, querypricing.SupportOptions{Size: n, Seed: 22})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, _, err := querypricing.BuildQueryHypergraph(set, queries, querypricing.BuildOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		buildTime := time.Since(start)
+
+		querypricing.ApplyValuations(h, querypricing.UniformValuation{K: 100}, 23)
+		sum := querypricing.SumValuations(h)
+
+		ubp := querypricing.UniformBundlePricing(h)
+		uip := querypricing.UniformItemPricing(h)
+		lay := querypricing.LayeringPricing(h)
+		lpipStart := time.Now()
+		lpip, err := querypricing.LPItemPricing(h, querypricing.LPItemOptions{MaxCandidates: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lpipTime := time.Since(lpipStart)
+
+		fmt.Printf("%8d %12s %10.3f %10.3f %10.3f %10.3f %12s\n",
+			n, buildTime.Round(time.Millisecond),
+			ubp.Revenue/sum, uip.Revenue/sum, lpip.Revenue/sum, lay.Revenue/sum,
+			lpipTime.Round(time.Millisecond))
+	}
+
+	fmt.Println("\nTakeaways (matching Section 6.5):")
+	fmt.Println(" - UBP is insensitive to |S|: it never looks at the items.")
+	fmt.Println(" - Item pricings gain revenue as |S| grows (finer price granularity),")
+	fmt.Println("   but construction and LP time grow with it — the broker picks the")
+	fmt.Println("   trade-off that matches their latency budget.")
+}

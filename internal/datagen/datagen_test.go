@@ -1,0 +1,158 @@
+package datagen
+
+import (
+	"testing"
+
+	"querypricing/internal/relational"
+)
+
+func TestWorldShape(t *testing.T) {
+	db := World(WorldConfig{Countries: 239, Cities: 500, Seed: 1})
+	c := db.Table("Country")
+	if c == nil || c.NumRows() != 239 {
+		t.Fatalf("countries = %v", c)
+	}
+	if got := len(c.Schema.Cols); got != 12 {
+		t.Fatalf("Country attributes = %d, want 12", got)
+	}
+	city := db.Table("City")
+	if city.NumRows() != 500 {
+		t.Fatalf("cities = %d", city.NumRows())
+	}
+	if got := len(city.Schema.Cols); got != 5 {
+		t.Fatalf("City attributes = %d, want 5", got)
+	}
+	lang := db.Table("CountryLanguage")
+	if got := len(lang.Schema.Cols); got != 4 {
+		t.Fatalf("CountryLanguage attributes = %d, want 4", got)
+	}
+	// 12 + 5 + 4 = 21 attributes, as the paper describes.
+	total := len(c.Schema.Cols) + len(city.Schema.Cols) + len(lang.Schema.Cols)
+	if total != 21 {
+		t.Fatalf("total attributes = %d, want 21", total)
+	}
+}
+
+func TestWorldActiveDomains(t *testing.T) {
+	db := World(WorldConfig{Countries: 239, Cities: 800, Seed: 2})
+	if got := len(db.ActiveDomain("Country", "Continent")); got != 7 {
+		t.Fatalf("continents = %d, want 7", got)
+	}
+	if got := len(db.ActiveDomain("Country", "Code")); got != 239 {
+		t.Fatalf("country codes = %d, want 239", got)
+	}
+	langs := db.ActiveDomain("CountryLanguage", "Language")
+	if len(langs) > NumLanguages {
+		t.Fatalf("languages = %d, want <= %d", len(langs), NumLanguages)
+	}
+	if len(langs) < NumLanguages*8/10 {
+		t.Fatalf("languages = %d, want most of the %d-name pool in use", len(langs), NumLanguages)
+	}
+	// The paper's example codes must exist.
+	codes := map[string]bool{}
+	for _, v := range db.ActiveDomain("Country", "Code") {
+		codes[v.S] = true
+	}
+	if !codes["USA"] || !codes["GRC"] {
+		t.Fatal("USA and GRC must be country codes")
+	}
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	a := World(WorldConfig{Countries: 50, Cities: 100, Seed: 7})
+	b := World(WorldConfig{Countries: 50, Cities: 100, Seed: 7})
+	ra := a.Table("Country").Rows
+	rb := b.Table("Country").Rows
+	for i := range ra {
+		for j := range ra[i] {
+			if !ra[i][j].Equal(rb[i][j]) {
+				t.Fatalf("row %d col %d differs across same-seed runs", i, j)
+			}
+		}
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	db := TPCH(TPCHConfig{Parts: 400, Orders: 300, Seed: 3})
+	for _, tc := range []struct {
+		table string
+		want  int
+	}{{"region", 5}, {"nation", 25}, {"part", 400}} {
+		tab := db.Table(tc.table)
+		if tab == nil || tab.NumRows() != tc.want {
+			t.Fatalf("%s rows = %v, want %d", tc.table, tab, tc.want)
+		}
+	}
+	if db.Table("lineitem").NumRows() == 0 || db.Table("orders").NumRows() != 300 {
+		t.Fatal("orders/lineitem not generated")
+	}
+}
+
+func TestTPCHActiveDomains(t *testing.T) {
+	if got := len(TPCHTypes()); got != 150 {
+		t.Fatalf("p_type domain = %d, want 150", got)
+	}
+	if got := len(TPCHContainers()); got != 40 {
+		t.Fatalf("p_container domain = %d, want 40", got)
+	}
+	db := TPCH(TPCHConfig{Parts: 600, Orders: 100, Seed: 4})
+	if got := len(db.ActiveDomain("part", "p_type")); got != 150 {
+		t.Fatalf("active p_type = %d, want 150 (Parts must cover the domain)", got)
+	}
+	if got := len(db.ActiveDomain("part", "p_container")); got != 40 {
+		t.Fatalf("active p_container = %d, want 40", got)
+	}
+}
+
+func TestSSBShape(t *testing.T) {
+	db := SSB(SSBConfig{Customers: 600, Suppliers: 300, Parts: 200, LineOrders: 1000, Seed: 5})
+	if got := len(SSBCities()); got != 250 {
+		t.Fatalf("city domain = %d, want 250", got)
+	}
+	if got := len(db.ActiveDomain("customer", "c_city")); got != 250 {
+		t.Fatalf("active customer cities = %d, want 250", got)
+	}
+	if got := len(db.ActiveDomain("customer", "c_region")); got != 5 {
+		t.Fatalf("regions = %d, want 5", got)
+	}
+	if got := len(db.ActiveDomain("customer", "c_nation")); got != 25 {
+		t.Fatalf("nations = %d, want 25", got)
+	}
+	if db.Table("lineorder").NumRows() != 1000 {
+		t.Fatal("lineorder rows wrong")
+	}
+}
+
+func TestSSBDateDimension(t *testing.T) {
+	db := SSB(SSBConfig{LineOrders: 10, Seed: 6})
+	years := db.ActiveDomain("date", "d_year")
+	if len(years) != 7 {
+		t.Fatalf("years = %d, want 7", len(years))
+	}
+	// Every lineorder date must join to the date dimension.
+	dateKeys := map[int64]bool{}
+	for _, row := range db.Table("date").Rows {
+		dateKeys[row[0].I] = true
+	}
+	for _, row := range db.Table("lineorder").Rows {
+		if !dateKeys[row[4].I] {
+			t.Fatalf("lo_orderdate %d has no date row", row[4].I)
+		}
+	}
+}
+
+func TestValuesAreTyped(t *testing.T) {
+	db := World(WorldConfig{Countries: 10, Cities: 20, Seed: 8})
+	c := db.Table("Country")
+	for _, row := range c.Rows {
+		for j, col := range c.Schema.Cols {
+			if row[j].IsNull() {
+				continue // Capital may be NULL
+			}
+			if row[j].K != col.Kind {
+				t.Fatalf("Country.%s has kind %v, schema says %v", col.Name, row[j].K, col.Kind)
+			}
+		}
+	}
+	_ = relational.KindInt
+}

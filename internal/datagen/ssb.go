@@ -1,0 +1,201 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querypricing/internal/relational"
+)
+
+// SSBRegions are the five SSB region names (same as TPC-H).
+var SSBRegions = TPCHRegions
+
+// SSBNations returns the 25 SSB nations (reusing the TPC-H names; five per
+// region, as in the SSB specification).
+func SSBNations() []string { return TPCHNations }
+
+// SSBCities returns the 250 SSB cities: ten per nation, named by truncating
+// the nation name and appending a digit, following the dbgen convention.
+func SSBCities() []string {
+	out := make([]string, 0, 250)
+	for _, n := range TPCHNations {
+		prefix := n
+		if len(prefix) > 9 {
+			prefix = prefix[:9]
+		}
+		for d := 0; d < 10; d++ {
+			out = append(out, fmt.Sprintf("%s%d", prefix, d))
+		}
+	}
+	return out
+}
+
+// SSBYears is the d_year domain (7 years, as the paper's parameterization).
+var SSBYears = []int{1992, 1993, 1994, 1995, 1996, 1997, 1998}
+
+// SSBConfig scales the micro SSB generator.
+type SSBConfig struct {
+	Customers  int // default 600
+	Suppliers  int // default 300
+	Parts      int // default 300
+	LineOrders int // default 6000
+	Seed       int64
+}
+
+func (c *SSBConfig) fill() {
+	if c.Customers <= 0 {
+		c.Customers = 600
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = 300
+	}
+	if c.Parts <= 0 {
+		c.Parts = 300
+	}
+	if c.LineOrders <= 0 {
+		c.LineOrders = 6000
+	}
+}
+
+// SSB generates the micro star-schema-benchmark database: a lineorder fact
+// table and the date, customer, supplier and part dimensions.
+func SSB(cfg SSBConfig) *relational.Database {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDatabase()
+
+	date := relational.NewTable(relational.NewSchema("date",
+		relational.Column{Name: "d_datekey", Kind: relational.KindInt},
+		relational.Column{Name: "d_year", Kind: relational.KindInt},
+		relational.Column{Name: "d_yearmonthnum", Kind: relational.KindInt},
+		relational.Column{Name: "d_weeknuminyear", Kind: relational.KindInt},
+	))
+	var dateKeys []int64
+	for _, y := range SSBYears {
+		for m := 1; m <= 12; m++ {
+			for d := 1; d <= 28; d += 3 { // ~10 days per month keeps the dim small
+				key := dateInt(y, m, d)
+				dateKeys = append(dateKeys, key)
+				date.Append(
+					relational.Int(key),
+					relational.Int(int64(y)),
+					relational.Int(int64(y*100+m)),
+					relational.Int(int64((m*28+d)/7)),
+				)
+			}
+		}
+	}
+
+	cities := SSBCities()
+	nations := SSBNations()
+	regionOfNation := func(ni int) string { return SSBRegions[ni/5] }
+
+	customer := relational.NewTable(relational.NewSchema("customer",
+		relational.Column{Name: "c_custkey", Kind: relational.KindInt},
+		relational.Column{Name: "c_name", Kind: relational.KindString},
+		relational.Column{Name: "c_city", Kind: relational.KindString},
+		relational.Column{Name: "c_nation", Kind: relational.KindString},
+		relational.Column{Name: "c_region", Kind: relational.KindString},
+	))
+	for i := 0; i < cfg.Customers; i++ {
+		ci := i % len(cities) // cycle so every city has customers
+		ni := ci / 10
+		customer.Append(
+			relational.Int(int64(i+1)),
+			relational.Str(fmt.Sprintf("Customer#%09d", i+1)),
+			relational.Str(cities[ci]),
+			relational.Str(nations[ni]),
+			relational.Str(regionOfNation(ni)),
+		)
+	}
+
+	supplier := relational.NewTable(relational.NewSchema("supplier",
+		relational.Column{Name: "s_suppkey", Kind: relational.KindInt},
+		relational.Column{Name: "s_city", Kind: relational.KindString},
+		relational.Column{Name: "s_nation", Kind: relational.KindString},
+		relational.Column{Name: "s_region", Kind: relational.KindString},
+	))
+	for i := 0; i < cfg.Suppliers; i++ {
+		ci := (i * 7) % len(cities)
+		ni := ci / 10
+		supplier.Append(
+			relational.Int(int64(i+1)),
+			relational.Str(cities[ci]),
+			relational.Str(nations[ni]),
+			relational.Str(regionOfNation(ni)),
+		)
+	}
+
+	part := relational.NewTable(relational.NewSchema("part",
+		relational.Column{Name: "p_partkey", Kind: relational.KindInt},
+		relational.Column{Name: "p_mfgr", Kind: relational.KindString},
+		relational.Column{Name: "p_category", Kind: relational.KindString},
+		relational.Column{Name: "p_brand1", Kind: relational.KindString},
+		relational.Column{Name: "p_color", Kind: relational.KindString},
+	))
+	colors := []string{"red", "green", "blue", "ivory", "peach", "maroon", "azure", "plum"}
+	for i := 0; i < cfg.Parts; i++ {
+		mfgr := 1 + i%5
+		cat := 1 + (i/5)%5
+		part.Append(
+			relational.Int(int64(i+1)),
+			relational.Str(fmt.Sprintf("MFGR#%d", mfgr)),
+			relational.Str(fmt.Sprintf("MFGR#%d%d", mfgr, cat)),
+			relational.Str(fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, 1+i%40)),
+			relational.Str(colors[i%len(colors)]),
+		)
+	}
+
+	lineorder := relational.NewTable(relational.NewSchema("lineorder",
+		relational.Column{Name: "lo_orderkey", Kind: relational.KindInt},
+		relational.Column{Name: "lo_custkey", Kind: relational.KindInt},
+		relational.Column{Name: "lo_partkey", Kind: relational.KindInt},
+		relational.Column{Name: "lo_suppkey", Kind: relational.KindInt},
+		relational.Column{Name: "lo_orderdate", Kind: relational.KindInt},
+		relational.Column{Name: "lo_quantity", Kind: relational.KindInt},
+		relational.Column{Name: "lo_extendedprice", Kind: relational.KindFloat},
+		relational.Column{Name: "lo_discount", Kind: relational.KindInt},
+		relational.Column{Name: "lo_revenue", Kind: relational.KindFloat},
+		relational.Column{Name: "lo_supplycost", Kind: relational.KindFloat},
+	))
+	// Suppliers grouped by city so a fraction of lineorders can pick a
+	// same-city supplier. At SF-1 the SSB Q3.3/Q3.4 (c_city = s_city = X)
+	// queries have plentiful matches; a micro-scale uniform pairing would
+	// make almost all of them empty, distorting the hypergraph (the paper's
+	// SSB instance has exactly one empty hyperedge).
+	suppliersInCity := make(map[string][]int64)
+	for i, row := range supplier.Rows {
+		suppliersInCity[row[1].S] = append(suppliersInCity[row[1].S], int64(i+1))
+	}
+	for i := 0; i < cfg.LineOrders; i++ {
+		price := float64(100+rng.Intn(1_000_000)) / 100
+		disc := rng.Intn(11)
+		custKey := 1 + rng.Intn(cfg.Customers)
+		suppKey := int64(1 + rng.Intn(cfg.Suppliers))
+		if rng.Float64() < 0.4 {
+			custCity := customer.Rows[custKey-1][2].S
+			if same := suppliersInCity[custCity]; len(same) > 0 {
+				suppKey = same[rng.Intn(len(same))]
+			}
+		}
+		lineorder.Append(
+			relational.Int(int64(i+1)),
+			relational.Int(int64(custKey)),
+			relational.Int(int64(1+rng.Intn(cfg.Parts))),
+			relational.Int(suppKey),
+			relational.Int(dateKeys[rng.Intn(len(dateKeys))]),
+			relational.Int(int64(1+rng.Intn(50))),
+			relational.Float(price),
+			relational.Int(int64(disc)),
+			relational.Float(price*(1-float64(disc)/100)),
+			relational.Float(price*0.6),
+		)
+	}
+
+	db.AddTable(date)
+	db.AddTable(customer)
+	db.AddTable(supplier)
+	db.AddTable(part)
+	db.AddTable(lineorder)
+	return db
+}

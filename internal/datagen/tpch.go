@@ -1,0 +1,266 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querypricing/internal/relational"
+)
+
+// TPCHRegions are the five TPC-H region names.
+var TPCHRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// TPCHNations are the 25 TPC-H nation names, five per region.
+var TPCHNations = []string{
+	"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+	"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+	"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+	"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+	"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+}
+
+// TPCHTypeSyllables generate the 150 distinct p_type values (6 x 5 x 5),
+// exactly the parameter domain of the paper's 150 Q16-derived queries.
+var (
+	typeS1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeS2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeS3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+)
+
+// TPCHTypes returns all 150 p_type values.
+func TPCHTypes() []string {
+	out := make([]string, 0, 150)
+	for _, a := range typeS1 {
+		for _, b := range typeS2 {
+			for _, c := range typeS3 {
+				out = append(out, a+" "+b+" "+c)
+			}
+		}
+	}
+	return out
+}
+
+// TPCHContainers returns all 40 p_container values (5 x 8), the domain of
+// the 40 Q17-derived queries.
+func TPCHContainers() []string {
+	sizes := []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	kinds := []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	out := make([]string, 0, 40)
+	for _, s := range sizes {
+		for _, k := range kinds {
+			out = append(out, s+" "+k)
+		}
+	}
+	return out
+}
+
+// TPCHYears is the orderdate year domain.
+var TPCHYears = []int{1992, 1993, 1994, 1995, 1996, 1997, 1998}
+
+// TPCHConfig scales the micro TPC-H generator. The paper used dbgen at
+// scale factor 1 (~10M rows); we default to a laptop-micro scale that keeps
+// the same schema and active domains (which is what the workload and
+// conflict-set structure depend on).
+type TPCHConfig struct {
+	Parts     int // default 400
+	Suppliers int // default 50
+	Customers int // default 150
+	Orders    int // default 1200
+	Seed      int64
+}
+
+func (c *TPCHConfig) fill() {
+	if c.Parts <= 0 {
+		c.Parts = 400
+	}
+	if c.Suppliers <= 0 {
+		c.Suppliers = 50
+	}
+	if c.Customers <= 0 {
+		c.Customers = 150
+	}
+	if c.Orders <= 0 {
+		c.Orders = 1200
+	}
+}
+
+// dateInt encodes a date as yyyymmdd for integer comparisons.
+func dateInt(year, month, day int) int64 {
+	return int64(year)*10000 + int64(month)*100 + int64(day)
+}
+
+// TPCH generates the eight-table micro TPC-H database.
+func TPCH(cfg TPCHConfig) *relational.Database {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDatabase()
+
+	region := relational.NewTable(relational.NewSchema("region",
+		relational.Column{Name: "r_regionkey", Kind: relational.KindInt},
+		relational.Column{Name: "r_name", Kind: relational.KindString},
+	))
+	for i, name := range TPCHRegions {
+		region.Append(relational.Int(int64(i)), relational.Str(name))
+	}
+
+	nation := relational.NewTable(relational.NewSchema("nation",
+		relational.Column{Name: "n_nationkey", Kind: relational.KindInt},
+		relational.Column{Name: "n_name", Kind: relational.KindString},
+		relational.Column{Name: "n_regionkey", Kind: relational.KindInt},
+	))
+	for i, name := range TPCHNations {
+		nation.Append(relational.Int(int64(i)), relational.Str(name), relational.Int(int64(i/5)))
+	}
+
+	part := relational.NewTable(relational.NewSchema("part",
+		relational.Column{Name: "p_partkey", Kind: relational.KindInt},
+		relational.Column{Name: "p_name", Kind: relational.KindString},
+		relational.Column{Name: "p_mfgr", Kind: relational.KindString},
+		relational.Column{Name: "p_brand", Kind: relational.KindString},
+		relational.Column{Name: "p_type", Kind: relational.KindString},
+		relational.Column{Name: "p_size", Kind: relational.KindInt},
+		relational.Column{Name: "p_container", Kind: relational.KindString},
+		relational.Column{Name: "p_retailprice", Kind: relational.KindFloat},
+	))
+	types := TPCHTypes()
+	containers := TPCHContainers()
+	for i := 0; i < cfg.Parts; i++ {
+		part.Append(
+			relational.Int(int64(i+1)),
+			relational.Str("part-"+synthName(i)),
+			relational.Str(fmt.Sprintf("Manufacturer#%d", 1+i%5)),
+			relational.Str(fmt.Sprintf("Brand#%d%d", 1+i%5, 1+(i/5)%5)),
+			relational.Str(types[i%len(types)]),
+			relational.Int(int64(1+i%50)),
+			relational.Str(containers[i%len(containers)]),
+			relational.Float(900+float64(i%100)*10),
+		)
+	}
+
+	supplier := relational.NewTable(relational.NewSchema("supplier",
+		relational.Column{Name: "s_suppkey", Kind: relational.KindInt},
+		relational.Column{Name: "s_name", Kind: relational.KindString},
+		relational.Column{Name: "s_nationkey", Kind: relational.KindInt},
+		relational.Column{Name: "s_acctbal", Kind: relational.KindFloat},
+	))
+	for i := 0; i < cfg.Suppliers; i++ {
+		supplier.Append(
+			relational.Int(int64(i+1)),
+			relational.Str(fmt.Sprintf("Supplier#%09d", i+1)),
+			relational.Int(int64(rng.Intn(len(TPCHNations)))),
+			relational.Float(float64(rng.Intn(1_000_000))/100),
+		)
+	}
+
+	partsupp := relational.NewTable(relational.NewSchema("partsupp",
+		relational.Column{Name: "ps_partkey", Kind: relational.KindInt},
+		relational.Column{Name: "ps_suppkey", Kind: relational.KindInt},
+		relational.Column{Name: "ps_availqty", Kind: relational.KindInt},
+		relational.Column{Name: "ps_supplycost", Kind: relational.KindFloat},
+	))
+	for i := 0; i < cfg.Parts; i++ {
+		for k := 0; k < 2; k++ {
+			partsupp.Append(
+				relational.Int(int64(i+1)),
+				relational.Int(int64(1+(i*2+k)%cfg.Suppliers)),
+				relational.Int(int64(1+rng.Intn(9999))),
+				relational.Float(float64(rng.Intn(100_000))/100),
+			)
+		}
+	}
+
+	customer := relational.NewTable(relational.NewSchema("customer",
+		relational.Column{Name: "c_custkey", Kind: relational.KindInt},
+		relational.Column{Name: "c_name", Kind: relational.KindString},
+		relational.Column{Name: "c_nationkey", Kind: relational.KindInt},
+		relational.Column{Name: "c_mktsegment", Kind: relational.KindString},
+		relational.Column{Name: "c_acctbal", Kind: relational.KindFloat},
+	))
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	for i := 0; i < cfg.Customers; i++ {
+		customer.Append(
+			relational.Int(int64(i+1)),
+			relational.Str(fmt.Sprintf("Customer#%09d", i+1)),
+			relational.Int(int64(rng.Intn(len(TPCHNations)))),
+			relational.Str(segments[i%len(segments)]),
+			relational.Float(float64(rng.Intn(1_000_000))/100),
+		)
+	}
+
+	orders := relational.NewTable(relational.NewSchema("orders",
+		relational.Column{Name: "o_orderkey", Kind: relational.KindInt},
+		relational.Column{Name: "o_custkey", Kind: relational.KindInt},
+		relational.Column{Name: "o_orderstatus", Kind: relational.KindString},
+		relational.Column{Name: "o_totalprice", Kind: relational.KindFloat},
+		relational.Column{Name: "o_orderdate", Kind: relational.KindInt},
+		relational.Column{Name: "o_orderpriority", Kind: relational.KindString},
+	))
+	lineitem := relational.NewTable(relational.NewSchema("lineitem",
+		relational.Column{Name: "l_orderkey", Kind: relational.KindInt},
+		relational.Column{Name: "l_partkey", Kind: relational.KindInt},
+		relational.Column{Name: "l_suppkey", Kind: relational.KindInt},
+		relational.Column{Name: "l_quantity", Kind: relational.KindInt},
+		relational.Column{Name: "l_extendedprice", Kind: relational.KindFloat},
+		relational.Column{Name: "l_discount", Kind: relational.KindFloat},
+		relational.Column{Name: "l_tax", Kind: relational.KindFloat},
+		relational.Column{Name: "l_returnflag", Kind: relational.KindString},
+		relational.Column{Name: "l_linestatus", Kind: relational.KindString},
+		relational.Column{Name: "l_shipdate", Kind: relational.KindInt},
+		relational.Column{Name: "l_commitdate", Kind: relational.KindInt},
+		relational.Column{Name: "l_receiptdate", Kind: relational.KindInt},
+		relational.Column{Name: "l_shipmode", Kind: relational.KindString},
+	))
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	modes := []string{"AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "REG AIR", "FOB"}
+	flags := []string{"A", "N", "R"}
+	for o := 0; o < cfg.Orders; o++ {
+		year := TPCHYears[rng.Intn(len(TPCHYears))]
+		month := 1 + rng.Intn(12)
+		day := 1 + rng.Intn(28)
+		orders.Append(
+			relational.Int(int64(o+1)),
+			relational.Int(int64(1+rng.Intn(cfg.Customers))),
+			relational.Str([]string{"O", "F", "P"}[rng.Intn(3)]),
+			relational.Float(float64(10_000+rng.Intn(40_000_000))/100),
+			relational.Int(dateInt(year, month, day)),
+			relational.Str(priorities[rng.Intn(len(priorities))]),
+		)
+		nl := 1 + rng.Intn(5)
+		for l := 0; l < nl; l++ {
+			shipYear := year
+			shipMonth := month + rng.Intn(3)
+			if shipMonth > 12 {
+				shipMonth -= 12
+				shipYear++
+			}
+			ship := dateInt(shipYear, shipMonth, 1+rng.Intn(28))
+			commit := ship + int64(rng.Intn(60)) - 30
+			receipt := ship + int64(1+rng.Intn(30))
+			lineitem.Append(
+				relational.Int(int64(o+1)),
+				relational.Int(int64(1+rng.Intn(cfg.Parts))),
+				relational.Int(int64(1+rng.Intn(cfg.Suppliers))),
+				relational.Int(int64(1+rng.Intn(50))),
+				relational.Float(float64(100+rng.Intn(9_000_000))/100),
+				relational.Float(float64(rng.Intn(11))/100),
+				relational.Float(float64(rng.Intn(9))/100),
+				relational.Str(flags[rng.Intn(len(flags))]),
+				relational.Str([]string{"O", "F"}[rng.Intn(2)]),
+				relational.Int(ship),
+				relational.Int(commit),
+				relational.Int(receipt),
+				relational.Str(modes[rng.Intn(len(modes))]),
+			)
+		}
+	}
+
+	db.AddTable(region)
+	db.AddTable(nation)
+	db.AddTable(part)
+	db.AddTable(supplier)
+	db.AddTable(partsupp)
+	db.AddTable(customer)
+	db.AddTable(orders)
+	db.AddTable(lineitem)
+	return db
+}

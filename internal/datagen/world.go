@@ -1,0 +1,249 @@
+// Package datagen builds the three synthetic datasets the experiments run
+// on, substituting for the data the paper used (see DESIGN.md):
+//
+//   - a "world"-shaped database (Country / City / CountryLanguage, 21
+//     attributes, 239 countries, 7 continents, 110 languages) matching the
+//     MySQL sample database the paper's skewed and uniform workloads query;
+//   - a micro-scale TPC-H-shaped database (8 tables) sufficient for the 7
+//     query templates of the paper's TPC-H workload;
+//   - a micro-scale SSB-shaped star schema (lineorder + 4 dimensions) for
+//     the 13 SSB templates.
+//
+// All generators are deterministic given their seed, so experiments are
+// reproducible.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querypricing/internal/relational"
+)
+
+// Continents are the seven continent names used by the world generator.
+var Continents = []string{
+	"Asia", "Europe", "North America", "Africa",
+	"Oceania", "Antarctica", "South America",
+}
+
+// regionsByContinent gives a few regions per continent (world-style).
+var regionsByContinent = map[string][]string{
+	"Asia":          {"Southeast Asia", "Eastern Asia", "Middle East", "Southern Asia", "Central Asia"},
+	"Europe":        {"Western Europe", "Eastern Europe", "Southern Europe", "Nordic Countries", "British Islands"},
+	"North America": {"Caribbean", "Central America", "Northern America"},
+	"Africa":        {"Northern Africa", "Western Africa", "Eastern Africa", "Southern Africa", "Central Africa"},
+	"Oceania":       {"Australia and New Zealand", "Melanesia", "Polynesia", "Micronesia"},
+	"Antarctica":    {"Antarctica"},
+	"South America": {"South America"},
+}
+
+// GovernmentForms is the active domain of Country.GovernmentForm.
+var GovernmentForms = []string{
+	"Republic", "Constitutional Monarchy", "Federal Republic", "Monarchy",
+	"Federation", "Parliamentary Democracy", "Socialist Republic",
+	"Emirate", "Commonwealth", "Dependent Territory",
+}
+
+// nameStarts spreads country/city name first letters across the alphabet so
+// LIKE 'A%' style predicates have sensible selectivity.
+var nameStarts = []string{
+	"Al", "Ba", "Ca", "Da", "El", "Fra", "Ga", "Ha", "Is", "Ja", "Ka", "Li",
+	"Ma", "Ni", "Or", "Pa", "Qu", "Ro", "Sa", "Ta", "Ur", "Va", "Wa", "Xa",
+	"Ya", "Za",
+}
+
+var nameMids = []string{"ber", "lan", "rin", "dor", "mon", "vel", "tan", "gar", "nia", "sto"}
+var nameEnds = []string{"dia", "land", "stan", "burg", "ville", "ia", "ar", "os", "um", "ea"}
+
+// synthName builds a deterministic pseudo-name from an index.
+func synthName(i int) string {
+	s := nameStarts[i%len(nameStarts)]
+	m := nameMids[(i/len(nameStarts))%len(nameMids)]
+	e := nameEnds[(i/(len(nameStarts)*len(nameMids)))%len(nameEnds)]
+	n := i / (len(nameStarts) * len(nameMids) * len(nameEnds))
+	if n > 0 {
+		return fmt.Sprintf("%s%s%s %d", s, m, e, n)
+	}
+	return s + m + e
+}
+
+// NumLanguages is the size of the language active domain; together with 239
+// countries and 7 continents it makes the expanded skewed workload come out
+// to the paper's 986 queries (35 base + 3*239 + 2*7 + 2*110).
+const NumLanguages = 110
+
+// Languages returns the language active domain.
+func Languages() []string {
+	base := []string{
+		"English", "Spanish", "French", "German", "Greek", "Arabic",
+		"Mandarin", "Hindi", "Portuguese", "Russian", "Japanese", "Korean",
+		"Italian", "Dutch", "Turkish", "Polish", "Swedish", "Thai",
+		"Vietnamese", "Swahili",
+	}
+	out := make([]string, 0, NumLanguages)
+	out = append(out, base...)
+	for i := len(base); i < NumLanguages; i++ {
+		out = append(out, fmt.Sprintf("%s-tongue", synthName(i*7)))
+	}
+	return out
+}
+
+// WorldConfig controls the size of the synthetic world database.
+type WorldConfig struct {
+	// Countries is the number of countries (default 239, like the MySQL
+	// world database).
+	Countries int
+	// Cities is the total number of cities (default 4000).
+	Cities int
+	// LanguagesPerCountry is the average number of spoken languages listed
+	// per country (default 4).
+	LanguagesPerCountry int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *WorldConfig) fill() {
+	if c.Countries <= 0 {
+		c.Countries = 239
+	}
+	if c.Cities <= 0 {
+		c.Cities = 4000
+	}
+	if c.LanguagesPerCountry <= 0 {
+		c.LanguagesPerCountry = 4
+	}
+}
+
+// code3 derives a distinct 3-letter country code from an index.
+func code3(i int) string {
+	const A = 26
+	return string([]byte{byte('A' + (i/(A*A))%A), byte('A' + (i/A)%A), byte('A' + i%A)})
+}
+
+// World generates the world-shaped database: Country (12 attributes), City
+// (5) and CountryLanguage (4) — 21 attributes across 3 tables, as in the
+// paper's description of the dataset.
+func World(cfg WorldConfig) *relational.Database {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.NewDatabase()
+
+	country := relational.NewTable(relational.NewSchema("Country",
+		relational.Column{Name: "Code", Kind: relational.KindString},
+		relational.Column{Name: "Name", Kind: relational.KindString},
+		relational.Column{Name: "Continent", Kind: relational.KindString},
+		relational.Column{Name: "Region", Kind: relational.KindString},
+		relational.Column{Name: "SurfaceArea", Kind: relational.KindFloat},
+		relational.Column{Name: "IndepYear", Kind: relational.KindInt},
+		relational.Column{Name: "Population", Kind: relational.KindInt},
+		relational.Column{Name: "LifeExpectancy", Kind: relational.KindFloat},
+		relational.Column{Name: "GNP", Kind: relational.KindFloat},
+		relational.Column{Name: "LocalName", Kind: relational.KindString},
+		relational.Column{Name: "GovernmentForm", Kind: relational.KindString},
+		relational.Column{Name: "Capital", Kind: relational.KindInt},
+	))
+	city := relational.NewTable(relational.NewSchema("City",
+		relational.Column{Name: "ID", Kind: relational.KindInt},
+		relational.Column{Name: "Name", Kind: relational.KindString},
+		relational.Column{Name: "CountryCode", Kind: relational.KindString},
+		relational.Column{Name: "District", Kind: relational.KindString},
+		relational.Column{Name: "Population", Kind: relational.KindInt},
+	))
+	lang := relational.NewTable(relational.NewSchema("CountryLanguage",
+		relational.Column{Name: "CountryCode", Kind: relational.KindString},
+		relational.Column{Name: "Language", Kind: relational.KindString},
+		relational.Column{Name: "IsOfficial", Kind: relational.KindString},
+		relational.Column{Name: "Percentage", Kind: relational.KindFloat},
+	))
+
+	languages := Languages()
+	codes := make([]string, cfg.Countries)
+	for i := 0; i < cfg.Countries; i++ {
+		codes[i] = code3(i * 3)
+	}
+	// Ensure the USA and GRC codes from the paper's example queries exist.
+	if cfg.Countries > 2 {
+		codes[0] = "USA"
+		codes[1] = "GRC"
+	}
+
+	// Cities first so countries can point at capitals.
+	cityCountry := make([]int, cfg.Cities)
+	for i := 0; i < cfg.Cities; i++ {
+		ci := rng.Intn(cfg.Countries)
+		cityCountry[i] = ci
+		city.Append(
+			relational.Int(int64(i+1)),
+			relational.Str(synthName(i+13)),
+			relational.Str(codes[ci]),
+			relational.Str("District-"+synthName(rng.Intn(200))),
+			relational.Int(int64(1000+rng.Intn(15_000_000))),
+		)
+	}
+	capitalOf := make(map[int]int64)
+	for i := 0; i < cfg.Cities; i++ {
+		if _, ok := capitalOf[cityCountry[i]]; !ok {
+			capitalOf[cityCountry[i]] = int64(i + 1)
+		}
+	}
+
+	for i := 0; i < cfg.Countries; i++ {
+		continent := Continents[i%len(Continents)]
+		regions := regionsByContinent[continent]
+		capital := capitalOf[i] // 0 (NULL-ish) if the country has no city
+		capVal := relational.Null()
+		if capital != 0 {
+			capVal = relational.Int(capital)
+		}
+		country.Append(
+			relational.Str(codes[i]),
+			relational.Str(synthName(i)),
+			relational.Str(continent),
+			relational.Str(regions[rng.Intn(len(regions))]),
+			relational.Float(float64(1000+rng.Intn(17_000_000))),
+			relational.Int(int64(1200+rng.Intn(800))),
+			relational.Int(int64(40_000+rng.Intn(1_400_000_000))),
+			relational.Float(38+rng.Float64()*45),
+			relational.Float(float64(rng.Intn(8_000_000))/100),
+			relational.Str(synthName(i+500)),
+			relational.Str(GovernmentForms[rng.Intn(len(GovernmentForms))]),
+			capVal,
+		)
+	}
+
+	for i := 0; i < cfg.Countries; i++ {
+		n := 1 + rng.Intn(2*cfg.LanguagesPerCountry-1)
+		perm := rng.Perm(len(languages))
+		// Guarantee English appears in enough countries for Q30.
+		if rng.Float64() < 0.3 {
+			perm = append([]int{0}, perm...)
+		}
+		seen := map[int]bool{}
+		added := 0
+		for _, li := range perm {
+			if added >= n {
+				break
+			}
+			if seen[li] {
+				continue
+			}
+			seen[li] = true
+			official := "F"
+			if added == 0 {
+				official = "T"
+			}
+			lang.Append(
+				relational.Str(codes[i]),
+				relational.Str(languages[li]),
+				relational.Str(official),
+				relational.Float(float64(rng.Intn(1000))/10),
+			)
+			added++
+		}
+	}
+
+	db.AddTable(country)
+	db.AddTable(city)
+	db.AddTable(lang)
+	return db
+}

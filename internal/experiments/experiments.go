@@ -1,0 +1,318 @@
+// Package experiments wires datasets, workloads, support sets and pricing
+// algorithms into the paper's experiment matrix (Section 6). It is shared
+// by cmd/pricebench, the root benchmark suite, and the examples, so every
+// figure and table is regenerated from a single implementation.
+//
+// Scale note: the paper ran on MySQL with |S| up to 100000 and SF-1 TPC-H;
+// the default scales here are laptop-small but preserve every qualitative
+// result (see DESIGN.md and EXPERIMENTS.md). Use Scale > 1 to grow toward
+// paper scale.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"querypricing/internal/bounds"
+	"querypricing/internal/datagen"
+	"querypricing/internal/hypergraph"
+	"querypricing/internal/pricing"
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+	"querypricing/internal/workloads"
+)
+
+// Workload identifies one of the paper's four query workloads.
+type Workload string
+
+// The four workloads of Table 2 / Table 3.
+const (
+	Skewed  Workload = "skewed"
+	Uniform Workload = "uniform"
+	TPCH    Workload = "tpch"
+	SSB     Workload = "ssb"
+)
+
+// AllWorkloads lists the four workloads in the paper's order.
+var AllWorkloads = []Workload{Uniform, Skewed, SSB, TPCH}
+
+// Config controls scenario construction.
+type Config struct {
+	// Workload picks the query workload (and its dataset).
+	Workload Workload
+	// SupportSize is |S|; 0 picks the workload's default.
+	SupportSize int
+	// Scale multiplies dataset row counts (1 = laptop default).
+	Scale float64
+	// UniformQueries is m for the uniform workload (default 1000).
+	UniformQueries int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Scenario is a fully built pricing instance: dataset, queries, support,
+// and the hypergraph of conflict sets (valuations still zero).
+type Scenario struct {
+	Name      string
+	DB        *relational.Database
+	Queries   []*relational.SelectQuery
+	Set       *support.Set
+	H         *hypergraph.Hypergraph
+	BuildTime time.Duration // support sampling + conflict set computation
+	Stats     *support.Stats
+}
+
+// Build constructs the scenario for a config.
+func Build(cfg Config) (*Scenario, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	scale := func(n int) int {
+		v := int(float64(n) * cfg.Scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	var (
+		db             *relational.Database
+		queries        []*relational.SelectQuery
+		supportDefault int
+	)
+	switch cfg.Workload {
+	case Skewed:
+		db = datagen.World(datagen.WorldConfig{
+			Countries: 239, // fixed: the workload's 986 queries depend on it
+			Cities:    scale(600),
+			Seed:      cfg.Seed,
+		})
+		queries = workloads.Skewed(db)
+		supportDefault = 1000
+	case Uniform:
+		db = datagen.World(datagen.WorldConfig{
+			Countries: 239,
+			Cities:    scale(600),
+			Seed:      cfg.Seed,
+		})
+		m := cfg.UniformQueries
+		if m <= 0 {
+			m = 1000
+		}
+		queries = workloads.Uniform(db, m)
+		supportDefault = 1000
+	case TPCH:
+		db = datagen.TPCH(datagen.TPCHConfig{
+			Parts:     scale(400),
+			Suppliers: scale(50),
+			Customers: scale(150),
+			Orders:    scale(1200),
+			Seed:      cfg.Seed,
+		})
+		queries = workloads.TPCH(db)
+		supportDefault = 800
+	case SSB:
+		db = datagen.SSB(datagen.SSBConfig{
+			Customers:  scale(600),
+			Suppliers:  scale(300),
+			Parts:      scale(300),
+			LineOrders: scale(4000),
+			Seed:       cfg.Seed,
+		})
+		queries = workloads.SSB(db)
+		supportDefault = 800
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", cfg.Workload)
+	}
+	if cfg.SupportSize <= 0 {
+		cfg.SupportSize = supportDefault
+	}
+
+	start := time.Now()
+	set, err := support.Generate(db, support.GenOptions{Size: cfg.SupportSize, Seed: cfg.Seed + 7})
+	if err != nil {
+		return nil, err
+	}
+	h, stats, err := support.BuildHypergraph(set, queries, support.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Name:      string(cfg.Workload),
+		DB:        db,
+		Queries:   queries,
+		Set:       set,
+		H:         h,
+		BuildTime: time.Since(start),
+		Stats:     stats,
+	}, nil
+}
+
+// AlgoResult is one algorithm's outcome on one valuation draw.
+type AlgoResult struct {
+	Algorithm  string
+	Revenue    float64
+	Normalized float64 // revenue / sum of valuations
+	Runtime    time.Duration
+	LPSolves   int
+}
+
+// Tuning holds per-run algorithm knobs. The paper tunes CIP's epsilon per
+// workload (0.2 skewed, 4 uniform, 3 TPC-H/SSB) and we additionally cap
+// LPIP's candidate thresholds to bound LP count at larger scales.
+type Tuning struct {
+	LPIPCandidates int     // 0 = all distinct valuations
+	CIPEpsilon     float64 // 0 = default 0.5
+	CIPMaxCaps     int     // 0 = unlimited
+	SkipCIP        bool    // CIP (and XOS) can dominate runtime; skip if set
+	WithBound      bool    // also compute the subadditive bound series
+}
+
+// DefaultTuning returns the paper's per-workload CIP epsilon and a
+// laptop-friendly LPIP cap.
+func DefaultTuning(w Workload) Tuning {
+	t := Tuning{LPIPCandidates: 16, WithBound: true}
+	switch w {
+	case Skewed:
+		t.CIPEpsilon = 0.2
+	case Uniform:
+		t.CIPEpsilon = 4
+	default:
+		t.CIPEpsilon = 3
+	}
+	return t
+}
+
+// RunPoint is one x-axis point of a figure: the valuation model plus the
+// normalized revenue of every algorithm (and the bound series).
+type RunPoint struct {
+	Model            string
+	SumValuations    float64
+	SubadditiveBound float64 // 0 when not computed
+	Results          []AlgoResult
+}
+
+// RunAll applies the valuation model to the scenario's hypergraph and runs
+// the full algorithm roster: UBP, UIP, LPIP, CIP, Layering, XOS(LPIP+CIP),
+// exactly the six series of Figures 5-7.
+func RunAll(h *hypergraph.Hypergraph, model valuation.Model, seed int64, tune Tuning) (RunPoint, error) {
+	valuation.Apply(h, model, seed)
+	sum := h.TotalValuation()
+	point := RunPoint{Model: model.Name(), SumValuations: sum}
+	norm := func(r float64) float64 {
+		if sum == 0 {
+			return 0
+		}
+		return r / sum
+	}
+	add := func(r pricing.Result) {
+		point.Results = append(point.Results, AlgoResult{
+			Algorithm:  r.Algorithm,
+			Revenue:    r.Revenue,
+			Normalized: norm(r.Revenue),
+			Runtime:    r.Runtime,
+			LPSolves:   r.LPSolves,
+		})
+	}
+
+	add(pricing.UniformBundle(h))
+	add(pricing.UniformItem(h))
+	lpip, err := pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: tune.LPIPCandidates})
+	if err != nil {
+		return point, err
+	}
+	add(lpip)
+	add(pricing.Layering(h))
+	if !tune.SkipCIP {
+		cip, err := pricing.Capacity(h, pricing.CapacityOptions{Epsilon: tune.CIPEpsilon, MaxCapacities: tune.CIPMaxCaps})
+		if err != nil {
+			return point, err
+		}
+		add(cip)
+		add(pricing.XOS(h, lpip.Weights, cip.Weights))
+	}
+	if tune.WithBound {
+		b, err := bounds.Subadditive(h, bounds.Options{})
+		if err != nil {
+			return point, err
+		}
+		point.SubadditiveBound = norm(b)
+	}
+	return point, nil
+}
+
+// SampledModels returns the "sampling bundle valuations" grid of Figures
+// 5a/6a: Uniform[1,k] for k in {100..500} and Zipf(a) for a in {1.5..2.5}.
+func SampledModels() []valuation.Model {
+	return []valuation.Model{
+		valuation.Uniform{K: 100}, valuation.Uniform{K: 200}, valuation.Uniform{K: 300},
+		valuation.Uniform{K: 400}, valuation.Uniform{K: 500},
+		valuation.Zipf{A: 1.5}, valuation.Zipf{A: 1.75}, valuation.Zipf{A: 2},
+		valuation.Zipf{A: 2.25}, valuation.Zipf{A: 2.5},
+	}
+}
+
+// ScaledModels returns the "scaling bundle valuations" grid of Figures
+// 5b/6b: Exp(|e|^k) and N(|e|^k, 10) for k in {2, 3/2, 1, 1/2, 1/4}.
+func ScaledModels() []valuation.Model {
+	ks := []float64{2, 1.5, 1, 0.5, 0.25}
+	var out []valuation.Model
+	for _, k := range ks {
+		out = append(out, valuation.ExponentialScaled{K: k})
+	}
+	for _, k := range ks {
+		out = append(out, valuation.NormalScaled{K: k})
+	}
+	return out
+}
+
+// AdditiveModels returns the "sampling item prices" grid of Figure 7:
+// D-tilde in {Uniform[1,k], Binomial(k,1/2)} for k in {1, 10, 100, 1000,
+// 5000, 10000}.
+func AdditiveModels() []valuation.Model {
+	ks := []int{1, 10, 100, 1000, 5000, 10000}
+	var out []valuation.Model
+	for _, k := range ks {
+		out = append(out, valuation.Additive{K: k, Dist: valuation.IndexUniform})
+	}
+	for _, k := range ks {
+		out = append(out, valuation.Additive{K: k, Dist: valuation.IndexBinomial})
+	}
+	return out
+}
+
+// Sweep runs RunAll across a model grid on one scenario hypergraph.
+func Sweep(h *hypergraph.Hypergraph, models []valuation.Model, seed int64, tune Tuning) ([]RunPoint, error) {
+	var out []RunPoint
+	for i, m := range models {
+		p, err := RunAll(h, m, seed+int64(i)*101, tune)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: model %s: %w", m.Name(), err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SupportSweep reproduces Figure 8 / Tables 5-6: it restricts the
+// scenario's hypergraph to growing prefixes of the support set, reapplies
+// the valuation model, and runs the roster at each size.
+func SupportSweep(sc *Scenario, sizes []int, model valuation.Model, seed int64, tune Tuning) (map[int]RunPoint, error) {
+	out := make(map[int]RunPoint)
+	for _, n := range sizes {
+		if n > sc.H.NumItems() {
+			return nil, fmt.Errorf("experiments: support size %d exceeds generated %d", n, sc.H.NumItems())
+		}
+		keep := make([]int, n)
+		for i := range keep {
+			keep[i] = i
+		}
+		sub := sc.H.Restrict(keep)
+		p, err := RunAll(sub, model, seed, tune)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"querypricing/internal/valuation"
+)
+
+// tinyScenario builds a fast scenario for tests.
+func tinyScenario(t *testing.T, w Workload) *Scenario {
+	t.Helper()
+	cfg := Config{Workload: w, SupportSize: 120, Scale: 0.25, Seed: 1}
+	if w == Uniform {
+		cfg.UniformQueries = 60
+	}
+	sc, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestBuildAllWorkloads(t *testing.T) {
+	for _, w := range AllWorkloads {
+		sc := tinyScenario(t, w)
+		if sc.H.NumItems() != 120 {
+			t.Fatalf("%s: items = %d, want 120", w, sc.H.NumItems())
+		}
+		if sc.H.NumEdges() != len(sc.Queries) {
+			t.Fatalf("%s: edges = %d, queries = %d", w, sc.H.NumEdges(), len(sc.Queries))
+		}
+		if sc.BuildTime <= 0 {
+			t.Fatalf("%s: no build time recorded", w)
+		}
+	}
+}
+
+func TestBuildUnknownWorkload(t *testing.T) {
+	if _, err := Build(Config{Workload: "nope"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSkewedQueryCountPreserved(t *testing.T) {
+	sc := tinyScenario(t, Skewed)
+	if len(sc.Queries) != 986 {
+		t.Fatalf("skewed m = %d, want 986 (fixed regardless of scale)", len(sc.Queries))
+	}
+}
+
+func TestRunAllProducesSixSeries(t *testing.T) {
+	sc := tinyScenario(t, Skewed)
+	tune := DefaultTuning(Skewed)
+	tune.LPIPCandidates = 4
+	tune.CIPMaxCaps = 3
+	p, err := RunAll(sc.H, valuation.Uniform{K: 100}, 42, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Results) != 6 {
+		t.Fatalf("series = %d, want 6 (UBP UIP LPIP Layering CIP XOS)", len(p.Results))
+	}
+	for _, r := range p.Results {
+		if r.Normalized < 0 || r.Normalized > 1+1e-9 {
+			t.Fatalf("%s normalized revenue %g outside [0,1]", r.Algorithm, r.Normalized)
+		}
+	}
+	if p.SubadditiveBound <= 0 || p.SubadditiveBound > 1+1e-9 {
+		t.Fatalf("subadditive bound %g outside (0,1]", p.SubadditiveBound)
+	}
+}
+
+func TestRunAllSkipCIP(t *testing.T) {
+	sc := tinyScenario(t, Uniform)
+	tune := Tuning{LPIPCandidates: 3, SkipCIP: true}
+	p, err := RunAll(sc.H, valuation.Uniform{K: 100}, 7, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Results) != 4 {
+		t.Fatalf("series = %d, want 4 without CIP/XOS", len(p.Results))
+	}
+}
+
+func TestModelGrids(t *testing.T) {
+	if got := len(SampledModels()); got != 10 {
+		t.Fatalf("sampled models = %d, want 10", got)
+	}
+	if got := len(ScaledModels()); got != 10 {
+		t.Fatalf("scaled models = %d, want 10", got)
+	}
+	if got := len(AdditiveModels()); got != 12 {
+		t.Fatalf("additive models = %d, want 12", got)
+	}
+}
+
+func TestSupportSweepMonotoneItems(t *testing.T) {
+	sc := tinyScenario(t, Skewed)
+	tune := Tuning{LPIPCandidates: 3, SkipCIP: true}
+	sweep, err := SupportSweep(sc, []int{20, 60, 120}, valuation.Uniform{K: 100}, 3, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("sweep points = %d", len(sweep))
+	}
+	// UBP is insensitive to support size (Section 6.5).
+	ubp := map[int]float64{}
+	for n, p := range sweep {
+		for _, r := range p.Results {
+			if r.Algorithm == "UBP" {
+				ubp[n] = r.Normalized
+			}
+		}
+	}
+	if ubp[20] != ubp[120] {
+		t.Fatalf("UBP changed with support size: %v", ubp)
+	}
+	if _, err := SupportSweep(sc, []int{999}, valuation.Uniform{K: 10}, 1, tune); err == nil {
+		t.Fatal("want error for oversized support request")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	sc := tinyScenario(t, Skewed)
+	tune := Tuning{LPIPCandidates: 2, SkipCIP: true, WithBound: true}
+	pts, err := Sweep(sc.H, []valuation.Model{valuation.Uniform{K: 100}, valuation.Zipf{A: 2}}, 5, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := FormatRevenueTable("fig", pts)
+	for _, want := range []string{"UBP", "LPIP", "uniform[1,100]", "zipf[a=2]", "subadd"} {
+		if !strings.Contains(rev, want) {
+			t.Errorf("revenue table missing %q:\n%s", want, rev)
+		}
+	}
+	rt := FormatRuntimeTable("tab", pts)
+	if !strings.Contains(rt, "UBP") {
+		t.Errorf("runtime table malformed:\n%s", rt)
+	}
+	st := FormatStatsTable([]*Scenario{sc})
+	if !strings.Contains(st, "skewed") || !strings.Contains(st, "986") {
+		t.Errorf("stats table malformed:\n%s", st)
+	}
+	hist := FormatHistogram("fig4", sc.H, 10)
+	if !strings.Contains(hist, "#") {
+		t.Errorf("histogram has no bars:\n%s", hist)
+	}
+	sweep, err := SupportSweep(sc, []int{40, 120}, valuation.Uniform{K: 50}, 2, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := FormatSupportSweep("fig8", sweep)
+	if !strings.Contains(ss, "|S|") || !strings.Contains(ss, "120") {
+		t.Errorf("support sweep table malformed:\n%s", ss)
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"querypricing/internal/hypergraph"
+)
+
+// FormatRevenueTable renders a sweep as an aligned text table with one row
+// per model and one column per algorithm (normalized revenue), matching the
+// series of the paper's figures.
+func FormatRevenueTable(title string, points []RunPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	if len(points) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	// Column order: algorithms as first seen, then the bound.
+	var algos []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		for _, r := range p.Results {
+			if !seen[r.Algorithm] {
+				seen[r.Algorithm] = true
+				algos = append(algos, r.Algorithm)
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-22s", "model")
+	for _, a := range algos {
+		fmt.Fprintf(&sb, "%10s", a)
+	}
+	fmt.Fprintf(&sb, "%10s\n", "subadd")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-22s", p.Model)
+		byAlgo := map[string]float64{}
+		for _, r := range p.Results {
+			byAlgo[r.Algorithm] = r.Normalized
+		}
+		for _, a := range algos {
+			if v, ok := byAlgo[a]; ok {
+				fmt.Fprintf(&sb, "%10.3f", v)
+			} else {
+				fmt.Fprintf(&sb, "%10s", "-")
+			}
+		}
+		if p.SubadditiveBound > 0 {
+			fmt.Fprintf(&sb, "%10.3f", p.SubadditiveBound)
+		} else {
+			fmt.Fprintf(&sb, "%10s", "-")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatRuntimeTable renders per-algorithm runtimes (Table 4 shape).
+func FormatRuntimeTable(title string, points []RunPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	var algos []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		for _, r := range p.Results {
+			if !seen[r.Algorithm] {
+				seen[r.Algorithm] = true
+				algos = append(algos, r.Algorithm)
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-22s", "model")
+	for _, a := range algos {
+		fmt.Fprintf(&sb, "%12s", a)
+	}
+	sb.WriteString("\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-22s", p.Model)
+		byAlgo := map[string]string{}
+		for _, r := range p.Results {
+			byAlgo[r.Algorithm] = r.Runtime.Round(1000 * 1000).String() // ms precision
+		}
+		for _, a := range algos {
+			fmt.Fprintf(&sb, "%12s", byAlgo[a])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatStatsTable renders Table 3 (hypergraph characteristics) for a set
+// of scenarios.
+func FormatStatsTable(scs []*Scenario) string {
+	var sb strings.Builder
+	sb.WriteString("== Table 3: hypergraph characteristics ==\n")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %14s %12s %12s\n",
+		"workload", "queries(m)", "items(n)", "maxdeg(B)", "avg edge size", "empty edges", "unique-item")
+	for _, sc := range scs {
+		st := sc.H.ComputeStats()
+		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %14.2f %12d %12d\n",
+			sc.Name, st.NumEdges, st.NumItems, st.MaxDegree, st.AvgEdgeSize, st.EmptyEdges, st.UniqueItem)
+	}
+	return sb.String()
+}
+
+// FormatHistogram renders a Figure 4 style hyperedge-size histogram as an
+// ASCII bar chart.
+func FormatHistogram(title string, h *hypergraph.Hypergraph, bins int) string {
+	bounds, counts := h.SizeHistogram(bins)
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s (m=%d) ==\n", title, h.NumEdges())
+	lo := 0
+	for b := range counts {
+		bar := strings.Repeat("#", counts[b]*50/maxC)
+		fmt.Fprintf(&sb, "size %6d-%-6d %6d |%s\n", lo, bounds[b], counts[b], bar)
+		lo = bounds[b] + 1
+	}
+	return sb.String()
+}
+
+// FormatSupportSweep renders a Figure 8 / Table 5-6 style table: one row
+// per support size with normalized revenue and runtime per algorithm.
+func FormatSupportSweep(title string, sweep map[int]RunPoint) string {
+	var sizes []int
+	for n := range sweep {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	var algos []string
+	seen := map[string]bool{}
+	for _, n := range sizes {
+		for _, r := range sweep[n].Results {
+			if !seen[r.Algorithm] {
+				seen[r.Algorithm] = true
+				algos = append(algos, r.Algorithm)
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-10s", "|S|")
+	for _, a := range algos {
+		fmt.Fprintf(&sb, "%10s", a)
+		fmt.Fprintf(&sb, "%12s", a+"(t)")
+	}
+	sb.WriteString("\n")
+	for _, n := range sizes {
+		fmt.Fprintf(&sb, "%-10d", n)
+		byAlgo := map[string]AlgoResult{}
+		for _, r := range sweep[n].Results {
+			byAlgo[r.Algorithm] = r
+		}
+		for _, a := range algos {
+			r := byAlgo[a]
+			fmt.Fprintf(&sb, "%10.3f", r.Normalized)
+			fmt.Fprintf(&sb, "%12s", r.Runtime.Round(1000*1000).String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

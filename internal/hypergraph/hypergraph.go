@@ -1,0 +1,355 @@
+// Package hypergraph defines the pricing instance used throughout the
+// library: a weighted hypergraph whose vertices ("items") are database
+// instances in the support set S and whose hyperedges ("bundles") are the
+// conflict sets of buyer queries, each carrying the buyer's valuation.
+//
+// This is the instance H = (V, E) of Section 3.3 of Chawla et al.,
+// "Revenue Maximization for Query Pricing" (PVLDB 13(1), 2019). All pricing
+// algorithms in internal/pricing operate on this type.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one buyer bundle: the conflict set of a query vector together with
+// the buyer's valuation for it. Items holds item identifiers in [0, n) and is
+// kept sorted and deduplicated by the constructors in this package.
+type Edge struct {
+	// Items are the vertex ids of the bundle, sorted ascending, no
+	// duplicates. An empty bundle is legal (the paper's TPC-H workload has
+	// eleven zero-size hyperedges); every pricing function assigns it price
+	// zero, so it is always "sold" for zero revenue.
+	Items []int
+	// Valuation is the buyer's value v_e >= 0 for the bundle.
+	Valuation float64
+	// Label is an optional human-readable tag (e.g. the SQL query that
+	// generated the bundle). It is ignored by all algorithms.
+	Label string
+}
+
+// Size returns |e|, the number of items in the bundle.
+func (e *Edge) Size() int { return len(e.Items) }
+
+// Contains reports whether item j belongs to the edge using binary search.
+func (e *Edge) Contains(j int) bool {
+	i := sort.SearchInts(e.Items, j)
+	return i < len(e.Items) && e.Items[i] == j
+}
+
+// Hypergraph is a pricing instance: n items and m weighted hyperedges.
+// The zero value is an empty instance ready for AddEdge.
+type Hypergraph struct {
+	n     int
+	edges []Edge
+
+	// degree[j] = number of edges containing item j; built lazily.
+	degree      []int
+	degreeValid bool
+}
+
+// New returns an empty hypergraph with n items and no edges.
+// It panics if n is negative.
+func New(n int) *Hypergraph {
+	if n < 0 {
+		panic(fmt.Sprintf("hypergraph: negative item count %d", n))
+	}
+	return &Hypergraph{n: n}
+}
+
+// FromEdges builds a hypergraph over n items from the given edges.
+// Item slices are copied, sorted and deduplicated; it returns an error if an
+// edge references an item outside [0, n) or carries a negative valuation.
+func FromEdges(n int, edges []Edge) (*Hypergraph, error) {
+	h := New(n)
+	for i := range edges {
+		if err := h.AddEdge(edges[i].Items, edges[i].Valuation, edges[i].Label); err != nil {
+			return nil, fmt.Errorf("edge %d: %w", i, err)
+		}
+	}
+	return h, nil
+}
+
+// MustFromEdges is FromEdges but panics on error. Intended for tests and
+// hand-written literals.
+func MustFromEdges(n int, edges []Edge) *Hypergraph {
+	h, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// AddEdge appends a bundle with the given items and valuation. The item
+// slice is copied, sorted and deduplicated.
+func (h *Hypergraph) AddEdge(items []int, valuation float64, label string) error {
+	if valuation < 0 {
+		return fmt.Errorf("hypergraph: negative valuation %g", valuation)
+	}
+	cp := make([]int, len(items))
+	copy(cp, items)
+	sort.Ints(cp)
+	// Deduplicate in place.
+	out := cp[:0]
+	for i, v := range cp {
+		if v < 0 || v >= h.n {
+			return fmt.Errorf("hypergraph: item %d out of range [0,%d)", v, h.n)
+		}
+		if i > 0 && cp[i-1] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	h.edges = append(h.edges, Edge{Items: out, Valuation: valuation, Label: label})
+	h.degreeValid = false
+	return nil
+}
+
+// NumItems returns n = |S|, the number of items (support instances).
+func (h *Hypergraph) NumItems() int { return h.n }
+
+// NumEdges returns m, the number of bundles.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// Edge returns a pointer to the i-th edge. The caller must not mutate the
+// Items slice.
+func (h *Hypergraph) Edge(i int) *Edge { return &h.edges[i] }
+
+// Edges returns the underlying edge slice. The caller must not mutate it.
+func (h *Hypergraph) Edges() []Edge { return h.edges }
+
+// Valuations returns a fresh slice of all edge valuations, index-aligned
+// with Edges.
+func (h *Hypergraph) Valuations() []float64 {
+	v := make([]float64, len(h.edges))
+	for i := range h.edges {
+		v[i] = h.edges[i].Valuation
+	}
+	return v
+}
+
+// SetValuations overwrites all edge valuations. It panics if the slice
+// length differs from NumEdges or any value is negative; valuations are the
+// only mutable part of an instance (experiments resample them in place).
+func (h *Hypergraph) SetValuations(v []float64) {
+	if len(v) != len(h.edges) {
+		panic(fmt.Sprintf("hypergraph: SetValuations got %d values for %d edges", len(v), len(h.edges)))
+	}
+	for i, x := range v {
+		if x < 0 {
+			panic(fmt.Sprintf("hypergraph: negative valuation %g at %d", x, i))
+		}
+		h.edges[i].Valuation = x
+	}
+}
+
+// TotalValuation returns the sum of all bundle valuations, the weak upper
+// bound on OPT used throughout the paper.
+func (h *Hypergraph) TotalValuation() float64 {
+	var s float64
+	for i := range h.edges {
+		s += h.edges[i].Valuation
+	}
+	return s
+}
+
+func (h *Hypergraph) buildDegrees() {
+	if h.degreeValid {
+		return
+	}
+	h.degree = make([]int, h.n)
+	for i := range h.edges {
+		for _, j := range h.edges[i].Items {
+			h.degree[j]++
+		}
+	}
+	h.degreeValid = true
+}
+
+// Degree returns the number of edges containing item j.
+func (h *Hypergraph) Degree(j int) int {
+	h.buildDegrees()
+	return h.degree[j]
+}
+
+// MaxDegree returns B, the maximum number of bundles any single item belongs
+// to (Table 1 of the paper). It is 0 for an instance with no incidences.
+func (h *Hypergraph) MaxDegree() int {
+	h.buildDegrees()
+	b := 0
+	for _, d := range h.degree {
+		if d > b {
+			b = d
+		}
+	}
+	return b
+}
+
+// MaxEdgeSize returns k, the size of the largest bundle.
+func (h *Hypergraph) MaxEdgeSize() int {
+	k := 0
+	for i := range h.edges {
+		if len(h.edges[i].Items) > k {
+			k = len(h.edges[i].Items)
+		}
+	}
+	return k
+}
+
+// AvgEdgeSize returns the mean bundle size (Table 3 of the paper), or 0 for
+// an instance with no edges.
+func (h *Hypergraph) AvgEdgeSize() float64 {
+	if len(h.edges) == 0 {
+		return 0
+	}
+	var s int
+	for i := range h.edges {
+		s += len(h.edges[i].Items)
+	}
+	return float64(s) / float64(len(h.edges))
+}
+
+// Incidence returns, for every item, the sorted list of edge indices that
+// contain it. Items with no incident edges map to nil slices.
+func (h *Hypergraph) Incidence() [][]int {
+	inc := make([][]int, h.n)
+	for i := range h.edges {
+		for _, j := range h.edges[i].Items {
+			inc[j] = append(inc[j], i)
+		}
+	}
+	return inc
+}
+
+// ActiveItems returns the sorted set of items that appear in at least one
+// edge. Pricing only ever assigns nonzero weights to these.
+func (h *Hypergraph) ActiveItems() []int {
+	h.buildDegrees()
+	var out []int
+	for j, d := range h.degree {
+		if d > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the instance in the shape of the paper's Table 3.
+type Stats struct {
+	NumItems    int     // n = |S|
+	NumEdges    int     // m
+	MaxDegree   int     // B
+	MaxEdgeSize int     // k
+	AvgEdgeSize float64 // mean |e|
+	EmptyEdges  int     // edges with |e| = 0
+	UniqueItem  int     // edges containing at least one item of degree 1
+}
+
+// ComputeStats returns summary statistics for the instance.
+func (h *Hypergraph) ComputeStats() Stats {
+	h.buildDegrees()
+	st := Stats{
+		NumItems:    h.n,
+		NumEdges:    len(h.edges),
+		MaxDegree:   h.MaxDegree(),
+		MaxEdgeSize: h.MaxEdgeSize(),
+		AvgEdgeSize: h.AvgEdgeSize(),
+	}
+	for i := range h.edges {
+		if len(h.edges[i].Items) == 0 {
+			st.EmptyEdges++
+			continue
+		}
+		for _, j := range h.edges[i].Items {
+			if h.degree[j] == 1 {
+				st.UniqueItem++
+				break
+			}
+		}
+	}
+	return st
+}
+
+// SizeHistogram buckets edge sizes into the given number of equal-width bins
+// over [0, MaxEdgeSize] and returns (bin upper bounds, counts). This is the
+// data behind Figure 4 of the paper. bins must be positive.
+func (h *Hypergraph) SizeHistogram(bins int) (bounds []int, counts []int) {
+	if bins <= 0 {
+		panic("hypergraph: SizeHistogram needs bins > 0")
+	}
+	maxSz := h.MaxEdgeSize()
+	if maxSz == 0 {
+		maxSz = 1
+	}
+	bounds = make([]int, bins)
+	counts = make([]int, bins)
+	for b := 0; b < bins; b++ {
+		bounds[b] = (maxSz*(b+1) + bins - 1) / bins
+	}
+	for i := range h.edges {
+		sz := len(h.edges[i].Items)
+		b := 0
+		for b < bins-1 && sz > bounds[b] {
+			b++
+		}
+		counts[b]++
+	}
+	return bounds, counts
+}
+
+// Restrict projects the instance onto the item subset keep (a set of item
+// ids): every edge is intersected with keep and items are renumbered
+// densely. Valuations and labels are preserved. This models shrinking the
+// support set S after the fact and is used by the Figure 8 / Table 5 / Table
+// 6 support-size sweeps.
+func (h *Hypergraph) Restrict(keep []int) *Hypergraph {
+	inKeep := make(map[int]int, len(keep))
+	sorted := make([]int, len(keep))
+	copy(sorted, keep)
+	sort.Ints(sorted)
+	prev := -1
+	next := 0
+	for _, j := range sorted {
+		if j == prev {
+			continue
+		}
+		prev = j
+		if j < 0 || j >= h.n {
+			panic(fmt.Sprintf("hypergraph: Restrict item %d out of range", j))
+		}
+		inKeep[j] = next
+		next++
+	}
+	out := New(next)
+	for i := range h.edges {
+		var items []int
+		for _, j := range h.edges[i].Items {
+			if nj, ok := inKeep[j]; ok {
+				items = append(items, nj)
+			}
+		}
+		// Items were sorted and renumbering is monotone, so still sorted.
+		out.edges = append(out.edges, Edge{Items: items, Valuation: h.edges[i].Valuation, Label: h.edges[i].Label})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (h *Hypergraph) Clone() *Hypergraph {
+	out := New(h.n)
+	out.edges = make([]Edge, len(h.edges))
+	for i := range h.edges {
+		items := make([]int, len(h.edges[i].Items))
+		copy(items, h.edges[i].Items)
+		out.edges[i] = Edge{Items: items, Valuation: h.edges[i].Valuation, Label: h.edges[i].Label}
+	}
+	return out
+}
+
+// String returns a short human-readable summary.
+func (h *Hypergraph) String() string {
+	st := h.ComputeStats()
+	return fmt.Sprintf("hypergraph{n=%d m=%d B=%d k=%d avg|e|=%.2f}",
+		st.NumItems, st.NumEdges, st.MaxDegree, st.MaxEdgeSize, st.AvgEdgeSize)
+}

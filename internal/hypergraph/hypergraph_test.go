@@ -1,0 +1,257 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeSortsAndDedupes(t *testing.T) {
+	h := New(5)
+	if err := h.AddEdge([]int{3, 1, 3, 0}, 2.5, "q"); err != nil {
+		t.Fatal(err)
+	}
+	e := h.Edge(0)
+	if !reflect.DeepEqual(e.Items, []int{0, 1, 3}) {
+		t.Fatalf("items = %v, want [0 1 3]", e.Items)
+	}
+	if e.Valuation != 2.5 || e.Label != "q" {
+		t.Fatalf("edge metadata lost: %+v", e)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	h := New(3)
+	if err := h.AddEdge([]int{5}, 1, ""); err == nil {
+		t.Fatal("want error for out-of-range item")
+	}
+	if err := h.AddEdge([]int{-1}, 1, ""); err == nil {
+		t.Fatal("want error for negative item")
+	}
+	if err := h.AddEdge([]int{0}, -2, ""); err == nil {
+		t.Fatal("want error for negative valuation")
+	}
+}
+
+func TestFromEdgesErrorPropagation(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{Items: []int{9}}}); err == nil {
+		t.Fatal("want error")
+	}
+	h, err := FromEdges(2, []Edge{{Items: []int{1, 0}, Valuation: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 1 || h.Edge(0).Items[0] != 0 {
+		t.Fatal("edge not normalized")
+	}
+}
+
+func TestDegreesAndStats(t *testing.T) {
+	h := MustFromEdges(4, []Edge{
+		{Items: []int{0, 1}, Valuation: 1},
+		{Items: []int{1, 2}, Valuation: 2},
+		{Items: []int{1}, Valuation: 3},
+		{Items: nil, Valuation: 4},
+	})
+	if got := h.Degree(1); got != 3 {
+		t.Fatalf("Degree(1) = %d, want 3", got)
+	}
+	if got := h.MaxDegree(); got != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", got)
+	}
+	st := h.ComputeStats()
+	if st.NumEdges != 4 || st.NumItems != 4 {
+		t.Fatalf("stats counts wrong: %+v", st)
+	}
+	if st.EmptyEdges != 1 {
+		t.Fatalf("EmptyEdges = %d, want 1", st.EmptyEdges)
+	}
+	if st.MaxEdgeSize != 2 {
+		t.Fatalf("MaxEdgeSize = %d, want 2", st.MaxEdgeSize)
+	}
+	if st.AvgEdgeSize != 5.0/4.0 {
+		t.Fatalf("AvgEdgeSize = %g, want 1.25", st.AvgEdgeSize)
+	}
+	// Unique-item edges: edge 0 has item 0 (degree 1), edge 1 has item 2
+	// (degree 1); edge 2's only item has degree 3; empty edge has none.
+	if st.UniqueItem != 2 {
+		t.Fatalf("UniqueItem = %d, want 2", st.UniqueItem)
+	}
+}
+
+func TestDegreeCacheInvalidation(t *testing.T) {
+	h := New(3)
+	if err := h.AddEdge([]int{0}, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxDegree() != 1 {
+		t.Fatal("initial degree wrong")
+	}
+	if err := h.AddEdge([]int{0}, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxDegree() != 2 {
+		t.Fatal("degree cache not invalidated by AddEdge")
+	}
+}
+
+func TestTotalValuationAndSetValuations(t *testing.T) {
+	h := MustFromEdges(2, []Edge{
+		{Items: []int{0}, Valuation: 1},
+		{Items: []int{1}, Valuation: 2},
+	})
+	if h.TotalValuation() != 3 {
+		t.Fatalf("TotalValuation = %g, want 3", h.TotalValuation())
+	}
+	h.SetValuations([]float64{5, 7})
+	if h.TotalValuation() != 12 {
+		t.Fatalf("TotalValuation after set = %g, want 12", h.TotalValuation())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetValuations with wrong length must panic")
+		}
+	}()
+	h.SetValuations([]float64{1})
+}
+
+func TestIncidence(t *testing.T) {
+	h := MustFromEdges(3, []Edge{
+		{Items: []int{0, 1}},
+		{Items: []int{1, 2}},
+	})
+	inc := h.Incidence()
+	if !reflect.DeepEqual(inc[1], []int{0, 1}) {
+		t.Fatalf("incidence of 1 = %v, want [0 1]", inc[1])
+	}
+	if inc[0][0] != 0 || len(inc[0]) != 1 {
+		t.Fatalf("incidence of 0 = %v", inc[0])
+	}
+}
+
+func TestActiveItems(t *testing.T) {
+	h := MustFromEdges(5, []Edge{{Items: []int{1, 3}}})
+	if got := h.ActiveItems(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("ActiveItems = %v, want [1 3]", got)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	h := MustFromEdges(10, []Edge{
+		{Items: []int{0}},
+		{Items: []int{0, 1}},
+		{Items: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+		{Items: nil},
+	})
+	bounds, counts := h.SizeHistogram(4)
+	if len(bounds) != 4 || len(counts) != 4 {
+		t.Fatalf("histogram shape wrong: %v %v", bounds, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("histogram total = %d, want 4", total)
+	}
+	// Sizes 0,1 and 2 land in bin 0 (bound 2); size 8 in the last bin.
+	if counts[0] != 3 || counts[3] != 1 {
+		t.Fatalf("histogram = %v (bounds %v)", counts, bounds)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	h := MustFromEdges(5, []Edge{
+		{Items: []int{0, 2, 4}, Valuation: 9, Label: "a"},
+		{Items: []int{1, 3}, Valuation: 4, Label: "b"},
+	})
+	r := h.Restrict([]int{2, 4, 3})
+	if r.NumItems() != 3 {
+		t.Fatalf("restricted items = %d, want 3", r.NumItems())
+	}
+	if r.NumEdges() != 2 {
+		t.Fatalf("restricted edges = %d, want 2", r.NumEdges())
+	}
+	// Renumbering is sorted: 2->0, 3->1, 4->2.
+	if !reflect.DeepEqual(r.Edge(0).Items, []int{0, 2}) {
+		t.Fatalf("edge 0 items = %v, want [0 2]", r.Edge(0).Items)
+	}
+	if !reflect.DeepEqual(r.Edge(1).Items, []int{1}) {
+		t.Fatalf("edge 1 items = %v, want [1]", r.Edge(1).Items)
+	}
+	if r.Edge(0).Valuation != 9 || r.Edge(0).Label != "a" {
+		t.Fatal("restrict lost metadata")
+	}
+}
+
+func TestRestrictDuplicatesAndClone(t *testing.T) {
+	h := MustFromEdges(3, []Edge{{Items: []int{0, 1, 2}, Valuation: 1}})
+	r := h.Restrict([]int{1, 1, 2})
+	if r.NumItems() != 2 {
+		t.Fatalf("dup keep handled wrong: %d items", r.NumItems())
+	}
+	c := h.Clone()
+	c.Edge(0).Valuation = 99
+	if h.Edge(0).Valuation != 1 {
+		t.Fatal("Clone is not deep")
+	}
+}
+
+func TestEdgeContains(t *testing.T) {
+	e := Edge{Items: []int{1, 4, 9}}
+	for _, j := range []int{1, 4, 9} {
+		if !e.Contains(j) {
+			t.Fatalf("Contains(%d) = false", j)
+		}
+	}
+	for _, j := range []int{0, 5, 10} {
+		if e.Contains(j) {
+			t.Fatalf("Contains(%d) = true", j)
+		}
+	}
+}
+
+// Property: Restrict never increases degrees, edge sizes, or edge count, and
+// preserves valuations.
+func TestRestrictProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(10)
+		h := New(n)
+		m := 1 + r.Intn(8)
+		for i := 0; i < m; i++ {
+			sz := r.Intn(n)
+			items := r.Perm(n)[:sz]
+			if err := h.AddEdge(items, float64(r.Intn(100)), ""); err != nil {
+				return false
+			}
+		}
+		keepSz := 1 + r.Intn(n)
+		keep := r.Perm(n)[:keepSz]
+		sub := h.Restrict(keep)
+		if sub.NumEdges() != h.NumEdges() {
+			return false
+		}
+		if sub.MaxDegree() > h.MaxDegree() {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			if sub.Edge(i).Size() > h.Edge(i).Size() {
+				return false
+			}
+			if sub.Edge(i).Valuation != h.Edge(i).Valuation {
+				return false
+			}
+			if !sort.IntsAreSorted(sub.Edge(i).Items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package lowerbounds constructs the worst-case instances of Appendix A of
+// the paper (Lemmas 2, 3 and 4): hypergraph families on which uniform bundle
+// pricing, item pricing, or both, lose an Omega(log m) factor against the
+// optimal monotone subadditive pricing. Each constructor also reports the
+// optimal revenue so tests and ablation benchmarks can measure the gap
+// empirically.
+package lowerbounds
+
+import (
+	"math"
+
+	"querypricing/internal/hypergraph"
+)
+
+// Instance couples a constructed hypergraph with its known optimal revenue
+// (extracted by some monotone subadditive pricing, per the lemma proofs).
+type Instance struct {
+	H *hypergraph.Hypergraph
+	// Opt is the revenue of the optimal subadditive pricing.
+	Opt float64
+	// Name identifies the construction.
+	Name string
+}
+
+// HarmonicAdditive is the Lemma 2 instance: n = m singleton buyers where
+// buyer i wants item i at valuation 1/i. The valuations are additive and an
+// item pricing (w_i = 1/i) extracts the full revenue H_m = Theta(log m),
+// while every uniform bundle price earns O(1).
+func HarmonicAdditive(m int) Instance {
+	h := hypergraph.New(m)
+	opt := 0.0
+	for i := 1; i <= m; i++ {
+		v := 1 / float64(i)
+		if err := h.AddEdge([]int{i - 1}, v, ""); err != nil {
+			panic(err)
+		}
+		opt += v
+	}
+	return Instance{H: h, Opt: opt, Name: "lemma2-harmonic"}
+}
+
+// PartitionUniform is the Lemma 3 instance: for every class i = 1..n, about
+// n/i customers each wanting a private block of i items, all with valuation
+// 1. A uniform bundle price of 1 extracts the full revenue Theta(n log n),
+// while every item pricing earns O(n).
+func PartitionUniform(n int) Instance {
+	h := hypergraph.New(classStart(n, n+1))
+	opt := 0.0
+	for i := 1; i <= n; i++ {
+		base := classStart(n, i)
+		count := (n + i - 1) / i // ceil(n/i) customers in class i
+		for c := 0; c < count; c++ {
+			items := make([]int, i)
+			for t := 0; t < i; t++ {
+				items[t] = base + c*i + t
+			}
+			if err := h.AddEdge(items, 1, ""); err != nil {
+				panic(err)
+			}
+			opt++
+		}
+	}
+	return Instance{H: h, Opt: opt, Name: "lemma3-partition"}
+}
+
+// classStart returns the first item id of class i, packing the disjoint
+// blocks of all classes consecutively.
+func classStart(n, i int) int {
+	// Class c uses ceil(n/c)*c <= n+c-1 items.
+	start := 0
+	for c := 1; c < i; c++ {
+		count := (n + c - 1) / c
+		start += count * c
+	}
+	return start
+}
+
+// LaminarSubmodular is the Lemma 4 / Figure 9 instance: a laminar family
+// arranged as a binary tree of depth t over n = 2^t items. The set at depth
+// l has valuation (3/4)^l and (2/3)^l * 3^t copies. Selling every bundle at
+// its value extracts OPT = (t+1) * 3^t, while both the best uniform bundle
+// price and the best item pricing earn O(3^t); the gap is Omega(log m).
+//
+// The number of edges grows as sum_l (2/3)^l 3^t 2^l = O(4^t); keep t small
+// (t <= 8 gives m <= 43k edges).
+func LaminarSubmodular(t int) Instance {
+	if t < 0 || t > 12 {
+		panic("lowerbounds: LaminarSubmodular depth out of range [0, 12]")
+	}
+	n := 1 << t
+	h := hypergraph.New(n)
+	threeT := math.Pow(3, float64(t))
+	opt := 0.0
+	for l := 0; l <= t; l++ {
+		setSize := n >> l
+		value := math.Pow(0.75, float64(l))
+		copies := int(math.Round(math.Pow(2.0/3.0, float64(l)) * threeT))
+		if copies == 0 {
+			copies = 1
+		}
+		numSets := 1 << l
+		for s := 0; s < numSets; s++ {
+			items := make([]int, setSize)
+			for k := 0; k < setSize; k++ {
+				items[k] = s*setSize + k
+			}
+			for c := 0; c < copies; c++ {
+				if err := h.AddEdge(items, value, ""); err != nil {
+					panic(err)
+				}
+				opt += value
+			}
+		}
+	}
+	return Instance{H: h, Opt: opt, Name: "lemma4-laminar"}
+}
+
+// BestUniformBundleRevenue returns the revenue of the optimal uniform
+// bundle price on the instance, brute-forced over all edge valuations.
+// Exposed for gap measurements without importing internal/pricing (which
+// would create a dependency cycle in ablation tests).
+func BestUniformBundleRevenue(h *hypergraph.Hypergraph) float64 {
+	best := 0.0
+	seen := map[float64]bool{}
+	for i := 0; i < h.NumEdges(); i++ {
+		p := h.Edge(i).Valuation
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		rev := 0.0
+		for k := 0; k < h.NumEdges(); k++ {
+			if h.Edge(k).Valuation >= p {
+				rev += p
+			}
+		}
+		if rev > best {
+			best = rev
+		}
+	}
+	return best
+}

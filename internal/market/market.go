@@ -1,0 +1,241 @@
+// Package market is the broker layer that ties the whole system together:
+// the role Qirana plays in the paper. A Broker owns a dataset, samples a
+// support set, calibrates a revenue-maximizing pricing function from a
+// forecast workload with buyer valuations, and then quotes and sells
+// arbitrage-free prices for arbitrary incoming queries.
+//
+// Prices are arbitrage-free by construction (Theorem 1): every pricing the
+// broker can be calibrated with — uniform bundle, item pricing, or XOS —
+// is a monotone subadditive function of the query's conflict set.
+package market
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"querypricing/internal/hypergraph"
+	"querypricing/internal/pricing"
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+)
+
+// Algorithm selects the pricing algorithm a broker calibrates with.
+type Algorithm string
+
+// The supported calibration algorithms (Section 5 of the paper).
+const (
+	UBP      Algorithm = "UBP"
+	UIP      Algorithm = "UIP"
+	LPIP     Algorithm = "LPIP"
+	CIP      Algorithm = "CIP"
+	Layering Algorithm = "Layering"
+	XOS      Algorithm = "XOS" // max of LPIP and CIP item pricings
+)
+
+// Config configures a Broker.
+type Config struct {
+	// SupportSize is |S|, the number of neighboring instances to sample.
+	SupportSize int
+	// Seed drives support sampling (and any valuation generation).
+	Seed int64
+	// LPIPCandidates caps LPIP's threshold count (0 = all).
+	LPIPCandidates int
+	// CIPEpsilon is the capacity grid step for CIP (default 0.5).
+	CIPEpsilon float64
+}
+
+// Quote is a priced offer for a query.
+type Quote struct {
+	Query        string
+	Price        float64
+	ConflictSize int
+	// Informative is false when the query's conflict set is empty: the
+	// query reveals nothing about the support set and is free.
+	Informative bool
+}
+
+// Receipt records a completed sale.
+type Receipt struct {
+	Query string
+	Price float64
+	When  time.Time
+}
+
+// Broker sells query answers over a dataset at arbitrage-free prices.
+// It is safe for concurrent use.
+type Broker struct {
+	mu sync.RWMutex
+
+	db  *relational.Database
+	set *support.Set
+	cfg Config
+
+	calibrated bool
+	algorithm  Algorithm
+	result     pricing.Result
+
+	sales   []Receipt
+	revenue float64
+}
+
+// NewBroker samples a support set over the dataset and returns an
+// uncalibrated broker (every quote is zero until Calibrate is called).
+func NewBroker(db *relational.Database, cfg Config) (*Broker, error) {
+	if cfg.SupportSize <= 0 {
+		cfg.SupportSize = 1000
+	}
+	set, err := support.Generate(db, support.GenOptions{Size: cfg.SupportSize, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("market: sampling support: %w", err)
+	}
+	return &Broker{db: db, set: set, cfg: cfg}, nil
+}
+
+// SupportSize returns |S|.
+func (b *Broker) SupportSize() int { return b.set.Size() }
+
+// Calibrate fits the chosen pricing algorithm to a forecast workload: the
+// queries a market study predicts buyers will ask, with their valuations
+// drawn from the given model (Section 3.3: "valuations can be found by
+// performing market research"). It returns the revenue the fitted pricing
+// would extract on the forecast.
+func (b *Broker) Calibrate(queries []*relational.SelectQuery, model valuation.Model, algo Algorithm) (float64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	h, _, err := support.BuildHypergraph(b.set, queries, support.BuildOptions{})
+	if err != nil {
+		return 0, fmt.Errorf("market: building hypergraph: %w", err)
+	}
+	valuation.Apply(h, model, b.cfg.Seed+1)
+
+	res, err := b.runAlgorithm(h, algo)
+	if err != nil {
+		return 0, err
+	}
+	b.calibrated = true
+	b.algorithm = algo
+	b.result = res
+	return res.Revenue, nil
+}
+
+func (b *Broker) runAlgorithm(h *hypergraph.Hypergraph, algo Algorithm) (pricing.Result, error) {
+	switch algo {
+	case UBP:
+		return pricing.UniformBundle(h), nil
+	case UIP:
+		return pricing.UniformItem(h), nil
+	case LPIP:
+		return pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: b.cfg.LPIPCandidates})
+	case CIP:
+		return pricing.Capacity(h, pricing.CapacityOptions{Epsilon: b.cfg.CIPEpsilon})
+	case Layering:
+		return pricing.Layering(h), nil
+	case XOS:
+		lpip, err := pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: b.cfg.LPIPCandidates})
+		if err != nil {
+			return pricing.Result{}, err
+		}
+		cip, err := pricing.Capacity(h, pricing.CapacityOptions{Epsilon: b.cfg.CIPEpsilon})
+		if err != nil {
+			return pricing.Result{}, err
+		}
+		return pricing.XOS(h, lpip.Weights, cip.Weights), nil
+	default:
+		return pricing.Result{}, fmt.Errorf("market: unknown algorithm %q", algo)
+	}
+}
+
+// Algorithm returns the calibrated algorithm name, or "" if uncalibrated.
+func (b *Broker) Algorithm() Algorithm {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if !b.calibrated {
+		return ""
+	}
+	return b.algorithm
+}
+
+// Quote prices an arbitrary incoming query: it computes the query's
+// conflict set against the support and applies the calibrated pricing
+// function to that bundle. It takes the write lock because conflict-set
+// computation patches the shared database in place (and reverts it).
+func (b *Broker) Quote(q *relational.SelectQuery) (Quote, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.quoteLocked(q)
+}
+
+func (b *Broker) quoteLocked(q *relational.SelectQuery) (Quote, error) {
+	items, err := support.ConflictSet(b.set, q)
+	if err != nil {
+		return Quote{}, fmt.Errorf("market: conflict set of %q: %w", q.Name, err)
+	}
+	e := hypergraph.Edge{Items: items}
+	price := 0.0
+	if b.calibrated {
+		if len(items) > 0 || b.result.Weights != nil || b.result.WeightSets != nil {
+			price = b.result.Price(&e)
+		}
+		if len(items) == 0 {
+			// An uninformative query is free under any item pricing; under
+			// a uniform bundle price the empty bundle formally costs the
+			// flat price, but no rational broker charges for zero
+			// information, so we quote zero.
+			price = 0
+		}
+	}
+	return Quote{
+		Query:        q.Name,
+		Price:        price,
+		ConflictSize: len(items),
+		Informative:  len(items) > 0,
+	}, nil
+}
+
+// Purchase quotes the query and, if the buyer's budget covers the price,
+// executes it and returns the answer with a receipt. A budget below the
+// price returns ErrBudget and no answer.
+func (b *Broker) Purchase(q *relational.SelectQuery, budget float64) (*relational.Result, Receipt, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	quote, err := b.quoteLocked(q)
+	if err != nil {
+		return nil, Receipt{}, err
+	}
+	if quote.Price > budget {
+		return nil, Receipt{}, fmt.Errorf("%w: price %.2f exceeds budget %.2f", ErrBudget, quote.Price, budget)
+	}
+	ans, err := q.Eval(b.db)
+	if err != nil {
+		return nil, Receipt{}, fmt.Errorf("market: executing %q: %w", q.Name, err)
+	}
+	r := Receipt{Query: q.Name, Price: quote.Price, When: time.Now()}
+	b.sales = append(b.sales, r)
+	b.revenue += quote.Price
+	return ans, r, nil
+}
+
+// ErrBudget is returned by Purchase when the quoted price exceeds the
+// buyer's budget.
+var ErrBudget = fmt.Errorf("market: budget too low")
+
+// Revenue returns the total revenue across completed sales.
+func (b *Broker) Revenue() float64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.revenue
+}
+
+// Sales returns a copy of the sales log, oldest first.
+func (b *Broker) Sales() []Receipt {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Receipt, len(b.sales))
+	copy(out, b.sales)
+	sort.Slice(out, func(i, j int) bool { return out[i].When.Before(out[j].When) })
+	return out
+}

@@ -1,0 +1,368 @@
+// Package online implements the paper's "Learning buyer valuations" future
+// work (Section 7.2): posted-price learning when buyers' valuations are
+// fixed but unknown to the seller. Queries arrive one at a time; the seller
+// posts a price, observes only whether the buyer purchased, and adapts.
+//
+// Three learners are provided, matching the paper's suggestion to
+// "investigate how bandit algorithms and gradient descent algorithms
+// perform":
+//
+//   - UCBBundle: UCB1 over a geometric grid of flat bundle prices (the
+//     online analogue of UBP);
+//   - EXP3Bundle: adversarial bandit over the same grid;
+//   - MultiplicativeItem: per-item weights with multiplicative updates (the
+//     online analogue of item pricing; prices stay additive at every round,
+//     so each round's pricing is arbitrage-free by Theorem 1 — the paper
+//     notes that a full temporal notion of arbitrage-freeness is open).
+//
+// Simulate replays a hypergraph's buyers against a learner and reports
+// cumulative revenue against the best fixed pricings in hindsight.
+package online
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"querypricing/internal/hypergraph"
+	"querypricing/internal/pricing"
+)
+
+// Pricer is an online posted-price learner.
+type Pricer interface {
+	// Name identifies the learner in reports.
+	Name() string
+	// Quote returns the posted price for an arriving bundle.
+	Quote(e *hypergraph.Edge) float64
+	// Observe reveals whether the buyer purchased at the posted price.
+	Observe(e *hypergraph.Edge, price float64, sold bool)
+}
+
+// PriceGrid returns a geometric grid of candidate flat prices spanning
+// [lo, hi] with the given number of arms.
+func PriceGrid(lo, hi float64, arms int) []float64 {
+	if lo <= 0 {
+		lo = 1e-3
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	if arms < 2 {
+		arms = 2
+	}
+	out := make([]float64, arms)
+	ratio := math.Pow(hi/lo, 1/float64(arms-1))
+	p := lo
+	for i := range out {
+		out[i] = p
+		p *= ratio
+	}
+	return out
+}
+
+// UCBBundle is UCB1 over a fixed grid of flat prices. The reward of arm p
+// on a round is p*1{sold}, normalized by the largest grid price.
+type UCBBundle struct {
+	grid   []float64
+	count  []int
+	reward []float64 // cumulative normalized reward
+	rounds int
+	last   int // arm used for the pending Observe
+}
+
+// NewUCBBundle returns a UCB1 learner over the given price grid.
+func NewUCBBundle(grid []float64) *UCBBundle {
+	if len(grid) == 0 {
+		panic("online: empty price grid")
+	}
+	g := make([]float64, len(grid))
+	copy(g, grid)
+	return &UCBBundle{grid: g, count: make([]int, len(g)), reward: make([]float64, len(g))}
+}
+
+// Name implements Pricer.
+func (u *UCBBundle) Name() string { return fmt.Sprintf("UCB[%d arms]", len(u.grid)) }
+
+// Quote implements Pricer.
+func (u *UCBBundle) Quote(e *hypergraph.Edge) float64 {
+	u.rounds++
+	// Play each arm once, then maximize the UCB index.
+	for i, c := range u.count {
+		if c == 0 {
+			u.last = i
+			return u.grid[i]
+		}
+	}
+	best, bestIdx := math.Inf(-1), 0
+	for i := range u.grid {
+		mean := u.reward[i] / float64(u.count[i])
+		bonus := math.Sqrt(2 * math.Log(float64(u.rounds)) / float64(u.count[i]))
+		if idx := mean + bonus; idx > best {
+			best, bestIdx = idx, i
+		}
+	}
+	u.last = bestIdx
+	return u.grid[bestIdx]
+}
+
+// Observe implements Pricer.
+func (u *UCBBundle) Observe(e *hypergraph.Edge, price float64, sold bool) {
+	u.count[u.last]++
+	if sold {
+		u.reward[u.last] += price / u.grid[len(u.grid)-1]
+	}
+}
+
+// EXP3Bundle is the EXP3 adversarial bandit over a flat price grid.
+type EXP3Bundle struct {
+	grid    []float64
+	weights []float64
+	gamma   float64
+	rng     *rand.Rand
+	last    int
+	lastPr  float64
+}
+
+// NewEXP3Bundle returns an EXP3 learner with exploration rate gamma
+// (default 0.1 when <= 0) and the given seed.
+func NewEXP3Bundle(grid []float64, gamma float64, seed int64) *EXP3Bundle {
+	if len(grid) == 0 {
+		panic("online: empty price grid")
+	}
+	if gamma <= 0 {
+		gamma = 0.1
+	}
+	g := make([]float64, len(grid))
+	copy(g, grid)
+	w := make([]float64, len(g))
+	for i := range w {
+		w[i] = 1
+	}
+	return &EXP3Bundle{grid: g, weights: w, gamma: gamma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Pricer.
+func (x *EXP3Bundle) Name() string { return fmt.Sprintf("EXP3[%d arms]", len(x.grid)) }
+
+func (x *EXP3Bundle) probs() []float64 {
+	sum := 0.0
+	for _, w := range x.weights {
+		sum += w
+	}
+	k := float64(len(x.weights))
+	pr := make([]float64, len(x.weights))
+	for i, w := range x.weights {
+		pr[i] = (1-x.gamma)*(w/sum) + x.gamma/k
+	}
+	return pr
+}
+
+// Quote implements Pricer.
+func (x *EXP3Bundle) Quote(e *hypergraph.Edge) float64 {
+	pr := x.probs()
+	r := x.rng.Float64()
+	acc := 0.0
+	x.last = len(pr) - 1
+	for i, p := range pr {
+		acc += p
+		if r <= acc {
+			x.last = i
+			break
+		}
+	}
+	x.lastPr = pr[x.last]
+	return x.grid[x.last]
+}
+
+// Observe implements Pricer.
+func (x *EXP3Bundle) Observe(e *hypergraph.Edge, price float64, sold bool) {
+	reward := 0.0
+	if sold {
+		reward = price / x.grid[len(x.grid)-1]
+	}
+	est := reward / x.lastPr
+	k := float64(len(x.grid))
+	x.weights[x.last] *= math.Exp(x.gamma * est / k)
+	// Renormalize occasionally to avoid overflow.
+	maxW := 0.0
+	for _, w := range x.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 1e100 {
+		for i := range x.weights {
+			x.weights[i] /= maxW
+		}
+	}
+}
+
+// MultiplicativeItem keeps one weight per item and posts additive prices.
+// On a sale it scales the bundle's item weights up by (1+eta_t); on a miss
+// it scales them down by (1-eta_t): a bandit-feedback coordinate ascent in
+// log space, the "gradient descent" learner the paper sketches. The step
+// size decays per item as eta_t = eta / sqrt(1 + touches/50), so weights
+// probe upward aggressively at first and then settle just below the
+// revenue-maximizing level instead of oscillating around it.
+type MultiplicativeItem struct {
+	w       []float64
+	touches []int  // per-item update counts driving the decay
+	missed  []bool // has this item ever been in a rejected bundle?
+	eta     float64
+	min     float64
+	maxW    float64
+}
+
+// NewMultiplicativeItem returns a learner over n items starting from the
+// uniform weight start with base learning rate eta (default 0.1 when <= 0).
+func NewMultiplicativeItem(n int, start, eta float64) *MultiplicativeItem {
+	if eta <= 0 {
+		eta = 0.1
+	}
+	if start <= 0 {
+		start = 1
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = start
+	}
+	return &MultiplicativeItem{
+		w:       w,
+		touches: make([]int, n),
+		missed:  make([]bool, n),
+		eta:     eta,
+		min:     start * 1e-6,
+		maxW:    start * 1e6,
+	}
+}
+
+// Name implements Pricer.
+func (m *MultiplicativeItem) Name() string { return fmt.Sprintf("MWU[eta=%g]", m.eta) }
+
+// Quote implements Pricer.
+func (m *MultiplicativeItem) Quote(e *hypergraph.Edge) float64 {
+	return pricing.AdditivePrice(e, m.w)
+}
+
+// Observe implements Pricer.
+//
+// Two regimes per item. Until an item has ever been part of a rejected
+// bundle, a sale doubles its weight (doubling search localizes the right
+// price level in O(log) sales). Afterwards, updates are asymmetric and
+// decaying: up-moves on a sale are a quarter of the size of down-moves on a
+// miss, so the weight settles just below the revenue-maximizing level and
+// sells on most rounds instead of hovering at a 50% sell rate.
+func (m *MultiplicativeItem) Observe(e *hypergraph.Edge, price float64, sold bool) {
+	for _, j := range e.Items {
+		var factor float64
+		switch {
+		case sold && !m.missed[j]:
+			factor = 2
+		case sold:
+			eta := m.eta / math.Sqrt(1+float64(m.touches[j])/50)
+			m.touches[j]++
+			factor = 1 + eta/4
+		default:
+			m.missed[j] = true
+			eta := m.eta / math.Sqrt(1+float64(m.touches[j])/50)
+			m.touches[j]++
+			factor = 1 - eta
+		}
+		nw := m.w[j] * factor
+		if nw < m.min {
+			nw = m.min
+		}
+		if nw > m.maxW {
+			nw = m.maxW
+		}
+		m.w[j] = nw
+	}
+}
+
+// Weights exposes the current item weights (a copy).
+func (m *MultiplicativeItem) Weights() []float64 {
+	out := make([]float64, len(m.w))
+	copy(out, m.w)
+	return out
+}
+
+// SimResult reports an online simulation.
+type SimResult struct {
+	Learner string
+	Rounds  int
+	// Revenue is the learner's cumulative revenue.
+	Revenue float64
+	// Sales counts successful purchases.
+	Sales int
+	// BestFixedBundle is the hindsight-optimal flat price revenue over the
+	// same buyer sequence.
+	BestFixedBundle float64
+	// CumulativeByQuarter is revenue after each quarter of the rounds,
+	// showing the learning curve.
+	CumulativeByQuarter [4]float64
+}
+
+// Ratio is Revenue / BestFixedBundle (hindsight competitive ratio).
+func (r SimResult) Ratio() float64 {
+	if r.BestFixedBundle == 0 {
+		return 0
+	}
+	return r.Revenue / r.BestFixedBundle
+}
+
+// Simulate replays `rounds` buyers drawn uniformly from h's edges (with
+// their fixed hidden valuations) against the learner.
+func Simulate(h *hypergraph.Hypergraph, p Pricer, rounds int, seed int64) SimResult {
+	rng := rand.New(rand.NewSource(seed))
+	m := h.NumEdges()
+	if m == 0 || rounds <= 0 {
+		return SimResult{Learner: p.Name()}
+	}
+	res := SimResult{Learner: p.Name(), Rounds: rounds}
+	arrivals := make([]int, rounds)
+	for t := 0; t < rounds; t++ {
+		arrivals[t] = rng.Intn(m)
+	}
+	for t, ei := range arrivals {
+		e := h.Edge(ei)
+		price := p.Quote(e)
+		sold := pricing.Sold(price, e.Valuation) && price > 0
+		p.Observe(e, price, sold)
+		if sold {
+			res.Revenue += price
+			res.Sales++
+		}
+		q := (t * 4) / rounds
+		if q > 3 {
+			q = 3
+		}
+		res.CumulativeByQuarter[q] += map[bool]float64{true: price, false: 0}[sold]
+	}
+	// Hindsight-optimal fixed flat price over the same arrival sequence:
+	// for candidate price v (each distinct valuation), revenue = v * number
+	// of arrivals with valuation >= v.
+	res.BestFixedBundle = bestFixedBundle(h, arrivals)
+	return res
+}
+
+func bestFixedBundle(h *hypergraph.Hypergraph, arrivals []int) float64 {
+	best := 0.0
+	seen := map[float64]bool{}
+	for _, ei := range arrivals {
+		v := h.Edge(ei).Valuation
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		rev := 0.0
+		for _, aj := range arrivals {
+			if h.Edge(aj).Valuation >= v {
+				rev += v
+			}
+		}
+		if rev > best {
+			best = rev
+		}
+	}
+	return best
+}

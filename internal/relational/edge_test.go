@@ -1,0 +1,190 @@
+package relational
+
+import (
+	"testing"
+)
+
+func nullableDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	tab := NewTable(NewSchema("T",
+		Column{"K", KindInt},
+		Column{"V", KindInt},
+		Column{"S", KindString},
+	))
+	tab.Append(Int(1), Int(10), Str("a"))
+	tab.Append(Int(2), Null(), Str("b"))
+	tab.Append(Int(3), Int(30), Null())
+	tab.Append(Null(), Int(40), Str("d"))
+	db.AddTable(tab)
+	return db
+}
+
+func TestNullsNeverMatchPredicates(t *testing.T) {
+	db := nullableDB(t)
+	for _, p := range []Predicate{
+		{Col: ColRef{"T", "V"}, Op: OpEq, Val: Int(10)},
+		{Col: ColRef{"T", "V"}, Op: OpNe, Val: Int(10)},
+		{Col: ColRef{"T", "V"}, Op: OpLt, Val: Int(100)},
+		{Col: ColRef{"T", "V"}, Op: OpBetween, Val: Int(0), Val2: Int(100)},
+	} {
+		r, err := (&SelectQuery{Tables: []string{"T"}, Where: []Predicate{p}}).Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row[1].IsNull() {
+				t.Fatalf("NULL row matched predicate %v", p)
+			}
+		}
+	}
+}
+
+func TestAggregatesSkipNulls(t *testing.T) {
+	db := nullableDB(t)
+	r, err := (&SelectQuery{
+		Tables: []string{"T"},
+		Aggs: []Agg{
+			{Op: AggCount, Col: ColRef{"T", "V"}},
+			{Op: AggSum, Col: ColRef{"T", "V"}},
+			{Op: AggMin, Col: ColRef{"T", "V"}},
+			{Op: AggCount}, // count(*) counts all rows
+		},
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row[0].I != 3 {
+		t.Fatalf("count(V) = %v, want 3 (NULL skipped)", row[0])
+	}
+	if row[1].F != 80 {
+		t.Fatalf("sum(V) = %v, want 80", row[1])
+	}
+	if row[2].I != 10 {
+		t.Fatalf("min(V) = %v, want 10", row[2])
+	}
+	if row[3].I != 4 {
+		t.Fatalf("count(*) = %v, want 4", row[3])
+	}
+}
+
+func TestNullJoinKeysDropped(t *testing.T) {
+	db := nullableDB(t)
+	other := NewTable(NewSchema("U", Column{"K", KindInt}))
+	other.Append(Int(1))
+	other.Append(Int(2))
+	other.Append(Null())
+	db.AddTable(other)
+	r, err := (&SelectQuery{
+		Tables: []string{"T", "U"},
+		Joins:  []JoinCond{{Left: ColRef{"T", "K"}, Right: ColRef{"U", "K"}}},
+		Aggs:   []Agg{{Op: AggCount}},
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only K=1 and K=2 match; NULL keys never join.
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("join count = %v, want 2", r.Rows[0][0])
+	}
+}
+
+func TestInEmptySetMatchesNothing(t *testing.T) {
+	db := nullableDB(t)
+	r, err := (&SelectQuery{
+		Tables: []string{"T"},
+		Where:  []Predicate{{Col: ColRef{"T", "K"}, Op: OpIn, Set: nil}},
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 0 {
+		t.Fatalf("IN () matched %d rows", len(r.Rows))
+	}
+}
+
+func TestBetweenOnStrings(t *testing.T) {
+	db := nullableDB(t)
+	r, err := (&SelectQuery{
+		Tables: []string{"T"},
+		Where: []Predicate{{Col: ColRef{"T", "S"}, Op: OpBetween,
+			Val: Str("a"), Val2: Str("b")}},
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("string BETWEEN matched %d rows, want 2 (a, b)", len(r.Rows))
+	}
+}
+
+func TestLikePrefixOnNonString(t *testing.T) {
+	db := nullableDB(t)
+	r, err := (&SelectQuery{
+		Tables: []string{"T"},
+		Where:  []Predicate{{Col: ColRef{"T", "K"}, Op: OpLikePrefix, Val: Str("1")}},
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 0 {
+		t.Fatalf("LIKE on int column matched %d rows, want 0", len(r.Rows))
+	}
+}
+
+func TestGroupByMultipleKeys(t *testing.T) {
+	db := NewDatabase()
+	tab := NewTable(NewSchema("G",
+		Column{"A", KindString},
+		Column{"B", KindInt},
+		Column{"X", KindInt},
+	))
+	tab.Append(Str("p"), Int(1), Int(10))
+	tab.Append(Str("p"), Int(1), Int(20))
+	tab.Append(Str("p"), Int(2), Int(30))
+	tab.Append(Str("q"), Int(1), Int(40))
+	db.AddTable(tab)
+	r, err := (&SelectQuery{
+		Tables:  []string{"G"},
+		GroupBy: []ColRef{{"G", "A"}, {"G", "B"}},
+		Aggs:    []Agg{{Op: AggSum, Col: ColRef{"G", "X"}}},
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(r.Rows))
+	}
+	// Deterministically sorted by encoded key: (p,1), (p,2), (q,1).
+	if r.Rows[0][2].F != 30 || r.Rows[1][2].F != 30 || r.Rows[2][2].F != 40 {
+		t.Fatalf("group sums wrong: %v", r.Rows)
+	}
+}
+
+func TestDistinctCountsNullsOnce(t *testing.T) {
+	db := nullableDB(t)
+	r, err := (&SelectQuery{
+		Tables:   []string{"T"},
+		Select:   []ColRef{{"T", "S"}},
+		Distinct: true,
+	}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a, b, NULL, d -> 4 distinct values (NULL dedupes with NULL).
+	if len(r.Rows) != 4 {
+		t.Fatalf("distinct = %d rows, want 4", len(r.Rows))
+	}
+}
+
+func TestLimitZeroMeansNoLimit(t *testing.T) {
+	db := nullableDB(t)
+	r, err := (&SelectQuery{Tables: []string{"T"}, Limit: 0}).Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want all 4", len(r.Rows))
+	}
+}

@@ -1,0 +1,717 @@
+package relational
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// ColRef names a column of a table (or table alias) inside a query.
+type ColRef struct {
+	Table string // table name or alias
+	Col   string
+}
+
+func (c ColRef) String() string { return c.Table + "." + c.Col }
+
+// PredOp is a predicate comparison operator.
+type PredOp uint8
+
+const (
+	// OpEq is column = constant.
+	OpEq PredOp = iota
+	// OpNe is column <> constant.
+	OpNe
+	// OpLt is column < constant.
+	OpLt
+	// OpLe is column <= constant.
+	OpLe
+	// OpGt is column > constant.
+	OpGt
+	// OpGe is column >= constant.
+	OpGe
+	// OpBetween is constant <= column <= constant2.
+	OpBetween
+	// OpLikePrefix is column LIKE 'prefix%'.
+	OpLikePrefix
+	// OpIn is column IN (set).
+	OpIn
+)
+
+// Predicate is a single column-versus-constant condition; queries AND them.
+type Predicate struct {
+	Col  ColRef
+	Op   PredOp
+	Val  Value
+	Val2 Value   // upper bound for OpBetween
+	Set  []Value // members for OpIn
+}
+
+// Matches evaluates the predicate on a cell value. NULL never matches.
+func (p Predicate) Matches(v Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Val)
+	case OpNe:
+		return !v.Equal(p.Val)
+	case OpLt:
+		return v.Compare(p.Val) < 0
+	case OpLe:
+		return v.Compare(p.Val) <= 0
+	case OpGt:
+		return v.Compare(p.Val) > 0
+	case OpGe:
+		return v.Compare(p.Val) >= 0
+	case OpBetween:
+		return v.Compare(p.Val) >= 0 && v.Compare(p.Val2) <= 0
+	case OpLikePrefix:
+		return v.K == KindString && strings.HasPrefix(v.S, p.Val.S)
+	case OpIn:
+		for _, s := range p.Set {
+			if v.Equal(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (p Predicate) render() string {
+	switch p.Op {
+	case OpEq:
+		return fmt.Sprintf("%s = %s", p.Col, p.Val)
+	case OpNe:
+		return fmt.Sprintf("%s <> %s", p.Col, p.Val)
+	case OpLt:
+		return fmt.Sprintf("%s < %s", p.Col, p.Val)
+	case OpLe:
+		return fmt.Sprintf("%s <= %s", p.Col, p.Val)
+	case OpGt:
+		return fmt.Sprintf("%s > %s", p.Col, p.Val)
+	case OpGe:
+		return fmt.Sprintf("%s >= %s", p.Col, p.Val)
+	case OpBetween:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Col, p.Val, p.Val2)
+	case OpLikePrefix:
+		return fmt.Sprintf("%s LIKE '%s%%'", p.Col, p.Val.S)
+	case OpIn:
+		parts := make([]string, len(p.Set))
+		for i, s := range p.Set {
+			parts[i] = s.String()
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Col, strings.Join(parts, ", "))
+	}
+	return "?"
+}
+
+// JoinCond is an equality join condition between two table aliases.
+type JoinCond struct {
+	Left  ColRef
+	Right ColRef
+}
+
+// AggOp is an aggregate operator.
+type AggOp uint8
+
+const (
+	// AggCount is COUNT(col) (or COUNT(*) when Col.Col is empty).
+	AggCount AggOp = iota
+	// AggSum is SUM(col).
+	AggSum
+	// AggAvg is AVG(col).
+	AggAvg
+	// AggMin is MIN(col).
+	AggMin
+	// AggMax is MAX(col).
+	AggMax
+)
+
+// Agg is one aggregate in the SELECT list.
+type Agg struct {
+	Op       AggOp
+	Col      ColRef // Col.Col == "" means COUNT(*)
+	Distinct bool
+}
+
+func (a Agg) render() string {
+	name := [...]string{"count", "sum", "avg", "min", "max"}[a.Op]
+	arg := "*"
+	if a.Col.Col != "" {
+		arg = a.Col.String()
+	}
+	if a.Distinct {
+		arg = "distinct " + arg
+	}
+	return fmt.Sprintf("%s(%s)", name, arg)
+}
+
+// SelectQuery is a deterministic query: selections, projections, left-deep
+// multi-way equi-joins, optional GROUP BY with aggregates, DISTINCT, LIMIT.
+// Tables lists base tables in join order; each may carry an alias (defaults
+// to the table name). All referenced ColRef.Table values are aliases.
+type SelectQuery struct {
+	Name     string // label for logs and pricing
+	Tables   []string
+	Aliases  []string // optional, same length as Tables when set
+	Joins    []JoinCond
+	Where    []Predicate
+	GroupBy  []ColRef
+	Aggs     []Agg
+	Select   []ColRef // plain projection columns ("" table means only table); empty with no Aggs = SELECT *
+	Distinct bool
+	Limit    int // 0 = no limit
+}
+
+// Result is a materialized query output.
+type Result struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// Fingerprint returns an order-insensitive 64-bit hash of the result
+// (column names + multiset of rows). Two results compare equal for pricing
+// purposes iff their fingerprints match; collisions are negligible at the
+// support sizes used here.
+func (r *Result) Fingerprint() uint64 {
+	hdr := fnv.New64a()
+	for _, c := range r.Cols {
+		hdr.Write([]byte(c))
+		hdr.Write([]byte{0})
+	}
+	var sum, xor uint64
+	buf := make([]byte, 0, 64)
+	for _, row := range r.Rows {
+		buf = buf[:0]
+		for _, v := range row {
+			buf = v.appendEncode(buf)
+		}
+		h := fnv.New64a()
+		h.Write(buf)
+		hv := h.Sum64()
+		sum += hv
+		xor ^= hv
+	}
+	return hdr.Sum64() ^ sum ^ (xor * 0x9e3779b97f4a7c15) ^ uint64(len(r.Rows))<<1
+}
+
+// Footprint is the set of (table, column) pairs a query depends on, used by
+// the support/conflict-set machinery to prune neighbors that cannot change
+// the query's answer.
+type Footprint struct {
+	// Columns maps table name -> set of column names the query reads.
+	Columns map[string]map[string]bool
+}
+
+// Touches reports whether a change to table.col can affect the query.
+func (f *Footprint) Touches(table, col string) bool {
+	cols, ok := f.Columns[table]
+	if !ok {
+		return false
+	}
+	return cols[col]
+}
+
+func (q *SelectQuery) alias(i int) string {
+	if i < len(q.Aliases) && q.Aliases[i] != "" {
+		return q.Aliases[i]
+	}
+	return q.Tables[i]
+}
+
+func (q *SelectQuery) aliasTable(alias string) (string, bool) {
+	for i := range q.Tables {
+		if q.alias(i) == alias {
+			return q.Tables[i], true
+		}
+	}
+	return "", false
+}
+
+// Footprint computes the column footprint of the query against a database
+// (needed to expand SELECT * to concrete columns).
+func (q *SelectQuery) Footprint(db *Database) (*Footprint, error) {
+	f := &Footprint{Columns: make(map[string]map[string]bool)}
+	add := func(ref ColRef) error {
+		table, ok := q.aliasTable(ref.Table)
+		if !ok {
+			return fmt.Errorf("relational: query %q references unknown alias %q", q.Name, ref.Table)
+		}
+		if f.Columns[table] == nil {
+			f.Columns[table] = make(map[string]bool)
+		}
+		f.Columns[table][ref.Col] = true
+		return nil
+	}
+	for _, j := range q.Joins {
+		if err := add(j.Left); err != nil {
+			return nil, err
+		}
+		if err := add(j.Right); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range q.Where {
+		if err := add(p.Col); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range q.GroupBy {
+		if err := add(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Col.Col == "" {
+			// COUNT(*) depends on row membership: predicates and join
+			// columns already added cover it; a delta on an unreferenced
+			// column cannot change the count.
+			continue
+		}
+		if err := add(a.Col); err != nil {
+			return nil, err
+		}
+	}
+	if len(q.Select) == 0 && len(q.Aggs) == 0 {
+		// SELECT *: every column of every table.
+		for i := range q.Tables {
+			t := db.Table(q.Tables[i])
+			if t == nil {
+				return nil, fmt.Errorf("relational: query %q references unknown table %q", q.Name, q.Tables[i])
+			}
+			for _, c := range t.Schema.Cols {
+				if err := add(ColRef{q.alias(i), c.Name}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, s := range q.Select {
+		if err := add(s); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// colIndexes maps alias.column references to offsets in the joined row.
+type binding struct {
+	offsets map[string]int // alias -> offset of its first column
+	schemas map[string]*Schema
+}
+
+func (b *binding) index(ref ColRef) (int, error) {
+	off, ok := b.offsets[ref.Table]
+	if !ok {
+		return 0, fmt.Errorf("relational: unknown alias %q", ref.Table)
+	}
+	ci := b.schemas[ref.Table].ColIndex(ref.Col)
+	if ci < 0 {
+		return 0, fmt.Errorf("relational: unknown column %q of %q", ref.Col, ref.Table)
+	}
+	return off + ci, nil
+}
+
+// Eval executes the query against the database.
+func (q *SelectQuery) Eval(db *Database) (*Result, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("relational: query %q has no tables", q.Name)
+	}
+	// Partition predicates per alias for pushdown.
+	perAlias := make(map[string][]Predicate)
+	for _, p := range q.Where {
+		perAlias[p.Col.Table] = append(perAlias[p.Col.Table], p)
+	}
+
+	bind := &binding{offsets: make(map[string]int), schemas: make(map[string]*Schema)}
+	var joined [][]Value
+	width := 0
+	for i := range q.Tables {
+		t := db.Table(q.Tables[i])
+		if t == nil {
+			return nil, fmt.Errorf("relational: query %q references unknown table %q", q.Name, q.Tables[i])
+		}
+		al := q.alias(i)
+		if _, dup := bind.offsets[al]; dup {
+			return nil, fmt.Errorf("relational: duplicate alias %q in query %q", al, q.Name)
+		}
+		// Scan with pushed-down predicates.
+		preds := perAlias[al]
+		var idxPreds []struct {
+			ci int
+			p  Predicate
+		}
+		for _, p := range preds {
+			ci := t.Schema.ColIndex(p.Col.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("relational: query %q: unknown column %q of %q", q.Name, p.Col.Col, al)
+			}
+			idxPreds = append(idxPreds, struct {
+				ci int
+				p  Predicate
+			}{ci, p})
+		}
+		var scanned [][]Value
+		for _, row := range t.Rows {
+			ok := true
+			for _, ip := range idxPreds {
+				if !ip.p.Matches(row[ip.ci]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				scanned = append(scanned, row)
+			}
+		}
+
+		if i == 0 {
+			bind.offsets[al] = 0
+			bind.schemas[al] = t.Schema
+			width = len(t.Schema.Cols)
+			joined = scanned
+			continue
+		}
+
+		// Find the join conditions connecting this table to the prefix.
+		var conds []JoinCond
+		for _, jc := range q.Joins {
+			l, r := jc.Left, jc.Right
+			if r.Table == al {
+				l, r = r, l // normalize: left side is the new alias
+			}
+			if l.Table != al {
+				continue
+			}
+			if _, seen := bind.offsets[r.Table]; !seen {
+				continue
+			}
+			conds = append(conds, JoinCond{Left: l, Right: r})
+		}
+		if len(conds) == 0 {
+			return nil, fmt.Errorf("relational: query %q: table %q has no join condition to the preceding tables (cross joins unsupported)", q.Name, al)
+		}
+
+		// Hash join on the first condition; filter the rest.
+		newOffset := width
+		bind.offsets[al] = newOffset
+		bind.schemas[al] = t.Schema
+		width += len(t.Schema.Cols)
+
+		probeIdx, err := bind.index(conds[0].Right)
+		if err != nil {
+			return nil, err
+		}
+		buildCi := t.Schema.ColIndex(conds[0].Left.Col)
+		if buildCi < 0 {
+			return nil, fmt.Errorf("relational: query %q: unknown join column %q of %q", q.Name, conds[0].Left.Col, al)
+		}
+		hash := make(map[string][][]Value)
+		var keyBuf []byte
+		for _, row := range scanned {
+			v := row[buildCi]
+			if v.IsNull() {
+				continue
+			}
+			keyBuf = v.appendEncode(keyBuf[:0])
+			hash[string(keyBuf)] = append(hash[string(keyBuf)], row)
+		}
+		type extraCond struct{ newCi, oldIdx int }
+		var extras []extraCond
+		for _, jc := range conds[1:] {
+			ci := t.Schema.ColIndex(jc.Left.Col)
+			oi, err := bind.index(jc.Right)
+			if err != nil {
+				return nil, err
+			}
+			if ci < 0 {
+				return nil, fmt.Errorf("relational: query %q: unknown join column %q of %q", q.Name, jc.Left.Col, al)
+			}
+			extras = append(extras, extraCond{ci, oi})
+		}
+
+		var next [][]Value
+		for _, lrow := range joined {
+			v := lrow[probeIdx]
+			if v.IsNull() {
+				continue
+			}
+			keyBuf = v.appendEncode(keyBuf[:0])
+			for _, rrow := range hash[string(keyBuf)] {
+				ok := true
+				for _, ec := range extras {
+					if !rrow[ec.newCi].Equal(lrow[ec.oldIdx]) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				combined := make([]Value, 0, width)
+				combined = append(combined, lrow...)
+				combined = append(combined, rrow...)
+				next = append(next, combined)
+			}
+		}
+		joined = next
+	}
+
+	if len(q.Aggs) > 0 {
+		return q.evalAggregates(joined, bind)
+	}
+	return q.evalProjection(joined, bind, db)
+}
+
+// evalProjection handles plain SELECT (with optional DISTINCT and LIMIT).
+func (q *SelectQuery) evalProjection(rows [][]Value, bind *binding, db *Database) (*Result, error) {
+	var cols []string
+	var idxs []int
+	if len(q.Select) == 0 {
+		// SELECT *: all columns of all tables in declaration order.
+		for i := range q.Tables {
+			al := q.alias(i)
+			sc := bind.schemas[al]
+			for ci, c := range sc.Cols {
+				cols = append(cols, al+"."+c.Name)
+				idxs = append(idxs, bind.offsets[al]+ci)
+			}
+		}
+	} else {
+		for _, ref := range q.Select {
+			ix, err := bind.index(ref)
+			if err != nil {
+				return nil, fmt.Errorf("relational: query %q: %w", q.Name, err)
+			}
+			cols = append(cols, ref.String())
+			idxs = append(idxs, ix)
+		}
+	}
+
+	out := &Result{Cols: cols}
+	var seen map[string]bool
+	if q.Distinct {
+		seen = make(map[string]bool)
+	}
+	var keyBuf []byte
+	for _, row := range rows {
+		proj := make([]Value, len(idxs))
+		for k, ix := range idxs {
+			proj[k] = row[ix]
+		}
+		if q.Distinct {
+			keyBuf = keyBuf[:0]
+			for _, v := range proj {
+				keyBuf = v.appendEncode(keyBuf)
+			}
+			if seen[string(keyBuf)] {
+				continue
+			}
+			seen[string(keyBuf)] = true
+		}
+		out.Rows = append(out.Rows, proj)
+		if q.Limit > 0 && len(out.Rows) >= q.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+type aggState struct {
+	groupKey []Value
+	count    int64
+	sum      float64
+	min, max Value
+	distinct map[string]bool
+}
+
+// evalAggregates handles GROUP BY + aggregate queries. One aggregate state
+// per (group, agg). Output rows are sorted by group key for determinism.
+func (q *SelectQuery) evalAggregates(rows [][]Value, bind *binding) (*Result, error) {
+	groupIdx := make([]int, len(q.GroupBy))
+	for k, g := range q.GroupBy {
+		ix, err := bind.index(g)
+		if err != nil {
+			return nil, fmt.Errorf("relational: query %q: %w", q.Name, err)
+		}
+		groupIdx[k] = ix
+	}
+	aggIdx := make([]int, len(q.Aggs))
+	for k, a := range q.Aggs {
+		if a.Col.Col == "" {
+			aggIdx[k] = -1 // COUNT(*)
+			continue
+		}
+		ix, err := bind.index(a.Col)
+		if err != nil {
+			return nil, fmt.Errorf("relational: query %q: %w", q.Name, err)
+		}
+		aggIdx[k] = ix
+	}
+
+	groups := make(map[string][]*aggState)
+	var orderKeys []string
+	var keyBuf []byte
+	for _, row := range rows {
+		keyBuf = keyBuf[:0]
+		for _, gi := range groupIdx {
+			keyBuf = row[gi].appendEncode(keyBuf)
+		}
+		key := string(keyBuf)
+		states, ok := groups[key]
+		if !ok {
+			states = make([]*aggState, len(q.Aggs))
+			gk := make([]Value, len(groupIdx))
+			for k, gi := range groupIdx {
+				gk[k] = row[gi]
+			}
+			for k := range states {
+				states[k] = &aggState{groupKey: gk}
+				if q.Aggs[k].Distinct {
+					states[k].distinct = make(map[string]bool)
+				}
+			}
+			groups[key] = states
+			orderKeys = append(orderKeys, key)
+		}
+		for k, a := range q.Aggs {
+			st := states[k]
+			var v Value
+			if aggIdx[k] >= 0 {
+				v = row[aggIdx[k]]
+				if v.IsNull() {
+					continue // SQL aggregates skip NULLs
+				}
+			}
+			if a.Distinct && aggIdx[k] >= 0 {
+				dk := string(v.appendEncode(nil))
+				if st.distinct[dk] {
+					continue
+				}
+				st.distinct[dk] = true
+			}
+			st.count++
+			if aggIdx[k] >= 0 {
+				st.sum += v.AsFloat()
+				if st.min.IsNull() || v.Compare(st.min) < 0 {
+					st.min = v
+				}
+				if st.max.IsNull() || v.Compare(st.max) > 0 {
+					st.max = v
+				}
+			}
+		}
+	}
+
+	// Scalar aggregation with no groups still yields one row.
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		states := make([]*aggState, len(q.Aggs))
+		for k := range states {
+			states[k] = &aggState{}
+		}
+		groups[""] = states
+		orderKeys = append(orderKeys, "")
+	}
+
+	var cols []string
+	for _, g := range q.GroupBy {
+		cols = append(cols, g.String())
+	}
+	for _, a := range q.Aggs {
+		cols = append(cols, a.render())
+	}
+	out := &Result{Cols: cols}
+	sort.Strings(orderKeys)
+	for _, key := range orderKeys {
+		states := groups[key]
+		row := make([]Value, 0, len(cols))
+		row = append(row, states[0].groupKey...)
+		for k, a := range q.Aggs {
+			st := states[k]
+			switch a.Op {
+			case AggCount:
+				row = append(row, Int(st.count))
+			case AggSum:
+				if st.count == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(st.sum))
+				}
+			case AggAvg:
+				if st.count == 0 {
+					row = append(row, Null())
+				} else {
+					row = append(row, Float(st.sum/float64(st.count)))
+				}
+			case AggMin:
+				row = append(row, st.min)
+			case AggMax:
+				row = append(row, st.max)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the query in SQL-ish form for labels and debugging.
+func (q *SelectQuery) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	var sel []string
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for _, g := range q.GroupBy {
+		sel = append(sel, g.String())
+	}
+	for _, a := range q.Aggs {
+		sel = append(sel, a.render())
+	}
+	if len(q.Aggs) == 0 {
+		if len(q.Select) == 0 {
+			sel = append(sel, "*")
+		}
+		for _, s := range q.Select {
+			sel = append(sel, s.String())
+		}
+	}
+	sb.WriteString(strings.Join(sel, ", "))
+	sb.WriteString(" FROM ")
+	var froms []string
+	for i := range q.Tables {
+		if q.alias(i) != q.Tables[i] {
+			froms = append(froms, q.Tables[i]+" "+q.alias(i))
+		} else {
+			froms = append(froms, q.Tables[i])
+		}
+	}
+	sb.WriteString(strings.Join(froms, ", "))
+	var conds []string
+	for _, j := range q.Joins {
+		conds = append(conds, fmt.Sprintf("%s = %s", j.Left, j.Right))
+	}
+	for _, p := range q.Where {
+		conds = append(conds, p.render())
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(conds, " AND "))
+	}
+	if len(q.GroupBy) > 0 {
+		var gs []string
+		for _, g := range q.GroupBy {
+			gs = append(gs, g.String())
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(gs, ", "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}

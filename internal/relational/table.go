@@ -1,0 +1,147 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is the typed column list of a relation.
+type Schema struct {
+	Name string
+	Cols []Column
+
+	byName map[string]int
+}
+
+// NewSchema builds a schema; column names must be unique.
+func NewSchema(name string, cols ...Column) *Schema {
+	s := &Schema{Name: name, Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			panic(fmt.Sprintf("relational: duplicate column %q in %q", c.Name, name))
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Table is a relation instance: a schema plus rows.
+type Table struct {
+	Schema *Schema
+	Rows   [][]Value
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(s *Schema) *Table { return &Table{Schema: s} }
+
+// Append adds a row after validating its width.
+func (t *Table) Append(row ...Value) {
+	if len(row) != len(t.Schema.Cols) {
+		panic(fmt.Sprintf("relational: row width %d != schema width %d for %q",
+			len(row), len(t.Schema.Cols), t.Schema.Name))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Database is a named collection of tables.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table under its schema name.
+func (d *Database) AddTable(t *Table) {
+	name := t.Schema.Name
+	if _, dup := d.tables[name]; dup {
+		panic(fmt.Sprintf("relational: duplicate table %q", name))
+	}
+	d.tables[name] = t
+	d.order = append(d.order, name)
+}
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table { return d.tables[name] }
+
+// TableNames returns the table names in registration order.
+func (d *Database) TableNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// TotalRows returns the total number of tuples across all tables.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, t := range d.tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// ActiveDomain returns the sorted distinct non-null values of a column,
+// used by workload generators to parameterize query templates and by the
+// support generator to draw replacement values.
+func (d *Database) ActiveDomain(table, col string) []Value {
+	t := d.Table(table)
+	if t == nil {
+		return nil
+	}
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil
+	}
+	seen := make(map[string]Value)
+	for _, row := range t.Rows {
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		seen[string(v.appendEncode(nil))] = v
+	}
+	out := make([]Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Compare(out[b]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the database (fresh row slices; Values are
+// immutable so cells are shared).
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, name := range d.order {
+		src := d.tables[name]
+		dst := NewTable(src.Schema)
+		dst.Rows = make([][]Value, len(src.Rows))
+		for i, row := range src.Rows {
+			r := make([]Value, len(row))
+			copy(r, row)
+			dst.Rows[i] = r
+		}
+		out.AddTable(dst)
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+// Package support implements the Qirana-style support machinery of Section
+// 3.2 and 6.1 of the paper: it samples a support set S of "neighboring"
+// database instances (instances differing from the real database D in a few
+// cells, stored as compact deltas), computes the conflict set CS(Q, D) of
+// every buyer query, and assembles the pricing hypergraph whose vertices
+// are support instances and whose hyperedges are conflict sets.
+//
+// Conflict-set computation uses two sound pruning rules before falling back
+// to full query re-evaluation against a patched database:
+//
+//  1. column-footprint pruning: a neighbor whose deltas touch no column the
+//     query reads cannot change its answer;
+//  2. local-predicate pruning: if every changed row fails the query's
+//     pushed-down single-table predicates both before and after the change,
+//     the row is excluded from the query's scans either way and the answer
+//     is unchanged.
+package support
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querypricing/internal/hypergraph"
+	"querypricing/internal/relational"
+)
+
+// Delta is a single-cell difference from the base database.
+type Delta struct {
+	Table string
+	Row   int
+	Col   int
+	New   relational.Value
+}
+
+// Neighbor is one support instance: the base database with Deltas applied.
+type Neighbor struct {
+	Deltas []Delta
+}
+
+// Set is a generated support set over a base database.
+type Set struct {
+	DB        *relational.Database
+	Neighbors []Neighbor
+}
+
+// Size returns n = |S|.
+func (s *Set) Size() int { return len(s.Neighbors) }
+
+// GenOptions controls support generation.
+type GenOptions struct {
+	// Size is the number of neighboring instances to sample.
+	Size int
+	// DeltasPerNeighbor is how many cells each neighbor changes (default 1,
+	// Qirana's "differ from D only in a few places").
+	DeltasPerNeighbor int
+	// Tables restricts sampling to the named tables (nil = all tables,
+	// weighted by row count).
+	Tables []string
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate samples a support set: each neighbor flips one (or a few)
+// random cells of the base database to a different value drawn from the
+// column's active domain (falling back to a perturbed value for columns
+// with a single distinct value).
+func Generate(db *relational.Database, opts GenOptions) (*Set, error) {
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("support: Size must be positive, got %d", opts.Size)
+	}
+	deltasPer := opts.DeltasPerNeighbor
+	if deltasPer <= 0 {
+		deltasPer = 1
+	}
+	tables := opts.Tables
+	if tables == nil {
+		tables = db.TableNames()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Row-weighted table choice and per-column active domains.
+	type colDomain struct {
+		table string
+		col   int
+		vals  []relational.Value
+	}
+	var weights []int
+	totalRows := 0
+	for _, name := range tables {
+		t := db.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("support: unknown table %q", name)
+		}
+		weights = append(weights, t.NumRows())
+		totalRows += t.NumRows()
+	}
+	if totalRows == 0 {
+		return nil, fmt.Errorf("support: database has no rows")
+	}
+	domains := make(map[string][]colDomain)
+	for _, name := range tables {
+		t := db.Table(name)
+		for ci, c := range t.Schema.Cols {
+			domains[name] = append(domains[name], colDomain{
+				table: name,
+				col:   ci,
+				vals:  db.ActiveDomain(name, c.Name),
+			})
+		}
+	}
+
+	pickTable := func() string {
+		r := rng.Intn(totalRows)
+		for i, w := range weights {
+			if r < w {
+				return tables[i]
+			}
+			r -= w
+		}
+		return tables[len(tables)-1]
+	}
+
+	set := &Set{DB: db}
+	for i := 0; i < opts.Size; i++ {
+		var nb Neighbor
+		for d := 0; d < deltasPer; d++ {
+			tn := pickTable()
+			t := db.Table(tn)
+			row := rng.Intn(t.NumRows())
+			col := rng.Intn(len(t.Schema.Cols))
+			cur := t.Rows[row][col]
+			nv := perturb(rng, cur, domains[tn][col].vals)
+			nb.Deltas = append(nb.Deltas, Delta{Table: tn, Row: row, Col: col, New: nv})
+		}
+		set.Neighbors = append(set.Neighbors, nb)
+	}
+	return set, nil
+}
+
+// perturb picks a replacement value different from cur: a random other
+// member of the active domain when one exists, otherwise a shifted numeric
+// or suffixed string value.
+func perturb(rng *rand.Rand, cur relational.Value, domain []relational.Value) relational.Value {
+	if len(domain) > 1 {
+		for tries := 0; tries < 16; tries++ {
+			v := domain[rng.Intn(len(domain))]
+			if !v.Equal(cur) {
+				return v
+			}
+		}
+	}
+	switch cur.K {
+	case relational.KindInt:
+		return relational.Int(cur.I + int64(1+rng.Intn(1000)))
+	case relational.KindFloat:
+		return relational.Float(cur.F + 1 + rng.Float64()*100)
+	case relational.KindString:
+		return relational.Str(cur.S + "~" + string(rune('a'+rng.Intn(26))))
+	default:
+		return relational.Int(int64(1 + rng.Intn(1000)))
+	}
+}
+
+// apply patches the base database in place, returning the saved old values
+// (index-aligned with the neighbor's deltas) for revert.
+func (s *Set) apply(nb *Neighbor) []relational.Value {
+	old := make([]relational.Value, len(nb.Deltas))
+	for i, d := range nb.Deltas {
+		t := s.DB.Table(d.Table)
+		old[i] = t.Rows[d.Row][d.Col]
+		t.Rows[d.Row][d.Col] = d.New
+	}
+	return old
+}
+
+// revert undoes apply.
+func (s *Set) revert(nb *Neighbor, old []relational.Value) {
+	for i, d := range nb.Deltas {
+		s.DB.Table(d.Table).Rows[d.Row][d.Col] = old[i]
+	}
+}
+
+// queryCtx caches per-query state for conflict-set computation.
+type queryCtx struct {
+	q      *relational.SelectQuery
+	fp     *relational.Footprint
+	baseFP uint64
+	// localPreds holds, per base table name, one pushed-down predicate
+	// group per alias of that table. A changed row is relevant if it passes
+	// ANY alias's group before or after the change.
+	localPreds map[string][][]predOnCol
+	// aliasBare marks base tables that appear under some alias without any
+	// local predicate (every row is visible there, disabling rule 2).
+	aliasBare map[string]bool
+}
+
+type predOnCol struct {
+	col  int
+	pred relational.Predicate
+}
+
+// BuildOptions tunes hypergraph construction.
+type BuildOptions struct {
+	// DisablePruning turns off both pruning rules (for the ablation in
+	// DESIGN.md); every neighbor is fully re-evaluated for every query.
+	DisablePruning bool
+}
+
+// Stats reports work done during hypergraph construction.
+type Stats struct {
+	QueryEvals   int // full query evaluations performed
+	PrunedByCols int // (query, neighbor) pairs skipped by footprint pruning
+	PrunedByPred int // pairs skipped by local-predicate pruning
+}
+
+// BuildHypergraph computes the conflict set of every query against the
+// support set and returns the pricing hypergraph: item j is neighbor j, and
+// edge i is CS(queries[i], D) with zero valuation (valuations are assigned
+// afterwards by the valuation package). Labels carry the query names.
+func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOptions) (*hypergraph.Hypergraph, *Stats, error) {
+	stats := &Stats{}
+	ctxs := make([]*queryCtx, len(queries))
+	for qi, q := range queries {
+		fp, err := q.Footprint(set.DB)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := q.Eval(set.DB)
+		if err != nil {
+			return nil, nil, fmt.Errorf("support: base evaluation of %q: %w", q.Name, err)
+		}
+		stats.QueryEvals++
+		ctx := &queryCtx{
+			q:          q,
+			fp:         fp,
+			baseFP:     res.Fingerprint(),
+			localPreds: make(map[string][][]predOnCol),
+			aliasBare:  make(map[string]bool),
+		}
+		// Group pushed-down predicates by alias, then collect one group per
+		// alias under the alias's base table.
+		predsByAlias := make(map[string][]relational.Predicate)
+		for _, p := range q.Where {
+			predsByAlias[p.Col.Table] = append(predsByAlias[p.Col.Table], p)
+		}
+		for i, tn := range q.Tables {
+			al := tn
+			if i < len(q.Aliases) && q.Aliases[i] != "" {
+				al = q.Aliases[i]
+			}
+			preds := predsByAlias[al]
+			if len(preds) == 0 {
+				ctx.aliasBare[tn] = true
+				continue
+			}
+			t := set.DB.Table(tn)
+			if t == nil {
+				return nil, nil, fmt.Errorf("support: query %q references unknown table %q", q.Name, tn)
+			}
+			var group []predOnCol
+			for _, p := range preds {
+				ci := t.Schema.ColIndex(p.Col.Col)
+				if ci < 0 {
+					return nil, nil, fmt.Errorf("support: query %q references unknown column %q.%q", q.Name, tn, p.Col.Col)
+				}
+				group = append(group, predOnCol{col: ci, pred: p})
+			}
+			ctx.localPreds[tn] = append(ctx.localPreds[tn], group)
+		}
+		ctxs[qi] = ctx
+	}
+
+	conflict := make([][]int, len(queries))
+	for ni := range set.Neighbors {
+		nb := &set.Neighbors[ni]
+		old := set.apply(nb)
+		for qi, ctx := range ctxs {
+			if !opts.DisablePruning {
+				touched := false
+				for _, d := range nb.Deltas {
+					if ctx.fp.Touches(d.Table, set.DB.Table(d.Table).Schema.Cols[d.Col].Name) {
+						touched = true
+						break
+					}
+				}
+				if !touched {
+					stats.PrunedByCols++
+					continue
+				}
+				if !anyRowRelevant(set, ctx, nb, old) {
+					stats.PrunedByPred++
+					continue
+				}
+			}
+			res, err := ctx.q.Eval(set.DB)
+			if err != nil {
+				set.revert(nb, old)
+				return nil, nil, fmt.Errorf("support: evaluating %q on neighbor %d: %w", ctx.q.Name, ni, err)
+			}
+			stats.QueryEvals++
+			if res.Fingerprint() != ctx.baseFP {
+				conflict[qi] = append(conflict[qi], ni)
+			}
+		}
+		set.revert(nb, old)
+	}
+
+	h := hypergraph.New(set.Size())
+	for qi, items := range conflict {
+		if err := h.AddEdge(items, 0, queries[qi].Name); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, stats, nil
+}
+
+// ConflictSet computes CS(q, D) for a single query against the support set:
+// the indices of the neighbors on which q's answer differs from its answer
+// on the base database. This is the online path a broker uses to price a
+// freshly arrived query (BuildHypergraph is the batch path).
+func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
+	h, _, err := BuildHypergraph(set, []*relational.SelectQuery{q}, BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return h.Edge(0).Items, nil
+}
+
+// anyRowRelevant implements pruning rule 2: it returns true if some delta's
+// row can participate in the query result before or after the change. It is
+// called with the neighbor's deltas applied; old holds the pre-change
+// values. A table appearing in the query without local predicates always
+// counts as relevant (every row participates in its scan).
+func anyRowRelevant(set *Set, ctx *queryCtx, nb *Neighbor, old []relational.Value) bool {
+	for di, d := range nb.Deltas {
+		colName := set.DB.Table(d.Table).Schema.Cols[d.Col].Name
+		if !ctx.fp.Touches(d.Table, colName) {
+			continue // this delta alone cannot matter
+		}
+		if ctx.aliasBare[d.Table] {
+			return true // unpredicated scan of this table: row always visible
+		}
+		groups, ok := ctx.localPreds[d.Table]
+		if !ok {
+			// Table is in the footprint but not scanned by this query
+			// (cannot happen: footprints only contain scanned tables), be
+			// conservative.
+			return true
+		}
+		row := set.DB.Table(d.Table).Rows[d.Row]
+		for _, preds := range groups {
+			if rowPasses(row, preds, -1, relational.Value{}) {
+				return true // passes this alias's scan after the change
+			}
+			if rowPasses(row, preds, d.Col, old[di]) {
+				return true // passed before the change
+			}
+		}
+	}
+	return false
+}
+
+// rowPasses evaluates the conjunction of predicates on a row, optionally
+// substituting overrideVal for column overrideCol (to test the pre-change
+// row without re-patching the table).
+func rowPasses(row []relational.Value, preds []predOnCol, overrideCol int, overrideVal relational.Value) bool {
+	for _, pc := range preds {
+		v := row[pc.col]
+		if pc.col == overrideCol {
+			v = overrideVal
+		}
+		if !pc.pred.Matches(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package support
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querypricing/internal/relational"
+)
+
+// TargetedGenerate implements the "Choosing support set" future work of
+// Section 7.2: instead of sampling neighbors blindly, it crafts each
+// neighbor for a specific workload query, flipping a cell inside that
+// query's footprint (preferring rows the query actually selects) and
+// verifying that the query's answer changes. Queries are served
+// round-robin until the requested size is reached; candidates that cannot
+// be made to affect their query fall back to random deltas.
+//
+// The effect is that selective queries — whose conflict sets under random
+// sampling are often empty or shared — get support items they are (nearly)
+// alone in observing. More unique items means the layering algorithm and
+// item pricings can extract more revenue (the paper: "if we can create the
+// support set in such a way that every hyperedge contains a unique item,
+// then we can extract the full revenue").
+func TargetedGenerate(db *relational.Database, queries []*relational.SelectQuery, opts GenOptions) (*Set, error) {
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("support: Size must be positive, got %d", opts.Size)
+	}
+	if len(queries) == 0 {
+		return Generate(db, opts)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Fallback random source for queries we cannot target.
+	fallback, err := Generate(db, GenOptions{Size: opts.Size, Seed: opts.Seed + 1, Tables: opts.Tables})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-query targeting state, built lazily.
+	type target struct {
+		q       *relational.SelectQuery
+		fp      *relational.Footprint
+		baseFP  uint64
+		invalid bool
+	}
+	targets := make([]*target, len(queries))
+	prep := func(qi int) (*target, error) {
+		if targets[qi] != nil {
+			return targets[qi], nil
+		}
+		t := &target{q: queries[qi]}
+		fp, err := queries[qi].Footprint(db)
+		if err != nil {
+			return nil, err
+		}
+		res, err := queries[qi].Eval(db)
+		if err != nil {
+			return nil, err
+		}
+		t.fp = fp
+		t.baseFP = res.Fingerprint()
+		targets[qi] = t
+		return t, nil
+	}
+
+	// Column domains for replacement values.
+	domains := map[string][]relational.Value{}
+	domainOf := func(table, col string) []relational.Value {
+		key := table + "\x00" + col
+		if d, ok := domains[key]; ok {
+			return d
+		}
+		d := db.ActiveDomain(table, col)
+		domains[key] = d
+		return d
+	}
+
+	set := &Set{DB: db}
+	const triesPerQuery = 12
+	for len(set.Neighbors) < opts.Size {
+		qi := len(set.Neighbors) % len(queries)
+		t, err := prep(qi)
+		if err != nil {
+			return nil, err
+		}
+		var chosen *Delta
+		if !t.invalid {
+			chosen = craftDelta(db, rng, t.fp, t.q, t.baseFP, domainOf, triesPerQuery)
+			if chosen == nil {
+				t.invalid = true // stop wasting tries on this query
+			}
+		}
+		if chosen == nil {
+			// Fall back to a random neighbor.
+			set.Neighbors = append(set.Neighbors, fallback.Neighbors[len(set.Neighbors)%len(fallback.Neighbors)])
+			continue
+		}
+		set.Neighbors = append(set.Neighbors, Neighbor{Deltas: []Delta{*chosen}})
+	}
+	return set, nil
+}
+
+// craftDelta tries to find a single-cell change inside the query's
+// footprint that provably changes the query's answer. Returns nil if no
+// verified delta is found within the try budget.
+func craftDelta(
+	db *relational.Database,
+	rng *rand.Rand,
+	fp *relational.Footprint,
+	q *relational.SelectQuery,
+	baseFP uint64,
+	domainOf func(table, col string) []relational.Value,
+	tries int,
+) *Delta {
+	// Collect the footprint as a flat list of (table, column index).
+	type cell struct {
+		table string
+		col   int
+	}
+	var cells []cell
+	for table, cols := range fp.Columns {
+		t := db.Table(table)
+		if t == nil || t.NumRows() == 0 {
+			continue
+		}
+		for colName := range cols {
+			ci := t.Schema.ColIndex(colName)
+			if ci >= 0 {
+				cells = append(cells, cell{table, ci})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	for attempt := 0; attempt < tries; attempt++ {
+		c := cells[rng.Intn(len(cells))]
+		t := db.Table(c.table)
+		row := rng.Intn(t.NumRows())
+		cur := t.Rows[row][c.col]
+		nv := perturb(rng, cur, domainOf(c.table, t.Schema.Cols[c.col].Name))
+		if nv.Equal(cur) {
+			continue
+		}
+		// Verify the query sees the change.
+		t.Rows[row][c.col] = nv
+		res, err := q.Eval(db)
+		t.Rows[row][c.col] = cur
+		if err != nil {
+			return nil
+		}
+		if res.Fingerprint() != baseFP {
+			return &Delta{Table: c.table, Row: row, Col: c.col, New: nv}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package support
+
+import (
+	"testing"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/pricing"
+	"querypricing/internal/valuation"
+	"querypricing/internal/workloads"
+)
+
+func TestTargetedGenerateBasics(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 40, Cities: 120, Seed: 1})
+	qs := workloads.Skewed(db)[:30]
+	set, err := TargetedGenerate(db, qs, GenOptions{Size: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Size() != 60 {
+		t.Fatalf("size = %d, want 60", set.Size())
+	}
+	// Deltas must be valid and actually change cells.
+	for i, nb := range set.Neighbors {
+		for _, d := range nb.Deltas {
+			tab := db.Table(d.Table)
+			if tab == nil || d.Row >= tab.NumRows() || d.Col >= len(tab.Schema.Cols) {
+				t.Fatalf("neighbor %d: bad delta %+v", i, d)
+			}
+			if d.New.Equal(tab.Rows[d.Row][d.Col]) {
+				t.Fatalf("neighbor %d: no-op delta", i)
+			}
+		}
+	}
+}
+
+func TestTargetedGenerateNoQueriesFallsBack(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 20, Cities: 50, Seed: 3})
+	set, err := TargetedGenerate(db, nil, GenOptions{Size: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Size() != 10 {
+		t.Fatalf("size = %d", set.Size())
+	}
+}
+
+func TestTargetedGenerateValidation(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 10, Cities: 20, Seed: 5})
+	if _, err := TargetedGenerate(db, nil, GenOptions{Size: 0}); err == nil {
+		t.Fatal("want error for zero size")
+	}
+}
+
+// TestTargetedBeatsRandomOnConflictCoverage is the headline property from
+// the paper's future-work discussion: query-aware support gives far fewer
+// empty conflict sets and more unique-item edges, which lifts the revenue
+// of unique-item-hungry algorithms (Layering) and item pricings.
+func TestTargetedBeatsRandomOnConflictCoverage(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 60, Cities: 150, Seed: 6})
+	qs := workloads.Skewed(db)
+	// A selective slice of the workload: per-country point queries, which
+	// random deltas rarely touch.
+	sel := qs[35:185]
+
+	randomSet, err := Generate(db, GenOptions{Size: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetSet, err := TargetedGenerate(db, sel, GenOptions{Size: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hr, _, err := BuildHypergraph(randomSet, sel, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, _, err := BuildHypergraph(targetSet, sel, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emptyR := hr.ComputeStats().EmptyEdges
+	emptyT := ht.ComputeStats().EmptyEdges
+	if emptyT >= emptyR {
+		t.Fatalf("targeted support should reduce empty conflict sets: random %d, targeted %d", emptyR, emptyT)
+	}
+	uniqueR := hr.ComputeStats().UniqueItem
+	uniqueT := ht.ComputeStats().UniqueItem
+	if uniqueT <= uniqueR {
+		t.Fatalf("targeted support should increase unique-item edges: random %d, targeted %d", uniqueR, uniqueT)
+	}
+
+	// Revenue uplift under identical valuations.
+	valuation.Apply(hr, valuation.Uniform{K: 100}, 8)
+	valuation.Apply(ht, valuation.Uniform{K: 100}, 8)
+	layR := pricing.Layering(hr).Revenue
+	layT := pricing.Layering(ht).Revenue
+	if layT <= layR {
+		t.Fatalf("layering revenue should improve with targeted support: random %.1f, targeted %.1f", layR, layT)
+	}
+}

@@ -1,0 +1,201 @@
+package valuation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"querypricing/internal/hypergraph"
+)
+
+func testGraph(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	h := hypergraph.New(20)
+	for i := 0; i < 200; i++ {
+		sz := i % 5 // includes empty edges
+		items := make([]int, 0, sz)
+		for k := 0; k < sz; k++ {
+			items = append(items, (i+k)%20)
+		}
+		if err := h.AddEdge(items, 1, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestUniformRange(t *testing.T) {
+	h := testGraph(t)
+	v := Uniform{K: 100}.Generate(h, rand.New(rand.NewSource(1)))
+	if len(v) != h.NumEdges() {
+		t.Fatalf("got %d valuations for %d edges", len(v), h.NumEdges())
+	}
+	for i, x := range v {
+		if x < 1 || x > 100 {
+			t.Fatalf("valuation %d = %g outside [1,100]", i, x)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	h := testGraph(t)
+	a := Uniform{K: 50}.Generate(h, rand.New(rand.NewSource(7)))
+	b := Uniform{K: 50}.Generate(h, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce valuations")
+		}
+	}
+}
+
+func TestZipfHeavyTail(t *testing.T) {
+	h := testGraph(t)
+	shallow := Zipf{A: 2.5}.Generate(h, rand.New(rand.NewSource(2)))
+	heavy := Zipf{A: 1.5}.Generate(h, rand.New(rand.NewSource(2)))
+	maxOf := func(v []float64) float64 {
+		m := 0.0
+		for _, x := range v {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	for _, x := range shallow {
+		if x < 1 {
+			t.Fatalf("zipf valuation %g below 1", x)
+		}
+	}
+	// Heavier tail should produce a (weakly) larger maximum over many draws.
+	if maxOf(heavy) < maxOf(shallow) {
+		t.Fatalf("zipf a=1.5 max %g < a=2.5 max %g; tail ordering violated",
+			maxOf(heavy), maxOf(shallow))
+	}
+}
+
+func TestExponentialScaledMeans(t *testing.T) {
+	// Large sample: empirical mean of edges with size s should be near s^k.
+	h := hypergraph.New(4)
+	for i := 0; i < 4000; i++ {
+		if err := h.AddEdge([]int{0, 1, 2, 3}, 1, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := ExponentialScaled{K: 2}.Generate(h, rand.New(rand.NewSource(3)))
+	mean := 0.0
+	for _, x := range v {
+		if x < 0 {
+			t.Fatalf("negative valuation %g", x)
+		}
+		mean += x
+	}
+	mean /= float64(len(v))
+	if math.Abs(mean-16) > 1.5 {
+		t.Fatalf("empirical mean %g, want ~16 (=4^2)", mean)
+	}
+}
+
+func TestExponentialScaledEmptyEdge(t *testing.T) {
+	h := hypergraph.New(1)
+	if err := h.AddEdge(nil, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	v := ExponentialScaled{K: 1}.Generate(h, rand.New(rand.NewSource(4)))
+	if v[0] != 0 {
+		t.Fatalf("empty edge valuation = %g, want 0", v[0])
+	}
+}
+
+func TestNormalScaledNonNegativeAndCentered(t *testing.T) {
+	h := hypergraph.New(3)
+	for i := 0; i < 3000; i++ {
+		if err := h.AddEdge([]int{0, 1, 2}, 1, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := NormalScaled{K: 2}.Generate(h, rand.New(rand.NewSource(5)))
+	mean := 0.0
+	for _, x := range v {
+		if x < 0 {
+			t.Fatalf("negative valuation %g", x)
+		}
+		mean += x
+	}
+	mean /= float64(len(v))
+	if math.Abs(mean-9) > 0.5 {
+		t.Fatalf("empirical mean %g, want ~9 (=3^2)", mean)
+	}
+}
+
+func TestAdditiveIsAdditive(t *testing.T) {
+	// The additive model must assign each edge the sum of its item prices;
+	// verify against ItemPrices with the identical rng stream.
+	h := hypergraph.New(10)
+	if err := h.AddEdge([]int{0, 1, 2}, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddEdge([]int{2, 5}, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	m := Additive{K: 10, Dist: IndexUniform}
+	v := m.Generate(h, rand.New(rand.NewSource(6)))
+	x := m.ItemPrices(10, rand.New(rand.NewSource(6)))
+	want0 := x[0] + x[1] + x[2]
+	want1 := x[2] + x[5]
+	if math.Abs(v[0]-want0) > 1e-12 || math.Abs(v[1]-want1) > 1e-12 {
+		t.Fatalf("v = %v, want [%g %g]", v, want0, want1)
+	}
+}
+
+func TestAdditiveRanges(t *testing.T) {
+	m := Additive{K: 5, Dist: IndexUniform}
+	x := m.ItemPrices(5000, rand.New(rand.NewSource(7)))
+	for _, p := range x {
+		if p < 1 || p > 6+1 {
+			t.Fatalf("item price %g outside [1, 6]", p)
+		}
+	}
+	mb := Additive{K: 8, Dist: IndexBinomial}
+	xb := mb.ItemPrices(5000, rand.New(rand.NewSource(8)))
+	mean := 0.0
+	for _, p := range xb {
+		if p < 0 || p > 9 {
+			t.Fatalf("binomial item price %g outside [0, 9]", p)
+		}
+		mean += p
+	}
+	mean /= float64(len(xb))
+	// E[l] = 4, E[x] = l + 0.5 -> 4.5.
+	if math.Abs(mean-4.5) > 0.2 {
+		t.Fatalf("binomial mean %g, want ~4.5", mean)
+	}
+}
+
+func TestApplySetsValuations(t *testing.T) {
+	h := testGraph(t)
+	Apply(h, Uniform{K: 10}, 99)
+	for i := 0; i < h.NumEdges(); i++ {
+		if h.Edge(i).Valuation < 1 || h.Edge(i).Valuation > 10 {
+			t.Fatalf("edge %d valuation %g not applied", i, h.Edge(i).Valuation)
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	cases := []struct {
+		m    Model
+		want string
+	}{
+		{Uniform{K: 100}, "uniform[1,100]"},
+		{Zipf{A: 1.5}, "zipf[a=1.5]"},
+		{ExponentialScaled{K: 2}, "exp[|e|^2]"},
+		{NormalScaled{K: 0.5}, "normal[|e|^0.5]"},
+		{Additive{K: 10, Dist: IndexUniform}, "additive[unif,k=10]"},
+		{Additive{K: 10, Dist: IndexBinomial}, "additive[bin,k=10]"},
+	}
+	for _, c := range cases {
+		if got := c.m.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}

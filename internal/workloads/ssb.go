@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"fmt"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/relational"
+)
+
+// loJoin builds the star-join conditions from lineorder to the named
+// dimension aliases.
+func loJoin(dims ...string) []relational.JoinCond {
+	var out []relational.JoinCond
+	for _, d := range dims {
+		switch d {
+		case "date":
+			out = append(out, relational.JoinCond{Left: ref("lineorder", "lo_orderdate"), Right: ref("date", "d_datekey")})
+		case "customer":
+			out = append(out, relational.JoinCond{Left: ref("lineorder", "lo_custkey"), Right: ref("customer", "c_custkey")})
+		case "supplier":
+			out = append(out, relational.JoinCond{Left: ref("lineorder", "lo_suppkey"), Right: ref("supplier", "s_suppkey")})
+		case "part":
+			out = append(out, relational.JoinCond{Left: ref("lineorder", "lo_partkey"), Right: ref("part", "p_partkey")})
+		}
+	}
+	return out
+}
+
+func strEq(t, c, v string) P {
+	return P{Col: ref(t, c), Op: relational.OpEq, Val: relational.Str(v)}
+}
+
+// SSB builds the paper's SSB workload: 701 queries from the 13 standard
+// templates, parameterized as in Appendix C:
+//
+//	Q1.1-Q1.3 per year (3x7 = 21)
+//	Q2.1-Q2.3, Q3.1, Q4.1, Q4.2 per region (6x5 = 30)
+//	Q3.2 per nation (25)
+//	Q3.3, Q3.4 per city (2x250 = 500)
+//	Q4.3 per (region, nation) pair (5x25 = 125)
+//
+// Arithmetic aggregate expressions (revenue = extendedprice*discount,
+// profit = revenue - supplycost) are replaced by the materialized
+// lo_revenue column; grouping, joins and parameterized filters match the
+// SSB definitions.
+func SSB(db *relational.Database) []*Q {
+	var out []*Q
+
+	for _, y := range datagen.SSBYears {
+		out = append(out,
+			&Q{Name: fmt.Sprintf("SSB1.1[%d]", y), Tables: []string{"lineorder", "date"},
+				Joins: loJoin("date"),
+				Where: []P{
+					{Col: ref("date", "d_year"), Op: relational.OpEq, Val: relational.Int(int64(y))},
+					{Col: ref("lineorder", "lo_discount"), Op: relational.OpBetween, Val: relational.Int(1), Val2: relational.Int(3)},
+					{Col: ref("lineorder", "lo_quantity"), Op: relational.OpLt, Val: relational.Int(25)},
+				},
+				Aggs: []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_extendedprice")}}},
+			&Q{Name: fmt.Sprintf("SSB1.2[%d]", y), Tables: []string{"lineorder", "date"},
+				Joins: loJoin("date"),
+				Where: []P{
+					{Col: ref("date", "d_yearmonthnum"), Op: relational.OpEq, Val: relational.Int(int64(y)*100 + 1)},
+					{Col: ref("lineorder", "lo_discount"), Op: relational.OpBetween, Val: relational.Int(4), Val2: relational.Int(6)},
+					{Col: ref("lineorder", "lo_quantity"), Op: relational.OpBetween, Val: relational.Int(26), Val2: relational.Int(35)},
+				},
+				Aggs: []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_extendedprice")}}},
+			&Q{Name: fmt.Sprintf("SSB1.3[%d]", y), Tables: []string{"lineorder", "date"},
+				Joins: loJoin("date"),
+				Where: []P{
+					{Col: ref("date", "d_weeknuminyear"), Op: relational.OpEq, Val: relational.Int(6)},
+					{Col: ref("date", "d_year"), Op: relational.OpEq, Val: relational.Int(int64(y))},
+					{Col: ref("lineorder", "lo_discount"), Op: relational.OpBetween, Val: relational.Int(5), Val2: relational.Int(7)},
+					{Col: ref("lineorder", "lo_quantity"), Op: relational.OpBetween, Val: relational.Int(26), Val2: relational.Int(35)},
+				},
+				Aggs: []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_extendedprice")}}},
+		)
+	}
+
+	for _, r := range datagen.SSBRegions {
+		out = append(out,
+			&Q{Name: "SSB2.1[" + r + "]", Tables: []string{"lineorder", "date", "part", "supplier"},
+				Joins:   loJoin("date", "part", "supplier"),
+				Where:   []P{strEq("part", "p_category", "MFGR#12"), strEq("supplier", "s_region", r)},
+				GroupBy: []C{ref("date", "d_year"), ref("part", "p_brand1")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+			&Q{Name: "SSB2.2[" + r + "]", Tables: []string{"lineorder", "date", "part", "supplier"},
+				Joins: loJoin("date", "part", "supplier"),
+				Where: []P{
+					{Col: ref("part", "p_brand1"), Op: relational.OpBetween,
+						Val: relational.Str("MFGR#2221"), Val2: relational.Str("MFGR#2228")},
+					strEq("supplier", "s_region", r),
+				},
+				GroupBy: []C{ref("date", "d_year"), ref("part", "p_brand1")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+			&Q{Name: "SSB2.3[" + r + "]", Tables: []string{"lineorder", "date", "part", "supplier"},
+				Joins:   loJoin("date", "part", "supplier"),
+				Where:   []P{strEq("part", "p_brand1", "MFGR#2239"), strEq("supplier", "s_region", r)},
+				GroupBy: []C{ref("date", "d_year"), ref("part", "p_brand1")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+			&Q{Name: "SSB3.1[" + r + "]", Tables: []string{"lineorder", "date", "customer", "supplier"},
+				Joins: loJoin("date", "customer", "supplier"),
+				Where: []P{
+					strEq("customer", "c_region", r), strEq("supplier", "s_region", r),
+					{Col: ref("date", "d_year"), Op: relational.OpBetween, Val: relational.Int(1992), Val2: relational.Int(1997)},
+				},
+				GroupBy: []C{ref("customer", "c_nation"), ref("supplier", "s_nation"), ref("date", "d_year")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+			&Q{Name: "SSB4.1[" + r + "]", Tables: []string{"lineorder", "date", "customer", "supplier", "part"},
+				Joins: loJoin("date", "customer", "supplier", "part"),
+				Where: []P{
+					strEq("customer", "c_region", r), strEq("supplier", "s_region", r),
+					{Col: ref("part", "p_mfgr"), Op: relational.OpIn,
+						Set: []relational.Value{relational.Str("MFGR#1"), relational.Str("MFGR#2")}},
+				},
+				GroupBy: []C{ref("date", "d_year"), ref("customer", "c_nation")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+			&Q{Name: "SSB4.2[" + r + "]", Tables: []string{"lineorder", "date", "customer", "supplier", "part"},
+				Joins: loJoin("date", "customer", "supplier", "part"),
+				Where: []P{
+					strEq("customer", "c_region", r), strEq("supplier", "s_region", r),
+					{Col: ref("date", "d_year"), Op: relational.OpIn,
+						Set: []relational.Value{relational.Int(1997), relational.Int(1998)}},
+					{Col: ref("part", "p_mfgr"), Op: relational.OpIn,
+						Set: []relational.Value{relational.Str("MFGR#1"), relational.Str("MFGR#2")}},
+				},
+				GroupBy: []C{ref("date", "d_year"), ref("supplier", "s_nation"), ref("part", "p_category")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+		)
+	}
+
+	for _, n := range datagen.SSBNations() {
+		out = append(out, &Q{Name: "SSB3.2[" + n + "]",
+			Tables: []string{"lineorder", "date", "customer", "supplier"},
+			Joins:  loJoin("date", "customer", "supplier"),
+			Where: []P{
+				strEq("customer", "c_nation", n), strEq("supplier", "s_nation", n),
+				{Col: ref("date", "d_year"), Op: relational.OpBetween, Val: relational.Int(1992), Val2: relational.Int(1997)},
+			},
+			GroupBy: []C{ref("customer", "c_city"), ref("supplier", "s_city"), ref("date", "d_year")},
+			Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}})
+	}
+
+	for _, city := range datagen.SSBCities() {
+		out = append(out,
+			&Q{Name: "SSB3.3[" + city + "]", Tables: []string{"lineorder", "date", "customer", "supplier"},
+				Joins: loJoin("date", "customer", "supplier"),
+				Where: []P{
+					strEq("customer", "c_city", city), strEq("supplier", "s_city", city),
+					{Col: ref("date", "d_year"), Op: relational.OpBetween, Val: relational.Int(1992), Val2: relational.Int(1997)},
+				},
+				GroupBy: []C{ref("date", "d_year")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+			&Q{Name: "SSB3.4[" + city + "]", Tables: []string{"lineorder", "date", "customer", "supplier"},
+				Joins: loJoin("date", "customer", "supplier"),
+				Where: []P{
+					strEq("customer", "c_city", city), strEq("supplier", "s_city", city),
+					{Col: ref("date", "d_yearmonthnum"), Op: relational.OpEq, Val: relational.Int(199712)},
+				},
+				GroupBy: []C{ref("date", "d_year")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}},
+		)
+	}
+
+	for _, r := range datagen.SSBRegions {
+		for _, n := range datagen.SSBNations() {
+			out = append(out, &Q{Name: "SSB4.3[" + r + "," + n + "]",
+				Tables: []string{"lineorder", "date", "customer", "supplier", "part"},
+				Joins:  loJoin("date", "customer", "supplier", "part"),
+				Where: []P{
+					strEq("customer", "c_region", r), strEq("supplier", "s_nation", n),
+					{Col: ref("date", "d_year"), Op: relational.OpIn,
+						Set: []relational.Value{relational.Int(1997), relational.Int(1998)}},
+				},
+				GroupBy: []C{ref("date", "d_year"), ref("supplier", "s_city"), ref("part", "p_brand1")},
+				Aggs:    []relational.Agg{{Op: relational.AggSum, Col: ref("lineorder", "lo_revenue")}}})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/relational"
+)
+
+// tpchParamYears are the 5 years used to parameterize Q1/Q4/Q6/Q12 (the
+// paper reports 20 queries from these four templates).
+var tpchParamYears = []int{1993, 1994, 1995, 1996, 1997}
+
+// tpchTypeSuffixes parameterize the Q2 p_type variant.
+var tpchTypeSuffixes = []string{"BRASS", "TIN", "COPPER", "STEEL", "NICKEL"}
+
+func yearRange(t, c string, year int) P {
+	return P{
+		Col: ref(t, c), Op: relational.OpBetween,
+		Val:  relational.Int(int64(year)*10000 + 101),
+		Val2: relational.Int(int64(year)*10000 + 1231),
+	}
+}
+
+// typesWithSuffix returns the 30 p_type values ending in the given metal,
+// standing in for the original "p_type LIKE '%BRASS'" predicate.
+func typesWithSuffix(suffix string) []relational.Value {
+	var out []relational.Value
+	for _, ty := range datagen.TPCHTypes() {
+		if strings.HasSuffix(ty, suffix) {
+			out = append(out, relational.Str(ty))
+		}
+	}
+	return out
+}
+
+// TPCH builds the paper's TPC-H workload: 220 queries from the seven
+// supported templates (Appendix C): Q1/Q4/Q6/Q12 per year (20), Q2 per
+// region (5) and per p_type metal (5), Q16 per p_type (150), Q17 per
+// p_container (40).
+//
+// Template simplifications (documented in DESIGN.md): Q4's EXISTS
+// correlated subquery and arithmetic expressions in aggregates are outside
+// our engine's query language, so the templates keep the same joins,
+// parameterized predicates and grouping but aggregate plain columns. The
+// conflict-set structure (which rows and columns each query can observe)
+// is preserved.
+func TPCH(db *relational.Database) []*Q {
+	var out []*Q
+
+	for _, y := range tpchParamYears {
+		out = append(out,
+			// Q1: pricing summary report.
+			&Q{Name: fmt.Sprintf("Q1[%d]", y), Tables: []string{"lineitem"},
+				Where: []P{{Col: ref("lineitem", "l_shipdate"), Op: relational.OpLe,
+					Val: relational.Int(int64(y)*10000 + 1231)}},
+				GroupBy: []C{ref("lineitem", "l_returnflag"), ref("lineitem", "l_linestatus")},
+				Aggs: []relational.Agg{
+					{Op: relational.AggSum, Col: ref("lineitem", "l_quantity")},
+					{Op: relational.AggSum, Col: ref("lineitem", "l_extendedprice")},
+					{Op: relational.AggAvg, Col: ref("lineitem", "l_discount")},
+					{Op: relational.AggCount},
+				}},
+			// Q4: order priority checking.
+			&Q{Name: fmt.Sprintf("Q4[%d]", y), Tables: []string{"orders"},
+				Where:   []P{yearRange("orders", "o_orderdate", y)},
+				GroupBy: []C{ref("orders", "o_orderpriority")},
+				Aggs:    []relational.Agg{{Op: relational.AggCount}}},
+			// Q6: forecasting revenue change.
+			&Q{Name: fmt.Sprintf("Q6[%d]", y), Tables: []string{"lineitem"},
+				Where: []P{
+					yearRange("lineitem", "l_shipdate", y),
+					{Col: ref("lineitem", "l_discount"), Op: relational.OpBetween,
+						Val: relational.Float(0.05), Val2: relational.Float(0.07)},
+					{Col: ref("lineitem", "l_quantity"), Op: relational.OpLt, Val: relational.Int(24)},
+				},
+				Aggs: []relational.Agg{{Op: relational.AggSum, Col: ref("lineitem", "l_extendedprice")}}},
+			// Q12: shipping modes and order priority.
+			&Q{Name: fmt.Sprintf("Q12[%d]", y), Tables: []string{"orders", "lineitem"},
+				Joins:   []relational.JoinCond{{Left: ref("orders", "o_orderkey"), Right: ref("lineitem", "l_orderkey")}},
+				Where:   []P{yearRange("lineitem", "l_receiptdate", y)},
+				GroupBy: []C{ref("lineitem", "l_shipmode")},
+				Aggs:    []relational.Agg{{Op: relational.AggCount}}},
+		)
+	}
+
+	q2 := func(name string, extra P) *Q {
+		return &Q{Name: name,
+			Tables: []string{"part", "partsupp", "supplier", "nation", "region"},
+			Joins: []relational.JoinCond{
+				{Left: ref("part", "p_partkey"), Right: ref("partsupp", "ps_partkey")},
+				{Left: ref("partsupp", "ps_suppkey"), Right: ref("supplier", "s_suppkey")},
+				{Left: ref("supplier", "s_nationkey"), Right: ref("nation", "n_nationkey")},
+				{Left: ref("nation", "n_regionkey"), Right: ref("region", "r_regionkey")},
+			},
+			Where:   []P{extra},
+			GroupBy: []C{ref("nation", "n_name")},
+			Aggs:    []relational.Agg{{Op: relational.AggMin, Col: ref("partsupp", "ps_supplycost")}},
+		}
+	}
+	for _, r := range datagen.TPCHRegions {
+		out = append(out, q2("Q2[region="+r+"]",
+			P{Col: ref("region", "r_name"), Op: relational.OpEq, Val: relational.Str(r)}))
+	}
+	for _, suffix := range tpchTypeSuffixes {
+		out = append(out, q2("Q2[type=%"+suffix+"]",
+			P{Col: ref("part", "p_type"), Op: relational.OpIn, Set: typesWithSuffix(suffix)}))
+	}
+
+	// Q16: parts/supplier relationship, one query per p_type value.
+	for _, ty := range datagen.TPCHTypes() {
+		out = append(out, &Q{Name: "Q16[" + ty + "]",
+			Tables:  []string{"part", "partsupp"},
+			Joins:   []relational.JoinCond{{Left: ref("part", "p_partkey"), Right: ref("partsupp", "ps_partkey")}},
+			Where:   []P{{Col: ref("part", "p_type"), Op: relational.OpEq, Val: relational.Str(ty)}},
+			GroupBy: []C{ref("part", "p_brand"), ref("part", "p_type")},
+			Aggs:    []relational.Agg{{Op: relational.AggCount, Col: ref("partsupp", "ps_suppkey"), Distinct: true}},
+		})
+	}
+
+	// Q17: small-quantity-order revenue, one query per p_container value.
+	for _, cont := range datagen.TPCHContainers() {
+		out = append(out, &Q{Name: "Q17[" + cont + "]",
+			Tables: []string{"part", "lineitem"},
+			Joins:  []relational.JoinCond{{Left: ref("part", "p_partkey"), Right: ref("lineitem", "l_partkey")}},
+			Where:  []P{{Col: ref("part", "p_container"), Op: relational.OpEq, Val: relational.Str(cont)}},
+			Aggs:   []relational.Agg{{Op: relational.AggAvg, Col: ref("lineitem", "l_extendedprice")}},
+		})
+	}
+	return out
+}

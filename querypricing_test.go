@@ -1,0 +1,116 @@
+package querypricing
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API surface end to end: dataset
+// -> workload -> support -> hypergraph -> valuations -> algorithms ->
+// bounds -> broker.
+func TestFacadeEndToEnd(t *testing.T) {
+	db := WorldDatabase(WorldConfig{Countries: 40, Cities: 100, Seed: 1})
+	queries := SkewedWorkload(db)[:20]
+
+	set, err := GenerateSupport(db, SupportOptions{Size: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, stats, err := BuildQueryHypergraph(set, queries, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueryEvals == 0 {
+		t.Fatal("no work recorded")
+	}
+	ApplyValuations(h, UniformValuation{K: 100}, 3)
+
+	ubp := UniformBundlePricing(h)
+	uip := UniformItemPricing(h)
+	lay := LayeringPricing(h)
+	lpip, err := LPItemPricing(h, LPItemOptions{MaxCandidates: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cip, err := CapacityPricing(h, CapacityOptions{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xos := XOSPricing(h, lpip.Weights, cip.Weights)
+
+	sum := SumValuations(h)
+	for _, r := range []Result{ubp, uip, lay, lpip, cip, xos} {
+		if r.Revenue < 0 || r.Revenue > sum*(1+1e-9) {
+			t.Fatalf("%s revenue %g outside [0, %g]", r.Algorithm, r.Revenue, sum)
+		}
+	}
+	bound, err := SubadditiveBound(h, BoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 || bound > sum+1e-9 {
+		t.Fatalf("bound %g outside (0, %g]", bound, sum)
+	}
+
+	refined, err := RefineUniformBundlePricing(h, ubp.BundlePrice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Revenue < 0 {
+		t.Fatal("refinement produced negative revenue")
+	}
+
+	// The broker path.
+	broker, err := NewBroker(db, BrokerConfig{SupportSize: 60, Seed: 4, LPIPCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Calibrate(queries, UniformValuation{K: 100}, AlgoLPIP); err != nil {
+		t.Fatal(err)
+	}
+	q, err := broker.Quote(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Price < 0 {
+		t.Fatalf("negative quote %g", q.Price)
+	}
+}
+
+func TestFacadeGapInstances(t *testing.T) {
+	for _, inst := range []GapInstance{
+		HarmonicGapInstance(100),
+		PartitionGapInstance(16),
+		LaminarGapInstance(3),
+	} {
+		if inst.Opt <= 0 || inst.H.NumEdges() == 0 {
+			t.Fatalf("%s: degenerate instance", inst.Name)
+		}
+	}
+}
+
+func TestFacadeHypergraphHelpers(t *testing.T) {
+	h := NewHypergraph(4)
+	if err := h.AddEdge([]int{0, 1}, 5, "a"); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HypergraphFromEdges(4, []Edge{{Items: []int{2, 3}, Valuation: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RevenueOfBundlePrice(h2, 7) != 7 {
+		t.Fatal("bundle revenue evaluation broken")
+	}
+	if RevenueOfItemPricing(h, []float64{2, 3, 0, 0}) != 5 {
+		t.Fatal("item revenue evaluation broken")
+	}
+	if got := len(TPCHWorkload(TPCHDatabase(TPCHConfig{Parts: 160, Orders: 60, Seed: 5}))); got != 220 {
+		t.Fatalf("TPCH workload = %d, want 220", got)
+	}
+	if got := len(SSBWorkload(SSBDatabase(SSBConfig{LineOrders: 100, Seed: 6}))); got != 701 {
+		t.Fatalf("SSB workload = %d, want 701", got)
+	}
+	db := WorldDatabase(WorldConfig{Countries: 20, Cities: 50, Seed: 7})
+	if got := len(UniformWorkload(db, 25)); got != 25 {
+		t.Fatalf("uniform workload = %d, want 25", got)
+	}
+}
