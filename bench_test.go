@@ -279,3 +279,44 @@ func BenchmarkConflictSet(b *testing.B) {
 		}
 	}
 }
+
+// ---- Batch quoting: serial loop vs the broker's worker pool ----
+
+// BenchmarkQuoteBatch is the perf baseline for the concurrent quote
+// pipeline: the same query batch priced by a serial Quote loop and by
+// QuoteBatch over the bounded worker pool. Conflict-set caching is disabled
+// so every quote pays full conflict-set computation — the work the pool is
+// meant to parallelize.
+func BenchmarkQuoteBatch(b *testing.B) {
+	sc := benchScenario(b, experiments.Skewed)
+	broker, err := NewBroker(sc.DB, BrokerConfig{
+		SupportSize:       100,
+		Seed:              2,
+		LPIPCandidates:    6,
+		ConflictCacheSize: -1, // measure computation, not cache hits
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := broker.Calibrate(sc.Queries[:25], UniformValuation{K: 100}, AlgoUIP); err != nil {
+		b.Fatal(err)
+	}
+	batch := sc.Queries[:32]
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range batch {
+				if _, err := broker.Quote(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := broker.QuoteBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -6,7 +6,9 @@
 // Endpoints (all JSON):
 //
 //	GET  /stats              broker status (support size, algorithm, revenue)
+//	GET  /algorithms         the engine registry's algorithm names
 //	POST /quote              body: SelectQuery -> Quote
+//	POST /quote/batch        body: [SelectQuery, ...] -> [Quote, ...]
 //	POST /purchase?budget=N  body: SelectQuery -> answer + receipt
 //
 // A SelectQuery body looks like:
@@ -28,8 +30,10 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"querypricing/internal/datagen"
+	"querypricing/internal/engine"
 	"querypricing/internal/market"
 	"querypricing/internal/relational"
 	"querypricing/internal/valuation"
@@ -39,12 +43,16 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		algo     = flag.String("algorithm", "LPIP", "UBP | UIP | LPIP | CIP | Layering | XOS")
+		algo     = flag.String("algorithm", "LPIP", "pricing algorithm: "+strings.Join(engine.List(), " | "))
 		supportN = flag.Int("support", 400, "support size")
 		seed     = flag.Int64("seed", 1, "random seed")
 		valK     = flag.Float64("valuation-k", 100, "Uniform[1,k] calibration valuations")
 	)
 	flag.Parse()
+
+	if _, err := engine.Get(*algo); err != nil {
+		log.Fatalf("marketd: %v", err)
+	}
 
 	log.Printf("marketd: generating world dataset...")
 	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: *seed})
@@ -74,6 +82,9 @@ func main() {
 			"sales":        len(broker.Sales()),
 		})
 	})
+	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.List()})
+	})
 	mux.HandleFunc("POST /quote", func(w http.ResponseWriter, r *http.Request) {
 		q, err := decodeQuery(r)
 		if err != nil {
@@ -86,6 +97,22 @@ func main() {
 			return
 		}
 		writeJSON(w, http.StatusOK, quote)
+	})
+	mux.HandleFunc("POST /quote/batch", func(w http.ResponseWriter, r *http.Request) {
+		qs, err := decodeQueryBatch(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		quotes, err := broker.QuoteBatch(qs)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		if quotes == nil {
+			quotes = []market.Quote{} // encode empty batches as [], not null
+		}
+		writeJSON(w, http.StatusOK, quotes)
 	})
 	mux.HandleFunc("POST /purchase", func(w http.ResponseWriter, r *http.Request) {
 		q, err := decodeQuery(r)
@@ -124,6 +151,25 @@ func decodeQuery(r *http.Request) (*relational.SelectQuery, error) {
 		q.Name = "adhoc"
 	}
 	return &q, nil
+}
+
+func decodeQueryBatch(r *http.Request) ([]*relational.SelectQuery, error) {
+	defer r.Body.Close()
+	var qs []*relational.SelectQuery
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qs); err != nil {
+		return nil, fmt.Errorf("bad query batch: %w", err)
+	}
+	for i, q := range qs {
+		if q == nil {
+			return nil, fmt.Errorf("bad query batch: null query at index %d", i)
+		}
+		if q.Name == "" {
+			q.Name = fmt.Sprintf("adhoc-%d", i)
+		}
+	}
+	return qs, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

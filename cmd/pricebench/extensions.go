@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"querypricing/internal/engine"
 	"querypricing/internal/experiments"
 	"querypricing/internal/hypergraph"
 	"querypricing/internal/online"
@@ -97,18 +98,21 @@ func (r *runner) runSupportSelection() error {
 	fmt.Printf("%d selective queries, |S| = %d\n", len(sel), size)
 	fmt.Printf("%-12s %12s %12s %12s %12s %12s %12s\n",
 		"support", "build", "empty edges", "unique-item", "UIP", "LPIP", "Layering")
+	opts := engine.Options{LPIPMaxCandidates: r.lpipCap}
 	report := func(name string, d time.Duration, h *hypergraph.Hypergraph) error {
 		st := h.ComputeStats()
 		sum := h.TotalValuation()
-		uip := pricing.UniformItem(h).Revenue / sum
-		lpip, err := pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: r.lpipCap})
-		if err != nil {
-			return err
+		revs := make([]float64, 0, 3)
+		for _, algo := range []string{"UIP", "LPIP", "Layering"} {
+			res, err := engine.Price(algo, h, opts)
+			if err != nil {
+				return err
+			}
+			revs = append(revs, res.Revenue/sum)
 		}
-		lay := pricing.Layering(h).Revenue / sum
 		fmt.Printf("%-12s %12s %12d %12d %12.3f %12.3f %12.3f\n",
 			name, d.Round(time.Millisecond), st.EmptyEdges, st.UniqueItem,
-			uip, lpip.Revenue/sum, lay)
+			revs[0], revs[1], revs[2])
 		return nil
 	}
 	if err := report("random", randomTime, hr); err != nil {
@@ -134,7 +138,7 @@ func (r *runner) runCIPAblation() error {
 	fmt.Println("== CIP epsilon ablation (Section 6.4) ==")
 	fmt.Printf("%8s %10s %12s %10s\n", "eps", "LPs", "revenue", "runtime")
 	for _, eps := range []float64{0.2, 0.5, 1, 2, 4} {
-		res, err := pricing.Capacity(sc.H, pricing.CapacityOptions{Epsilon: eps})
+		res, err := engine.Price("CIP", sc.H, engine.Options{CIPEpsilon: eps})
 		if err != nil {
 			return err
 		}
@@ -158,7 +162,10 @@ func (r *runner) runRefineAblation() error {
 		}
 		valuation.Apply(sc.H, valuation.Additive{K: 1, Dist: valuation.IndexUniform}, r.seed)
 		sum := sc.H.TotalValuation()
-		ubp := pricing.UniformBundle(sc.H)
+		ubp, err := engine.Price("UBP", sc.H, engine.Options{})
+		if err != nil {
+			return err
+		}
 		ref, err := pricing.RefineUniformBundle(sc.H, ubp.BundlePrice)
 		if err != nil {
 			return err

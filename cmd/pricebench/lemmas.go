@@ -4,9 +4,22 @@ import (
 	"fmt"
 	"strings"
 
+	"querypricing/internal/engine"
+	"querypricing/internal/hypergraph"
 	"querypricing/internal/lowerbounds"
 	"querypricing/internal/pricing"
 )
+
+// price runs a registry algorithm and reports its revenue, rendering any
+// error into the report (the gap constructions never fail in practice).
+func price(sb *strings.Builder, name string, h *hypergraph.Hypergraph, opts engine.Options) (pricing.Result, bool) {
+	res, err := engine.Price(name, h, opts)
+	if err != nil {
+		fmt.Fprintf(sb, "  %s error: %v\n", name, err)
+		return pricing.Result{}, false
+	}
+	return res, true
+}
 
 // lemmasReport measures the Lemma 2/3/4 gaps empirically: OPT of each
 // construction against the best uniform bundle price and the best item
@@ -19,10 +32,9 @@ func lemmasReport() string {
 	fmt.Fprintf(&sb, "%8s %12s %12s %12s %8s\n", "m", "OPT", "UBP", "LPIP", "OPT/UBP")
 	for _, m := range []int{64, 256, 1024, 4096} {
 		inst := lowerbounds.HarmonicAdditive(m)
-		ubp := pricing.UniformBundle(inst.H)
-		lpip, err := pricing.LPItem(inst.H, pricing.LPItemOptions{MaxCandidates: 8})
-		if err != nil {
-			fmt.Fprintf(&sb, "  error: %v\n", err)
+		ubp, ok1 := price(&sb, "UBP", inst.H, engine.Options{})
+		lpip, ok2 := price(&sb, "LPIP", inst.H, engine.Options{LPIPMaxCandidates: 8})
+		if !ok1 || !ok2 {
 			continue
 		}
 		fmt.Fprintf(&sb, "%8d %12.3f %12.3f %12.3f %8.2f\n",
@@ -33,8 +45,11 @@ func lemmasReport() string {
 	fmt.Fprintf(&sb, "%8s %12s %12s %12s\n", "n", "OPT", "UBP", "UIP")
 	for _, n := range []int{16, 64, 256} {
 		inst := lowerbounds.PartitionUniform(n)
-		ubp := pricing.UniformBundle(inst.H)
-		uip := pricing.UniformItem(inst.H)
+		ubp, ok1 := price(&sb, "UBP", inst.H, engine.Options{})
+		uip, ok2 := price(&sb, "UIP", inst.H, engine.Options{})
+		if !ok1 || !ok2 {
+			continue
+		}
 		fmt.Fprintf(&sb, "%8d %12.3f %12.3f %12.3f\n", n, inst.Opt, ubp.Revenue, uip.Revenue)
 	}
 
@@ -42,8 +57,11 @@ func lemmasReport() string {
 	fmt.Fprintf(&sb, "%8s %8s %12s %12s %12s %10s\n", "depth", "m", "OPT", "UBP", "UIP", "OPT/best")
 	for _, t := range []int{2, 3, 4, 5, 6} {
 		inst := lowerbounds.LaminarSubmodular(t)
-		ubp := pricing.UniformBundle(inst.H)
-		uip := pricing.UniformItem(inst.H)
+		ubp, ok1 := price(&sb, "UBP", inst.H, engine.Options{})
+		uip, ok2 := price(&sb, "UIP", inst.H, engine.Options{})
+		if !ok1 || !ok2 {
+			continue
+		}
 		best := ubp.Revenue
 		if uip.Revenue > best {
 			best = uip.Revenue

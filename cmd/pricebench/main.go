@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"querypricing/internal/engine"
 	"querypricing/internal/experiments"
 	"querypricing/internal/valuation"
 )
@@ -53,8 +54,24 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		lpipCap    = flag.Int("lpip-candidates", 16, "LPIP threshold cap (0 = all)")
 		skipCIP    = flag.Bool("skip-cip", false, "skip CIP and XOS (much faster)")
+		algos      = flag.String("algorithms", "",
+			"comma-separated pricing algorithms for the figure/table revenue sweeps "+
+				"(default all: "+strings.Join(engine.List(), ",")+"); special-case "+
+				"experiments (lemmas, ablations, support-selection) keep their fixed rosters")
 	)
 	flag.Parse()
+
+	var roster []string
+	if *algos != "" {
+		for _, name := range strings.Split(*algos, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := engine.Get(name); err != nil {
+				fmt.Fprintf(os.Stderr, "pricebench: %v\n", err)
+				os.Exit(2)
+			}
+			roster = append(roster, name)
+		}
+	}
 
 	if *list || *experiment == "" {
 		fmt.Println("pricebench experiments:")
@@ -73,6 +90,7 @@ func main() {
 		seed:     *seed,
 		lpipCap:  *lpipCap,
 		skipCIP:  *skipCIP,
+		roster:   roster,
 		cache:    map[experiments.Workload]*experiments.Scenario{},
 	}
 	ids := []string{*experiment}
@@ -96,6 +114,7 @@ type runner struct {
 	seed     int64
 	lpipCap  int
 	skipCIP  bool
+	roster   []string // engine algorithm names (nil = full registry)
 	cache    map[experiments.Workload]*experiments.Scenario
 }
 
@@ -125,6 +144,7 @@ func (r *runner) tuning(w experiments.Workload) experiments.Tuning {
 	t := experiments.DefaultTuning(w)
 	t.LPIPCandidates = r.lpipCap
 	t.SkipCIP = t.SkipCIP || r.skipCIP
+	t.Roster = r.roster
 	return t
 }
 

@@ -62,14 +62,18 @@ func main() {
 			Tables: []string{"Country"}},
 	}
 
-	rng := rand.New(rand.NewSource(13))
-	for _, q := range aliceQueries {
-		quote, err := broker.Quote(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("quote %-45s conflictset=%-4d price=%8.2f\n", q.Name, quote.ConflictSize, quote.Price)
+	// Quote all of Alice's queries in one batch: the broker fans them
+	// across its worker pool and memoizes each conflict set.
+	quotes, err := broker.QuoteBatch(aliceQueries)
+	if err != nil {
+		log.Fatal(err)
 	}
+	for i, quote := range quotes {
+		fmt.Printf("quote %-45s conflictset=%-4d price=%8.2f\n",
+			aliceQueries[i].Name, quote.ConflictSize, quote.Price)
+	}
+
+	rng := rand.New(rand.NewSource(13))
 
 	fmt.Println("\nsimulating 40 single-minded buyers with budgets...")
 	bought, rejected := 0, 0

@@ -21,13 +21,10 @@ func main() {
 	fmt.Printf("%8s %10s %10s %10s %12s\n", "m", "OPT", "UBP", "LPIP", "gap(=OPT/UBP)")
 	for _, m := range []int{100, 400, 1600} {
 		inst := querypricing.HarmonicGapInstance(m)
-		ubp := querypricing.UniformBundlePricing(inst.H)
+		ubp := price("UBP", inst.H, querypricing.AlgorithmOptions{})
 		// LPIP's forced-sale LP here has one constraint per bundle, so keep
 		// m moderate: the dense simplex basis grows quadratically with m.
-		lpip, err := querypricing.LPItemPricing(inst.H, querypricing.LPItemOptions{MaxCandidates: 3})
-		if err != nil {
-			log.Fatal(err)
-		}
+		lpip := price("LPIP", inst.H, querypricing.AlgorithmOptions{LPIPMaxCandidates: 3})
 		fmt.Printf("%8d %10.2f %10.2f %10.2f %12.2f   (log m = %.2f)\n",
 			m, inst.Opt, ubp.Revenue, lpip.Revenue, inst.Opt/ubp.Revenue, math.Log(float64(m)))
 	}
@@ -37,8 +34,8 @@ func main() {
 	fmt.Printf("%8s %10s %10s %10s\n", "n", "OPT", "UBP", "UIP")
 	for _, n := range []int{32, 128, 512} {
 		inst := querypricing.PartitionGapInstance(n)
-		ubp := querypricing.UniformBundlePricing(inst.H)
-		uip := querypricing.UniformItemPricing(inst.H)
+		ubp := price("UBP", inst.H, querypricing.AlgorithmOptions{})
+		uip := price("UIP", inst.H, querypricing.AlgorithmOptions{})
 		fmt.Printf("%8d %10.1f %10.1f %10.1f\n", n, inst.Opt, ubp.Revenue, uip.Revenue)
 	}
 
@@ -47,12 +44,22 @@ func main() {
 	fmt.Printf("%6s %8s %12s %12s %12s %10s\n", "t", "m", "OPT", "UBP", "UIP", "gap")
 	for _, t := range []int{3, 4, 5, 6, 7} {
 		inst := querypricing.LaminarGapInstance(t)
-		ubp := querypricing.UniformBundlePricing(inst.H)
-		uip := querypricing.UniformItemPricing(inst.H)
+		ubp := price("UBP", inst.H, querypricing.AlgorithmOptions{})
+		uip := price("UIP", inst.H, querypricing.AlgorithmOptions{})
 		best := math.Max(ubp.Revenue, uip.Revenue)
 		fmt.Printf("%6d %8d %12.0f %12.1f %12.1f %10.2f\n",
 			t, inst.H.NumEdges(), inst.Opt, ubp.Revenue, uip.Revenue, inst.Opt/best)
 	}
 	fmt.Println("\nThe gap column grows linearly in t = Theta(log m): no constant-size")
 	fmt.Println("XOS combination of these families can close it (Section 4).")
+}
+
+// price runs a registry algorithm, exiting on error (the gap constructions
+// never fail in practice).
+func price(name string, h *querypricing.Hypergraph, opts querypricing.AlgorithmOptions) querypricing.Result {
+	res, err := querypricing.Price(name, h, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

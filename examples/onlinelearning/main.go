@@ -64,7 +64,7 @@ func main() {
 	fmt.Println("structure; the item learner wins when value is additive over items")
 	fmt.Println("(it can exceed 1.0 there — item pricing is a richer class, Lemma 2).")
 	fmt.Println("Offline LPIP on the same instance (full information) for reference:")
-	lpip, err := querypricing.LPItemPricing(h, querypricing.LPItemOptions{MaxCandidates: 8})
+	lpip, err := querypricing.Price("LPIP", h, querypricing.AlgorithmOptions{LPIPMaxCandidates: 8})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,6 @@
 // Quickstart: build a small pricing hypergraph by hand and run every
-// pricing algorithm from the paper on it.
+// pricing algorithm from the paper on it — selected by name from the
+// engine registry, the way the broker and the CLIs do.
 //
 // Run with:
 //
@@ -25,31 +26,31 @@ func main() {
 	must(h.AddEdge([]int{0, 1, 2, 3}, 20, "full dump"))
 
 	fmt.Println("instance:", h)
-	fmt.Printf("sum of valuations (upper bound): %.1f\n\n", querypricing.SumValuations(h))
+	fmt.Printf("sum of valuations (upper bound): %.1f\n", querypricing.SumValuations(h))
+	fmt.Printf("registered algorithms: %v\n\n", querypricing.ListAlgorithms())
 
-	ubp := querypricing.UniformBundlePricing(h)
-	fmt.Printf("%-10s revenue %6.2f  (flat price %.2f)\n", ubp.Algorithm, ubp.Revenue, ubp.BundlePrice)
-
-	uip := querypricing.UniformItemPricing(h)
-	fmt.Printf("%-10s revenue %6.2f  (uniform weight %.2f)\n", uip.Algorithm, uip.Revenue, uip.Weights[0])
-
-	lpip, err := querypricing.LPItemPricing(h, querypricing.LPItemOptions{})
-	if err != nil {
-		log.Fatal(err)
+	// One options struct drives the whole roster; every algorithm reads
+	// only the knobs it understands.
+	opts := querypricing.AlgorithmOptions{CIPEpsilon: 0.5}
+	var lpip querypricing.Result
+	for _, name := range querypricing.ListAlgorithms() {
+		res, err := querypricing.Price(name, h, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.BundlePrice > 0:
+			fmt.Printf("%-10s revenue %6.2f  (flat price %.2f)\n", res.Algorithm, res.Revenue, res.BundlePrice)
+		case res.WeightSets != nil:
+			fmt.Printf("%-10s revenue %6.2f  (%s)\n", res.Algorithm, res.Revenue, res.Extra)
+		default:
+			fmt.Printf("%-10s revenue %6.2f  (weights %v, %d LPs)\n",
+				res.Algorithm, res.Revenue, round2(res.Weights), res.LPSolves)
+		}
+		if res.Algorithm == "LPIP" {
+			lpip = res
+		}
 	}
-	fmt.Printf("%-10s revenue %6.2f  (weights %v, %d LPs)\n", lpip.Algorithm, lpip.Revenue, round2(lpip.Weights), lpip.LPSolves)
-
-	cip, err := querypricing.CapacityPricing(h, querypricing.CapacityOptions{Epsilon: 0.5})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%-10s revenue %6.2f  (weights %v, %s)\n", cip.Algorithm, cip.Revenue, round2(cip.Weights), cip.Extra)
-
-	lay := querypricing.LayeringPricing(h)
-	fmt.Printf("%-10s revenue %6.2f  (weights %v)\n", lay.Algorithm, lay.Revenue, round2(lay.Weights))
-
-	xos := querypricing.XOSPricing(h, lpip.Weights, cip.Weights)
-	fmt.Printf("%-10s revenue %6.2f  (max of LPIP and CIP prices)\n", xos.Algorithm, xos.Revenue)
 
 	bound, err := querypricing.SubadditiveBound(h, querypricing.BoundOptions{})
 	if err != nil {

@@ -38,19 +38,25 @@ func main() {
 		querypricing.ApplyValuations(h, querypricing.UniformValuation{K: 100}, 23)
 		sum := querypricing.SumValuations(h)
 
-		ubp := querypricing.UniformBundlePricing(h)
-		uip := querypricing.UniformItemPricing(h)
-		lay := querypricing.LayeringPricing(h)
-		lpipStart := time.Now()
-		lpip, err := querypricing.LPItemPricing(h, querypricing.LPItemOptions{MaxCandidates: 10})
-		if err != nil {
-			log.Fatal(err)
+		// The roster comes from the engine registry; one options struct
+		// covers every algorithm's knobs.
+		opts := querypricing.AlgorithmOptions{LPIPMaxCandidates: 10}
+		norm := map[string]float64{}
+		var lpipTime time.Duration
+		for _, name := range []string{"UBP", "UIP", "LPIP", "Layering"} {
+			res, err := querypricing.Price(name, h, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			norm[name] = res.Revenue / sum
+			if name == "LPIP" {
+				lpipTime = res.Runtime
+			}
 		}
-		lpipTime := time.Since(lpipStart)
 
 		fmt.Printf("%8d %12s %10.3f %10.3f %10.3f %10.3f %12s\n",
 			n, buildTime.Round(time.Millisecond),
-			ubp.Revenue/sum, uip.Revenue/sum, lpip.Revenue/sum, lay.Revenue/sum,
+			norm["UBP"], norm["UIP"], norm["LPIP"], norm["Layering"],
 			lpipTime.Round(time.Millisecond))
 	}
 

@@ -1,0 +1,3 @@
+module querypricing
+
+go 1.24

@@ -11,12 +11,13 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"querypricing/internal/bounds"
 	"querypricing/internal/datagen"
+	"querypricing/internal/engine"
 	"querypricing/internal/hypergraph"
-	"querypricing/internal/pricing"
 	"querypricing/internal/relational"
 	"querypricing/internal/support"
 	"querypricing/internal/valuation"
@@ -166,6 +167,18 @@ type Tuning struct {
 	CIPMaxCaps     int     // 0 = unlimited
 	SkipCIP        bool    // CIP (and XOS) can dominate runtime; skip if set
 	WithBound      bool    // also compute the subadditive bound series
+	// Roster names the engine-registry algorithms to run, in order
+	// (nil = every registered algorithm, i.e. the paper's full roster).
+	Roster []string
+}
+
+// Options maps the tuning knobs onto the shared engine option set.
+func (t Tuning) Options() engine.Options {
+	return engine.Options{
+		LPIPMaxCandidates: t.LPIPCandidates,
+		CIPEpsilon:        t.CIPEpsilon,
+		CIPMaxCapacities:  t.CIPMaxCaps,
+	}
 }
 
 // DefaultTuning returns the paper's per-workload CIP epsilon and a
@@ -193,7 +206,8 @@ type RunPoint struct {
 }
 
 // RunAll applies the valuation model to the scenario's hypergraph and runs
-// the full algorithm roster: UBP, UIP, LPIP, CIP, Layering, XOS(LPIP+CIP),
+// the tuning's algorithm roster through the engine registry — by default
+// every registered algorithm: UBP, UIP, LPIP, CIP, Layering, XOS(LPIP+CIP),
 // exactly the six series of Figures 5-7.
 func RunAll(h *hypergraph.Hypergraph, model valuation.Model, seed int64, tune Tuning) (RunPoint, error) {
 	valuation.Apply(h, model, seed)
@@ -205,31 +219,50 @@ func RunAll(h *hypergraph.Hypergraph, model valuation.Model, seed int64, tune Tu
 		}
 		return r / sum
 	}
-	add := func(r pricing.Result) {
-		point.Results = append(point.Results, AlgoResult{
-			Algorithm:  r.Algorithm,
-			Revenue:    r.Revenue,
-			Normalized: norm(r.Revenue),
-			Runtime:    r.Runtime,
-			LPSolves:   r.LPSolves,
-		})
-	}
 
-	add(pricing.UniformBundle(h))
-	add(pricing.UniformItem(h))
-	lpip, err := pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: tune.LPIPCandidates})
-	if err != nil {
-		return point, err
-	}
-	add(lpip)
-	add(pricing.Layering(h))
-	if !tune.SkipCIP {
-		cip, err := pricing.Capacity(h, pricing.CapacityOptions{Epsilon: tune.CIPEpsilon, MaxCapacities: tune.CIPMaxCaps})
-		if err != nil {
-			return point, err
+	// SkipCIP trims the default roster only: an explicitly requested
+	// roster always runs exactly what it names.
+	roster := tune.Roster
+	if roster == nil {
+		roster = engine.List()
+		if tune.SkipCIP {
+			kept := roster[:0]
+			for _, name := range roster {
+				if strings.EqualFold(name, "CIP") || strings.EqualFold(name, "XOS") {
+					continue
+				}
+				kept = append(kept, name)
+			}
+			roster = kept
 		}
-		add(cip)
-		add(pricing.XOS(h, lpip.Weights, cip.Weights))
+	}
+	opts := tune.Options()
+	// Weight vectors of item pricings already run this sweep, so XOS can
+	// combine them directly instead of re-solving its components' LPs.
+	weightsByName := make(map[string][]float64, len(roster))
+	for _, name := range roster {
+		opts.XOSWeightSets = nil
+		if strings.EqualFold(name, "XOS") {
+			lpip, okL := weightsByName["LPIP"]
+			cip, okC := weightsByName["CIP"]
+			if okL && okC {
+				opts.XOSWeightSets = [][]float64{lpip, cip}
+			}
+		}
+		res, err := engine.Price(name, h, opts)
+		if err != nil {
+			return point, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		if res.Weights != nil {
+			weightsByName[strings.ToUpper(res.Algorithm)] = res.Weights
+		}
+		point.Results = append(point.Results, AlgoResult{
+			Algorithm:  res.Algorithm,
+			Revenue:    res.Revenue,
+			Normalized: norm(res.Revenue),
+			Runtime:    res.Runtime,
+			LPSolves:   res.LPSolves,
+		})
 	}
 	if tune.WithBound {
 		b, err := bounds.Subadditive(h, bounds.Options{})

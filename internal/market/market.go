@@ -7,14 +7,26 @@
 // Prices are arbitrage-free by construction (Theorem 1): every pricing the
 // broker can be calibrated with — uniform bundle, item pricing, or XOS —
 // is a monotone subadditive function of the query's conflict set.
+//
+// The broker is built for concurrent quote traffic. The calibrated pricing
+// lives in an immutable snapshot swapped atomically, so Quote is a lock-free
+// read even while Calibrate builds a replacement snapshot off to the side
+// (on a private clone of the dataset). QuoteBatch fans a query batch across
+// a bounded worker pool, and conflict sets are memoized in a bounded LRU
+// cache keyed by the query's canonical SQL rendering, so repeated quotes for
+// structurally identical queries skip conflict-set computation entirely.
 package market
 
 import (
+	"container/list"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"querypricing/internal/engine"
 	"querypricing/internal/hypergraph"
 	"querypricing/internal/pricing"
 	"querypricing/internal/relational"
@@ -22,10 +34,11 @@ import (
 	"querypricing/internal/valuation"
 )
 
-// Algorithm selects the pricing algorithm a broker calibrates with.
+// Algorithm names the pricing algorithm a broker calibrates with. Valid
+// values are the names in the engine registry (engine.List).
 type Algorithm string
 
-// The supported calibration algorithms (Section 5 of the paper).
+// The built-in calibration algorithms (Section 5 of the paper).
 const (
 	UBP      Algorithm = "UBP"
 	UIP      Algorithm = "UIP"
@@ -45,6 +58,13 @@ type Config struct {
 	LPIPCandidates int
 	// CIPEpsilon is the capacity grid step for CIP (default 0.5).
 	CIPEpsilon float64
+	// CIPMaxCapacities caps the number of capacities CIP tries (0 = no cap).
+	CIPMaxCapacities int
+	// Workers bounds the QuoteBatch worker pool (0 = GOMAXPROCS).
+	Workers int
+	// ConflictCacheSize bounds the conflict-set LRU cache: 0 picks the
+	// default of 1024 entries, negative disables caching.
+	ConflictCacheSize int
 }
 
 // Quote is a priced offer for a query.
@@ -64,19 +84,31 @@ type Receipt struct {
 	When  time.Time
 }
 
-// Broker sells query answers over a dataset at arbitrage-free prices.
-// It is safe for concurrent use.
-type Broker struct {
-	mu sync.RWMutex
+// pricingSnapshot is an immutable calibrated pricing. Quote loads the
+// current snapshot with one atomic read; Calibrate publishes a fresh one.
+type pricingSnapshot struct {
+	algorithm Algorithm
+	result    pricing.Result
+	revenue   float64 // forecast revenue at calibration time
+}
 
+// Broker sells query answers over a dataset at arbitrage-free prices.
+// It is safe for concurrent use: quoting never blocks on recalibration.
+type Broker struct {
 	db  *relational.Database
 	set *support.Set
 	cfg Config
 
-	calibrated bool
-	algorithm  Algorithm
-	result     pricing.Result
+	// snap holds the current calibrated pricing; nil until Calibrate
+	// succeeds for the first time (every quote is zero until then).
+	snap atomic.Pointer[pricingSnapshot]
 
+	// calMu serializes calibrations (quotes are not blocked by it).
+	calMu sync.Mutex
+
+	cache *conflictCache
+
+	salesMu sync.Mutex
 	sales   []Receipt
 	revenue float64
 }
@@ -91,94 +123,174 @@ func NewBroker(db *relational.Database, cfg Config) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("market: sampling support: %w", err)
 	}
-	return &Broker{db: db, set: set, cfg: cfg}, nil
+	b := &Broker{db: db, set: set, cfg: cfg}
+	if cfg.ConflictCacheSize >= 0 {
+		size := cfg.ConflictCacheSize
+		if size == 0 {
+			size = 1024
+		}
+		b.cache = newConflictCache(size)
+	}
+	return b, nil
 }
 
 // SupportSize returns |S|.
 func (b *Broker) SupportSize() int { return b.set.Size() }
+
+// engineOptions maps broker configuration onto the shared engine knob set.
+func (b *Broker) engineOptions() engine.Options {
+	return engine.Options{
+		LPIPMaxCandidates: b.cfg.LPIPCandidates,
+		CIPEpsilon:        b.cfg.CIPEpsilon,
+		CIPMaxCapacities:  b.cfg.CIPMaxCapacities,
+	}
+}
 
 // Calibrate fits the chosen pricing algorithm to a forecast workload: the
 // queries a market study predicts buyers will ask, with their valuations
 // drawn from the given model (Section 3.3: "valuations can be found by
 // performing market research"). It returns the revenue the fitted pricing
 // would extract on the forecast.
+//
+// Calibration runs entirely off to the side — the hypergraph is built on a
+// private clone of the dataset — and publishes the new pricing with one
+// atomic pointer swap, so concurrent Quote calls keep serving the previous
+// pricing until the instant the new one is ready.
 func (b *Broker) Calibrate(queries []*relational.SelectQuery, model valuation.Model, algo Algorithm) (float64, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	alg, err := engine.Get(string(algo))
+	if err != nil {
+		return 0, fmt.Errorf("market: %w", err)
+	}
 
-	h, _, err := support.BuildHypergraph(b.set, queries, support.BuildOptions{})
+	b.calMu.Lock()
+	defer b.calMu.Unlock()
+
+	// BuildHypergraph patches its database in place while computing
+	// conflict sets, so it runs on a clone sharing the support deltas.
+	scratch := &support.Set{DB: b.db.Clone(), Neighbors: b.set.Neighbors}
+	h, _, err := support.BuildHypergraph(scratch, queries, support.BuildOptions{})
 	if err != nil {
 		return 0, fmt.Errorf("market: building hypergraph: %w", err)
 	}
 	valuation.Apply(h, model, b.cfg.Seed+1)
 
-	res, err := b.runAlgorithm(h, algo)
+	res, err := alg.Price(h, b.engineOptions())
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("market: calibrating %s: %w", algo, err)
 	}
-	b.calibrated = true
-	b.algorithm = algo
-	b.result = res
+	b.snap.Store(&pricingSnapshot{algorithm: algo, result: res, revenue: res.Revenue})
 	return res.Revenue, nil
-}
-
-func (b *Broker) runAlgorithm(h *hypergraph.Hypergraph, algo Algorithm) (pricing.Result, error) {
-	switch algo {
-	case UBP:
-		return pricing.UniformBundle(h), nil
-	case UIP:
-		return pricing.UniformItem(h), nil
-	case LPIP:
-		return pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: b.cfg.LPIPCandidates})
-	case CIP:
-		return pricing.Capacity(h, pricing.CapacityOptions{Epsilon: b.cfg.CIPEpsilon})
-	case Layering:
-		return pricing.Layering(h), nil
-	case XOS:
-		lpip, err := pricing.LPItem(h, pricing.LPItemOptions{MaxCandidates: b.cfg.LPIPCandidates})
-		if err != nil {
-			return pricing.Result{}, err
-		}
-		cip, err := pricing.Capacity(h, pricing.CapacityOptions{Epsilon: b.cfg.CIPEpsilon})
-		if err != nil {
-			return pricing.Result{}, err
-		}
-		return pricing.XOS(h, lpip.Weights, cip.Weights), nil
-	default:
-		return pricing.Result{}, fmt.Errorf("market: unknown algorithm %q", algo)
-	}
 }
 
 // Algorithm returns the calibrated algorithm name, or "" if uncalibrated.
 func (b *Broker) Algorithm() Algorithm {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	if !b.calibrated {
-		return ""
+	if snap := b.snap.Load(); snap != nil {
+		return snap.algorithm
 	}
-	return b.algorithm
+	return ""
 }
 
 // Quote prices an arbitrary incoming query: it computes the query's
-// conflict set against the support and applies the calibrated pricing
-// function to that bundle. It takes the write lock because conflict-set
-// computation patches the shared database in place (and reverts it).
+// conflict set against the support (a read-only computation, memoized per
+// canonical query signature) and applies the current pricing snapshot to
+// that bundle. It never blocks on other quotes or on recalibration.
 func (b *Broker) Quote(q *relational.SelectQuery) (Quote, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.quoteLocked(q)
+	return b.quoteWith(b.snap.Load(), q)
 }
 
-func (b *Broker) quoteLocked(q *relational.SelectQuery) (Quote, error) {
-	items, err := support.ConflictSet(b.set, q)
+// quoteWith prices one query under a specific snapshot (nil = uncalibrated).
+func (b *Broker) quoteWith(snap *pricingSnapshot, q *relational.SelectQuery) (Quote, error) {
+	items, err := b.conflictSet(q)
 	if err != nil {
-		return Quote{}, fmt.Errorf("market: conflict set of %q: %w", q.Name, err)
+		return Quote{}, err
 	}
-	e := hypergraph.Edge{Items: items}
+	return priceBundle(snap, q, items), nil
+}
+
+// QuoteBatch prices a batch of queries concurrently over a bounded worker
+// pool (Config.Workers, default GOMAXPROCS). The returned quotes are
+// index-aligned with the input; the first error aborts the batch. The
+// pricing snapshot is loaded once for the whole batch, so every quote in
+// the response comes from the same calibrated pricing function (and the
+// batch as a whole stays arbitrage-free) even if a recalibration lands
+// mid-batch.
+func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	snap := b.snap.Load()
+	workers := b.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	out := make([]Quote, len(queries))
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue // drain remaining jobs after a failure
+				}
+				quote, err := b.quoteWith(snap, queries[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("market: batch query %d: %w", i, err)
+						failed.Store(true)
+					})
+					continue
+				}
+				out[i] = quote
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// conflictSet computes (or recalls) CS(q, D). The cache key is the query's
+// canonical SQL rendering, which omits the query name: two structurally
+// identical queries share one cache entry. The support set is immutable
+// after NewBroker, so entries never need invalidation.
+func (b *Broker) conflictSet(q *relational.SelectQuery) ([]int, error) {
+	compute := func() ([]int, error) {
+		items, err := support.ConflictSet(b.set, q)
+		if err != nil {
+			return nil, fmt.Errorf("market: conflict set of %q: %w", q.Name, err)
+		}
+		return items, nil
+	}
+	if b.cache == nil {
+		return compute()
+	}
+	return b.cache.do(q.String(), compute)
+}
+
+// priceBundle applies a pricing snapshot to a conflict set.
+func priceBundle(snap *pricingSnapshot, q *relational.SelectQuery, items []int) Quote {
 	price := 0.0
-	if b.calibrated {
-		if len(items) > 0 || b.result.Weights != nil || b.result.WeightSets != nil {
-			price = b.result.Price(&e)
+	if snap != nil {
+		e := hypergraph.Edge{Items: items}
+		if len(items) > 0 || snap.result.Weights != nil || snap.result.WeightSets != nil {
+			price = snap.result.Price(&e)
 		}
 		if len(items) == 0 {
 			// An uninformative query is free under any item pricing; under
@@ -193,29 +305,31 @@ func (b *Broker) quoteLocked(q *relational.SelectQuery) (Quote, error) {
 		Price:        price,
 		ConflictSize: len(items),
 		Informative:  len(items) > 0,
-	}, nil
+	}
 }
 
 // Purchase quotes the query and, if the buyer's budget covers the price,
 // executes it and returns the answer with a receipt. A budget below the
 // price returns ErrBudget and no answer.
 func (b *Broker) Purchase(q *relational.SelectQuery, budget float64) (*relational.Result, Receipt, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	quote, err := b.quoteLocked(q)
+	quote, err := b.Quote(q)
 	if err != nil {
 		return nil, Receipt{}, err
 	}
 	if quote.Price > budget {
 		return nil, Receipt{}, fmt.Errorf("%w: price %.2f exceeds budget %.2f", ErrBudget, quote.Price, budget)
 	}
+	// The broker never mutates the base database (conflict sets are
+	// computed on overlay views), so evaluation needs no lock.
 	ans, err := q.Eval(b.db)
 	if err != nil {
 		return nil, Receipt{}, fmt.Errorf("market: executing %q: %w", q.Name, err)
 	}
 	r := Receipt{Query: q.Name, Price: quote.Price, When: time.Now()}
+	b.salesMu.Lock()
 	b.sales = append(b.sales, r)
 	b.revenue += quote.Price
+	b.salesMu.Unlock()
 	return ans, r, nil
 }
 
@@ -225,17 +339,134 @@ var ErrBudget = fmt.Errorf("market: budget too low")
 
 // Revenue returns the total revenue across completed sales.
 func (b *Broker) Revenue() float64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.salesMu.Lock()
+	defer b.salesMu.Unlock()
 	return b.revenue
 }
 
 // Sales returns a copy of the sales log, oldest first.
 func (b *Broker) Sales() []Receipt {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.salesMu.Lock()
+	defer b.salesMu.Unlock()
 	out := make([]Receipt, len(b.sales))
 	copy(out, b.sales)
 	sort.Slice(out, func(i, j int) bool { return out[i].When.Before(out[j].When) })
 	return out
+}
+
+// conflictCache is a small mutex-guarded LRU mapping canonical query
+// signatures to conflict sets, with in-flight deduplication: concurrent
+// misses on the same key (a batch of structurally identical queries on a
+// cold cache) share one computation instead of racing to repeat it.
+// Entries are never stale — the support set is fixed for a broker's
+// lifetime — so eviction exists only to bound memory.
+type conflictCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*inflightCall
+}
+
+type cacheEntry struct {
+	key   string
+	items []int
+}
+
+// inflightCall is one in-progress conflict-set computation; followers wait
+// on done and read items/err afterwards.
+type inflightCall struct {
+	done  chan struct{}
+	items []int
+	err   error
+}
+
+func newConflictCache(max int) *conflictCache {
+	return &conflictCache{
+		max:      max,
+		entries:  make(map[string]*list.Element, max),
+		lru:      list.New(),
+		inflight: make(map[string]*inflightCall),
+	}
+}
+
+// do returns the cached conflict set for key, joining an in-flight
+// computation if one exists, and otherwise running compute itself and
+// publishing the result. Failed computations are not cached.
+func (c *conflictCache) do(key string, compute func() ([]int, error)) ([]int, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		items := el.Value.(*cacheEntry).items
+		c.mu.Unlock()
+		return items, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.items, call.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.items, call.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.insertLocked(key, call.items)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.items, call.err
+}
+
+func (c *conflictCache) get(key string) ([]int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).items, true
+}
+
+func (c *conflictCache) put(key string, items []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, items)
+}
+
+func (c *conflictCache) insertLocked(key string, items []int) {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).items = items
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, items: items})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// inflightLen reports the number of in-progress computations (test hook).
+func (c *conflictCache) inflightLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}
+
+// CacheLen reports the number of memoized conflict sets (for tests and
+// diagnostics); 0 when caching is disabled.
+func (b *Broker) CacheLen() int {
+	if b.cache == nil {
+		return 0
+	}
+	b.cache.mu.Lock()
+	defer b.cache.mu.Unlock()
+	return b.cache.lru.Len()
 }

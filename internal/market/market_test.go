@@ -3,7 +3,9 @@ package market
 import (
 	"errors"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"querypricing/internal/datagen"
@@ -177,6 +179,206 @@ func TestQuoteArbitrageFreeness(t *testing.T) {
 	}
 	if pab.Price > pa.Price+pb.Price+1e-9 {
 		t.Fatalf("combination arbitrage: combined %g > %g + %g", pab.Price, pa.Price, pb.Price)
+	}
+}
+
+func TestQuoteBatchMatchesSerial(t *testing.T) {
+	b, qs := newTestBroker(t)
+	if _, err := b.Calibrate(qs, valuation.Uniform{K: 100}, LPIP); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := b.QuoteBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("batch length = %d, want %d", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		serial, err := b.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != serial {
+			t.Errorf("query %d (%s): batch quote %+v != serial %+v", i, q.Name, batch[i], serial)
+		}
+	}
+	if quotes, err := b.QuoteBatch(nil); err != nil || quotes != nil {
+		t.Errorf("empty batch = (%v, %v), want (nil, nil)", quotes, err)
+	}
+}
+
+func TestConflictSetCache(t *testing.T) {
+	b, qs := newTestBroker(t)
+	if n := b.CacheLen(); n != 0 {
+		t.Fatalf("fresh broker cache length = %d, want 0", n)
+	}
+	first, err := b.Quote(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.CacheLen(); n != 1 {
+		t.Fatalf("cache length after one quote = %d, want 1", n)
+	}
+	again, err := b.Quote(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatalf("cached quote %+v != original %+v", again, first)
+	}
+	if n := b.CacheLen(); n != 1 {
+		t.Fatalf("cache length after repeat quote = %d, want 1", n)
+	}
+
+	// Disabled cache never memoizes.
+	db := datagen.World(datagen.WorldConfig{Countries: 40, Cities: 120, Seed: 1})
+	nb, err := NewBroker(db, Config{SupportSize: 40, Seed: 2, ConflictCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Quote(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := nb.CacheLen(); n != 0 {
+		t.Fatalf("disabled cache length = %d, want 0", n)
+	}
+}
+
+// TestConflictCacheSingleflight asserts that concurrent misses on one key
+// share a single computation, and that failed computations are retried
+// rather than cached.
+func TestConflictCacheSingleflight(t *testing.T) {
+	c := newConflictCache(8)
+	var computes atomic.Int32
+	release := make(chan struct{})
+	compute := func() ([]int, error) {
+		computes.Add(1)
+		<-release
+		return []int{7}, nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]int, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			items, err := c.do("k", compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = items
+		}(g)
+	}
+	// Let every goroutine reach the cache before the leader finishes.
+	for c.inflightLen() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (concurrent misses must share one call)", n)
+	}
+	for g, items := range results {
+		if len(items) != 1 || items[0] != 7 {
+			t.Errorf("goroutine %d got %v, want [7]", g, items)
+		}
+	}
+
+	// Errors are returned to all waiters but never cached.
+	wantErr := errors.New("boom")
+	if _, err := c.do("bad", func() ([]int, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("do error = %v, want %v", err, wantErr)
+	}
+	if _, err := c.do("bad", func() ([]int, error) { return []int{1}, nil }); err != nil {
+		t.Errorf("retry after error failed: %v", err)
+	}
+}
+
+func TestConflictCacheEviction(t *testing.T) {
+	c := newConflictCache(2)
+	c.put("a", []int{1})
+	c.put("b", []int{2})
+	c.put("c", []int{3}) // evicts "a", the least recently used
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if items, ok := c.get("b"); !ok || len(items) != 1 || items[0] != 2 {
+		t.Errorf("entry b = (%v, %v), want ([2], true)", items, ok)
+	}
+	c.put("d", []int{4}) // "c" is now LRU (b was just touched), so c goes
+	if _, ok := c.get("c"); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+// TestConcurrentQuotesDuringCalibrate hammers lock-free quoting — single
+// quotes, batches, and purchases — while the broker recalibrates with a
+// rotating algorithm roster. Run with -race: the point is that snapshot
+// swaps are the only coordination between quoting and calibration.
+func TestConcurrentQuotesDuringCalibrate(t *testing.T) {
+	b, qs := newTestBroker(t)
+	if _, err := b.Calibrate(qs, valuation.Uniform{K: 100}, UIP); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch g % 3 {
+				case 0:
+					if _, err := b.Quote(qs[(g+i)%len(qs)]); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					batch := qs[(g+i)%(len(qs)-4) : (g+i)%(len(qs)-4)+4]
+					if _, err := b.QuoteBatch(batch); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, _, err := b.Purchase(qs[(g+i)%len(qs)], 1e12); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Recalibrate continuously while the quoters run: algorithms rotate so
+	// successive snapshots have different pricing-function shapes (flat
+	// price, item weights, XOS weight sets).
+	algos := []Algorithm{UBP, UIP, Layering, LPIP}
+	for i := 0; i < 8; i++ {
+		if _, err := b.Calibrate(qs, valuation.Uniform{K: 50 + float64(i)}, algos[i%len(algos)]); err != nil {
+			t.Errorf("calibrate %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if b.Algorithm() == "" {
+		t.Fatal("broker lost its calibration")
 	}
 }
 

@@ -180,6 +180,42 @@ func (s *Set) revert(nb *Neighbor, old []relational.Value) {
 	}
 }
 
+// view returns a database equal to the base with the neighbor's deltas
+// applied, without mutating the base: untouched tables (and the rows of
+// touched tables) are shared, only the containing row slices and changed
+// rows are copied. The view is safe to evaluate queries against while
+// other goroutines read the base database.
+func (s *Set) view(nb *Neighbor) *relational.Database {
+	byTable := make(map[string][]Delta, 1)
+	for _, d := range nb.Deltas {
+		byTable[d.Table] = append(byTable[d.Table], d)
+	}
+	out := relational.NewDatabase()
+	for _, name := range s.DB.TableNames() {
+		src := s.DB.Table(name)
+		deltas, touched := byTable[name]
+		if !touched {
+			out.AddTable(src)
+			continue
+		}
+		t := relational.NewTable(src.Schema)
+		t.Rows = make([][]relational.Value, len(src.Rows))
+		copy(t.Rows, src.Rows)
+		copied := make(map[int]bool, len(deltas))
+		for _, d := range deltas {
+			if !copied[d.Row] {
+				row := make([]relational.Value, len(src.Rows[d.Row]))
+				copy(row, src.Rows[d.Row])
+				t.Rows[d.Row] = row
+				copied[d.Row] = true
+			}
+			t.Rows[d.Row][d.Col] = d.New
+		}
+		out.AddTable(t)
+	}
+	return out
+}
+
 // queryCtx caches per-query state for conflict-set computation.
 type queryCtx struct {
 	q      *relational.SelectQuery
@@ -197,6 +233,57 @@ type queryCtx struct {
 type predOnCol struct {
 	col  int
 	pred relational.Predicate
+}
+
+// newQueryCtx evaluates the query once against the base database and
+// precomputes its footprint and pushed-down predicate groups (one group per
+// alias, collected under the alias's base table). It performs exactly one
+// full query evaluation.
+func newQueryCtx(db *relational.Database, q *relational.SelectQuery) (*queryCtx, error) {
+	fp, err := q.Footprint(db)
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.Eval(db)
+	if err != nil {
+		return nil, fmt.Errorf("support: base evaluation of %q: %w", q.Name, err)
+	}
+	ctx := &queryCtx{
+		q:          q,
+		fp:         fp,
+		baseFP:     res.Fingerprint(),
+		localPreds: make(map[string][][]predOnCol),
+		aliasBare:  make(map[string]bool),
+	}
+	predsByAlias := make(map[string][]relational.Predicate)
+	for _, p := range q.Where {
+		predsByAlias[p.Col.Table] = append(predsByAlias[p.Col.Table], p)
+	}
+	for i, tn := range q.Tables {
+		al := tn
+		if i < len(q.Aliases) && q.Aliases[i] != "" {
+			al = q.Aliases[i]
+		}
+		preds := predsByAlias[al]
+		if len(preds) == 0 {
+			ctx.aliasBare[tn] = true
+			continue
+		}
+		t := db.Table(tn)
+		if t == nil {
+			return nil, fmt.Errorf("support: query %q references unknown table %q", q.Name, tn)
+		}
+		var group []predOnCol
+		for _, p := range preds {
+			ci := t.Schema.ColIndex(p.Col.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("support: query %q references unknown column %q.%q", q.Name, tn, p.Col.Col)
+			}
+			group = append(group, predOnCol{col: ci, pred: p})
+		}
+		ctx.localPreds[tn] = append(ctx.localPreds[tn], group)
+	}
+	return ctx, nil
 }
 
 // BuildOptions tunes hypergraph construction.
@@ -221,52 +308,11 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 	stats := &Stats{}
 	ctxs := make([]*queryCtx, len(queries))
 	for qi, q := range queries {
-		fp, err := q.Footprint(set.DB)
+		ctx, err := newQueryCtx(set.DB, q)
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := q.Eval(set.DB)
-		if err != nil {
-			return nil, nil, fmt.Errorf("support: base evaluation of %q: %w", q.Name, err)
-		}
 		stats.QueryEvals++
-		ctx := &queryCtx{
-			q:          q,
-			fp:         fp,
-			baseFP:     res.Fingerprint(),
-			localPreds: make(map[string][][]predOnCol),
-			aliasBare:  make(map[string]bool),
-		}
-		// Group pushed-down predicates by alias, then collect one group per
-		// alias under the alias's base table.
-		predsByAlias := make(map[string][]relational.Predicate)
-		for _, p := range q.Where {
-			predsByAlias[p.Col.Table] = append(predsByAlias[p.Col.Table], p)
-		}
-		for i, tn := range q.Tables {
-			al := tn
-			if i < len(q.Aliases) && q.Aliases[i] != "" {
-				al = q.Aliases[i]
-			}
-			preds := predsByAlias[al]
-			if len(preds) == 0 {
-				ctx.aliasBare[tn] = true
-				continue
-			}
-			t := set.DB.Table(tn)
-			if t == nil {
-				return nil, nil, fmt.Errorf("support: query %q references unknown table %q", q.Name, tn)
-			}
-			var group []predOnCol
-			for _, p := range preds {
-				ci := t.Schema.ColIndex(p.Col.Col)
-				if ci < 0 {
-					return nil, nil, fmt.Errorf("support: query %q references unknown column %q.%q", q.Name, tn, p.Col.Col)
-				}
-				group = append(group, predOnCol{col: ci, pred: p})
-			}
-			ctx.localPreds[tn] = append(ctx.localPreds[tn], group)
-		}
 		ctxs[qi] = ctx
 	}
 
@@ -318,12 +364,81 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 // the indices of the neighbors on which q's answer differs from its answer
 // on the base database. This is the online path a broker uses to price a
 // freshly arrived query (BuildHypergraph is the batch path).
+//
+// Unlike BuildHypergraph — which patches the base database in place for
+// speed and therefore needs exclusive access — ConflictSet never mutates
+// shared state: neighbors are evaluated against copy-on-write overlay
+// views, so any number of goroutines may call it concurrently over the
+// same Set. Both pruning rules still apply.
 func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
-	h, _, err := BuildHypergraph(set, []*relational.SelectQuery{q}, BuildOptions{})
+	ctx, err := newQueryCtx(set.DB, q)
 	if err != nil {
 		return nil, err
 	}
-	return h.Edge(0).Items, nil
+	var items []int
+	for ni := range set.Neighbors {
+		nb := &set.Neighbors[ni]
+		touched := false
+		for _, d := range nb.Deltas {
+			if ctx.fp.Touches(d.Table, set.DB.Table(d.Table).Schema.Cols[d.Col].Name) {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue // rule 1: footprint pruning
+		}
+		if !anyRowRelevantRO(set, ctx, nb) {
+			continue // rule 2: local-predicate pruning
+		}
+		res, err := ctx.q.Eval(set.view(nb))
+		if err != nil {
+			return nil, fmt.Errorf("support: evaluating %q on neighbor %d: %w", ctx.q.Name, ni, err)
+		}
+		if res.Fingerprint() != ctx.baseFP {
+			items = append(items, ni)
+		}
+	}
+	return items, nil
+}
+
+// anyRowRelevantRO is the read-only counterpart of anyRowRelevant: it tests
+// pruning rule 2 against the unpatched base database, materializing each
+// changed row's post-change state from the neighbor's deltas instead of
+// requiring them to be applied.
+func anyRowRelevantRO(set *Set, ctx *queryCtx, nb *Neighbor) bool {
+	for _, d := range nb.Deltas {
+		baseTable := set.DB.Table(d.Table)
+		colName := baseTable.Schema.Cols[d.Col].Name
+		if !ctx.fp.Touches(d.Table, colName) {
+			continue // this delta alone cannot matter
+		}
+		if ctx.aliasBare[d.Table] {
+			return true // unpredicated scan of this table: row always visible
+		}
+		groups, ok := ctx.localPreds[d.Table]
+		if !ok {
+			return true // conservative, mirrors anyRowRelevant
+		}
+		// Post-change row: the base row with every same-row delta applied.
+		after := make([]relational.Value, len(baseTable.Rows[d.Row]))
+		copy(after, baseTable.Rows[d.Row])
+		for _, d2 := range nb.Deltas {
+			if d2.Table == d.Table && d2.Row == d.Row {
+				after[d2.Col] = d2.New
+			}
+		}
+		before := baseTable.Rows[d.Row][d.Col]
+		for _, preds := range groups {
+			if rowPasses(after, preds, -1, relational.Value{}) {
+				return true // passes this alias's scan after the change
+			}
+			if rowPasses(after, preds, d.Col, before) {
+				return true // passed before the change
+			}
+		}
+	}
+	return false
 }
 
 // anyRowRelevant implements pruning rule 2: it returns true if some delta's

@@ -267,3 +267,67 @@ func TestConflictSubsetForDeterminedQuery(t *testing.T) {
 		}
 	}
 }
+
+// TestConflictSetMatchesBatchPath asserts that the read-only online path
+// (ConflictSet, overlay views) computes exactly the conflict sets the
+// patch-in-place batch path (BuildHypergraph) computes, across a real
+// workload including multi-delta neighbors.
+func TestConflictSetMatchesBatchPath(t *testing.T) {
+	db := smallWorld(t)
+	queries := workloads.Skewed(db)[:60]
+	for _, deltas := range []int{1, 3} {
+		set, err := Generate(db, GenOptions{Size: 60, Seed: 5, DeltasPerNeighbor: deltas})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, _, err := BuildHypergraph(set, queries, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			items, err := ConflictSet(set, q)
+			if err != nil {
+				t.Fatalf("deltas=%d query %s: %v", deltas, q.Name, err)
+			}
+			want := h.Edge(qi).Items
+			if len(items) != len(want) {
+				t.Fatalf("deltas=%d query %s: ConflictSet = %v, batch path = %v", deltas, q.Name, items, want)
+			}
+			for k := range items {
+				if items[k] != want[k] {
+					t.Fatalf("deltas=%d query %s: ConflictSet = %v, batch path = %v", deltas, q.Name, items, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConflictSetLeavesBaseUntouched asserts the online path never mutates
+// the shared database (the property lock-free quoting depends on).
+func TestConflictSetLeavesBaseUntouched(t *testing.T) {
+	db := smallWorld(t)
+	queries := workloads.Skewed(db)[:20]
+	set, err := Generate(db, GenOptions{Size: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.Clone()
+	for _, q := range queries {
+		if _, err := ConflictSet(set, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range db.TableNames() {
+		bt, at := before.Table(name), db.Table(name)
+		if bt.NumRows() != at.NumRows() {
+			t.Fatalf("table %s row count changed: %d -> %d", name, bt.NumRows(), at.NumRows())
+		}
+		for r := range at.Rows {
+			for c := range at.Rows[r] {
+				if !at.Rows[r][c].Equal(bt.Rows[r][c]) {
+					t.Fatalf("table %s cell (%d,%d) mutated by ConflictSet", name, r, c)
+				}
+			}
+		}
+	}
+}

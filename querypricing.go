@@ -17,16 +17,37 @@
 //   - revenue upper bounds (sum of valuations and the subadditive LP
 //     bound);
 //   - worst-case gap constructions of Lemmas 2-4;
-//   - a concurrency-safe data-market broker that quotes and sells
-//     arbitrage-free prices for live queries.
+//   - a lock-free data-market broker that quotes and sells arbitrage-free
+//     prices for live queries under heavy concurrent traffic.
 //
 // # Quick start
 //
 //	h := querypricing.NewHypergraph(3)
 //	_ = h.AddEdge([]int{0, 1}, 10, "q1")
 //	_ = h.AddEdge([]int{1, 2}, 6, "q2")
-//	res, _ := querypricing.LPItemPricing(h, querypricing.LPItemOptions{})
+//	res, _ := querypricing.Price("LPIP", h, querypricing.AlgorithmOptions{})
 //	fmt.Println(res.Revenue)
+//
+// # The engine registry
+//
+// Every pricing algorithm is registered in an engine behind one interface:
+// Name() plus Price(hypergraph, options). Algorithms are selected by name —
+// ListAlgorithms reports the registry, GetAlgorithm resolves one, and Price
+// resolves and runs in one call. A single AlgorithmOptions struct carries
+// every knob (LPIP threshold cap, CIP capacity grid, XOS component set);
+// each algorithm reads only the fields it understands. Custom algorithms
+// plug in via RegisterAlgorithm and NewAlgorithm and are then selectable
+// everywhere an algorithm name is accepted: Broker.Calibrate, cmd/marketd's
+// -algorithm flag, and cmd/pricebench's -algorithms roster.
+//
+// # The broker
+//
+// Broker serves concurrent quote traffic without a global lock: the
+// calibrated pricing lives in an immutable snapshot behind an atomic
+// pointer, Quote is a lock-free read, Calibrate rebuilds off to the side on
+// a private clone and publishes with one pointer swap, QuoteBatch fans a
+// batch across a bounded worker pool, and conflict sets are memoized in a
+// bounded LRU keyed by the query's canonical SQL rendering.
 //
 // See examples/ for end-to-end scenarios and cmd/pricebench for the
 // harness that regenerates every figure and table of the paper.
@@ -35,6 +56,7 @@ package querypricing
 import (
 	"querypricing/internal/bounds"
 	"querypricing/internal/datagen"
+	"querypricing/internal/engine"
 	"querypricing/internal/hypergraph"
 	"querypricing/internal/lowerbounds"
 	"querypricing/internal/market"
@@ -45,6 +67,38 @@ import (
 	"querypricing/internal/valuation"
 	"querypricing/internal/workloads"
 )
+
+// ---- The pricing engine (algorithm registry) ----
+
+// PricingAlgorithm is one registered arbitrage-free pricing algorithm:
+// a name plus a Price method over a hypergraph and shared options.
+type PricingAlgorithm = engine.Algorithm
+
+// AlgorithmOptions is the shared knob set passed to every algorithm; each
+// algorithm reads only the fields it understands.
+type AlgorithmOptions = engine.Options
+
+// ListAlgorithms returns the registered algorithm names: the six paper
+// algorithms first (UBP, UIP, LPIP, CIP, Layering, XOS), then any
+// user-registered ones.
+func ListAlgorithms() []string { return engine.List() }
+
+// GetAlgorithm resolves an algorithm by name (case-insensitive).
+func GetAlgorithm(name string) (PricingAlgorithm, error) { return engine.Get(name) }
+
+// RegisterAlgorithm adds a custom algorithm to the registry, making it
+// selectable everywhere an algorithm name is accepted.
+func RegisterAlgorithm(a PricingAlgorithm) error { return engine.Register(a) }
+
+// NewAlgorithm wraps a pricing function as a registrable algorithm.
+func NewAlgorithm(name string, fn func(*Hypergraph, AlgorithmOptions) (Result, error)) PricingAlgorithm {
+	return engine.New(name, fn)
+}
+
+// Price resolves the named algorithm and runs it on the instance.
+func Price(name string, h *Hypergraph, opts AlgorithmOptions) (Result, error) {
+	return engine.Price(name, h, opts)
+}
 
 // ---- Hypergraph instances (Section 3.3) ----
 
