@@ -51,21 +51,38 @@ func benchTuning() experiments.Tuning {
 
 // ---- Figure 4 / Table 3: hypergraph construction ----
 
+// BenchmarkFig4Construction measures hypergraph construction per workload
+// across three engine configurations: "serial" is the pre-incremental
+// baseline (one worker, full re-evaluation of every pair surviving the
+// pruning rules), "parallel" adds only the neighbor worker pool, and
+// "incremental" is the full engine (worker pool + delta probing over the
+// compiled plan cache). Every iteration samples a fresh support set so the
+// plan cache starts cold and compile time is charged to the run.
 func BenchmarkFig4Construction(b *testing.B) {
+	variants := []struct {
+		name string
+		opts support.BuildOptions
+	}{
+		{"serial", support.BuildOptions{Workers: 1, DisableIncremental: true}},
+		{"parallel", support.BuildOptions{DisableIncremental: true}},
+		{"incremental", support.BuildOptions{}},
+	}
 	for _, w := range experiments.AllWorkloads {
 		sc := benchScenario(b, w) // datasets and queries prebuilt
-		b.Run(string(w), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: int64(i)})
-				if err != nil {
-					b.Fatal(err)
+		for _, v := range variants {
+			b.Run(string(w)+"/"+v.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: int64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := support.BuildHypergraph(set, sc.Queries, v.opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-				if _, _, err := support.BuildHypergraph(set, sc.Queries, support.BuildOptions{}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -269,15 +286,34 @@ func BenchmarkSimplex(b *testing.B) {
 
 // ---- Conflict-set single-query path (broker quote latency) ----
 
+// BenchmarkConflictSet measures the online quote path. "cold" pays plan
+// compilation (base evaluation) on every iteration by discarding the plan
+// cache; "warm" reuses the set's cache, the steady state of a broker
+// serving repeat quote traffic.
 func BenchmarkConflictSet(b *testing.B) {
 	sc := benchScenario(b, experiments.Skewed)
 	q := sc.Queries[9] // W10: SELECT * FROM Country
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := support.ConflictSet(sc.Set, q); err != nil {
-			b.Fatal(err)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fresh := &support.Set{DB: sc.Set.DB, Neighbors: sc.Set.Neighbors}
+			if _, err := support.ConflictSet(fresh, q); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := support.ConflictSet(sc.Set, q); err != nil {
+			b.Fatal(err) // prime the plan cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := support.ConflictSet(sc.Set, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- Batch quoting: serial loop vs the broker's worker pool ----

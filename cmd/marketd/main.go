@@ -21,6 +21,12 @@
 // Start with:
 //
 //	marketd -addr :8080 -algorithm LPIP
+//
+// Quoting rides the incremental conflict-set engine: calibration compiles
+// every forecast query into a cached plan (internal/plan), and each quote
+// decides its conflict set by probing those plans with the neighbors'
+// deltas — repeated query shapes never pay a full base evaluation, and
+// recalibration shares the same read-only support set as live quotes.
 package main
 
 import (

@@ -11,7 +11,10 @@
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data, micro scales); the series shapes — which algorithm wins where, how
 // revenue and runtime move with the support size — are the reproduction
-// target. See EXPERIMENTS.md.
+// target. See EXPERIMENTS.md. Hypergraph construction (the paper's own
+// bottleneck, Table 3) runs on the incremental conflict-set engine of
+// internal/plan: compiled query plans probed with each neighbor's deltas
+// over a worker pool; see README "Performance" and BENCH_2.json.
 package main
 
 import (

@@ -11,7 +11,8 @@
 // The broker is built for concurrent quote traffic. The calibrated pricing
 // lives in an immutable snapshot swapped atomically, so Quote is a lock-free
 // read even while Calibrate builds a replacement snapshot off to the side
-// (on a private clone of the dataset). QuoteBatch fans a query batch across
+// (hypergraph construction is read-only and runs on the shared support
+// set's plan cache). QuoteBatch fans a query batch across
 // a bounded worker pool, and conflict sets are memoized in a bounded LRU
 // cache keyed by the query's canonical SQL rendering, so repeated quotes for
 // structurally identical queries skip conflict-set computation entirely.
@@ -60,7 +61,8 @@ type Config struct {
 	CIPEpsilon float64
 	// CIPMaxCapacities caps the number of capacities CIP tries (0 = no cap).
 	CIPMaxCapacities int
-	// Workers bounds the QuoteBatch worker pool (0 = GOMAXPROCS).
+	// Workers bounds the QuoteBatch and Calibrate worker pools
+	// (0 = GOMAXPROCS).
 	Workers int
 	// ConflictCacheSize bounds the conflict-set LRU cache: 0 picks the
 	// default of 1024 entries, negative disables caching.
@@ -152,10 +154,11 @@ func (b *Broker) engineOptions() engine.Options {
 // performing market research"). It returns the revenue the fitted pricing
 // would extract on the forecast.
 //
-// Calibration runs entirely off to the side — the hypergraph is built on a
-// private clone of the dataset — and publishes the new pricing with one
-// atomic pointer swap, so concurrent Quote calls keep serving the previous
-// pricing until the instant the new one is ready.
+// Calibration runs entirely off to the side — hypergraph construction is
+// read-only, probing cached query plans with each neighbor's deltas over a
+// worker pool — and publishes the new pricing with one atomic pointer
+// swap, so concurrent Quote calls keep serving the previous pricing until
+// the instant the new one is ready.
 func (b *Broker) Calibrate(queries []*relational.SelectQuery, model valuation.Model, algo Algorithm) (float64, error) {
 	alg, err := engine.Get(string(algo))
 	if err != nil {
@@ -165,10 +168,12 @@ func (b *Broker) Calibrate(queries []*relational.SelectQuery, model valuation.Mo
 	b.calMu.Lock()
 	defer b.calMu.Unlock()
 
-	// BuildHypergraph patches its database in place while computing
-	// conflict sets, so it runs on a clone sharing the support deltas.
-	scratch := &support.Set{DB: b.db.Clone(), Neighbors: b.set.Neighbors}
-	h, _, err := support.BuildHypergraph(scratch, queries, support.BuildOptions{})
+	// BuildHypergraph is read-only (conflict sets come from cached plans
+	// probed with each neighbor's deltas), so it runs directly on the
+	// broker's support set — no database clone — and the plans it compiles
+	// stay in the set's cache where concurrent and future Quote calls
+	// reuse them.
+	h, _, err := support.BuildHypergraph(b.set, queries, support.BuildOptions{Workers: b.cfg.Workers})
 	if err != nil {
 		return 0, fmt.Errorf("market: building hypergraph: %w", err)
 	}

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+
+	"querypricing/internal/relational"
+)
+
+// DefaultCacheSize bounds a Cache when the caller passes a non-positive
+// size. 4096 comfortably holds every workload of the paper's experiment
+// matrix while still bounding memory under adversarial online query
+// streams.
+const DefaultCacheSize = 4096
+
+// Cache is a bounded LRU of compiled plans keyed by the query's canonical
+// SQL rendering, with in-flight deduplication: concurrent misses on the
+// same key share one compilation. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	db       *relational.Database // the database current entries compile against
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*compileCall
+	shared   *sharedIndexes // bare-scan join indexes, shared across plans
+}
+
+type cacheEntry struct {
+	key string
+	p   *Plan
+}
+
+type compileCall struct {
+	done chan struct{}
+	db   *relational.Database // the database this compilation targets
+	p    *Plan
+	err  error
+}
+
+// NewCache returns a cache bounded to max plans (DefaultCacheSize when max
+// is non-positive).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{
+		max:      max,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*compileCall),
+	}
+}
+
+// Get returns the cached plan for the query, compiling (and caching) it on
+// a miss. The second result reports whether a fresh compilation ran on this
+// call — callers use it to attribute the base evaluation Compile performs.
+func (c *Cache) Get(db *relational.Database, q *relational.SelectQuery) (*Plan, bool, error) {
+	key := q.String()
+	c.mu.Lock()
+	if c.db != db {
+		// Plans are compiled against one database; a different one
+		// invalidates every entry and the shared bare-scan indexes.
+		c.db = db
+		c.entries = make(map[string]*list.Element)
+		c.lru = list.New()
+		c.shared = newSharedIndexes(db)
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*cacheEntry).p
+		c.mu.Unlock()
+		return p, false, nil
+	}
+	if call, ok := c.inflight[key]; ok && call.db == db {
+		c.mu.Unlock()
+		<-call.done
+		return call.p, false, call.err
+	}
+	call := &compileCall{done: make(chan struct{}), db: db}
+	if _, ok := c.inflight[key]; !ok {
+		// Register for dedup. A slot occupied by a compilation against a
+		// different (stale) database is left alone: this call compiles
+		// unregistered rather than hand its followers the wrong plan.
+		c.inflight[key] = call
+	}
+	shared := c.shared
+	c.mu.Unlock()
+
+	call.p, call.err = compile(db, q, shared)
+
+	c.mu.Lock()
+	if c.inflight[key] == call {
+		delete(c.inflight, key)
+	}
+	if call.err == nil && c.db == db { // don't publish into a flushed cache
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, p: call.p})
+		for c.lru.Len() > c.max {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.p, true, call.err
+}
+
+// Len reports the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

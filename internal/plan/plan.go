@@ -1,0 +1,857 @@
+// Package plan is the compiled-query layer behind conflict-set
+// computation. A Plan compiles a SelectQuery once against a base database
+// into reusable artifacts — per-alias filtered scans, hash-join indexes on
+// every join column, the base result fingerprint, and (for DISTINCT and
+// aggregate queries) the base multiplicity/group state — and then answers
+// the only question support pricing ever asks, "does this neighbor change
+// the query's answer?", by probing those cached indexes with just the
+// neighbor's changed rows instead of re-running the query.
+//
+// Delta-probe evaluation enumerates the signed delta of the joined-row
+// multiset: for each alias touched by the neighbor, the removed (old) and
+// inserted (new) versions of the changed rows are joined outward through
+// the cached indexes, so per-neighbor cost is proportional to |delta| times
+// the rows it actually joins with, not to |DB|. The decision rules are
+// exact for plain projections, DISTINCT projections and the
+// order-insensitive aggregates (COUNT, COUNT(*), MIN, MAX); plans fall back
+// to full re-evaluation (Outcome NeedFullEval) whenever a delta touches
+// state the rules cannot decide exactly — LIMIT queries, SUM/AVG groups
+// (float accumulation is order-sensitive, so only a byte-identical input
+// stream guarantees a byte-identical result), and DISTINCT-aggregate
+// groups.
+//
+// Plans are immutable after Compile and safe for concurrent use. Like the
+// fingerprint comparison they replace, the multiset comparisons tolerate
+// 64-bit hash collisions (negligible at support-set scale), and the join
+// semantics mirror relational.SelectQuery.Eval exactly: hash probes compare
+// canonical value encodings, residual join conditions use coercing Equal.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"querypricing/internal/relational"
+)
+
+// CellChange is a single-cell difference from the base database (the
+// support package's Delta is an alias of this type).
+type CellChange struct {
+	Table string
+	Row   int
+	Col   int
+	New   relational.Value
+}
+
+// Outcome is the verdict of a delta probe.
+type Outcome uint8
+
+const (
+	// Unchanged means the neighbor provably leaves the query's answer
+	// byte-identical to the base answer.
+	Unchanged Outcome = iota
+	// Changed means the neighbor provably alters the query's answer.
+	Changed
+	// NeedFullEval means the delta rules cannot decide; the caller must
+	// re-evaluate the query against the patched database and compare
+	// fingerprints.
+	NeedFullEval
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Unchanged:
+		return "unchanged"
+	case Changed:
+		return "changed"
+	case NeedFullEval:
+		return "need-full-eval"
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// evalMode classifies how far the delta rules can carry a query.
+type evalMode uint8
+
+const (
+	modeProjection evalMode = iota // plain projection: fully incremental
+	modeDistinct                   // DISTINCT projection: multiplicity map
+	modeAggregate                  // GROUP BY aggregates: decision tree
+	modeFullOnly                   // LIMIT: order-sensitive, probe only for emptiness
+)
+
+// colAt addresses a column of the joined tuple: alias position and column
+// index within that alias's schema.
+type colAt struct {
+	alias int
+	col   int
+}
+
+// predAt is a pushed-down predicate with its column index resolved.
+type predAt struct {
+	col  int
+	pred relational.Predicate
+}
+
+// compiledAlias is one table occurrence: its filtered scan and join indexes.
+type compiledAlias struct {
+	alias  string
+	table  string
+	schema *relational.Schema
+	preds  []predAt
+	bare   bool // no pushed-down predicates: the scan is the whole table
+
+	baseTableRows [][]relational.Value // the base table's full row slice (shared)
+	rows          [][]relational.Value // scan: base rows passing preds, in table order
+	posOfBaseRow  map[int]int32        // base row index -> scan position (nil when bare)
+	indexes       map[int]map[string][]int32
+
+	usedCols []bool // column indexes this alias reads (preds, joins, output)
+}
+
+// scanPos returns the scan position of a base row, if the row passes the
+// alias's predicates. Bare scans are the table itself, position == index.
+func (ca *compiledAlias) scanPos(ri int) (int32, bool) {
+	if ca.bare {
+		return int32(ri), true
+	}
+	pos, ok := ca.posOfBaseRow[ri]
+	return pos, ok
+}
+
+// probeStep binds one more alias during delta enumeration.
+type probeStep struct {
+	target    int // alias position to bind
+	probeCol  int // column of target carrying the hash index
+	fromAlias int // already-bound alias supplying the probe value
+	fromCol   int
+	extras    []extraEq
+}
+
+// extraEq is a join condition checked tuple-against-candidate rather than
+// through an index probe. Its comparison honors the condition's compiled
+// role: coercing Equal for residuals (Eval's secondary conditions), exact
+// canonical-encoding equality for hash conditions that a program happens
+// to traverse as a non-probe edge.
+type extraEq struct {
+	targetCol int
+	fromAlias int
+	fromCol   int
+	coercing  bool
+}
+
+// groupState is the per-group base information an aggregate plan stores.
+type groupState struct {
+	rows int // joined rows in the group
+	aggs []aggBase
+}
+
+// aggBase holds the base MIN/MAX of one aggregate within one group (only
+// the order-insensitive decisions need state; counts are delta-only).
+type aggBase struct {
+	min, max relational.Value
+}
+
+// Plan is a query compiled against a base database.
+type Plan struct {
+	q      *relational.SelectQuery
+	fp     *relational.Footprint
+	fpCols map[string][]bool // footprint as per-table column bitmaps (rule 1)
+	baseFP uint64
+
+	mode    evalMode
+	aliases []*compiledAlias
+	byTable map[string][]int // base table name -> alias positions
+
+	programs [][]probeStep // per start alias; nil when probing is impossible
+	noProbe  bool
+
+	projCols []colAt // projection output (modeProjection/modeDistinct)
+
+	distinctCounts map[uint64]int // projected-row hash -> base multiplicity
+
+	groupCols []colAt
+	aggCols   []colAt // col == -1 for COUNT(*)
+	groups    map[string]*groupState
+}
+
+// sharedIndexes caches the join indexes of bare (predicate-free) scans per
+// (table, column): they depend only on the base table, so every plan over
+// the same database can share them. Safe for concurrent use.
+type sharedIndexes struct {
+	mu sync.Mutex
+	db *relational.Database
+	m  map[sharedIndexKey]map[string][]int32
+}
+
+type sharedIndexKey struct {
+	table string
+	col   int
+}
+
+func newSharedIndexes(db *relational.Database) *sharedIndexes {
+	return &sharedIndexes{db: db, m: make(map[sharedIndexKey]map[string][]int32)}
+}
+
+func (s *sharedIndexes) get(table string, col int, rows [][]relational.Value) map[string][]int32 {
+	key := sharedIndexKey{table, col}
+	s.mu.Lock()
+	if idx, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return idx
+	}
+	s.mu.Unlock()
+	idx := hashRows(rows, col)
+	s.mu.Lock()
+	if prior, ok := s.m[key]; ok {
+		idx = prior // a concurrent builder won; share its copy
+	} else {
+		s.m[key] = idx
+	}
+	s.mu.Unlock()
+	return idx
+}
+
+// hashRows indexes a scan on one column; NULL keys are excluded, mirroring
+// Eval's hash join.
+func hashRows(rows [][]relational.Value, col int) map[string][]int32 {
+	idx := make(map[string][]int32)
+	var buf []byte
+	for pos, row := range rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		buf = v.AppendEncode(buf[:0])
+		idx[string(buf)] = append(idx[string(buf)], int32(pos))
+	}
+	return idx
+}
+
+// Compile builds the plan against the base database. Projection and
+// DISTINCT plans derive the base fingerprint from their own join
+// enumeration over the freshly built scans and indexes (the fingerprint is
+// order-insensitive, so the value is identical to hashing an Eval result);
+// aggregate and LIMIT plans evaluate the query once with Eval, whose float
+// accumulation order and row order define the ground truth their fallback
+// comparisons must match. The returned plan is read-only and safe for
+// concurrent probes.
+func Compile(db *relational.Database, q *relational.SelectQuery) (*Plan, error) {
+	return compile(db, q, nil)
+}
+
+func compile(db *relational.Database, q *relational.SelectQuery, shared *sharedIndexes) (*Plan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("plan: query %q has no tables", q.Name)
+	}
+	fp, err := q.Footprint(db)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		q:       q,
+		fp:      fp,
+		byTable: make(map[string][]int),
+	}
+	switch {
+	case len(q.Aggs) > 0:
+		p.mode = modeAggregate
+	case q.Limit > 0:
+		p.mode = modeFullOnly
+	case q.Distinct:
+		p.mode = modeDistinct
+	default:
+		p.mode = modeProjection
+	}
+
+	if err := p.compileAliases(db); err != nil {
+		return nil, err
+	}
+	if err := p.compileOutputs(); err != nil {
+		return nil, err
+	}
+	conds, err := p.normalizeJoins()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.validateLeftDeep(conds); err != nil {
+		return nil, err
+	}
+	p.buildIndexes(conds, shared)
+	p.buildPrograms(conds)
+	p.markUsedColumns(conds)
+	p.buildFootprintBitmaps()
+
+	if p.noProbe || p.mode == modeFullOnly || p.mode == modeAggregate {
+		base, err := q.Eval(db)
+		if err != nil {
+			return nil, err
+		}
+		p.baseFP = base.Fingerprint()
+		if p.mode == modeAggregate && !p.noProbe {
+			p.buildBaseState()
+		}
+		return p, nil
+	}
+	p.buildBaseState() // also computes baseFP for projection/distinct
+	return p, nil
+}
+
+// validateLeftDeep mirrors Eval's join-order requirement: every alias after
+// the first must join to some earlier alias, even when the join graph is
+// connected in another order.
+func (p *Plan) validateLeftDeep(conds []joinAt) error {
+	for i := 1; i < len(p.aliases); i++ {
+		ok := false
+		for _, jc := range conds {
+			if jc.a == i && jc.b < i || jc.b == i && jc.a < i {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("plan: query %q: table %q has no join condition to the preceding tables (cross joins unsupported)", p.q.Name, p.aliases[i].alias)
+		}
+	}
+	return nil
+}
+
+// buildFootprintBitmaps lowers the footprint into per-table column bitmaps
+// so rule-1 checks are a map lookup and a slice index per delta.
+func (p *Plan) buildFootprintBitmaps() {
+	p.fpCols = make(map[string][]bool, len(p.byTable))
+	for table, aliases := range p.byTable {
+		schema := p.aliases[aliases[0]].schema
+		cols := make([]bool, len(schema.Cols))
+		for ci, c := range schema.Cols {
+			cols[ci] = p.fp.Touches(table, c.Name)
+		}
+		p.fpCols[table] = cols
+	}
+}
+
+// TouchesChanges implements pruning rule 1: it reports whether any change
+// hits a column in the query's footprint.
+func (p *Plan) TouchesChanges(changes []CellChange) bool {
+	for _, c := range changes {
+		cols := p.fpCols[c.Table]
+		if c.Col >= 0 && c.Col < len(cols) && cols[c.Col] {
+			return true
+		}
+	}
+	return false
+}
+
+// Query returns the compiled query.
+func (p *Plan) Query() *relational.SelectQuery { return p.q }
+
+// BaseFingerprint returns the fingerprint of the query's answer on the base
+// database, for comparison against full re-evaluations.
+func (p *Plan) BaseFingerprint() uint64 { return p.baseFP }
+
+// Footprint returns the query's column footprint (pruning rule 1).
+func (p *Plan) Footprint() *relational.Footprint { return p.fp }
+
+func (p *Plan) aliasName(i int) string {
+	if i < len(p.q.Aliases) && p.q.Aliases[i] != "" {
+		return p.q.Aliases[i]
+	}
+	return p.q.Tables[i]
+}
+
+func (p *Plan) compileAliases(db *relational.Database) error {
+	perAlias := make(map[string][]relational.Predicate)
+	for _, pr := range p.q.Where {
+		perAlias[pr.Col.Table] = append(perAlias[pr.Col.Table], pr)
+	}
+	for i := range p.q.Tables {
+		t := db.Table(p.q.Tables[i])
+		if t == nil {
+			return fmt.Errorf("plan: query %q references unknown table %q", p.q.Name, p.q.Tables[i])
+		}
+		al := p.aliasName(i)
+		for _, prev := range p.aliases {
+			if prev.alias == al {
+				return fmt.Errorf("plan: duplicate alias %q in query %q", al, p.q.Name)
+			}
+		}
+		ca := &compiledAlias{
+			alias:         al,
+			table:         p.q.Tables[i],
+			schema:        t.Schema,
+			baseTableRows: t.Rows,
+			indexes:       make(map[int]map[string][]int32),
+			usedCols:      make([]bool, len(t.Schema.Cols)),
+		}
+		for _, pr := range perAlias[al] {
+			ci := t.Schema.ColIndex(pr.Col.Col)
+			if ci < 0 {
+				return fmt.Errorf("plan: query %q: unknown column %q of %q", p.q.Name, pr.Col.Col, al)
+			}
+			ca.preds = append(ca.preds, predAt{col: ci, pred: pr})
+		}
+		if len(ca.preds) == 0 {
+			// Bare scan: share the table's row slice outright; positions
+			// are row indices, so no position map is needed.
+			ca.bare = true
+			ca.rows = t.Rows
+		} else {
+			ca.posOfBaseRow = make(map[int]int32)
+			for ri, row := range t.Rows {
+				if ca.passes(row) {
+					ca.posOfBaseRow[ri] = int32(len(ca.rows))
+					ca.rows = append(ca.rows, row)
+				}
+			}
+		}
+		p.aliases = append(p.aliases, ca)
+		p.byTable[p.q.Tables[i]] = append(p.byTable[p.q.Tables[i]], i)
+	}
+	return nil
+}
+
+func (ca *compiledAlias) passes(row []relational.Value) bool {
+	for _, pa := range ca.preds {
+		if !pa.pred.Matches(row[pa.col]) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve maps an alias.column reference onto the joined tuple.
+func (p *Plan) resolve(ref relational.ColRef) (colAt, error) {
+	for i := range p.aliases {
+		if p.aliases[i].alias == ref.Table {
+			ci := p.aliases[i].schema.ColIndex(ref.Col)
+			if ci < 0 {
+				return colAt{}, fmt.Errorf("plan: query %q: unknown column %q of %q", p.q.Name, ref.Col, ref.Table)
+			}
+			return colAt{alias: i, col: ci}, nil
+		}
+	}
+	return colAt{}, fmt.Errorf("plan: query %q: unknown alias %q", p.q.Name, ref.Table)
+}
+
+func (p *Plan) compileOutputs() error {
+	if p.mode == modeAggregate {
+		for _, g := range p.q.GroupBy {
+			at, err := p.resolve(g)
+			if err != nil {
+				return err
+			}
+			p.groupCols = append(p.groupCols, at)
+		}
+		for _, a := range p.q.Aggs {
+			if a.Col.Col == "" {
+				p.aggCols = append(p.aggCols, colAt{alias: -1, col: -1}) // COUNT(*)
+				continue
+			}
+			at, err := p.resolve(a.Col)
+			if err != nil {
+				return err
+			}
+			p.aggCols = append(p.aggCols, at)
+		}
+		return nil
+	}
+	if len(p.q.Select) == 0 {
+		// SELECT *: all columns of all aliases in declaration order.
+		for i, ca := range p.aliases {
+			for ci := range ca.schema.Cols {
+				p.projCols = append(p.projCols, colAt{alias: i, col: ci})
+			}
+		}
+		return nil
+	}
+	for _, ref := range p.q.Select {
+		at, err := p.resolve(ref)
+		if err != nil {
+			return err
+		}
+		p.projCols = append(p.projCols, at)
+	}
+	return nil
+}
+
+// joinAt is a join condition with both sides resolved. Its comparison
+// semantics are fixed at compile time from Eval's left-deep role: the
+// first condition binding an alias to the preceding tables is a hash-join
+// condition (canonical-encoding equality, NULL never matches), every
+// further condition on that alias is a residual checked with coercing
+// Equal (where NULL == NULL and Int(3) == Float(3)). Probing must honor
+// the same role regardless of which direction a program traverses the
+// condition, or cross-kind keys and NULLs decide differently than Eval.
+type joinAt struct {
+	a, ca    int
+	b, cb    int
+	coercing bool // residual condition: compare with Equal, never probe
+}
+
+func (p *Plan) normalizeJoins() ([]joinAt, error) {
+	var out []joinAt
+	for _, jc := range p.q.Joins {
+		l, err := p.resolve(jc.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.resolve(jc.Right)
+		if err != nil {
+			return nil, err
+		}
+		if l.alias == r.alias {
+			continue // self-condition: Eval never consumes it
+		}
+		out = append(out, joinAt{a: l.alias, ca: l.col, b: r.alias, cb: r.col})
+	}
+	// Assign roles exactly as Eval does: for each alias in declaration
+	// order, the first condition (in q.Joins order) linking it to an
+	// earlier alias is the hash condition, the rest are residuals.
+	for i := 1; i < len(p.aliases); i++ {
+		first := true
+		for ci := range out {
+			jc := &out[ci]
+			hi, lo := jc.a, jc.b
+			if hi < lo {
+				hi, lo = lo, hi
+			}
+			if hi != i || lo >= i {
+				continue // not the condition that binds alias i
+			}
+			if first {
+				first = false // hash condition: coercing stays false
+				continue
+			}
+			jc.coercing = true
+		}
+	}
+	return out, nil
+}
+
+// buildIndexes hashes every join column of every alias over its filtered
+// scan, pulling bare-scan indexes from the shared pool when available.
+func (p *Plan) buildIndexes(conds []joinAt, shared *sharedIndexes) {
+	add := func(alias, col int) {
+		ca := p.aliases[alias]
+		if _, ok := ca.indexes[col]; ok {
+			return
+		}
+		if ca.bare && shared != nil {
+			ca.indexes[col] = shared.get(ca.table, col, ca.rows)
+			return
+		}
+		ca.indexes[col] = hashRows(ca.rows, col)
+	}
+	for _, jc := range conds {
+		if jc.coercing {
+			continue // residuals are never probed through an index
+		}
+		add(jc.a, jc.ca)
+		add(jc.b, jc.cb)
+	}
+}
+
+// buildPrograms derives, for every possible start alias, the order in which
+// the remaining aliases are bound by index probes. Every join condition is
+// checked exactly once: as the probe of the step that binds its later side,
+// or as a residual extra.
+func (p *Plan) buildPrograms(conds []joinAt) {
+	k := len(p.aliases)
+	p.programs = make([][]probeStep, k)
+	for s := 0; s < k; s++ {
+		bound := make([]bool, k)
+		bound[s] = true
+		var steps []probeStep
+		for n := 1; n < k; n++ {
+			step, ok := nextStep(conds, bound)
+			if !ok {
+				p.noProbe = true // disconnected join graph: probe impossible
+				p.programs = nil
+				return
+			}
+			bound[step.target] = true
+			steps = append(steps, step)
+		}
+		p.programs[s] = steps
+	}
+}
+
+// nextStep picks the lowest-numbered unbound alias reachable from the
+// bound set through a hash (non-coercing) condition — those conditions
+// form a spanning tree over the aliases, so one always exists — and
+// gathers every other condition linking it there as a role-tagged extra.
+func nextStep(conds []joinAt, bound []bool) (probeStep, bool) {
+	for t := range bound {
+		if bound[t] {
+			continue
+		}
+		st := probeStep{target: t}
+		found := false
+		for _, jc := range conds {
+			ta, tc, oa, oc := jc.a, jc.ca, jc.b, jc.cb
+			if ta != t {
+				ta, tc, oa, oc = jc.b, jc.cb, jc.a, jc.ca
+			}
+			if ta != t || !bound[oa] {
+				continue
+			}
+			if !found && !jc.coercing {
+				// The probe condition; extras gathered before or after it
+				// must survive, so only these fields are set.
+				st.probeCol, st.fromAlias, st.fromCol = tc, oa, oc
+				found = true
+				continue
+			}
+			st.extras = append(st.extras, extraEq{targetCol: tc, fromAlias: oa, fromCol: oc, coercing: jc.coercing})
+		}
+		if found {
+			return st, true
+		}
+	}
+	return probeStep{}, false
+}
+
+// markUsedColumns records, per alias, the columns the query reads; a cell
+// change to an unused column leaves the alias's contribution untouched.
+func (p *Plan) markUsedColumns(conds []joinAt) {
+	for _, ca := range p.aliases {
+		for _, pa := range ca.preds {
+			ca.usedCols[pa.col] = true
+		}
+	}
+	for _, jc := range conds {
+		p.aliases[jc.a].usedCols[jc.ca] = true
+		p.aliases[jc.b].usedCols[jc.cb] = true
+	}
+	mark := func(at colAt) {
+		if at.alias >= 0 && at.col >= 0 {
+			p.aliases[at.alias].usedCols[at.col] = true
+		}
+	}
+	for _, at := range p.projCols {
+		mark(at)
+	}
+	for _, at := range p.groupCols {
+		mark(at)
+	}
+	for _, at := range p.aggCols {
+		mark(at)
+	}
+}
+
+// buildBaseState enumerates the base join once, recording what each mode
+// needs: the projected-row fingerprint terms (projection), the multiplicity
+// map plus fingerprint terms (DISTINCT), or per-group aggregate state
+// (aggregates, whose base fingerprint comes from Eval instead).
+func (p *Plan) buildBaseState() {
+	switch p.mode {
+	case modeDistinct:
+		p.distinctCounts = make(map[uint64]int)
+	case modeAggregate:
+		p.groups = make(map[string]*groupState)
+	}
+	r := &runner{p: p, deltaAlias: -1, tuple: make([][]relational.Value, len(p.aliases))}
+	var buf []byte
+	var sum, xor uint64
+	rows := 0
+	r.emit = func(sign int) {
+		switch p.mode {
+		case modeProjection:
+			h := p.projHash(r.tuple, &buf)
+			sum += h
+			xor ^= h
+			rows++
+		case modeDistinct:
+			p.distinctCounts[p.projHash(r.tuple, &buf)]++
+		case modeAggregate:
+			buf = p.groupKey(r.tuple, buf[:0])
+			gs := p.groups[string(buf)]
+			if gs == nil {
+				gs = &groupState{aggs: make([]aggBase, len(p.q.Aggs))}
+				p.groups[string(buf)] = gs
+			}
+			gs.rows++
+			for ai, at := range p.aggCols {
+				if at.col < 0 {
+					continue
+				}
+				v := r.tuple[at.alias][at.col]
+				if v.IsNull() {
+					continue
+				}
+				ab := &gs.aggs[ai]
+				if ab.min.IsNull() || v.Compare(ab.min) < 0 {
+					ab.min = v
+				}
+				if ab.max.IsNull() || v.Compare(ab.max) > 0 {
+					ab.max = v
+				}
+			}
+		}
+	}
+	prog := p.programs[0]
+	for _, row := range p.aliases[0].rows {
+		r.tuple[0] = row
+		r.step(prog, 0, +1)
+	}
+	switch p.mode {
+	case modeProjection:
+		p.baseFP = relational.CombineFingerprint(p.headerHash(), sum, xor, rows)
+	case modeDistinct:
+		// The DISTINCT result is the support of the multiplicity map; its
+		// fingerprint combines each distinct row hash once.
+		for h := range p.distinctCounts {
+			sum += h
+			xor ^= h
+			rows++
+		}
+		p.baseFP = relational.CombineFingerprint(p.headerHash(), sum, xor, rows)
+	case modeAggregate:
+		// Scalar aggregation over zero rows still has one output row.
+		if len(p.q.GroupBy) == 0 && len(p.groups) == 0 {
+			p.groups[""] = &groupState{aggs: make([]aggBase, len(p.q.Aggs))}
+		}
+	}
+}
+
+// headerHash reproduces the column names an Eval result would carry for
+// the plan's projection — ref.String() for explicit SELECT lists,
+// alias.column over every alias for SELECT * — and hashes them with the
+// shared helper, so the value is byte-identical to the Eval result's.
+func (p *Plan) headerHash() uint64 {
+	var names []string
+	if len(p.q.Select) == 0 {
+		for _, ca := range p.aliases {
+			for _, c := range ca.schema.Cols {
+				names = append(names, ca.alias+"."+c.Name)
+			}
+		}
+	} else {
+		for _, ref := range p.q.Select {
+			names = append(names, ref.String())
+		}
+	}
+	return relational.HeaderHash(names)
+}
+
+// projHash hashes the projected row of a tuple (FNV-1a over the canonical
+// value encoding, matching Result.Fingerprint's per-row hash).
+func (p *Plan) projHash(tuple [][]relational.Value, buf *[]byte) uint64 {
+	b := (*buf)[:0]
+	for _, at := range p.projCols {
+		b = tuple[at.alias][at.col].AppendEncode(b)
+	}
+	*buf = b
+	return relational.HashBytes(b)
+}
+
+func (p *Plan) groupKey(tuple [][]relational.Value, b []byte) []byte {
+	for _, at := range p.groupCols {
+		b = tuple[at.alias][at.col].AppendEncode(b)
+	}
+	return b
+}
+
+// sameKey reports whether two values have identical canonical encodings —
+// the equality used by hash-join probes (NULL never matches).
+func sameKey(a, b relational.Value) bool {
+	if a.K != b.K || a.K == relational.KindNull {
+		return false
+	}
+	switch a.K {
+	case relational.KindInt:
+		return a.I == b.I
+	case relational.KindFloat:
+		x, y := a.F, b.F
+		if x == 0 {
+			x = 0 // normalize -0, as AppendEncode does
+		}
+		if y == 0 {
+			y = 0
+		}
+		return math.Float64bits(x) == math.Float64bits(y)
+	default:
+		return a.S == b.S
+	}
+}
+
+// aliasPatch is a neighbor's effect on one alias's scan.
+type aliasPatch struct {
+	removedPos []int32
+	removedSet map[int32]bool
+	added      [][]relational.Value
+}
+
+func (ap *aliasPatch) empty() bool {
+	return ap == nil || (len(ap.removedPos) == 0 && len(ap.added) == 0)
+}
+
+// buildPatches turns cell changes into per-alias scan deltas. Rows whose
+// changes touch only columns the alias never reads are skipped: their old
+// and new versions are indistinguishable to the query.
+func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
+	patches := make([]*aliasPatch, len(p.aliases))
+	// Group changes by (table, row) so multi-delta rows patch once.
+	type rowKey struct {
+		table string
+		row   int
+	}
+	byRow := make(map[rowKey][]CellChange, len(changes))
+	var order []rowKey
+	for _, c := range changes {
+		k := rowKey{c.Table, c.Row}
+		if _, seen := byRow[k]; !seen {
+			order = append(order, k)
+		}
+		byRow[k] = append(byRow[k], c)
+	}
+	for _, rk := range order {
+		group := byRow[rk]
+		for _, ai := range p.byTable[rk.table] {
+			ca := p.aliases[ai]
+			relevant := false
+			for _, c := range group {
+				if c.Col < len(ca.usedCols) && ca.usedCols[c.Col] {
+					relevant = true
+					break
+				}
+			}
+			if !relevant {
+				continue
+			}
+			if rk.row < 0 || rk.row >= len(ca.baseTableRows) {
+				continue // out-of-range change: nothing to patch
+			}
+			pos, inScan := ca.scanPos(rk.row)
+			baseRow := ca.baseTableRows[rk.row]
+			patched := make([]relational.Value, len(baseRow))
+			copy(patched, baseRow)
+			for _, c := range group {
+				if c.Col >= 0 && c.Col < len(patched) {
+					patched[c.Col] = c.New
+				}
+			}
+			newPass := ca.passes(patched)
+			if !inScan && !newPass {
+				continue
+			}
+			ap := patches[ai]
+			if ap == nil {
+				ap = &aliasPatch{}
+				patches[ai] = ap
+			}
+			if inScan {
+				ap.removedPos = append(ap.removedPos, pos)
+				if ap.removedSet == nil {
+					ap.removedSet = make(map[int32]bool, 2)
+				}
+				ap.removedSet[pos] = true
+			}
+			if newPass {
+				ap.added = append(ap.added, patched)
+			}
+		}
+	}
+	return patches
+}

@@ -1,0 +1,442 @@
+package plan
+
+import (
+	"querypricing/internal/relational"
+)
+
+// LocallyPruned implements pruning rule 2 on the compiled plan: it reports
+// true when every changed row is invisible to every alias scan both before
+// and after the change (so the query's input relations are untouched), and
+// false as soon as any change to a footprint column reaches a row that some
+// alias scans — or could scan after the change. Aliases without pushed-down
+// predicates see every row, so any footprint-column change to their table
+// defeats the rule.
+func (p *Plan) LocallyPruned(changes []CellChange) bool {
+	type rowKey struct {
+		table string
+		row   int
+	}
+	checked := make(map[rowKey]bool, len(changes))
+	for _, c := range changes {
+		tableAliases := p.byTable[c.Table]
+		if len(tableAliases) == 0 {
+			continue // table not in the query
+		}
+		ca0 := p.aliases[tableAliases[0]]
+		fpc := p.fpCols[c.Table]
+		if c.Col < 0 || c.Col >= len(fpc) || !fpc[c.Col] {
+			continue // rule 1 handles this delta alone
+		}
+		rk := rowKey{c.Table, c.Row}
+		if checked[rk] {
+			continue
+		}
+		checked[rk] = true
+		if c.Row < 0 || c.Row >= len(ca0.baseTableRows) {
+			continue
+		}
+		// Post-change row: the base row with every same-row change applied.
+		baseRow := ca0.baseTableRows[c.Row]
+		patched := make([]relational.Value, len(baseRow))
+		copy(patched, baseRow)
+		for _, c2 := range changes {
+			if c2.Table == c.Table && c2.Row == c.Row && c2.Col >= 0 && c2.Col < len(patched) {
+				patched[c2.Col] = c2.New
+			}
+		}
+		for _, ai := range tableAliases {
+			ca := p.aliases[ai]
+			if ca.bare {
+				return false // bare scan: the row is always visible
+			}
+			if _, inScan := ca.scanPos(c.Row); inScan {
+				return false // visible before the change
+			}
+			if ca.passes(patched) {
+				return false // visible after the change
+			}
+		}
+	}
+	return true
+}
+
+// runner enumerates joined tuples through the cached indexes. For delta
+// terms, aliases before deltaAlias see the neighbor's (new) scan version
+// and aliases after it see the base (old) version — the standard
+// telescoping decomposition of a multi-relation delta join.
+type runner struct {
+	p          *Plan
+	patches    []*aliasPatch
+	deltaAlias int // -1 = base enumeration, all old versions
+	tuple      [][]relational.Value
+	emit       func(sign int)
+	keyBuf     []byte
+}
+
+func (r *runner) step(prog []probeStep, si, sign int) {
+	if si == len(prog) {
+		r.emit(sign)
+		return
+	}
+	st := prog[si]
+	v := r.tuple[st.fromAlias][st.fromCol]
+	if v.IsNull() {
+		return // NULL join keys never match, as in Eval
+	}
+	r.keyBuf = v.AppendEncode(r.keyBuf[:0])
+	ca := r.p.aliases[st.target]
+	newVersion := st.target < r.deltaAlias
+	var patch *aliasPatch
+	if newVersion && r.patches != nil {
+		patch = r.patches[st.target]
+	}
+	for _, pos := range ca.indexes[st.probeCol][string(r.keyBuf)] {
+		if patch != nil && patch.removedSet[pos] {
+			continue
+		}
+		row := ca.rows[pos]
+		if !extrasPass(row, st.extras, r.tuple) {
+			continue
+		}
+		r.tuple[st.target] = row
+		r.step(prog, si+1, sign)
+	}
+	if patch != nil {
+		for _, arow := range patch.added {
+			if !sameKey(arow[st.probeCol], v) {
+				continue
+			}
+			if !extrasPass(arow, st.extras, r.tuple) {
+				continue
+			}
+			r.tuple[st.target] = arow
+			r.step(prog, si+1, sign)
+		}
+	}
+	r.tuple[st.target] = nil
+}
+
+func extrasPass(candidate []relational.Value, extras []extraEq, tuple [][]relational.Value) bool {
+	for _, e := range extras {
+		if e.coercing {
+			if !candidate[e.targetCol].Equal(tuple[e.fromAlias][e.fromCol]) {
+				return false
+			}
+		} else if !sameKey(candidate[e.targetCol], tuple[e.fromAlias][e.fromCol]) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachDelta runs the signed delta enumeration: one telescoping term per
+// touched alias, each starting from that alias's removed (sign -1) and
+// added (sign +1) rows.
+func (p *Plan) forEachDelta(patches []*aliasPatch, emit func(tuple [][]relational.Value, sign int)) {
+	r := &runner{p: p, patches: patches, tuple: make([][]relational.Value, len(p.aliases))}
+	r.emit = func(sign int) { emit(r.tuple, sign) }
+	for i, patch := range patches {
+		if patch.empty() {
+			continue
+		}
+		r.deltaAlias = i
+		prog := p.programs[i]
+		for _, pos := range patch.removedPos {
+			r.tuple[i] = p.aliases[i].rows[pos]
+			r.step(prog, 0, -1)
+		}
+		for _, arow := range patch.added {
+			r.tuple[i] = arow
+			r.step(prog, 0, +1)
+		}
+		r.tuple[i] = nil
+	}
+}
+
+// ProbeResult is a probe outcome plus how it was reached.
+type ProbeResult struct {
+	Outcome Outcome
+	// InputUntouched is true when the verdict came from the changed rows
+	// being invisible to every alias scan before and after the change —
+	// the per-pair statistic reported as local-predicate pruning.
+	InputUntouched bool
+}
+
+// Probe decides whether applying the changes to the base database alters
+// the query's answer, using only the cached plan artifacts. It returns
+// NeedFullEval when the delta rules cannot decide exactly; the caller then
+// evaluates the query against the patched database and compares against
+// BaseFingerprint.
+func (p *Plan) Probe(changes []CellChange) Outcome {
+	return p.ProbeDelta(changes).Outcome
+}
+
+// ProbeDelta is Probe with attribution, for callers that report pruning
+// statistics.
+func (p *Plan) ProbeDelta(changes []CellChange) ProbeResult {
+	patches := p.buildPatches(changes)
+	touched := false
+	for _, ap := range patches {
+		if !ap.empty() {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		// The query's input relations are byte-identical.
+		return ProbeResult{Outcome: Unchanged, InputUntouched: true}
+	}
+	if p.noProbe || p.mode == modeFullOnly {
+		return ProbeResult{Outcome: NeedFullEval}
+	}
+	switch p.mode {
+	case modeProjection:
+		return ProbeResult{Outcome: p.probeProjection(patches)}
+	case modeDistinct:
+		return ProbeResult{Outcome: p.probeDistinct(patches)}
+	default:
+		return ProbeResult{Outcome: p.probeAggregate(patches)}
+	}
+}
+
+// probeProjection compares the added and removed projected-row multisets.
+func (p *Plan) probeProjection(patches []*aliasPatch) Outcome {
+	var addCnt, remCnt int
+	var addSum, remSum, addXor, remXor uint64
+	var buf []byte
+	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+		h := p.projHash(tuple, &buf)
+		if sign > 0 {
+			addCnt++
+			addSum += h
+			addXor ^= h
+		} else {
+			remCnt++
+			remSum += h
+			remXor ^= h
+		}
+	})
+	if addCnt != remCnt || addSum != remSum || addXor != remXor {
+		return Changed
+	}
+	return Unchanged
+}
+
+// probeDistinct checks whether any projected row's multiplicity crosses
+// zero — the only transitions that alter the DISTINCT result set.
+func (p *Plan) probeDistinct(patches []*aliasPatch) Outcome {
+	net := make(map[uint64]int)
+	var buf []byte
+	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+		net[p.projHash(tuple, &buf)] += sign
+	})
+	for h, d := range net {
+		if d == 0 {
+			continue
+		}
+		base := p.distinctCounts[h]
+		if (base > 0) != (base+d > 0) {
+			return Changed
+		}
+	}
+	return Unchanged
+}
+
+// groupDelta accumulates a neighbor's effect on one group.
+type groupDelta struct {
+	rows    int                  // signed joined-row delta
+	removed [][]relational.Value // per agg: non-NULL values removed
+	added   [][]relational.Value // per agg: non-NULL values added
+}
+
+// probeAggregate applies the exact decision tree for aggregate queries:
+// group appearance/disappearance and COUNT deltas are integer-exact;
+// MIN/MAX use the stored base extrema; SUM/AVG and DISTINCT aggregates
+// cannot be decided from deltas alone (float accumulation is
+// order-sensitive; distinct sets need multiplicities) and force a full
+// re-evaluation unless their value multisets are untouched.
+func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
+	deltas := make(map[string]*groupDelta)
+	var keyBuf []byte
+	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+		keyBuf = p.groupKey(tuple, keyBuf[:0])
+		gd := deltas[string(keyBuf)]
+		if gd == nil {
+			gd = &groupDelta{
+				removed: make([][]relational.Value, len(p.aggCols)),
+				added:   make([][]relational.Value, len(p.aggCols)),
+			}
+			deltas[string(keyBuf)] = gd
+		}
+		gd.rows += sign
+		for ai, at := range p.aggCols {
+			if at.col < 0 {
+				continue // COUNT(*): row delta is enough
+			}
+			v := tuple[at.alias][at.col]
+			if v.IsNull() {
+				continue // SQL aggregates skip NULLs
+			}
+			if sign > 0 {
+				gd.added[ai] = append(gd.added[ai], v)
+			} else {
+				gd.removed[ai] = append(gd.removed[ai], v)
+			}
+		}
+	})
+
+	changed, unknown := false, false
+	grouped := len(p.q.GroupBy) > 0
+	for key, gd := range deltas {
+		base := p.groups[key]
+		baseRows := 0
+		if base != nil {
+			baseRows = base.rows
+		}
+		newRows := baseRows + gd.rows
+		if grouped && ((baseRows == 0) != (newRows == 0)) {
+			changed = true // a result row appears or disappears
+			continue
+		}
+		if newRows == 0 && baseRows == 0 {
+			continue
+		}
+		for ai := range p.aggCols {
+			switch p.decideAgg(ai, base, gd) {
+			case Changed:
+				changed = true
+			case NeedFullEval:
+				unknown = true
+			}
+			if changed {
+				break
+			}
+		}
+		if changed {
+			break
+		}
+	}
+	if changed {
+		return Changed
+	}
+	if unknown {
+		return NeedFullEval
+	}
+	return Unchanged
+}
+
+// decideAgg resolves one aggregate of one touched group. The raw signed
+// lists may contain phantom pairs — a telescoping term can subtract a
+// hybrid tuple another term adds back — so they are netted against each
+// other first; the net-removed values are then guaranteed to occur in the
+// base group and the net-added values to be genuinely new occurrences.
+func (p *Plan) decideAgg(ai int, base *groupState, gd *groupDelta) Outcome {
+	a := p.q.Aggs[ai]
+	if p.aggCols[ai].col < 0 { // COUNT(*)
+		if gd.rows != 0 {
+			return Changed
+		}
+		return Unchanged
+	}
+	if len(gd.removed[ai]) == 0 && len(gd.added[ai]) == 0 {
+		// No touched tuple carried a non-NULL value of this aggregate, so
+		// the non-NULL value stream is untouched — exact even for SUM/AVG.
+		return Unchanged
+	}
+	rem, add := netDiff(gd.removed[ai], gd.added[ai])
+	if len(rem) == 0 && len(add) == 0 {
+		// The group's value multiset is untouched. Integer counts,
+		// distinct sets and order-insensitive extrema are exactly
+		// preserved; float accumulation (SUM/AVG) may still round
+		// differently when the input stream is reordered, so it stays
+		// undecided.
+		switch a.Op {
+		case relational.AggCount, relational.AggMin, relational.AggMax:
+			return Unchanged
+		default:
+			return NeedFullEval
+		}
+	}
+	switch a.Op {
+	case relational.AggCount:
+		if a.Distinct {
+			return NeedFullEval // needs per-value multiplicities
+		}
+		if len(add) != len(rem) {
+			return Changed
+		}
+		return Unchanged
+	case relational.AggMin:
+		return decideExtremum(base, ai, rem, add, -1)
+	case relational.AggMax:
+		return decideExtremum(base, ai, rem, add, +1)
+	default: // SUM / AVG
+		return NeedFullEval
+	}
+}
+
+// netDiff cancels matching occurrences (by canonical encoding) between the
+// removed and added value lists, returning the true multiset difference in
+// each direction.
+func netDiff(rem, add []relational.Value) (nr, na []relational.Value) {
+	if len(rem) == 0 || len(add) == 0 {
+		return rem, add
+	}
+	surplus := make(map[string]int, len(add))
+	var buf []byte
+	for _, v := range add {
+		buf = v.AppendEncode(buf[:0])
+		surplus[string(buf)]++
+	}
+	for _, v := range rem {
+		buf = v.AppendEncode(buf[:0])
+		if surplus[string(buf)] > 0 {
+			surplus[string(buf)]--
+		} else {
+			nr = append(nr, v)
+		}
+	}
+	for _, v := range add {
+		buf = v.AppendEncode(buf[:0])
+		if surplus[string(buf)] > 0 {
+			surplus[string(buf)]--
+			na = append(na, v)
+		}
+	}
+	return nr, na
+}
+
+// decideExtremum handles MIN (dir < 0) and MAX (dir > 0) exactly: a value
+// beyond the stored base extremum changes the answer; removing a value tied
+// with the extremum is undecidable without multiplicities; everything else
+// leaves the extremum untouched. Ties with a different canonical encoding
+// (cross-kind numeric equality) are undecidable because the reported
+// extremum depends on encounter order.
+func decideExtremum(base *groupState, ai int, rem, add []relational.Value, dir int) Outcome {
+	var ext relational.Value
+	if base != nil {
+		if dir < 0 {
+			ext = base.aggs[ai].min
+		} else {
+			ext = base.aggs[ai].max
+		}
+	}
+	for _, v := range rem {
+		if !ext.IsNull() && v.Compare(ext) == 0 {
+			return NeedFullEval // may have removed the (unique?) extremum
+		}
+	}
+	for _, v := range add {
+		if ext.IsNull() {
+			return Changed // NULL extremum gains its first value
+		}
+		c := v.Compare(ext)
+		if dir < 0 && c < 0 || dir > 0 && c > 0 {
+			return Changed
+		}
+		if c == 0 && !sameKey(v, ext) {
+			return NeedFullEval // cross-kind tie: reported value is order-dependent
+		}
+	}
+	return Unchanged
+}

@@ -449,10 +449,14 @@ func Layering(h *hypergraph.Hypergraph) Result {
 		}
 	}
 
+	// One scratch set of slice-backed counters serves every layer: the
+	// greedy cover's inner loop runs once per (layer, edge, item) and a map
+	// lookup per item dominated the whole algorithm.
+	scratch := newCoverScratch(h)
 	var bestLayer []int
 	bestValue := 0.0
 	for len(remaining) > 0 {
-		layer := minimalSetCover(h, remaining)
+		layer := minimalSetCoverWith(h, remaining, scratch)
 		var val float64
 		for _, ei := range layer {
 			val += h.Edge(ei).Valuation
@@ -461,12 +465,14 @@ func Layering(h *hypergraph.Hypergraph) Result {
 			bestValue = val
 			bestLayer = layer
 		}
-		remaining = subtract(remaining, layer)
+		// used is all-false between cover calls, so it doubles as the
+		// membership scratch for the subtraction.
+		remaining = subtractWith(remaining, layer, scratch.used)
 	}
 
 	// Price the unique item of each edge in the best layer.
 	if len(bestLayer) > 0 {
-		covered := make(map[int]int) // item -> multiplicity within the layer
+		covered := scratch.mult // all-zero here; item -> multiplicity in the layer
 		for _, ei := range bestLayer {
 			for _, j := range h.Edge(ei).Items {
 				covered[j]++
@@ -490,27 +496,50 @@ func Layering(h *hypergraph.Hypergraph) Result {
 	}
 }
 
+// coverScratch holds the reusable slice-backed counters of the layering
+// loop; every method leaves it zeroed for the next call.
+type coverScratch struct {
+	uncovered []bool // per item
+	mult      []int  // per item
+	used      []bool // per edge
+}
+
+func newCoverScratch(h *hypergraph.Hypergraph) *coverScratch {
+	return &coverScratch{
+		uncovered: make([]bool, h.NumItems()),
+		mult:      make([]int, h.NumItems()),
+		used:      make([]bool, h.NumEdges()),
+	}
+}
+
 // minimalSetCover returns a minimal subset of the given edges covering the
 // union of their items: first a greedy cover, then redundant edges are
 // pruned so that every chosen edge keeps at least one unique item.
 func minimalSetCover(h *hypergraph.Hypergraph, edges []int) []int {
-	uncovered := make(map[int]bool)
+	return minimalSetCoverWith(h, edges, newCoverScratch(h))
+}
+
+// minimalSetCoverWith is minimalSetCover over caller-provided scratch.
+func minimalSetCoverWith(h *hypergraph.Hypergraph, edges []int, s *coverScratch) []int {
+	uncoveredCount := 0
 	for _, ei := range edges {
 		for _, j := range h.Edge(ei).Items {
-			uncovered[j] = true
+			if !s.uncovered[j] {
+				s.uncovered[j] = true
+				uncoveredCount++
+			}
 		}
 	}
 	var chosen []int
-	used := make(map[int]bool)
-	for len(uncovered) > 0 {
+	for uncoveredCount > 0 {
 		bestEdge, bestGain := -1, 0
 		for _, ei := range edges {
-			if used[ei] {
+			if s.used[ei] {
 				continue
 			}
 			gain := 0
 			for _, j := range h.Edge(ei).Items {
-				if uncovered[j] {
+				if s.uncovered[j] {
 					gain++
 				}
 			}
@@ -521,50 +550,68 @@ func minimalSetCover(h *hypergraph.Hypergraph, edges []int) []int {
 		if bestEdge < 0 {
 			break // cannot happen: the union is covered by the edges
 		}
-		used[bestEdge] = true
+		s.used[bestEdge] = true
 		chosen = append(chosen, bestEdge)
 		for _, j := range h.Edge(bestEdge).Items {
-			delete(uncovered, j)
+			if s.uncovered[j] {
+				s.uncovered[j] = false
+				uncoveredCount--
+			}
+		}
+	}
+	// Reset the covering scratch (a break above can leave items marked).
+	for _, ei := range edges {
+		for _, j := range h.Edge(ei).Items {
+			s.uncovered[j] = false
 		}
 	}
 	// Minimality pruning: drop any edge whose items are all covered at
 	// least twice by the chosen set.
-	mult := make(map[int]int)
 	for _, ei := range chosen {
+		s.used[ei] = false
 		for _, j := range h.Edge(ei).Items {
-			mult[j]++
+			s.mult[j]++
 		}
 	}
-	out := chosen[:0]
+	out := make([]int, 0, len(chosen))
 	for _, ei := range chosen {
 		removable := true
 		for _, j := range h.Edge(ei).Items {
-			if mult[j] < 2 {
+			if s.mult[j] < 2 {
 				removable = false
 				break
 			}
 		}
 		if removable {
 			for _, j := range h.Edge(ei).Items {
-				mult[j]--
+				s.mult[j]--
 			}
 			continue
 		}
 		out = append(out, ei)
 	}
+	for _, ei := range chosen {
+		for _, j := range h.Edge(ei).Items {
+			s.mult[j] = 0
+		}
+	}
 	return out
 }
 
-func subtract(all, remove []int) []int {
-	rm := make(map[int]bool, len(remove))
+// subtractWith filters remove out of all in place, using the caller's
+// per-edge scratch (left all-false on return).
+func subtractWith(all, remove []int, inRemove []bool) []int {
 	for _, x := range remove {
-		rm[x] = true
+		inRemove[x] = true
 	}
 	out := all[:0]
 	for _, x := range all {
-		if !rm[x] {
+		if !inRemove[x] {
 			out = append(out, x)
 		}
+	}
+	for _, x := range remove {
+		inRemove[x] = false
 	}
 	return out
 }

@@ -2,7 +2,7 @@ package relational
 
 import (
 	"fmt"
-	"hash/fnv"
+
 	"sort"
 	"strings"
 )
@@ -173,30 +173,65 @@ type Result struct {
 	Rows [][]Value
 }
 
+// FNV-1a parameters, inlined below: hashing dominates conflict-set
+// computation, and hash/fnv's interface forces one heap-allocated hasher
+// per row.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashBytes returns the FNV-1a hash of b — the per-row hash inside
+// Fingerprint, exported so the plan layer can maintain fingerprints
+// incrementally from projected-row encodings.
+func HashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// HeaderHash hashes a result's column names exactly as Fingerprint does.
+func HeaderHash(cols []string) uint64 {
+	hdr := uint64(fnvOffset64)
+	for _, c := range cols {
+		for i := 0; i < len(c); i++ {
+			hdr = (hdr ^ uint64(c[i])) * fnvPrime64
+		}
+		hdr *= fnvPrime64 // the 0 separator: hdr ^ 0 is hdr
+	}
+	return hdr
+}
+
+// CombineFingerprint mixes a header hash with per-row hash aggregates (the
+// sum and xor of HashBytes over every row's encoding, and the row count)
+// into the final fingerprint. Fingerprint is defined in terms of it, so
+// any party that can produce the same aggregates reproduces the same
+// fingerprint bit-for-bit.
+func CombineFingerprint(hdr, sum, xor uint64, rows int) uint64 {
+	return hdr ^ sum ^ (xor * 0x9e3779b97f4a7c15) ^ uint64(rows)<<1
+}
+
 // Fingerprint returns an order-insensitive 64-bit hash of the result
 // (column names + multiset of rows). Two results compare equal for pricing
 // purposes iff their fingerprints match; collisions are negligible at the
-// support sizes used here.
+// support sizes used here. The per-row hash is FNV-1a over the canonical
+// row encoding, inlined so the hot loop allocates nothing beyond one
+// reused encode buffer.
 func (r *Result) Fingerprint() uint64 {
-	hdr := fnv.New64a()
-	for _, c := range r.Cols {
-		hdr.Write([]byte(c))
-		hdr.Write([]byte{0})
-	}
 	var sum, xor uint64
 	buf := make([]byte, 0, 64)
 	for _, row := range r.Rows {
 		buf = buf[:0]
 		for _, v := range row {
-			buf = v.appendEncode(buf)
+			buf = v.AppendEncode(buf)
 		}
-		h := fnv.New64a()
-		h.Write(buf)
-		hv := h.Sum64()
+		hv := HashBytes(buf)
 		sum += hv
 		xor ^= hv
 	}
-	return hdr.Sum64() ^ sum ^ (xor * 0x9e3779b97f4a7c15) ^ uint64(len(r.Rows))<<1
+	return CombineFingerprint(HeaderHash(r.Cols), sum, xor, len(r.Rows))
 }
 
 // Footprint is the set of (table, column) pairs a query depends on, used by
@@ -417,7 +452,7 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 			if v.IsNull() {
 				continue
 			}
-			keyBuf = v.appendEncode(keyBuf[:0])
+			keyBuf = v.AppendEncode(keyBuf[:0])
 			hash[string(keyBuf)] = append(hash[string(keyBuf)], row)
 		}
 		type extraCond struct{ newCi, oldIdx int }
@@ -440,7 +475,7 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 			if v.IsNull() {
 				continue
 			}
-			keyBuf = v.appendEncode(keyBuf[:0])
+			keyBuf = v.AppendEncode(keyBuf[:0])
 			for _, rrow := range hash[string(keyBuf)] {
 				ok := true
 				for _, ec := range extras {
@@ -506,7 +541,7 @@ func (q *SelectQuery) evalProjection(rows [][]Value, bind *binding, db *Database
 		if q.Distinct {
 			keyBuf = keyBuf[:0]
 			for _, v := range proj {
-				keyBuf = v.appendEncode(keyBuf)
+				keyBuf = v.AppendEncode(keyBuf)
 			}
 			if seen[string(keyBuf)] {
 				continue
@@ -559,7 +594,7 @@ func (q *SelectQuery) evalAggregates(rows [][]Value, bind *binding) (*Result, er
 	for _, row := range rows {
 		keyBuf = keyBuf[:0]
 		for _, gi := range groupIdx {
-			keyBuf = row[gi].appendEncode(keyBuf)
+			keyBuf = row[gi].AppendEncode(keyBuf)
 		}
 		key := string(keyBuf)
 		states, ok := groups[key]
@@ -588,7 +623,7 @@ func (q *SelectQuery) evalAggregates(rows [][]Value, bind *binding) (*Result, er
 				}
 			}
 			if a.Distinct && aggIdx[k] >= 0 {
-				dk := string(v.appendEncode(nil))
+				dk := string(v.AppendEncode(nil))
 				if st.distinct[dk] {
 					continue
 				}

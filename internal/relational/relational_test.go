@@ -69,15 +69,15 @@ func TestValueCompare(t *testing.T) {
 func TestValueEncodeInjective(t *testing.T) {
 	f := func(a, b int64, s1, s2 string) bool {
 		va, vb := Int(a), Int(b)
-		if a != b && string(va.appendEncode(nil)) == string(vb.appendEncode(nil)) {
+		if a != b && string(va.AppendEncode(nil)) == string(vb.AppendEncode(nil)) {
 			return false
 		}
 		sa, sb := Str(s1), Str(s2)
-		if s1 != s2 && string(sa.appendEncode(nil)) == string(sb.appendEncode(nil)) {
+		if s1 != s2 && string(sa.AppendEncode(nil)) == string(sb.AppendEncode(nil)) {
 			return false
 		}
 		// Ints and strings never collide.
-		return string(va.appendEncode(nil)) != string(sa.appendEncode(nil))
+		return string(va.AppendEncode(nil)) != string(sa.AppendEncode(nil))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

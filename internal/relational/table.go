@@ -118,7 +118,7 @@ func (d *Database) ActiveDomain(table, col string) []Value {
 		if v.IsNull() {
 			continue
 		}
-		seen[string(v.appendEncode(nil))] = v
+		seen[string(v.AppendEncode(nil))] = v
 	}
 	out := make([]Value, 0, len(seen))
 	for _, v := range seen {

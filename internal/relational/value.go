@@ -143,9 +143,9 @@ func (v Value) String() string {
 	}
 }
 
-// appendEncode appends a canonical, injective byte encoding of the value,
+// AppendEncode appends a canonical, injective byte encoding of the value,
 // used for result fingerprints and group-by keys.
-func (v Value) appendEncode(b []byte) []byte {
+func (v Value) AppendEncode(b []byte) []byte {
 	b = append(b, byte(v.K))
 	switch v.K {
 	case KindInt:

@@ -1,0 +1,215 @@
+package support_test
+
+// Incremental-vs-full equivalence: the delta-probe engine must produce
+// conflict sets byte-identical to full re-evaluation on every workload,
+// including multi-delta neighbors and aggregate queries, and the parallel
+// builder must match the serial one (this file runs under -race in CI).
+
+import (
+	"sync"
+	"testing"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/hypergraph"
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+	"querypricing/internal/workloads"
+)
+
+var equivalenceWorkloads = []string{"skewed", "uniform", "ssb", "tpch"}
+
+// equivalenceScenario builds a laptop-tiny dataset + query subsample for
+// one of the paper's four workloads, covering every query template.
+func equivalenceScenario(t *testing.T, workload string) (*relational.Database, []*relational.SelectQuery) {
+	t.Helper()
+	var (
+		db  *relational.Database
+		all []*relational.SelectQuery
+	)
+	switch workload {
+	case "skewed":
+		db = datagen.World(datagen.WorldConfig{Countries: 60, Cities: 150, Seed: 21})
+		all = workloads.Skewed(db)
+	case "uniform":
+		db = datagen.World(datagen.WorldConfig{Countries: 60, Cities: 150, Seed: 22})
+		all = workloads.Uniform(db, 80)
+	case "ssb":
+		db = datagen.SSB(datagen.SSBConfig{Customers: 100, Suppliers: 50, Parts: 50, LineOrders: 220, Seed: 23})
+		all = workloads.SSB(db)
+	case "tpch":
+		db = datagen.TPCH(datagen.TPCHConfig{Parts: 80, Suppliers: 15, Customers: 40, Orders: 220, Seed: 24})
+		all = workloads.TPCH(db)
+	default:
+		t.Fatalf("unknown workload %q", workload)
+	}
+	// Subsample large workloads but keep the full base-template variety
+	// (the leading queries cover every template, including aggregates).
+	var qs []*relational.SelectQuery
+	if len(all) > 60 {
+		qs = append(qs, all[:40]...)
+		for i := 40; i < len(all); i += 11 {
+			qs = append(qs, all[i])
+		}
+	} else {
+		qs = all
+	}
+	return db, qs
+}
+
+func assertSameHypergraph(t *testing.T, label string, qs []*relational.SelectQuery, got, want *hypergraph.Hypergraph) {
+	t.Helper()
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: edge counts differ: %d vs %d", label, got.NumEdges(), want.NumEdges())
+	}
+	for i := 0; i < got.NumEdges(); i++ {
+		ge, we := got.Edge(i).Items, want.Edge(i).Items
+		if len(ge) != len(we) {
+			t.Fatalf("%s: query %s: conflict sizes differ (incremental %v, full %v)",
+				label, qs[i].Name, ge, we)
+		}
+		for k := range ge {
+			if ge[k] != we[k] {
+				t.Fatalf("%s: query %s: conflict sets differ: incremental %v, full %v",
+					label, qs[i].Name, ge, we)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullEvaluation is the central equivalence property
+// of the incremental engine: across all four workloads and neighbor delta
+// widths 1-3, hypergraphs built with delta probing are byte-identical to
+// full re-evaluation of every surviving pair.
+func TestIncrementalMatchesFullEvaluation(t *testing.T) {
+	for _, w := range equivalenceWorkloads {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			db, qs := equivalenceScenario(t, w)
+			for _, deltas := range []int{1, 2, 3} {
+				set, err := support.Generate(db, support.GenOptions{
+					Size: 50, Seed: int64(100 + deltas), DeltasPerNeighbor: deltas,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, istats, err := support.BuildHypergraph(set, qs, support.BuildOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, _, err := support.BuildHypergraph(set, qs, support.BuildOptions{
+					DisableIncremental: true, Workers: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameHypergraph(t, w, qs, inc, full)
+				if istats.DeltaProbes == 0 {
+					t.Fatalf("%s deltas=%d: incremental engine never decided a pair; suspicious", w, deltas)
+				}
+				if istats.PrunedByCols == 0 {
+					t.Fatalf("%s deltas=%d: footprint pruning never fired; Stats not reported?", w, deltas)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesNaive closes the loop against the fully naive
+// builder (no pruning at all), on the aggregate-heavy skewed workload.
+func TestIncrementalMatchesNaive(t *testing.T) {
+	db, qs := equivalenceScenario(t, "skewed")
+	qs = qs[:60]
+	set, err := support.Generate(db, support.GenOptions{Size: 40, Seed: 9, DeltasPerNeighbor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, _, err := support.BuildHypergraph(set, qs, support.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _, err := support.BuildHypergraph(set, qs, support.BuildOptions{DisablePruning: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameHypergraph(t, "skewed-vs-naive", qs, inc, naive)
+}
+
+// TestConflictSetMatchesIncrementalBuild asserts the online path (cached
+// plans, per-query loop) agrees with the batch builder.
+func TestConflictSetMatchesIncrementalBuild(t *testing.T) {
+	db, qs := equivalenceScenario(t, "tpch")
+	set, err := support.Generate(db, support.GenOptions{Size: 60, Seed: 4, DeltasPerNeighbor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := support.BuildHypergraph(set, qs, support.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range qs {
+		items, err := support.ConflictSet(set, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h.Edge(qi).Items
+		if len(items) != len(want) {
+			t.Fatalf("query %s: ConflictSet %v, batch %v", q.Name, items, want)
+		}
+		for k := range items {
+			if items[k] != want[k] {
+				t.Fatalf("query %s: ConflictSet %v, batch %v", q.Name, items, want)
+			}
+		}
+	}
+	if set.PlanCacheLen() == 0 {
+		t.Fatal("plan cache empty after build + conflict sets")
+	}
+}
+
+// TestParallelBuilderRace drives the parallel builder and concurrent
+// online conflict-set computation over one shared Set; run with -race it
+// verifies the read-only claim of the plan-cache architecture.
+func TestParallelBuilderRace(t *testing.T) {
+	db, qs := equivalenceScenario(t, "skewed")
+	qs = qs[:50]
+	set, err := support.Generate(db, support.GenOptions{Size: 40, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]*hypergraph.Hypergraph, 3)
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, _, err := support.BuildHypergraph(set, qs, support.BuildOptions{Workers: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = h
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				if _, err := support.ConflictSet(set, qs[(i*10+k)%len(qs)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i := 1; i < len(results); i++ {
+		assertSameHypergraph(t, "concurrent-builds", qs, results[i], results[0])
+	}
+}

@@ -5,8 +5,11 @@
 // every buyer query, and assembles the pricing hypergraph whose vertices
 // are support instances and whose hyperedges are conflict sets.
 //
-// Conflict-set computation uses two sound pruning rules before falling back
-// to full query re-evaluation against a patched database:
+// Conflict-set computation runs on the incremental engine in
+// internal/plan: every query is compiled once against the base database
+// into a cached plan (filtered scans, hash-join indexes, base fingerprint),
+// and each (query, neighbor) pair is decided by probing those indexes with
+// only the neighbor's changed rows. Two sound pruning rules run first:
 //
 //  1. column-footprint pruning: a neighbor whose deltas touch no column the
 //     query reads cannot change its answer;
@@ -14,37 +17,73 @@
 //     pushed-down single-table predicates both before and after the change,
 //     the row is excluded from the query's scans either way and the answer
 //     is unchanged.
+//
+// Pairs the delta rules cannot decide exactly (LIMIT queries, SUM/AVG or
+// DISTINCT-aggregate groups touched by a delta) fall back to a full
+// re-evaluation against a copy-on-write overlay view. Nothing in this
+// package mutates the base database, so hypergraph construction fans out
+// over a bounded worker pool and any number of goroutines may compute
+// conflict sets over the same Set concurrently.
 package support
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 
 	"querypricing/internal/hypergraph"
+	"querypricing/internal/plan"
 	"querypricing/internal/relational"
 )
 
-// Delta is a single-cell difference from the base database.
-type Delta struct {
-	Table string
-	Row   int
-	Col   int
-	New   relational.Value
-}
+// Delta is a single-cell difference from the base database. It is the
+// plan package's CellChange, so neighbors feed the incremental engine
+// without conversion.
+type Delta = plan.CellChange
 
 // Neighbor is one support instance: the base database with Deltas applied.
 type Neighbor struct {
 	Deltas []Delta
 }
 
-// Set is a generated support set over a base database.
+// Set is a generated support set over a base database. The zero value of
+// the embedded plan cache is initialized lazily, so literal construction
+// (&Set{DB: ..., Neighbors: ...}) remains valid.
 type Set struct {
 	DB        *relational.Database
 	Neighbors []Neighbor
+
+	planMu sync.Mutex
+	plans  *plan.Cache
 }
 
 // Size returns n = |S|.
 func (s *Set) Size() int { return len(s.Neighbors) }
+
+// PlanFor returns the cached compiled plan for the query (compiling it on
+// first use). The boolean reports whether this call compiled the plan —
+// i.e. whether it paid the one-time base evaluation.
+func (s *Set) PlanFor(q *relational.SelectQuery) (*plan.Plan, bool, error) {
+	s.planMu.Lock()
+	if s.plans == nil {
+		s.plans = plan.NewCache(0)
+	}
+	cache := s.plans
+	s.planMu.Unlock()
+	return cache.Get(s.DB, q)
+}
+
+// PlanCacheLen reports the number of cached compiled plans (diagnostics).
+func (s *Set) PlanCacheLen() int {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if s.plans == nil {
+		return 0
+	}
+	return s.plans.Len()
+}
 
 // GenOptions controls support generation.
 type GenOptions struct {
@@ -161,25 +200,6 @@ func perturb(rng *rand.Rand, cur relational.Value, domain []relational.Value) re
 	}
 }
 
-// apply patches the base database in place, returning the saved old values
-// (index-aligned with the neighbor's deltas) for revert.
-func (s *Set) apply(nb *Neighbor) []relational.Value {
-	old := make([]relational.Value, len(nb.Deltas))
-	for i, d := range nb.Deltas {
-		t := s.DB.Table(d.Table)
-		old[i] = t.Rows[d.Row][d.Col]
-		t.Rows[d.Row][d.Col] = d.New
-	}
-	return old
-}
-
-// revert undoes apply.
-func (s *Set) revert(nb *Neighbor, old []relational.Value) {
-	for i, d := range nb.Deltas {
-		s.DB.Table(d.Table).Rows[d.Row][d.Col] = old[i]
-	}
-}
-
 // view returns a database equal to the base with the neighbor's deltas
 // applied, without mutating the base: untouched tables (and the rows of
 // touched tables) are shared, only the containing row slices and changed
@@ -216,141 +236,277 @@ func (s *Set) view(nb *Neighbor) *relational.Database {
 	return out
 }
 
-// queryCtx caches per-query state for conflict-set computation.
-type queryCtx struct {
-	q      *relational.SelectQuery
-	fp     *relational.Footprint
-	baseFP uint64
-	// localPreds holds, per base table name, one pushed-down predicate
-	// group per alias of that table. A changed row is relevant if it passes
-	// ANY alias's group before or after the change.
-	localPreds map[string][][]predOnCol
-	// aliasBare marks base tables that appear under some alias without any
-	// local predicate (every row is visible there, disabling rule 2).
-	aliasBare map[string]bool
-}
-
-type predOnCol struct {
-	col  int
-	pred relational.Predicate
-}
-
-// newQueryCtx evaluates the query once against the base database and
-// precomputes its footprint and pushed-down predicate groups (one group per
-// alias, collected under the alias's base table). It performs exactly one
-// full query evaluation.
-func newQueryCtx(db *relational.Database, q *relational.SelectQuery) (*queryCtx, error) {
-	fp, err := q.Footprint(db)
-	if err != nil {
-		return nil, err
-	}
-	res, err := q.Eval(db)
-	if err != nil {
-		return nil, fmt.Errorf("support: base evaluation of %q: %w", q.Name, err)
-	}
-	ctx := &queryCtx{
-		q:          q,
-		fp:         fp,
-		baseFP:     res.Fingerprint(),
-		localPreds: make(map[string][][]predOnCol),
-		aliasBare:  make(map[string]bool),
-	}
-	predsByAlias := make(map[string][]relational.Predicate)
-	for _, p := range q.Where {
-		predsByAlias[p.Col.Table] = append(predsByAlias[p.Col.Table], p)
-	}
-	for i, tn := range q.Tables {
-		al := tn
-		if i < len(q.Aliases) && q.Aliases[i] != "" {
-			al = q.Aliases[i]
-		}
-		preds := predsByAlias[al]
-		if len(preds) == 0 {
-			ctx.aliasBare[tn] = true
-			continue
-		}
-		t := db.Table(tn)
-		if t == nil {
-			return nil, fmt.Errorf("support: query %q references unknown table %q", q.Name, tn)
-		}
-		var group []predOnCol
-		for _, p := range preds {
-			ci := t.Schema.ColIndex(p.Col.Col)
-			if ci < 0 {
-				return nil, fmt.Errorf("support: query %q references unknown column %q.%q", q.Name, tn, p.Col.Col)
-			}
-			group = append(group, predOnCol{col: ci, pred: p})
-		}
-		ctx.localPreds[tn] = append(ctx.localPreds[tn], group)
-	}
-	return ctx, nil
-}
-
 // BuildOptions tunes hypergraph construction.
 type BuildOptions struct {
-	// DisablePruning turns off both pruning rules (for the ablation in
-	// DESIGN.md); every neighbor is fully re-evaluated for every query.
+	// DisablePruning turns off both pruning rules AND delta probing (the
+	// naive baseline of the DESIGN.md ablation): every neighbor is fully
+	// re-evaluated for every query.
 	DisablePruning bool
+	// DisableIncremental keeps the pruning rules but replaces delta
+	// probing with full re-evaluation of every surviving pair (the
+	// pre-incremental behavior, kept for benchmarks and equivalence
+	// tests).
+	DisableIncremental bool
+	// Workers bounds the neighbor-level worker pool (0 = GOMAXPROCS,
+	// 1 = serial).
+	Workers int
 }
 
 // Stats reports work done during hypergraph construction.
 type Stats struct {
-	QueryEvals   int // full query evaluations performed
+	QueryEvals   int // full query evaluations (plan compiles + fallbacks)
 	PrunedByCols int // (query, neighbor) pairs skipped by footprint pruning
 	PrunedByPred int // pairs skipped by local-predicate pruning
+	DeltaProbes  int // pairs decided by the incremental engine alone
+	Fallbacks    int // pairs the delta rules punted to full re-evaluation
+}
+
+func (st *Stats) add(o Stats) {
+	st.QueryEvals += o.QueryEvals
+	st.PrunedByCols += o.PrunedByCols
+	st.PrunedByPred += o.PrunedByPred
+	st.DeltaProbes += o.DeltaProbes
+	st.Fallbacks += o.Fallbacks
+}
+
+// decidePair resolves one (plan, neighbor) pair, lazily materializing the
+// overlay view for fallbacks (the view is shared across a neighbor's
+// queries within one worker). When skipRule1 is set the caller has already
+// established — e.g. through the builder's inverted footprint index — that
+// some delta touches the plan's footprint.
+func decidePair(set *Set, p *plan.Plan, nb *Neighbor, opts BuildOptions, skipRule1 bool, view **relational.Database, st *Stats) (bool, error) {
+	if !opts.DisablePruning {
+		if !skipRule1 && !p.TouchesChanges(nb.Deltas) {
+			st.PrunedByCols++
+			return false, nil
+		}
+		if opts.DisableIncremental {
+			if p.LocallyPruned(nb.Deltas) {
+				st.PrunedByPred++
+				return false, nil
+			}
+		} else {
+			// The probe subsumes rule 2: an untouched-input verdict is
+			// exactly the local-predicate prune.
+			pr := p.ProbeDelta(nb.Deltas)
+			if pr.InputUntouched {
+				st.PrunedByPred++
+				return false, nil
+			}
+			switch pr.Outcome {
+			case plan.Unchanged:
+				st.DeltaProbes++
+				return false, nil
+			case plan.Changed:
+				st.DeltaProbes++
+				return true, nil
+			}
+			st.Fallbacks++
+		}
+	}
+	if *view == nil {
+		*view = set.view(nb)
+	}
+	res, err := p.Query().Eval(*view)
+	if err != nil {
+		return false, fmt.Errorf("support: evaluating %q on neighbor: %w", p.Query().Name, err)
+	}
+	st.QueryEvals++
+	return res.Fingerprint() != p.BaseFingerprint(), nil
+}
+
+// footprintIndex inverts the plans' footprints: (table, column) -> the
+// query indices whose answers a change to that cell could affect. One merge
+// over a neighbor's deltas yields its full rule-1 candidate set, so the
+// builder never visits the (typically vast) majority of pairs footprint
+// pruning discards.
+type footprintIndex struct {
+	byCol   map[string][]int32 // "table\x00col" -> query indices, ascending
+	queries int
+}
+
+func buildFootprintIndex(db *relational.Database, plans []*plan.Plan) *footprintIndex {
+	idx := &footprintIndex{byCol: make(map[string][]int32), queries: len(plans)}
+	for qi, p := range plans {
+		for table, cols := range p.Footprint().Columns {
+			for col := range cols {
+				key := table + "\x00" + col
+				idx.byCol[key] = append(idx.byCol[key], int32(qi))
+			}
+		}
+	}
+	return idx
+}
+
+// candidates returns, in ascending order, the query indices whose
+// footprints the neighbor touches, using the caller's scratch mark slice
+// (left all-false on return).
+func (idx *footprintIndex) candidates(db *relational.Database, nb *Neighbor, marked []bool, out []int32) []int32 {
+	out = out[:0]
+	for _, d := range nb.Deltas {
+		t := db.Table(d.Table)
+		if t == nil || d.Col < 0 || d.Col >= len(t.Schema.Cols) {
+			continue
+		}
+		key := d.Table + "\x00" + t.Schema.Cols[d.Col].Name
+		for _, qi := range idx.byCol[key] {
+			if !marked[qi] {
+				marked[qi] = true
+				out = append(out, qi)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for _, qi := range out {
+		marked[qi] = false
+	}
+	return out
 }
 
 // BuildHypergraph computes the conflict set of every query against the
 // support set and returns the pricing hypergraph: item j is neighbor j, and
 // edge i is CS(queries[i], D) with zero valuation (valuations are assigned
 // afterwards by the valuation package). Labels carry the query names.
+//
+// Construction is read-only and parallel: plans are compiled (or recalled
+// from the set's plan cache) concurrently, then neighbors are probed across
+// a bounded worker pool. The result is byte-identical to a serial,
+// full-re-evaluation build.
 func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOptions) (*hypergraph.Hypergraph, *Stats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	stats := &Stats{}
-	ctxs := make([]*queryCtx, len(queries))
-	for qi, q := range queries {
-		ctx, err := newQueryCtx(set.DB, q)
-		if err != nil {
-			return nil, nil, err
+	plans := make([]*plan.Plan, len(queries))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		failed   bool
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			failed = true
 		}
-		stats.QueryEvals++
-		ctxs[qi] = ctx
+		mu.Unlock()
+	}
+
+	// Phase 1: compile (or recall) one plan per query.
+	qJobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compiled := 0
+			for qi := range qJobs {
+				mu.Lock()
+				stop := failed
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				p, fresh, err := set.PlanFor(queries[qi])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				if fresh {
+					compiled++
+				}
+				plans[qi] = p
+			}
+			mu.Lock()
+			stats.QueryEvals += compiled
+			mu.Unlock()
+		}()
+	}
+	for qi := range queries {
+		qJobs <- qi
+	}
+	close(qJobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// Phase 2: probe every neighbor against its rule-1 candidate plans.
+	// The inverted footprint index discards non-candidates wholesale; with
+	// pruning disabled every plan is a candidate.
+	var fpIdx *footprintIndex
+	if !opts.DisablePruning {
+		fpIdx = buildFootprintIndex(set.DB, plans)
+	}
+	perNeighbor := make([][]int32, len(set.Neighbors))
+	nJobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Stats
+			var marked []bool
+			var cand []int32
+			if fpIdx != nil {
+				marked = make([]bool, len(plans))
+			}
+			for ni := range nJobs {
+				mu.Lock()
+				stop := failed
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				nb := &set.Neighbors[ni]
+				var view *relational.Database
+				if fpIdx == nil {
+					for qi, p := range plans {
+						conflict, err := decidePair(set, p, nb, opts, false, &view, &local)
+						if err != nil {
+							fail(fmt.Errorf("%w (neighbor %d)", err, ni))
+							break
+						}
+						if conflict {
+							perNeighbor[ni] = append(perNeighbor[ni], int32(qi))
+						}
+					}
+					continue
+				}
+				cand = fpIdx.candidates(set.DB, nb, marked, cand)
+				local.PrunedByCols += len(plans) - len(cand)
+				for _, qi := range cand {
+					conflict, err := decidePair(set, plans[qi], nb, opts, true, &view, &local)
+					if err != nil {
+						fail(fmt.Errorf("%w (neighbor %d)", err, ni))
+						break
+					}
+					if conflict {
+						perNeighbor[ni] = append(perNeighbor[ni], qi)
+					}
+				}
+			}
+			mu.Lock()
+			stats.add(local)
+			mu.Unlock()
+		}()
+	}
+	for ni := range set.Neighbors {
+		nJobs <- ni
+	}
+	close(nJobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
 	}
 
 	conflict := make([][]int, len(queries))
-	for ni := range set.Neighbors {
-		nb := &set.Neighbors[ni]
-		old := set.apply(nb)
-		for qi, ctx := range ctxs {
-			if !opts.DisablePruning {
-				touched := false
-				for _, d := range nb.Deltas {
-					if ctx.fp.Touches(d.Table, set.DB.Table(d.Table).Schema.Cols[d.Col].Name) {
-						touched = true
-						break
-					}
-				}
-				if !touched {
-					stats.PrunedByCols++
-					continue
-				}
-				if !anyRowRelevant(set, ctx, nb, old) {
-					stats.PrunedByPred++
-					continue
-				}
-			}
-			res, err := ctx.q.Eval(set.DB)
-			if err != nil {
-				set.revert(nb, old)
-				return nil, nil, fmt.Errorf("support: evaluating %q on neighbor %d: %w", ctx.q.Name, ni, err)
-			}
-			stats.QueryEvals++
-			if res.Fingerprint() != ctx.baseFP {
-				conflict[qi] = append(conflict[qi], ni)
-			}
+	for ni, qis := range perNeighbor {
+		for _, qi := range qis {
+			conflict[qi] = append(conflict[qi], ni)
 		}
-		set.revert(nb, old)
 	}
-
 	h := hypergraph.New(set.Size())
 	for qi, items := range conflict {
 		if err := h.AddEdge(items, 0, queries[qi].Name); err != nil {
@@ -365,128 +521,27 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 // on the base database. This is the online path a broker uses to price a
 // freshly arrived query (BuildHypergraph is the batch path).
 //
-// Unlike BuildHypergraph — which patches the base database in place for
-// speed and therefore needs exclusive access — ConflictSet never mutates
-// shared state: neighbors are evaluated against copy-on-write overlay
-// views, so any number of goroutines may call it concurrently over the
-// same Set. Both pruning rules still apply.
+// The query's compiled plan is recalled from the set's plan cache, so
+// repeated quotes — and quotes for queries a Calibrate already compiled —
+// skip the base evaluation entirely. The computation never mutates shared
+// state; any number of goroutines may call it concurrently over one Set.
 func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
-	ctx, err := newQueryCtx(set.DB, q)
+	p, _, err := set.PlanFor(q)
 	if err != nil {
 		return nil, err
 	}
 	var items []int
+	var st Stats
 	for ni := range set.Neighbors {
 		nb := &set.Neighbors[ni]
-		touched := false
-		for _, d := range nb.Deltas {
-			if ctx.fp.Touches(d.Table, set.DB.Table(d.Table).Schema.Cols[d.Col].Name) {
-				touched = true
-				break
-			}
-		}
-		if !touched {
-			continue // rule 1: footprint pruning
-		}
-		if !anyRowRelevantRO(set, ctx, nb) {
-			continue // rule 2: local-predicate pruning
-		}
-		res, err := ctx.q.Eval(set.view(nb))
+		var view *relational.Database
+		conflict, err := decidePair(set, p, nb, BuildOptions{}, false, &view, &st)
 		if err != nil {
-			return nil, fmt.Errorf("support: evaluating %q on neighbor %d: %w", ctx.q.Name, ni, err)
+			return nil, fmt.Errorf("%w (neighbor %d)", err, ni)
 		}
-		if res.Fingerprint() != ctx.baseFP {
+		if conflict {
 			items = append(items, ni)
 		}
 	}
 	return items, nil
-}
-
-// anyRowRelevantRO is the read-only counterpart of anyRowRelevant: it tests
-// pruning rule 2 against the unpatched base database, materializing each
-// changed row's post-change state from the neighbor's deltas instead of
-// requiring them to be applied.
-func anyRowRelevantRO(set *Set, ctx *queryCtx, nb *Neighbor) bool {
-	for _, d := range nb.Deltas {
-		baseTable := set.DB.Table(d.Table)
-		colName := baseTable.Schema.Cols[d.Col].Name
-		if !ctx.fp.Touches(d.Table, colName) {
-			continue // this delta alone cannot matter
-		}
-		if ctx.aliasBare[d.Table] {
-			return true // unpredicated scan of this table: row always visible
-		}
-		groups, ok := ctx.localPreds[d.Table]
-		if !ok {
-			return true // conservative, mirrors anyRowRelevant
-		}
-		// Post-change row: the base row with every same-row delta applied.
-		after := make([]relational.Value, len(baseTable.Rows[d.Row]))
-		copy(after, baseTable.Rows[d.Row])
-		for _, d2 := range nb.Deltas {
-			if d2.Table == d.Table && d2.Row == d.Row {
-				after[d2.Col] = d2.New
-			}
-		}
-		before := baseTable.Rows[d.Row][d.Col]
-		for _, preds := range groups {
-			if rowPasses(after, preds, -1, relational.Value{}) {
-				return true // passes this alias's scan after the change
-			}
-			if rowPasses(after, preds, d.Col, before) {
-				return true // passed before the change
-			}
-		}
-	}
-	return false
-}
-
-// anyRowRelevant implements pruning rule 2: it returns true if some delta's
-// row can participate in the query result before or after the change. It is
-// called with the neighbor's deltas applied; old holds the pre-change
-// values. A table appearing in the query without local predicates always
-// counts as relevant (every row participates in its scan).
-func anyRowRelevant(set *Set, ctx *queryCtx, nb *Neighbor, old []relational.Value) bool {
-	for di, d := range nb.Deltas {
-		colName := set.DB.Table(d.Table).Schema.Cols[d.Col].Name
-		if !ctx.fp.Touches(d.Table, colName) {
-			continue // this delta alone cannot matter
-		}
-		if ctx.aliasBare[d.Table] {
-			return true // unpredicated scan of this table: row always visible
-		}
-		groups, ok := ctx.localPreds[d.Table]
-		if !ok {
-			// Table is in the footprint but not scanned by this query
-			// (cannot happen: footprints only contain scanned tables), be
-			// conservative.
-			return true
-		}
-		row := set.DB.Table(d.Table).Rows[d.Row]
-		for _, preds := range groups {
-			if rowPasses(row, preds, -1, relational.Value{}) {
-				return true // passes this alias's scan after the change
-			}
-			if rowPasses(row, preds, d.Col, old[di]) {
-				return true // passed before the change
-			}
-		}
-	}
-	return false
-}
-
-// rowPasses evaluates the conjunction of predicates on a row, optionally
-// substituting overrideVal for column overrideCol (to test the pre-change
-// row without re-patching the table).
-func rowPasses(row []relational.Value, preds []predOnCol, overrideCol int, overrideVal relational.Value) bool {
-	for _, pc := range preds {
-		v := row[pc.col]
-		if pc.col == overrideCol {
-			v = overrideVal
-		}
-		if !pc.pred.Matches(v) {
-			return false
-		}
-	}
-	return true
 }

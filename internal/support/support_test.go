@@ -65,7 +65,7 @@ func TestGenerateValidation(t *testing.T) {
 	}
 }
 
-func TestApplyRevertRoundTrip(t *testing.T) {
+func TestViewAppliesDeltasWithoutMutation(t *testing.T) {
 	db := smallWorld(t)
 	set, err := Generate(db, GenOptions{Size: 30, Seed: 3, DeltasPerNeighbor: 3})
 	if err != nil {
@@ -73,15 +73,20 @@ func TestApplyRevertRoundTrip(t *testing.T) {
 	}
 	before := db.Clone()
 	for i := range set.Neighbors {
-		old := set.apply(&set.Neighbors[i])
-		set.revert(&set.Neighbors[i], old)
+		nb := &set.Neighbors[i]
+		v := set.view(nb)
+		for _, d := range nb.Deltas {
+			if got := v.Table(d.Table).Rows[d.Row][d.Col]; !got.Equal(d.New) {
+				t.Fatalf("neighbor %d: view cell %s[%d][%d] = %v, want %v", i, d.Table, d.Row, d.Col, got, d.New)
+			}
+		}
 	}
 	for _, name := range db.TableNames() {
 		ta, tb := db.Table(name), before.Table(name)
 		for r := range ta.Rows {
 			for c := range ta.Rows[r] {
 				if !ta.Rows[r][c].Equal(tb.Rows[r][c]) {
-					t.Fatalf("%s[%d][%d] not restored", name, r, c)
+					t.Fatalf("%s[%d][%d] mutated by view", name, r, c)
 				}
 			}
 		}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
+#
+# Usage: scripts/bench.sh [n]
+#   n          PR / trajectory index (default 2); output lands in BENCH_<n>.json
+#   BENCHTIME  go test -benchtime value (default 3x)
+#   BENCHFILTER  benchmark regexp (default: the construction + quote-path set)
+#
+# The tracked set pins the conflict-set engine: hypergraph construction
+# (serial vs parallel vs incremental), the online conflict-set path (cold
+# vs warm plan cache), and batch quoting (serial vs pooled).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:-2}"
+benchtime="${BENCHTIME:-3x}"
+filter="${BENCHFILTER:-BenchmarkFig4Construction|BenchmarkConflictSet|BenchmarkQuoteBatch}"
+out="BENCH_${n}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$filter" -benchtime "$benchtime" . | tee "$raw"
+
+awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^goos:/   { goos = $2 }
+  /^goarch:/ { goarch = $2 }
+  /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+  /^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = $3
+    bytes = ""; allocs = ""
+    for (i = 4; i < NF; i++) {
+      if ($(i + 1) == "B/op")      bytes = $i
+      if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    bench[nb++] = line
+  }
+  END {
+    printf "{\n"
+    printf "  \"pr\": %s,\n", pr
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < nb; i++) printf "%s%s\n", bench[i], (i < nb - 1 ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+  }
+' "$raw" > "$out"
+
+echo "wrote $out"
