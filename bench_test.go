@@ -1,13 +1,14 @@
 package querypricing
 
 // Benchmark harness: one benchmark (or sub-benchmark group) per table and
-// figure of the paper, as indexed in DESIGN.md. Scales are laptop-small so
+// figure of the paper (see docs/ARCHITECTURE.md's package map). Scales are laptop-small so
 // `go test -bench=.` completes in minutes; cmd/pricebench regenerates the
-// full series with configurable scale. EXPERIMENTS.md records the measured
-// shapes against the paper's.
+// full series with configurable scale; BENCH_<n>.json records the tracked
+// perf trajectory per PR (scripts/bench.sh).
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -52,28 +53,34 @@ func benchTuning() experiments.Tuning {
 // ---- Figure 4 / Table 3: hypergraph construction ----
 
 // BenchmarkFig4Construction measures hypergraph construction per workload
-// across three engine configurations: "serial" is the pre-incremental
+// across four engine configurations: "serial" is the pre-incremental
 // baseline (one worker, full re-evaluation of every pair surviving the
-// pruning rules), "parallel" adds only the neighbor worker pool, and
-// "incremental" is the full engine (worker pool + delta probing over the
-// compiled plan cache). Every iteration samples a fresh support set so the
-// plan cache starts cold and compile time is charged to the run.
+// pruning rules), "parallel" adds only the worker pool, "incremental" is
+// the full single-shard engine (worker pool + delta probing over the
+// compiled plan cache), and "sharded" partitions the support set across
+// GOMAXPROCS shards so the builder schedules shard × query tiles. Every
+// iteration samples a fresh support set so the plan caches start cold and
+// compile time is charged to the run.
 func BenchmarkFig4Construction(b *testing.B) {
 	variants := []struct {
-		name string
-		opts support.BuildOptions
+		name   string
+		shards int
+		opts   support.BuildOptions
 	}{
-		{"serial", support.BuildOptions{Workers: 1, DisableIncremental: true}},
-		{"parallel", support.BuildOptions{DisableIncremental: true}},
-		{"incremental", support.BuildOptions{}},
+		{"serial", 0, support.BuildOptions{Workers: 1, DisableIncremental: true}},
+		{"parallel", 0, support.BuildOptions{DisableIncremental: true}},
+		{"incremental", 0, support.BuildOptions{}},
+		{"sharded", runtime.GOMAXPROCS(0), support.BuildOptions{}},
 	}
 	for _, w := range experiments.AllWorkloads {
 		sc := benchScenario(b, w) // datasets and queries prebuilt
 		for _, v := range variants {
 			b.Run(string(w)+"/"+v.name, func(b *testing.B) {
 				b.ReportAllocs()
+				runtime.GC() // don't charge this variant the previous one's heap
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: int64(i)})
+					set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: int64(i), Shards: v.shards})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -87,7 +94,7 @@ func BenchmarkFig4Construction(b *testing.B) {
 }
 
 // BenchmarkPruningAblation compares pruned vs naive conflict-set
-// construction (the DESIGN.md ablation).
+// construction (the pruning ablation).
 func BenchmarkPruningAblation(b *testing.B) {
 	sc := benchScenario(b, experiments.Skewed)
 	set, err := support.Generate(sc.DB, support.GenOptions{Size: 100, Seed: 9})
@@ -289,12 +296,19 @@ func BenchmarkSimplex(b *testing.B) {
 // BenchmarkConflictSet measures the online quote path. "cold" pays plan
 // compilation (base evaluation) on every iteration by discarding the plan
 // cache; "warm" reuses the set's cache, the steady state of a broker
-// serving repeat quote traffic.
+// serving repeat quote traffic. "warm10k" and "sharded" grow the support
+// set to |S| = 10000 — toward the paper's 100k scale — quoting a
+// selective query (W14, a predicated single-table projection, the typical
+// online shape) against one shard and against GOMAXPROCS shards: the
+// per-shard inverted footprint indexes cut the scan to the candidate
+// neighbors and the sharded variant fans those probes out concurrently.
 func BenchmarkConflictSet(b *testing.B) {
 	sc := benchScenario(b, experiments.Skewed)
 	q := sc.Queries[9] // W10: SELECT * FROM Country
 	b.Run("cold", func(b *testing.B) {
 		b.ReportAllocs()
+		runtime.GC()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fresh := &support.Set{DB: sc.Set.DB, Neighbors: sc.Set.Neighbors}
 			if _, err := support.ConflictSet(fresh, q); err != nil {
@@ -307,6 +321,7 @@ func BenchmarkConflictSet(b *testing.B) {
 		if _, err := support.ConflictSet(sc.Set, q); err != nil {
 			b.Fatal(err) // prime the plan cache
 		}
+		runtime.GC()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := support.ConflictSet(sc.Set, q); err != nil {
@@ -314,6 +329,29 @@ func BenchmarkConflictSet(b *testing.B) {
 			}
 		}
 	})
+	qsel := sc.Queries[13] // W14: SELECT Name FROM Country WHERE Region = 'Caribbean'
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{{"warm10k", 1}, {"sharded", runtime.GOMAXPROCS(0)}} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			set, err := support.Generate(sc.DB, support.GenOptions{Size: 10000, Seed: 3, Shards: v.shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := support.ConflictSet(set, qsel); err != nil {
+				b.Fatal(err) // prime the plan cache and shard indexes
+			}
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := support.ConflictSet(set, qsel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---- Batch quoting: serial loop vs the broker's worker pool ----

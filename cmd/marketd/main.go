@@ -51,6 +51,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		algo     = flag.String("algorithm", "LPIP", "pricing algorithm: "+strings.Join(engine.List(), " | "))
 		supportN = flag.Int("support", 400, "support size")
+		shards   = flag.Int("shards", 0, "support-set shards (0 = GOMAXPROCS, <0 = one shard)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		valK     = flag.Float64("valuation-k", 100, "Uniform[1,k] calibration valuations")
 	)
@@ -64,6 +65,7 @@ func main() {
 	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: *seed})
 	broker, err := market.NewBroker(db, market.Config{
 		SupportSize:    *supportN,
+		Shards:         *shards,
 		Seed:           *seed,
 		LPIPCandidates: 16,
 		CIPEpsilon:     0.5,

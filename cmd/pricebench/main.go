@@ -11,10 +11,12 @@
 // Absolute numbers differ from the paper (different hardware, synthetic
 // data, micro scales); the series shapes — which algorithm wins where, how
 // revenue and runtime move with the support size — are the reproduction
-// target. See EXPERIMENTS.md. Hypergraph construction (the paper's own
-// bottleneck, Table 3) runs on the incremental conflict-set engine of
-// internal/plan: compiled query plans probed with each neighbor's deltas
-// over a worker pool; see README "Performance" and BENCH_2.json.
+// target. Hypergraph construction (the paper's own
+// bottleneck, Table 3) runs on the sharded incremental conflict-set
+// engine of internal/support and internal/plan: compiled query plans
+// probed with each neighbor's deltas over shard × query tiles on a worker
+// pool (-shards); see README "Performance", docs/ARCHITECTURE.md and
+// BENCH_3.json.
 package main
 
 import (
@@ -54,6 +56,7 @@ func main() {
 		list       = flag.Bool("list", false, "print the experiment index and exit")
 		scale      = flag.Float64("scale", 1, "dataset scale multiplier")
 		supportN   = flag.Int("support", 0, "support size |S| (0 = workload default)")
+		shards     = flag.Int("shards", 0, "support-set shards (<= 0 = one shard)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		lpipCap    = flag.Int("lpip-candidates", 16, "LPIP threshold cap (0 = all)")
 		skipCIP    = flag.Bool("skip-cip", false, "skip CIP and XOS (much faster)")
@@ -90,6 +93,7 @@ func main() {
 	r := &runner{
 		scale:    *scale,
 		supportN: *supportN,
+		shards:   *shards,
 		seed:     *seed,
 		lpipCap:  *lpipCap,
 		skipCIP:  *skipCIP,
@@ -114,6 +118,7 @@ func main() {
 type runner struct {
 	scale    float64
 	supportN int
+	shards   int
 	seed     int64
 	lpipCap  int
 	skipCIP  bool
@@ -131,6 +136,7 @@ func (r *runner) scenario(w experiments.Workload) (*experiments.Scenario, error)
 		Workload:    w,
 		Scale:       r.scale,
 		SupportSize: r.supportN,
+		Shards:      r.shards,
 		Seed:        r.seed,
 	})
 	if err != nil {

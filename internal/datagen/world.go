@@ -1,5 +1,5 @@
 // Package datagen builds the three synthetic datasets the experiments run
-// on, substituting for the data the paper used (see DESIGN.md):
+// on, substituting for the data the paper used:
 //
 //   - a "world"-shaped database (Country / City / CountryLanguage, 21
 //     attributes, 239 countries, 7 continents, 110 languages) matching the

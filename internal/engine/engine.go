@@ -38,6 +38,13 @@ type Options struct {
 	// running XOSComponents — callers that already priced the components
 	// (e.g. a roster sweep) avoid solving their LPs twice.
 	XOSWeightSets [][]float64
+	// Shards reports the support-set shard count of the instance being
+	// priced, carried on the shared option surface so custom algorithms
+	// and harness layers can log or act on the partitioning that produced
+	// their hypergraph (the broker fills in its resolved count). The
+	// built-in pricing algorithms ignore it: they see only the finished
+	// hypergraph, whose conflict sets are byte-identical at every count.
+	Shards int
 }
 
 // Algorithm is one arbitrage-free pricing algorithm.

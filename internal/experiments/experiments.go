@@ -5,8 +5,7 @@
 //
 // Scale note: the paper ran on MySQL with |S| up to 100000 and SF-1 TPC-H;
 // the default scales here are laptop-small but preserve every qualitative
-// result (see DESIGN.md and EXPERIMENTS.md). Use Scale > 1 to grow toward
-// paper scale.
+// result. Use Scale > 1 to grow toward paper scale.
 package experiments
 
 import (
@@ -50,6 +49,9 @@ type Config struct {
 	UniformQueries int
 	// Seed drives all randomness.
 	Seed int64
+	// Shards partitions the support set (support.Set.Shards); ≤ 0 keeps a
+	// single shard. Conflict sets are byte-identical at every count.
+	Shards int
 }
 
 // Scenario is a fully built pricing instance: dataset, queries, support,
@@ -130,7 +132,7 @@ func Build(cfg Config) (*Scenario, error) {
 	}
 
 	start := time.Now()
-	set, err := support.Generate(db, support.GenOptions{Size: cfg.SupportSize, Seed: cfg.Seed + 7})
+	set, err := support.Generate(db, support.GenOptions{Size: cfg.SupportSize, Seed: cfg.Seed + 7, Shards: cfg.Shards})
 	if err != nil {
 		return nil, err
 	}

@@ -11,11 +11,14 @@
 // The broker is built for concurrent quote traffic. The calibrated pricing
 // lives in an immutable snapshot swapped atomically, so Quote is a lock-free
 // read even while Calibrate builds a replacement snapshot off to the side
-// (hypergraph construction is read-only and runs on the shared support
-// set's plan cache). QuoteBatch fans a query batch across
-// a bounded worker pool, and conflict sets are memoized in a bounded LRU
-// cache keyed by the query's canonical SQL rendering, so repeated quotes for
-// structurally identical queries skip conflict-set computation entirely.
+// (hypergraph construction is read-only and runs on the support set's
+// per-shard plan caches). The support set is sharded (Config.Shards):
+// calibration schedules shard × query tiles over the worker pool and each
+// quote fans its conflict-set computation out across shards. QuoteBatch
+// fans a query batch across a bounded worker pool, and conflict sets are
+// memoized in a bounded LRU cache keyed by the query's canonical SQL
+// rendering, so repeated quotes for structurally identical queries skip
+// conflict-set computation entirely.
 package market
 
 import (
@@ -64,6 +67,11 @@ type Config struct {
 	// Workers bounds the QuoteBatch and Calibrate worker pools
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Shards partitions the support set: calibration schedules
+	// shard × query tiles over the worker pool and each quote fans out
+	// across shards concurrently. 0 picks GOMAXPROCS, negative forces a
+	// single shard. Results are byte-identical at every shard count.
+	Shards int
 	// ConflictCacheSize bounds the conflict-set LRU cache: 0 picks the
 	// default of 1024 entries, negative disables caching.
 	ConflictCacheSize int
@@ -121,7 +129,12 @@ func NewBroker(db *relational.Database, cfg Config) (*Broker, error) {
 	if cfg.SupportSize <= 0 {
 		cfg.SupportSize = 1000
 	}
-	set, err := support.Generate(db, support.GenOptions{Size: cfg.SupportSize, Seed: cfg.Seed})
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	} else if cfg.Shards < 0 {
+		cfg.Shards = 1
+	}
+	set, err := support.Generate(db, support.GenOptions{Size: cfg.SupportSize, Seed: cfg.Seed, Shards: cfg.Shards})
 	if err != nil {
 		return nil, fmt.Errorf("market: sampling support: %w", err)
 	}
@@ -145,6 +158,7 @@ func (b *Broker) engineOptions() engine.Options {
 		LPIPMaxCandidates: b.cfg.LPIPCandidates,
 		CIPEpsilon:        b.cfg.CIPEpsilon,
 		CIPMaxCapacities:  b.cfg.CIPMaxCapacities,
+		Shards:            b.cfg.Shards,
 	}
 }
 

@@ -413,3 +413,78 @@ func TestConcurrentQuotes(t *testing.T) {
 		t.Fatalf("sales = %d, want 8", len(b.Sales()))
 	}
 }
+
+// TestShardedQuoteDuringRecalibrate quotes concurrently through a
+// recalibration of an explicitly sharded broker and asserts the quotes a
+// sharded broker produces are identical to a single-shard broker's (the
+// conflict-set byte-identity guarantee surfacing at the market layer).
+// Run with -race it also pins the per-shard plan caches and footprint
+// indexes as safe under quote/calibrate fan-out.
+func TestShardedQuoteDuringRecalibrate(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 40, Cities: 120, Seed: 1})
+	qs := workloads.Skewed(db)[:25]
+	sharded, err := NewBroker(db, Config{SupportSize: 80, Seed: 2, Shards: 4, LPIPCandidates: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewBroker(db, Config{SupportSize: 80, Seed: 2, Shards: -1, LPIPCandidates: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []*Broker{sharded, single} {
+		if _, err := b.Calibrate(qs, valuation.Uniform{K: 100}, UIP); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sharded.Quote(qs[(g+i)%len(qs)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := sharded.Calibrate(qs, valuation.Uniform{K: 80 + float64(i)}, UIP); err != nil {
+			t.Errorf("recalibrate %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Same support sample, same calibration: quotes must agree bit-exactly.
+	if _, err := sharded.Calibrate(qs, valuation.Uniform{K: 100}, UIP); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		qa, err := sharded.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, err := single.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa.Price != qb.Price || qa.ConflictSize != qb.ConflictSize {
+			t.Fatalf("query %s: sharded quote %+v, single-shard %+v", q.Name, qa, qb)
+		}
+	}
+}

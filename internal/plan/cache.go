@@ -13,6 +13,68 @@ import (
 // streams.
 const DefaultCacheSize = 4096
 
+// IndexPool shares the join indexes of bare (predicate-free) scans across
+// plans — and across plan caches — compiled against the same base
+// database: a bare scan is the table itself, so its hash index depends
+// only on (table, column). A sharded support set hands one pool to every
+// shard's cache so no bare index is ever built twice. Safe for concurrent
+// use.
+type IndexPool struct {
+	mu sync.Mutex
+	db *relational.Database // fixed at construction
+	m  map[indexPoolKey]map[string][]int32
+}
+
+type indexPoolKey struct {
+	table string
+	col   int
+}
+
+// NewIndexPool returns an empty pool for plans compiled against db.
+func NewIndexPool(db *relational.Database) *IndexPool {
+	return &IndexPool{db: db, m: make(map[indexPoolKey]map[string][]int32)}
+}
+
+func (p *IndexPool) get(table string, col int, rows [][]relational.Value) map[string][]int32 {
+	key := indexPoolKey{table, col}
+	p.mu.Lock()
+	if idx, ok := p.m[key]; ok {
+		p.mu.Unlock()
+		return idx
+	}
+	p.mu.Unlock()
+	idx := hashRows(rows, col)
+	p.mu.Lock()
+	if prior, ok := p.m[key]; ok {
+		idx = prior // a concurrent builder won; share its copy
+	} else {
+		p.m[key] = idx
+	}
+	p.mu.Unlock()
+	return idx
+}
+
+// hashRows indexes a scan on one column; NULL keys are excluded, mirroring
+// Eval's hash join.
+func hashRows(rows [][]relational.Value, col int) map[string][]int32 {
+	idx := make(map[string][]int32)
+	var buf []byte
+	for pos, row := range rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		buf = v.AppendEncode(buf[:0])
+		idx[string(buf)] = append(idx[string(buf)], int32(pos))
+	}
+	return idx
+}
+
+// Key returns the cache key of a query: its canonical SQL rendering.
+// Structurally identical queries share one key (and so one plan, one
+// conflict-set cache entry, and one home shard).
+func Key(q *relational.SelectQuery) string { return q.String() }
+
 // Cache is a bounded LRU of compiled plans keyed by the query's canonical
 // SQL rendering, with in-flight deduplication: concurrent misses on the
 // same key share one compilation. It is safe for concurrent use.
@@ -23,7 +85,8 @@ type Cache struct {
 	entries  map[string]*list.Element
 	lru      *list.List // front = most recently used
 	inflight map[string]*compileCall
-	shared   *sharedIndexes // bare-scan join indexes, shared across plans
+	pool     *IndexPool // externally shared pool, nil for a private one
+	shared   *IndexPool // bare-scan join indexes used by current entries
 }
 
 type cacheEntry struct {
@@ -39,8 +102,16 @@ type compileCall struct {
 }
 
 // NewCache returns a cache bounded to max plans (DefaultCacheSize when max
-// is non-positive).
+// is non-positive) with a private bare-scan index pool.
 func NewCache(max int) *Cache {
+	return NewCacheWithPool(max, nil)
+}
+
+// NewCacheWithPool is NewCache with an externally shared bare-scan index
+// pool: every cache handed the same pool reuses one index per bare (table,
+// column) pair. A nil pool — or a pool built for a different database than
+// the one a Get targets — falls back to a private pool.
+func NewCacheWithPool(max int, pool *IndexPool) *Cache {
 	if max <= 0 {
 		max = DefaultCacheSize
 	}
@@ -49,6 +120,7 @@ func NewCache(max int) *Cache {
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
 		inflight: make(map[string]*compileCall),
+		pool:     pool,
 	}
 }
 
@@ -56,15 +128,24 @@ func NewCache(max int) *Cache {
 // a miss. The second result reports whether a fresh compilation ran on this
 // call — callers use it to attribute the base evaluation Compile performs.
 func (c *Cache) Get(db *relational.Database, q *relational.SelectQuery) (*Plan, bool, error) {
-	key := q.String()
+	return c.GetKeyed(db, Key(q), q)
+}
+
+// GetKeyed is Get with the cache key precomputed by the caller (Key(q)),
+// for hot paths that already rendered the query's canonical SQL.
+func (c *Cache) GetKeyed(db *relational.Database, key string, q *relational.SelectQuery) (*Plan, bool, error) {
 	c.mu.Lock()
 	if c.db != db {
 		// Plans are compiled against one database; a different one
-		// invalidates every entry and the shared bare-scan indexes.
+		// invalidates every entry and the bare-scan index pool.
 		c.db = db
 		c.entries = make(map[string]*list.Element)
 		c.lru = list.New()
-		c.shared = newSharedIndexes(db)
+		if c.pool != nil && c.pool.db == db {
+			c.shared = c.pool
+		} else {
+			c.shared = NewIndexPool(db)
+		}
 	}
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)

@@ -12,13 +12,15 @@
 // inserted (new) versions of the changed rows are joined outward through
 // the cached indexes, so per-neighbor cost is proportional to |delta| times
 // the rows it actually joins with, not to |DB|. The decision rules are
-// exact for plain projections, DISTINCT projections and the
-// order-insensitive aggregates (COUNT, COUNT(*), MIN, MAX); plans fall back
-// to full re-evaluation (Outcome NeedFullEval) whenever a delta touches
-// state the rules cannot decide exactly — LIMIT queries, SUM/AVG groups
-// (float accumulation is order-sensitive, so only a byte-identical input
-// stream guarantees a byte-identical result), and DISTINCT-aggregate
-// groups.
+// exact for plain projections, DISTINCT projections, the order-insensitive
+// aggregates (COUNT, COUNT(*), MIN, MAX), and — because the evaluator
+// accumulates SUM/AVG in canonical order (relational.CanonicalSum), making
+// them pure functions of each group's value multiset — for SUM, AVG and
+// COUNT(DISTINCT) as well, decided by replaying the delta against the
+// stored multiset. Plans fall back to full re-evaluation (Outcome
+// NeedFullEval) only for LIMIT queries (order-sensitive output),
+// disconnected join graphs, and the residual MIN/MAX tie cases whose
+// reported value depends on encounter order.
 //
 // Plans are immutable after Compile and safe for concurrent use. Like the
 // fingerprint comparison they replace, the multiset comparisons tolerate
@@ -30,7 +32,7 @@ package plan
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sort"
 
 	"querypricing/internal/relational"
 )
@@ -59,6 +61,7 @@ const (
 	NeedFullEval
 )
 
+// String names the outcome for logs and test failures.
 func (o Outcome) String() string {
 	switch o {
 	case Unchanged:
@@ -147,10 +150,41 @@ type groupState struct {
 	aggs []aggBase
 }
 
-// aggBase holds the base MIN/MAX of one aggregate within one group (only
-// the order-insensitive decisions need state; counts are delta-only).
+// valCount is one entry of a group's value multiset: how many times a
+// canonical encoding occurs among the group's accepted aggregate inputs,
+// plus its float64 conversion (equal encodings convert equally).
+type valCount struct {
+	n int
+	f float64
+}
+
+// aggBase is the base state of one aggregate within one group. MIN/MAX
+// decisions need only the extrema; SUM, AVG and COUNT(DISTINCT) store the
+// full value multiset so a delta can be applied to it and the new output
+// recomputed in the same canonical accumulation order Eval uses — making
+// their decisions exact instead of a full-re-evaluation fallback.
 type aggBase struct {
 	min, max relational.Value
+
+	vals       map[string]valCount // canonical encoding -> occurrences (multiset aggs only)
+	sortedKeys []string            // keys of vals in ascending encoding order
+	sum        float64             // canonical base sum (SUM/AVG)
+	cnt        int                 // base accepted-value occurrences
+	distinct   int                 // base distinct accepted values
+}
+
+// multisetAgg reports whether the aggregate's delta decision runs on the
+// stored value multiset: SUM and AVG (whose float accumulation is made
+// order-insensitive by canonical summation) and COUNT(DISTINCT) (which
+// needs per-value multiplicities).
+func multisetAgg(a relational.Agg) bool {
+	switch a.Op {
+	case relational.AggSum, relational.AggAvg:
+		return true
+	case relational.AggCount:
+		return a.Distinct
+	}
+	return false
 }
 
 // Plan is a query compiled against a base database.
@@ -176,72 +210,21 @@ type Plan struct {
 	groups    map[string]*groupState
 }
 
-// sharedIndexes caches the join indexes of bare (predicate-free) scans per
-// (table, column): they depend only on the base table, so every plan over
-// the same database can share them. Safe for concurrent use.
-type sharedIndexes struct {
-	mu sync.Mutex
-	db *relational.Database
-	m  map[sharedIndexKey]map[string][]int32
-}
-
-type sharedIndexKey struct {
-	table string
-	col   int
-}
-
-func newSharedIndexes(db *relational.Database) *sharedIndexes {
-	return &sharedIndexes{db: db, m: make(map[sharedIndexKey]map[string][]int32)}
-}
-
-func (s *sharedIndexes) get(table string, col int, rows [][]relational.Value) map[string][]int32 {
-	key := sharedIndexKey{table, col}
-	s.mu.Lock()
-	if idx, ok := s.m[key]; ok {
-		s.mu.Unlock()
-		return idx
-	}
-	s.mu.Unlock()
-	idx := hashRows(rows, col)
-	s.mu.Lock()
-	if prior, ok := s.m[key]; ok {
-		idx = prior // a concurrent builder won; share its copy
-	} else {
-		s.m[key] = idx
-	}
-	s.mu.Unlock()
-	return idx
-}
-
-// hashRows indexes a scan on one column; NULL keys are excluded, mirroring
-// Eval's hash join.
-func hashRows(rows [][]relational.Value, col int) map[string][]int32 {
-	idx := make(map[string][]int32)
-	var buf []byte
-	for pos, row := range rows {
-		v := row[col]
-		if v.IsNull() {
-			continue
-		}
-		buf = v.AppendEncode(buf[:0])
-		idx[string(buf)] = append(idx[string(buf)], int32(pos))
-	}
-	return idx
-}
-
 // Compile builds the plan against the base database. Projection and
 // DISTINCT plans derive the base fingerprint from their own join
 // enumeration over the freshly built scans and indexes (the fingerprint is
 // order-insensitive, so the value is identical to hashing an Eval result);
-// aggregate and LIMIT plans evaluate the query once with Eval, whose float
-// accumulation order and row order define the ground truth their fallback
-// comparisons must match. The returned plan is read-only and safe for
-// concurrent probes.
+// aggregate and LIMIT plans evaluate the query once with Eval — whose
+// SUM/AVG accumulation is canonical (relational.CanonicalSum), so every
+// aggregate output is a pure function of its group's value multiset — and
+// aggregate plans additionally record the per-group state (extrema, value
+// multisets) the delta decisions replay against. The returned plan is
+// read-only and safe for concurrent probes.
 func Compile(db *relational.Database, q *relational.SelectQuery) (*Plan, error) {
 	return compile(db, q, nil)
 }
 
-func compile(db *relational.Database, q *relational.SelectQuery, shared *sharedIndexes) (*Plan, error) {
+func compile(db *relational.Database, q *relational.SelectQuery, shared *IndexPool) (*Plan, error) {
 	if len(q.Tables) == 0 {
 		return nil, fmt.Errorf("plan: query %q has no tables", q.Name)
 	}
@@ -531,7 +514,7 @@ func (p *Plan) normalizeJoins() ([]joinAt, error) {
 
 // buildIndexes hashes every join column of every alias over its filtered
 // scan, pulling bare-scan indexes from the shared pool when available.
-func (p *Plan) buildIndexes(conds []joinAt, shared *sharedIndexes) {
+func (p *Plan) buildIndexes(conds []joinAt, shared *IndexPool) {
 	add := func(alias, col int) {
 		ca := p.aliases[alias]
 		if _, ok := ca.indexes[col]; ok {
@@ -652,7 +635,7 @@ func (p *Plan) buildBaseState() {
 		p.groups = make(map[string]*groupState)
 	}
 	r := &runner{p: p, deltaAlias: -1, tuple: make([][]relational.Value, len(p.aliases))}
-	var buf []byte
+	var buf, encBuf []byte
 	var sum, xor uint64
 	rows := 0
 	r.emit = func(sign int) {
@@ -687,6 +670,18 @@ func (p *Plan) buildBaseState() {
 				if ab.max.IsNull() || v.Compare(ab.max) > 0 {
 					ab.max = v
 				}
+				if multisetAgg(p.q.Aggs[ai]) {
+					if ab.vals == nil {
+						ab.vals = make(map[string]valCount)
+					}
+					encBuf = v.AppendEncode(encBuf[:0])
+					vc := ab.vals[string(encBuf)]
+					if vc.n == 0 {
+						vc.f = v.AsFloat()
+					}
+					vc.n++
+					ab.vals[string(encBuf)] = vc
+				}
 			}
 		}
 	}
@@ -711,6 +706,35 @@ func (p *Plan) buildBaseState() {
 		// Scalar aggregation over zero rows still has one output row.
 		if len(p.q.GroupBy) == 0 && len(p.groups) == 0 {
 			p.groups[""] = &groupState{aggs: make([]aggBase, len(p.q.Aggs))}
+		}
+		// Finalize the multiset aggregates: sorted key order, counts, and
+		// the canonical base sum, all precomputed so probes only merge the
+		// (small) delta overlay against them.
+		for _, gs := range p.groups {
+			for ai := range gs.aggs {
+				if !multisetAgg(p.q.Aggs[ai]) {
+					continue
+				}
+				ab := &gs.aggs[ai]
+				ab.sortedKeys = make([]string, 0, len(ab.vals))
+				for k, vc := range ab.vals {
+					ab.sortedKeys = append(ab.sortedKeys, k)
+					ab.cnt += vc.n
+				}
+				sort.Strings(ab.sortedKeys)
+				ab.distinct = len(ab.vals)
+				var comp float64
+				for _, k := range ab.sortedKeys {
+					vc := ab.vals[k]
+					reps := vc.n
+					if p.q.Aggs[ai].Distinct {
+						reps = 1 // Eval's DISTINCT filter accepts each value once
+					}
+					for i := 0; i < reps; i++ {
+						ab.sum, comp = relational.AddKahan(ab.sum, comp, vc.f)
+					}
+				}
+			}
 		}
 	}
 }
@@ -789,9 +813,24 @@ func (ap *aliasPatch) empty() bool {
 
 // buildPatches turns cell changes into per-alias scan deltas. Rows whose
 // changes touch only columns the alias never reads are skipped: their old
-// and new versions are indistinguishable to the query.
+// and new versions are indistinguishable to the query. Changes touching a
+// single row — the overwhelmingly common neighbor shape — take a
+// grouping-free fast path.
 func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
 	patches := make([]*aliasPatch, len(p.aliases))
+	sameRow := true
+	for i := 1; i < len(changes); i++ {
+		if changes[i].Table != changes[0].Table || changes[i].Row != changes[0].Row {
+			sameRow = false
+			break
+		}
+	}
+	if sameRow {
+		if len(changes) > 0 {
+			p.patchGroup(patches, changes[0].Table, changes[0].Row, changes)
+		}
+		return patches
+	}
 	// Group changes by (table, row) so multi-delta rows patch once.
 	type rowKey struct {
 		table string
@@ -807,24 +846,81 @@ func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
 		byRow[k] = append(byRow[k], c)
 	}
 	for _, rk := range order {
-		group := byRow[rk]
-		for _, ai := range p.byTable[rk.table] {
-			ca := p.aliases[ai]
-			relevant := false
-			for _, c := range group {
-				if c.Col < len(ca.usedCols) && ca.usedCols[c.Col] {
-					relevant = true
-					break
-				}
+		p.patchGroup(patches, rk.table, rk.row, byRow[rk])
+	}
+	return patches
+}
+
+// relevantToAlias reports whether any change to (table, row) touches a
+// column the alias reads; if none does, the row's old and new versions
+// are indistinguishable to the query. Changes to other (table, row)
+// cells in the list are ignored, so callers may pass an unfiltered
+// change list.
+func relevantToAlias(ca *compiledAlias, table string, row int, changes []CellChange) bool {
+	for i := range changes {
+		c := &changes[i]
+		if c.Table == table && c.Row == row &&
+			c.Col >= 0 && c.Col < len(ca.usedCols) && ca.usedCols[c.Col] {
+			return true
+		}
+	}
+	return false
+}
+
+// visibleAfter reports whether the patched version of (table, row) passes
+// the alias's predicates, evaluating each predicate against the group's
+// last change to that column (or the base value) without materializing
+// the patched row. It is the single definition of post-change visibility:
+// both patch construction and the probe's input-untouched pre-pass use
+// it, so the two can never drift apart.
+func visibleAfter(ca *compiledAlias, table string, row int, baseRow []relational.Value, changes []CellChange) bool {
+	for pi := range ca.preds {
+		pa := &ca.preds[pi]
+		v := baseRow[pa.col]
+		for j := len(changes) - 1; j >= 0; j-- {
+			c := &changes[j]
+			if c.Table == table && c.Row == row && c.Col == pa.col {
+				v = c.New
+				break
 			}
-			if !relevant {
-				continue
+		}
+		if !pa.pred.Matches(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// patchGroup applies one (table, row) change group to every alias over
+// that table, appending to the per-alias patches.
+func (p *Plan) patchGroup(patches []*aliasPatch, table string, row int, group []CellChange) {
+	for _, ai := range p.byTable[table] {
+		ca := p.aliases[ai]
+		if !relevantToAlias(ca, table, row, group) {
+			continue
+		}
+		if row < 0 || row >= len(ca.baseTableRows) {
+			continue // out-of-range change: nothing to patch
+		}
+		pos, inScan := ca.scanPos(row)
+		baseRow := ca.baseTableRows[row]
+		newPass := visibleAfter(ca, table, row, baseRow, group)
+		if !inScan && !newPass {
+			continue
+		}
+		ap := patches[ai]
+		if ap == nil {
+			ap = &aliasPatch{}
+			patches[ai] = ap
+		}
+		if inScan {
+			ap.removedPos = append(ap.removedPos, pos)
+			if ap.removedSet == nil {
+				ap.removedSet = make(map[int32]bool, 2)
 			}
-			if rk.row < 0 || rk.row >= len(ca.baseTableRows) {
-				continue // out-of-range change: nothing to patch
-			}
-			pos, inScan := ca.scanPos(rk.row)
-			baseRow := ca.baseTableRows[rk.row]
+			ap.removedSet[pos] = true
+		}
+		if newPass {
 			patched := make([]relational.Value, len(baseRow))
 			copy(patched, baseRow)
 			for _, c := range group {
@@ -832,26 +928,7 @@ func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
 					patched[c.Col] = c.New
 				}
 			}
-			newPass := ca.passes(patched)
-			if !inScan && !newPass {
-				continue
-			}
-			ap := patches[ai]
-			if ap == nil {
-				ap = &aliasPatch{}
-				patches[ai] = ap
-			}
-			if inScan {
-				ap.removedPos = append(ap.removedPos, pos)
-				if ap.removedSet == nil {
-					ap.removedSet = make(map[int32]bool, 2)
-				}
-				ap.removedSet[pos] = true
-			}
-			if newPass {
-				ap.added = append(ap.added, patched)
-			}
+			ap.added = append(ap.added, patched)
 		}
 	}
-	return patches
 }

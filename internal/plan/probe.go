@@ -1,6 +1,9 @@
 package plan
 
 import (
+	"math"
+	"sort"
+
 	"querypricing/internal/relational"
 )
 
@@ -171,24 +174,64 @@ func (p *Plan) Probe(changes []CellChange) Outcome {
 	return p.ProbeDelta(changes).Outcome
 }
 
+// inputTouched reports whether any alias scan sees any changed row before
+// or after the change — the complement of the probe's InputUntouched
+// verdict. It applies the same visibility rules as patchGroup (through
+// the shared relevantToAlias/visibleAfter helpers) but runs without
+// materializing patches (no copies, no allocation): on the online quote
+// path the vast majority of rule-1 candidates are decided right here, so
+// this check is the per-candidate cost floor at large |S|.
+func (p *Plan) inputTouched(changes []CellChange) bool {
+	for i := range changes {
+		c := &changes[i]
+		tableAliases := p.byTable[c.Table]
+		if len(tableAliases) == 0 {
+			continue
+		}
+		// Only the first change of each (table, row) group runs the checks,
+		// on behalf of the whole group.
+		firstOfGroup := true
+		for j := 0; j < i; j++ {
+			if changes[j].Table == c.Table && changes[j].Row == c.Row {
+				firstOfGroup = false
+				break
+			}
+		}
+		if !firstOfGroup {
+			continue
+		}
+		ca0 := p.aliases[tableAliases[0]]
+		if c.Row < 0 || c.Row >= len(ca0.baseTableRows) {
+			continue
+		}
+		baseRow := ca0.baseTableRows[c.Row]
+		for _, ai := range tableAliases {
+			ca := p.aliases[ai]
+			if !relevantToAlias(ca, c.Table, c.Row, changes) {
+				continue // old and new row versions are indistinguishable
+			}
+			if _, inScan := ca.scanPos(c.Row); inScan {
+				return true // visible before the change (bare scans always)
+			}
+			if visibleAfter(ca, c.Table, c.Row, baseRow, changes) {
+				return true // visible after the change
+			}
+		}
+	}
+	return false
+}
+
 // ProbeDelta is Probe with attribution, for callers that report pruning
 // statistics.
 func (p *Plan) ProbeDelta(changes []CellChange) ProbeResult {
-	patches := p.buildPatches(changes)
-	touched := false
-	for _, ap := range patches {
-		if !ap.empty() {
-			touched = true
-			break
-		}
-	}
-	if !touched {
+	if !p.inputTouched(changes) {
 		// The query's input relations are byte-identical.
 		return ProbeResult{Outcome: Unchanged, InputUntouched: true}
 	}
 	if p.noProbe || p.mode == modeFullOnly {
-		return ProbeResult{Outcome: NeedFullEval}
+		return ProbeResult{Outcome: NeedFullEval} // patches would go unread
 	}
+	patches := p.buildPatches(changes)
 	switch p.mode {
 	case modeProjection:
 		return ProbeResult{Outcome: p.probeProjection(patches)}
@@ -251,10 +294,10 @@ type groupDelta struct {
 
 // probeAggregate applies the exact decision tree for aggregate queries:
 // group appearance/disappearance and COUNT deltas are integer-exact;
-// MIN/MAX use the stored base extrema; SUM/AVG and DISTINCT aggregates
-// cannot be decided from deltas alone (float accumulation is
-// order-sensitive; distinct sets need multiplicities) and force a full
-// re-evaluation unless their value multisets are untouched.
+// MIN/MAX use the stored base extrema; SUM, AVG and COUNT(DISTINCT) are
+// decided exactly by replaying the delta against the group's stored value
+// multiset (decideMultiset). The only remaining NeedFullEval outcomes are
+// the MIN/MAX tie cases whose reported value depends on encounter order.
 func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
 	deltas := make(map[string]*groupDelta)
 	var keyBuf []byte
@@ -325,11 +368,14 @@ func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
 	return Unchanged
 }
 
-// decideAgg resolves one aggregate of one touched group. The raw signed
-// lists may contain phantom pairs — a telescoping term can subtract a
-// hybrid tuple another term adds back — so they are netted against each
-// other first; the net-removed values are then guaranteed to occur in the
-// base group and the net-added values to be genuinely new occurrences.
+// decideAgg resolves one aggregate of one touched group. SUM, AVG and
+// COUNT(DISTINCT) are decided exactly on the group's stored value
+// multiset (evaluation accumulates them in canonical order, so the output
+// is a pure function of the multiset). For the rest, the raw signed lists
+// may contain phantom pairs — a telescoping term can subtract a hybrid
+// tuple another term adds back — so they are netted against each other
+// first; the net-removed values are then guaranteed to occur in the base
+// group and the net-added values to be genuinely new occurrences.
 func (p *Plan) decideAgg(ai int, base *groupState, gd *groupDelta) Outcome {
 	a := p.q.Aggs[ai]
 	if p.aggCols[ai].col < 0 { // COUNT(*)
@@ -340,39 +386,171 @@ func (p *Plan) decideAgg(ai int, base *groupState, gd *groupDelta) Outcome {
 	}
 	if len(gd.removed[ai]) == 0 && len(gd.added[ai]) == 0 {
 		// No touched tuple carried a non-NULL value of this aggregate, so
-		// the non-NULL value stream is untouched — exact even for SUM/AVG.
+		// the accepted value stream is untouched — exact for every op.
 		return Unchanged
+	}
+	if multisetAgg(a) {
+		if base == nil {
+			return NeedFullEval // unreachable: touched groups carry base state
+		}
+		return decideMultiset(a, &base.aggs[ai], gd.removed[ai], gd.added[ai])
 	}
 	rem, add := netDiff(gd.removed[ai], gd.added[ai])
 	if len(rem) == 0 && len(add) == 0 {
-		// The group's value multiset is untouched. Integer counts,
-		// distinct sets and order-insensitive extrema are exactly
-		// preserved; float accumulation (SUM/AVG) may still round
-		// differently when the input stream is reordered, so it stays
-		// undecided.
-		switch a.Op {
-		case relational.AggCount, relational.AggMin, relational.AggMax:
-			return Unchanged
-		default:
-			return NeedFullEval
-		}
+		// The group's value multiset is untouched: integer counts and
+		// order-insensitive extrema are exactly preserved.
+		return Unchanged
 	}
 	switch a.Op {
 	case relational.AggCount:
-		if a.Distinct {
-			return NeedFullEval // needs per-value multiplicities
-		}
 		if len(add) != len(rem) {
 			return Changed
 		}
 		return Unchanged
 	case relational.AggMin:
 		return decideExtremum(base, ai, rem, add, -1)
-	case relational.AggMax:
+	default: // MAX
 		return decideExtremum(base, ai, rem, add, +1)
-	default: // SUM / AVG
-		return NeedFullEval
 	}
+}
+
+// sameFloat reports whether two float64 outputs have identical canonical
+// encodings (bit equality after normalizing -0, exactly AppendEncode's
+// notion of equality for Float values).
+func sameFloat(a, b float64) bool {
+	if a == 0 {
+		a = 0
+	}
+	if b == 0 {
+		b = 0
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// decideMultiset resolves a SUM, AVG or COUNT(DISTINCT) aggregate exactly:
+// the neighbor's signed value delta is applied to the group's stored
+// multiset and the new output recomputed with the same canonical
+// (encoding-sorted, Kahan) accumulation Eval uses, so the comparison
+// against the base output is bit-exact. Phantom add/remove pairs from the
+// telescoping enumeration cancel when the overlay is built, so netting is
+// unnecessary.
+func decideMultiset(a relational.Agg, ab *aggBase, removed, added []relational.Value) Outcome {
+	overlay := make(map[string]*ovDelta, len(removed)+len(added))
+	var keys []string
+	var buf []byte
+	apply := func(v relational.Value, sign int) {
+		buf = v.AppendEncode(buf[:0])
+		e := overlay[string(buf)]
+		if e == nil {
+			e = &ovDelta{f: v.AsFloat()}
+			overlay[string(buf)] = e
+			keys = append(keys, string(buf))
+		}
+		e.delta += sign
+	}
+	for _, v := range added {
+		apply(v, +1)
+	}
+	for _, v := range removed {
+		apply(v, -1)
+	}
+	sort.Strings(keys)
+
+	// Walk the overlay to derive the new occurrence and distinct counts.
+	newCnt, newDistinct := ab.cnt, ab.distinct
+	for _, k := range keys {
+		e := overlay[k]
+		n0 := ab.vals[k].n
+		n1 := n0 + e.delta
+		if n1 < 0 {
+			return NeedFullEval // defensive: deltas should never over-remove
+		}
+		newCnt += e.delta
+		if n0 == 0 && n1 > 0 {
+			newDistinct++
+		} else if n0 > 0 && n1 == 0 {
+			newDistinct--
+		}
+	}
+
+	if a.Op == relational.AggCount { // COUNT(DISTINCT col)
+		if newDistinct != ab.distinct {
+			return Changed
+		}
+		return Unchanged
+	}
+
+	// SUM / AVG: the output is NULL exactly when no values were accepted.
+	cOld, cNew := ab.cnt, newCnt
+	if a.Distinct {
+		cOld, cNew = ab.distinct, newDistinct
+	}
+	if cOld == 0 && cNew == 0 {
+		return Unchanged
+	}
+	if (cOld == 0) != (cNew == 0) {
+		return Changed
+	}
+
+	newSum := mergedCanonicalSum(ab, overlay, keys, a.Distinct)
+	oldOut, newOut := ab.sum, newSum
+	if a.Op == relational.AggAvg {
+		oldOut /= float64(cOld)
+		newOut /= float64(cNew)
+	}
+	if sameFloat(oldOut, newOut) {
+		return Unchanged
+	}
+	return Changed
+}
+
+// ovDelta is one overlay entry of a multiset decision: the net occurrence
+// delta of a canonical encoding plus its float64 conversion.
+type ovDelta struct {
+	delta int
+	f     float64
+}
+
+// mergedCanonicalSum accumulates the patched multiset (base merged with
+// the overlay) in ascending encoding order with Kahan summation — the
+// byte-identical twin of relational.CanonicalSum over the patched value
+// list.
+func mergedCanonicalSum(ab *aggBase, overlay map[string]*ovDelta, overlayKeys []string, distinct bool) float64 {
+	var sum, comp float64
+	addKey := func(n int, f float64) {
+		if n <= 0 {
+			return
+		}
+		reps := n
+		if distinct {
+			reps = 1
+		}
+		for i := 0; i < reps; i++ {
+			sum, comp = relational.AddKahan(sum, comp, f)
+		}
+	}
+	bi, oi := 0, 0
+	for bi < len(ab.sortedKeys) || oi < len(overlayKeys) {
+		switch {
+		case oi >= len(overlayKeys) || (bi < len(ab.sortedKeys) && ab.sortedKeys[bi] < overlayKeys[oi]):
+			k := ab.sortedKeys[bi]
+			vc := ab.vals[k]
+			addKey(vc.n, vc.f)
+			bi++
+		case bi >= len(ab.sortedKeys) || overlayKeys[oi] < ab.sortedKeys[bi]:
+			k := overlayKeys[oi]
+			e := overlay[k]
+			addKey(e.delta, e.f)
+			oi++
+		default: // same key on both sides
+			k := ab.sortedKeys[bi]
+			vc := ab.vals[k]
+			addKey(vc.n+overlay[k].delta, vc.f)
+			bi++
+			oi++
+		}
+	}
+	return sum
 }
 
 // netDiff cancels matching occurrences (by canonical encoding) between the

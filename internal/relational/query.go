@@ -1,8 +1,8 @@
 package relational
 
 import (
+	"bytes"
 	"fmt"
-
 	"sort"
 	"strings"
 )
@@ -556,10 +556,57 @@ func (q *SelectQuery) evalProjection(rows [][]Value, bind *binding, db *Database
 	return out, nil
 }
 
+// AddKahan performs one step of Kahan (compensated) summation: it adds x
+// to the running sum, carrying the low-order error in comp. Both the
+// relational evaluator and the plan layer's incremental aggregate
+// decisions accumulate SUM/AVG through this exact function, so any two
+// parties that feed it the same value sequence produce bit-identical
+// sums.
+func AddKahan(sum, comp, x float64) (float64, float64) {
+	y := x - comp
+	t := sum + y
+	comp = (t - sum) - y
+	return t, comp
+}
+
+// CanonicalSum returns the sum of the values' float64 conversions
+// accumulated in canonical order: the values are sorted by their
+// canonical encodings (AppendEncode) and added with Kahan summation. The
+// result therefore depends only on the multiset of values, never on the
+// order they were encountered in — the property that lets delta probes
+// decide SUM/AVG groups exactly instead of falling back to a full
+// re-evaluation.
+func CanonicalSum(vals []Value) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	// Encode every value into one arena (ties = identical encodings =
+	// identical floats, so sort instability cannot change the sum).
+	offs := make([]int32, len(vals)+1)
+	var arena []byte
+	for i, v := range vals {
+		arena = v.AppendEncode(arena)
+		offs[i+1] = int32(len(arena))
+	}
+	idx := make([]int32, len(vals))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		return bytes.Compare(arena[offs[ia]:offs[ia+1]], arena[offs[ib]:offs[ib+1]]) < 0
+	})
+	var sum, comp float64
+	for _, i := range idx {
+		sum, comp = AddKahan(sum, comp, vals[i].AsFloat())
+	}
+	return sum
+}
+
 type aggState struct {
 	groupKey []Value
 	count    int64
-	sum      float64
+	vals     []Value // accepted SUM/AVG inputs, summed canonically at output
 	min, max Value
 	distinct map[string]bool
 }
@@ -631,7 +678,9 @@ func (q *SelectQuery) evalAggregates(rows [][]Value, bind *binding) (*Result, er
 			}
 			st.count++
 			if aggIdx[k] >= 0 {
-				st.sum += v.AsFloat()
+				if a.Op == AggSum || a.Op == AggAvg {
+					st.vals = append(st.vals, v)
+				}
 				if st.min.IsNull() || v.Compare(st.min) < 0 {
 					st.min = v
 				}
@@ -674,13 +723,13 @@ func (q *SelectQuery) evalAggregates(rows [][]Value, bind *binding) (*Result, er
 				if st.count == 0 {
 					row = append(row, Null())
 				} else {
-					row = append(row, Float(st.sum))
+					row = append(row, Float(CanonicalSum(st.vals)))
 				}
 			case AggAvg:
 				if st.count == 0 {
 					row = append(row, Null())
 				} else {
-					row = append(row, Float(st.sum/float64(st.count)))
+					row = append(row, Float(CanonicalSum(st.vals)/float64(st.count)))
 				}
 			case AggMin:
 				row = append(row, st.min)

@@ -18,12 +18,19 @@
 //     the row is excluded from the query's scans either way and the answer
 //     is unchanged.
 //
-// Pairs the delta rules cannot decide exactly (LIMIT queries, SUM/AVG or
-// DISTINCT-aggregate groups touched by a delta) fall back to a full
-// re-evaluation against a copy-on-write overlay view. Nothing in this
-// package mutates the base database, so hypergraph construction fans out
-// over a bounded worker pool and any number of goroutines may compute
-// conflict sets over the same Set concurrently.
+// Pairs the delta rules cannot decide exactly (LIMIT queries, residual
+// MIN/MAX ties) fall back to a full re-evaluation against a copy-on-write
+// overlay view; SUM/AVG and DISTINCT aggregates are decided exactly
+// because evaluation accumulates them in canonical order.
+//
+// The neighbors of a Set are partitioned into shards (shard.go), each
+// owning its own plan cache and an inverted footprint index over its
+// neighbors' deltas. BuildHypergraph schedules shard × query tiles over a
+// bounded worker pool, and the online ConflictSet path fans a single
+// query out across shards, merging per-shard conflict bitsets. Nothing in
+// this package mutates the base database, so any number of goroutines may
+// compute conflict sets over the same Set concurrently, and results are
+// byte-identical at every shard count.
 package support
 
 import (
@@ -48,15 +55,25 @@ type Neighbor struct {
 	Deltas []Delta
 }
 
-// Set is a generated support set over a base database. The zero value of
-// the embedded plan cache is initialized lazily, so literal construction
-// (&Set{DB: ..., Neighbors: ...}) remains valid.
+// Set is a generated support set over a base database, partitioned into
+// shards (see shard.go): each shard owns a deterministic subset of the
+// neighbors, its own compiled-plan cache (plans are homed on one shard by
+// query key) and an inverted footprint index over its neighbors' deltas.
+// Shard state is initialized lazily on first use, so literal construction
+// (&Set{DB: ..., Neighbors: ...}) remains valid; set Shards before the
+// first plan or conflict-set computation.
 type Set struct {
 	DB        *relational.Database
 	Neighbors []Neighbor
 
-	planMu sync.Mutex
-	plans  *plan.Cache
+	// Shards is the number of partitions the neighbors are split into
+	// (≤ 0 means one). It is read once, when the set is first used.
+	Shards int
+
+	shardMu sync.Mutex
+	shards  []*shard
+	pool    *plan.IndexPool
+	fanout  chan struct{} // bounds extra goroutines across concurrent quotes
 }
 
 // Size returns n = |S|.
@@ -64,26 +81,36 @@ func (s *Set) Size() int { return len(s.Neighbors) }
 
 // PlanFor returns the cached compiled plan for the query (compiling it on
 // first use). The boolean reports whether this call compiled the plan —
-// i.e. whether it paid the one-time base evaluation.
+// i.e. whether it paid the one-time base evaluation. Plans are owned by
+// the query's home shard, so concurrent quote traffic for different
+// queries spreads across per-shard cache locks.
 func (s *Set) PlanFor(q *relational.SelectQuery) (*plan.Plan, bool, error) {
-	s.planMu.Lock()
-	if s.plans == nil {
-		s.plans = plan.NewCache(0)
-	}
-	cache := s.plans
-	s.planMu.Unlock()
-	return cache.Get(s.DB, q)
+	return s.planForKeyed(plan.Key(q), q)
 }
 
-// PlanCacheLen reports the number of cached compiled plans (diagnostics).
-func (s *Set) PlanCacheLen() int {
-	s.planMu.Lock()
-	defer s.planMu.Unlock()
-	if s.plans == nil {
-		return 0
-	}
-	return s.plans.Len()
+func (s *Set) planForKeyed(key string, q *relational.SelectQuery) (*plan.Plan, bool, error) {
+	shards := s.ensureShards()
+	sh := shards[homeShard(key, len(shards))]
+	return sh.planCache(s).GetKeyed(s.DB, key, q)
 }
+
+// PlanCacheLen reports the number of cached compiled plans across all
+// shards (diagnostics).
+func (s *Set) PlanCacheLen() int {
+	n := 0
+	for _, sh := range s.ensureShards() {
+		sh.planMu.Lock()
+		if sh.plans != nil {
+			n += sh.plans.Len()
+		}
+		sh.planMu.Unlock()
+	}
+	return n
+}
+
+// NumShards reports the effective shard count (after normalization of the
+// Shards field), forcing shard initialization.
+func (s *Set) NumShards() int { return len(s.ensureShards()) }
 
 // GenOptions controls support generation.
 type GenOptions struct {
@@ -97,6 +124,8 @@ type GenOptions struct {
 	Tables []string
 	// Seed makes generation deterministic.
 	Seed int64
+	// Shards partitions the generated set (Set.Shards); ≤ 0 means one.
+	Shards int
 }
 
 // Generate samples a support set: each neighbor flips one (or a few)
@@ -159,7 +188,7 @@ func Generate(db *relational.Database, opts GenOptions) (*Set, error) {
 		return tables[len(tables)-1]
 	}
 
-	set := &Set{DB: db}
+	set := &Set{DB: db, Shards: opts.Shards}
 	for i := 0; i < opts.Size; i++ {
 		var nb Neighbor
 		for d := 0; d < deltasPer; d++ {
@@ -239,7 +268,7 @@ func (s *Set) view(nb *Neighbor) *relational.Database {
 // BuildOptions tunes hypergraph construction.
 type BuildOptions struct {
 	// DisablePruning turns off both pruning rules AND delta probing (the
-	// naive baseline of the DESIGN.md ablation): every neighbor is fully
+	// naive ablation baseline): every neighbor is fully
 	// re-evaluated for every query.
 	DisablePruning bool
 	// DisableIncremental keeps the pruning rules but replaces delta
@@ -338,10 +367,10 @@ func buildFootprintIndex(db *relational.Database, plans []*plan.Plan) *footprint
 	return idx
 }
 
-// candidates returns, in ascending order, the query indices whose
-// footprints the neighbor touches, using the caller's scratch mark slice
-// (left all-false on return).
-func (idx *footprintIndex) candidates(db *relational.Database, nb *Neighbor, marked []bool, out []int32) []int32 {
+// candidates returns, in ascending order, the query indices in [lo, hi)
+// whose footprints the neighbor touches, using the caller's scratch mark
+// slice (left all-false on return).
+func (idx *footprintIndex) candidates(db *relational.Database, nb *Neighbor, lo, hi int32, marked []bool, out []int32) []int32 {
 	out = out[:0]
 	for _, d := range nb.Deltas {
 		t := db.Table(d.Table)
@@ -349,7 +378,12 @@ func (idx *footprintIndex) candidates(db *relational.Database, nb *Neighbor, mar
 			continue
 		}
 		key := d.Table + "\x00" + t.Schema.Cols[d.Col].Name
-		for _, qi := range idx.byCol[key] {
+		lst := idx.byCol[key]
+		start := sort.Search(len(lst), func(i int) bool { return lst[i] >= lo })
+		for _, qi := range lst[start:] {
+			if qi >= hi {
+				break
+			}
 			if !marked[qi] {
 				marked[qi] = true
 				out = append(out, qi)
@@ -369,9 +403,12 @@ func (idx *footprintIndex) candidates(db *relational.Database, nb *Neighbor, mar
 // afterwards by the valuation package). Labels carry the query names.
 //
 // Construction is read-only and parallel: plans are compiled (or recalled
-// from the set's plan cache) concurrently, then neighbors are probed across
-// a bounded worker pool. The result is byte-identical to a serial,
-// full-re-evaluation build.
+// from the per-shard plan caches) concurrently, then shard × query-tile
+// jobs are scheduled over a bounded worker pool — each job probes one
+// shard's neighbors against one contiguous tile of candidate plans, so
+// large support sets parallelize across shards and large workloads across
+// tiles. The result is byte-identical to a serial, full-re-evaluation,
+// unsharded build.
 func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOptions) (*hypergraph.Hypergraph, *Stats, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -433,115 +470,134 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 		return nil, nil, firstErr
 	}
 
-	// Phase 2: probe every neighbor against its rule-1 candidate plans.
-	// The inverted footprint index discards non-candidates wholesale; with
-	// pruning disabled every plan is a candidate.
+	// Phase 2: shard × query-tile jobs. Each job probes one shard's
+	// neighbors against the rule-1 candidate plans of one contiguous query
+	// tile; the query-side inverted footprint index discards
+	// non-candidates wholesale (with pruning disabled every plan in the
+	// tile is a candidate).
+	shards := set.ensureShards()
 	var fpIdx *footprintIndex
 	if !opts.DisablePruning {
 		fpIdx = buildFootprintIndex(set.DB, plans)
 	}
-	perNeighbor := make([][]int32, len(set.Neighbors))
-	nJobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var local Stats
-			var marked []bool
-			var cand []int32
-			if fpIdx != nil {
-				marked = make([]bool, len(plans))
+	numQ := len(queries)
+	conflict := make([][]int, numQ)
+	if numQ > 0 {
+		// Aim for a few jobs per worker so shard and tile skew even out.
+		// The incremental engine tiles over queries (plan locality, cheap
+		// per-pair probes); the full-re-evaluation modes instead chunk
+		// each shard's neighbors with one query span, so every neighbor's
+		// copy-on-write overlay view is materialized at most once.
+		perShard := (workers*4 + len(shards) - 1) / len(shards)
+		if perShard < 1 {
+			perShard = 1
+		}
+		tiles, nChunks := 1, 1
+		if opts.DisablePruning || opts.DisableIncremental {
+			nChunks = perShard
+		} else {
+			tiles = perShard
+			if tiles > numQ {
+				tiles = numQ
 			}
-			for ni := range nJobs {
-				mu.Lock()
-				stop := failed
-				mu.Unlock()
-				if stop {
-					continue
+		}
+		tileSize := (numQ + tiles - 1) / tiles
+		tiles = (numQ + tileSize - 1) / tileSize
+		numJobs := len(shards) * tiles * nChunks
+
+		type pair struct{ qi, ni int32 }
+		results := make([][]pair, numJobs)
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local Stats
+				var marked []bool
+				var cand []int32
+				if fpIdx != nil {
+					marked = make([]bool, len(plans))
 				}
-				nb := &set.Neighbors[ni]
-				var view *relational.Database
-				if fpIdx == nil {
-					for qi, p := range plans {
-						conflict, err := decidePair(set, p, nb, opts, false, &view, &local)
-						if err != nil {
-							fail(fmt.Errorf("%w (neighbor %d)", err, ni))
+				stopped := func() bool {
+					mu.Lock()
+					defer mu.Unlock()
+					return failed
+				}
+				for j := range jobs {
+					if stopped() {
+						continue
+					}
+					sh := shards[j/(tiles*nChunks)]
+					rest := j % (tiles * nChunks)
+					lo := int32((rest / nChunks) * tileSize)
+					hi := lo + int32(tileSize)
+					if hi > int32(numQ) {
+						hi = int32(numQ)
+					}
+					nc := rest % nChunks
+					nbs := sh.global[len(sh.global)*nc/nChunks : len(sh.global)*(nc+1)/nChunks]
+					var out []pair
+					for _, gi := range nbs {
+						if stopped() {
 							break
 						}
-						if conflict {
-							perNeighbor[ni] = append(perNeighbor[ni], int32(qi))
+						nb := &set.Neighbors[gi]
+						var view *relational.Database
+						if fpIdx == nil {
+							for qi := lo; qi < hi; qi++ {
+								ok, err := decidePair(set, plans[qi], nb, opts, false, &view, &local)
+								if err != nil {
+									fail(fmt.Errorf("%w (neighbor %d)", err, gi))
+									break
+								}
+								if ok {
+									out = append(out, pair{qi, gi})
+								}
+							}
+							continue
+						}
+						cand = fpIdx.candidates(set.DB, nb, lo, hi, marked, cand)
+						local.PrunedByCols += int(hi-lo) - len(cand)
+						for _, qi := range cand {
+							ok, err := decidePair(set, plans[qi], nb, opts, true, &view, &local)
+							if err != nil {
+								fail(fmt.Errorf("%w (neighbor %d)", err, gi))
+								break
+							}
+							if ok {
+								out = append(out, pair{qi, gi})
+							}
 						}
 					}
-					continue
+					results[j] = out
 				}
-				cand = fpIdx.candidates(set.DB, nb, marked, cand)
-				local.PrunedByCols += len(plans) - len(cand)
-				for _, qi := range cand {
-					conflict, err := decidePair(set, plans[qi], nb, opts, true, &view, &local)
-					if err != nil {
-						fail(fmt.Errorf("%w (neighbor %d)", err, ni))
-						break
-					}
-					if conflict {
-						perNeighbor[ni] = append(perNeighbor[ni], qi)
-					}
-				}
+				mu.Lock()
+				stats.add(local)
+				mu.Unlock()
+			}()
+		}
+		for j := 0; j < numJobs; j++ {
+			jobs <- j
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, nil, firstErr
+		}
+		for _, out := range results {
+			for _, pr := range out {
+				conflict[pr.qi] = append(conflict[pr.qi], int(pr.ni))
 			}
-			mu.Lock()
-			stats.add(local)
-			mu.Unlock()
-		}()
-	}
-	for ni := range set.Neighbors {
-		nJobs <- ni
-	}
-	close(nJobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-
-	conflict := make([][]int, len(queries))
-	for ni, qis := range perNeighbor {
-		for _, qi := range qis {
-			conflict[qi] = append(conflict[qi], ni)
 		}
 	}
+
 	h := hypergraph.New(set.Size())
 	for qi, items := range conflict {
+		// AddEdge canonicalizes (sorts) the items, so the shard/tile
+		// interleaving above never shows in the result.
 		if err := h.AddEdge(items, 0, queries[qi].Name); err != nil {
 			return nil, nil, err
 		}
 	}
 	return h, stats, nil
-}
-
-// ConflictSet computes CS(q, D) for a single query against the support set:
-// the indices of the neighbors on which q's answer differs from its answer
-// on the base database. This is the online path a broker uses to price a
-// freshly arrived query (BuildHypergraph is the batch path).
-//
-// The query's compiled plan is recalled from the set's plan cache, so
-// repeated quotes — and quotes for queries a Calibrate already compiled —
-// skip the base evaluation entirely. The computation never mutates shared
-// state; any number of goroutines may call it concurrently over one Set.
-func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
-	p, _, err := set.PlanFor(q)
-	if err != nil {
-		return nil, err
-	}
-	var items []int
-	var st Stats
-	for ni := range set.Neighbors {
-		nb := &set.Neighbors[ni]
-		var view *relational.Database
-		conflict, err := decidePair(set, p, nb, BuildOptions{}, false, &view, &st)
-		if err != nil {
-			return nil, fmt.Errorf("%w (neighbor %d)", err, ni)
-		}
-		if conflict {
-			items = append(items, ni)
-		}
-	}
-	return items, nil
 }

@@ -40,7 +40,7 @@ func typesWithSuffix(suffix string) []relational.Value {
 // region (5) and per p_type metal (5), Q16 per p_type (150), Q17 per
 // p_container (40).
 //
-// Template simplifications (documented in DESIGN.md): Q4's EXISTS
+// Template simplifications: Q4's EXISTS
 // correlated subquery and arithmetic expressions in aggregates are outside
 // our engine's query language, so the templates keep the same joins,
 // parameterized predicates and grouping but aggregate plain columns. The

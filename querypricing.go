@@ -44,10 +44,12 @@
 //
 // Broker serves concurrent quote traffic without a global lock: the
 // calibrated pricing lives in an immutable snapshot behind an atomic
-// pointer, Quote is a lock-free read, Calibrate rebuilds off to the side on
-// a private clone and publishes with one pointer swap, QuoteBatch fans a
-// batch across a bounded worker pool, and conflict sets are memoized in a
-// bounded LRU keyed by the query's canonical SQL rendering.
+// pointer, Quote is a lock-free read, Calibrate rebuilds off to the side
+// over the read-only sharded support set and publishes with one pointer
+// swap, QuoteBatch fans a batch across a bounded worker pool, each quote
+// fans its conflict-set computation across the support shards, and
+// conflict sets are memoized in a bounded LRU keyed by the query's
+// canonical SQL rendering.
 //
 // See examples/ for end-to-end scenarios and cmd/pricebench for the
 // harness that regenerates every figure and table of the paper.

@@ -2,24 +2,55 @@
 # bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
 #
 # Usage: scripts/bench.sh [n]
-#   n          PR / trajectory index (default 2); output lands in BENCH_<n>.json
-#   BENCHTIME  go test -benchtime value (default 3x)
-#   BENCHFILTER  benchmark regexp (default: the construction + quote-path set)
+#   n                PR / trajectory index (default 3); output lands in BENCH_<n>.json
+#   BENCHTIME_BASE   -benchtime for the serial/parallel baselines (default 5x;
+#                    these run up to ~13 s/op, so the count stays small)
+#   BENCHTIME_BUILD  -benchtime for the incremental/sharded engine pair
+#                    (default 10x)
+#   BENCHCOUNT_BUILD how many alternating-order process rounds the engine pair
+#                    runs (default 4; the fastest run per benchmark is recorded,
+#                    which is robust to background interference)
+#   BENCHTIME_QUOTE  -benchtime for the quote-path group (default 2s; these
+#                    run in microseconds, so time-based sampling gives the
+#                    thousands of iterations a stable number needs)
+#   BENCHFILTER_BASE / BENCHFILTER_QUOTE  override those group regexps
 #
 # The tracked set pins the conflict-set engine: hypergraph construction
-# (serial vs parallel vs incremental), the online conflict-set path (cold
-# vs warm plan cache), and batch quoting (serial vs pooled).
+# (serial vs parallel vs incremental vs sharded), the online conflict-set
+# path (cold/warm at |S|=150, single-shard and sharded at |S|=10k), and
+# batch quoting (serial vs pooled). When a benchmark appears several times
+# (construction runs -count times), the fastest run is recorded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-n="${1:-2}"
-benchtime="${BENCHTIME:-3x}"
-filter="${BENCHFILTER:-BenchmarkFig4Construction|BenchmarkConflictSet|BenchmarkQuoteBatch}"
+n="${1:-3}"
+basetime="${BENCHTIME_BASE:-5x}"
+buildtime="${BENCHTIME_BUILD:-10x}"
+buildcount="${BENCHCOUNT_BUILD:-4}"
+quotetime="${BENCHTIME_QUOTE:-2s}"
+basefilter="${BENCHFILTER_BASE:-BenchmarkFig4Construction/.*/(serial|parallel)$}"
+quotefilter="${BENCHFILTER_QUOTE:-BenchmarkConflictSet|BenchmarkQuoteBatch}"
 out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench "$filter" -benchtime "$benchtime" . | tee "$raw"
+# Three groups, three sampling strategies: the pre-incremental baselines
+# run up to ~13 s/op, so they get a small fixed count; the tracked engine
+# variants are cheap, so they run in several fresh processes — alternating
+# the incremental/sharded order so machine-load drift hits both sides
+# equally — and record their fastest run; the quote-path benches run in
+# microseconds, so they sample time-based.
+go test -run '^$' -bench "$basefilter" -benchtime "$basetime" . | tee "$raw"
+for i in $(seq "$buildcount"); do
+	if [ $((i % 2)) -eq 1 ]; then
+		go test -run '^$' -bench 'BenchmarkFig4Construction/.*/incremental$' -benchtime "$buildtime" . | tee -a "$raw"
+		go test -run '^$' -bench 'BenchmarkFig4Construction/.*/sharded$' -benchtime "$buildtime" . | tee -a "$raw"
+	else
+		go test -run '^$' -bench 'BenchmarkFig4Construction/.*/sharded$' -benchtime "$buildtime" . | tee -a "$raw"
+		go test -run '^$' -bench 'BenchmarkFig4Construction/.*/incremental$' -benchtime "$buildtime" . | tee -a "$raw"
+	fi
+done
+go test -run '^$' -bench "$quotefilter" -benchtime "$quotetime" . | tee -a "$raw"
 
 awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^goos:/   { goos = $2 }
@@ -30,17 +61,19 @@ awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
     iters = $2
-    ns = $3
+    ns = $3 + 0
     bytes = ""; allocs = ""
     for (i = 4; i < NF; i++) {
       if ($(i + 1) == "B/op")      bytes = $i
       if ($(i + 1) == "allocs/op") allocs = $i
     }
-    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
-    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
-    line = line "}"
-    bench[nb++] = line
+    if (!(name in best) || ns < best[name]) {
+      if (!(name in best)) order[nb++] = name
+      best[name] = ns
+      bestIters[name] = iters
+      bestBytes[name] = bytes
+      bestAllocs[name] = allocs
+    }
   }
   END {
     printf "{\n"
@@ -50,7 +83,14 @@ awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     printf "  \"goarch\": \"%s\",\n", goarch
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchmarks\": [\n"
-    for (i = 0; i < nb; i++) printf "%s%s\n", bench[i], (i < nb - 1 ? "," : "")
+    for (i = 0; i < nb; i++) {
+      name = order[i]
+      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %.0f", name, bestIters[name], best[name])
+      if (bestBytes[name] != "")  line = line sprintf(", \"bytes_per_op\": %s", bestBytes[name])
+      if (bestAllocs[name] != "") line = line sprintf(", \"allocs_per_op\": %s", bestAllocs[name])
+      line = line "}"
+      printf "%s%s\n", line, (i < nb - 1 ? "," : "")
+    }
     printf "  ]\n"
     printf "}\n"
   }
