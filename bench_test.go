@@ -354,6 +354,95 @@ func BenchmarkConflictSet(b *testing.B) {
 	}
 }
 
+// ---- Live updates: update latency and post-update requote ----
+
+// BenchmarkUpdateRequote tracks the live-update path (docs/UPDATES.md).
+// "update1" and "update16" measure Broker.Update end to end — Apply,
+// IndexPool.Advance, and the rebase of every cached plan (the broker is
+// calibrated from the full skewed workload first, so ~1000 plans are live)
+// — for 1- and 16-cell batches. "requote" measures a warm single-query
+// quote against a broker that just absorbed an update: delta-maintained
+// plans must keep the warm path warm, so this should track the plain warm
+// ConflictSet numbers. The conflict cache is disabled throughout so every
+// quote pays real conflict-set computation.
+func BenchmarkUpdateRequote(b *testing.B) {
+	sc := benchScenario(b, experiments.Skewed)
+	newBroker := func() *Broker {
+		set, err := GenerateSupport(sc.DB, SupportOptions{Size: 100, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		broker, err := NewBrokerWithSupport(sc.DB, set, BrokerConfig{
+			Seed:              2,
+			LPIPCandidates:    6,
+			ConflictCacheSize: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := broker.Calibrate(sc.Queries, UniformValuation{K: 100}, AlgoUIP); err != nil {
+			b.Fatal(err) // compiles (and caches) every workload plan
+		}
+		return broker
+	}
+	// Two values from Country.Population's domain to alternate between.
+	domain := sc.DB.ActiveDomain("Country", "Population")
+	if len(domain) < 2 {
+		b.Fatal("degenerate Population domain")
+	}
+	change := func(i int) []CellChange {
+		return []CellChange{{Table: "Country", Row: 5, Col: 6, New: domain[i%2]}}
+	}
+	batch16 := func(i int) []CellChange {
+		var out []CellChange
+		for r := 0; r < 16; r++ {
+			out = append(out, CellChange{Table: "Country", Row: r, Col: 6, New: domain[(i+r)%2]})
+		}
+		return out
+	}
+
+	b.Run("update1", func(b *testing.B) {
+		broker := newBroker()
+		b.ReportAllocs()
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := broker.Update(change(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update16", func(b *testing.B) {
+		broker := newBroker()
+		b.ReportAllocs()
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := broker.Update(batch16(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("requote", func(b *testing.B) {
+		broker := newBroker()
+		q := sc.Queries[13] // W14: selective single-table projection
+		if _, _, err := broker.Update(change(0)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := broker.Quote(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := broker.Quote(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- Batch quoting: serial loop vs the broker's worker pool ----
 
 // BenchmarkQuoteBatch is the perf baseline for the concurrent quote

@@ -5,11 +5,12 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /stats              broker status (support size, algorithm, revenue)
+//	GET  /stats              broker status (support size, algorithm, revenue, version)
 //	GET  /algorithms         the engine registry's algorithm names
 //	POST /quote              body: SelectQuery -> Quote
 //	POST /quote/batch        body: [SelectQuery, ...] -> [Quote, ...]
 //	POST /purchase?budget=N  body: SelectQuery -> answer + receipt
+//	POST /update             body: [CellChange, ...] -> new version + plan stats
 //
 // A SelectQuery body looks like:
 //
@@ -17,6 +18,15 @@
 //	 "Where":[{"Col":{"Table":"Country","Col":"Continent"},
 //	           "Op":0,"Val":{"K":3,"S":"Asia"}}],
 //	 "Select":[{"Table":"Country","Col":"Name"}]}
+//
+// and a CellChange body (POST /update) looks like:
+//
+//	[{"Table":"Country","Row":3,"Col":2,"New":{"K":3,"S":"Europe"}}]
+//
+// Each update atomically publishes a new database version; quotes in
+// flight keep pricing against the previous snapshot, later quotes see the
+// new one, and every Quote/Receipt reports the version it was priced at
+// (see docs/UPDATES.md).
 //
 // Start with:
 //
@@ -88,6 +98,7 @@ func main() {
 			"algorithm":    broker.Algorithm(),
 			"revenue":      broker.Revenue(),
 			"sales":        len(broker.Sales()),
+			"version":      broker.Version(),
 		})
 	})
 	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +132,26 @@ func main() {
 			quotes = []market.Quote{} // encode empty batches as [], not null
 		}
 		writeJSON(w, http.StatusOK, quotes)
+	})
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		changes, err := decodeChanges(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		version, stats, err := broker.Update(changes)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		log.Printf("marketd: update applied: version %d, %d changes, %d plans rebased, %d invalidated",
+			version, len(changes), stats.PlansRebased, stats.PlansInvalidated)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"version":           version,
+			"changes":           len(changes),
+			"plans_rebased":     stats.PlansRebased,
+			"plans_invalidated": stats.PlansInvalidated,
+		})
 	})
 	mux.HandleFunc("POST /purchase", func(w http.ResponseWriter, r *http.Request) {
 		q, err := decodeQuery(r)
@@ -178,6 +209,20 @@ func decodeQueryBatch(r *http.Request) ([]*relational.SelectQuery, error) {
 		}
 	}
 	return qs, nil
+}
+
+func decodeChanges(r *http.Request) ([]relational.CellChange, error) {
+	defer r.Body.Close()
+	var changes []relational.CellChange
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&changes); err != nil {
+		return nil, fmt.Errorf("bad update: %w", err)
+	}
+	if len(changes) == 0 {
+		return nil, fmt.Errorf("bad update: empty change list")
+	}
+	return changes, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -48,6 +48,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"support-selection", "query-aware support selection vs random (Section 7.2)"},
 	{"ablation-cip", "CIP epsilon sensitivity (Section 6.4)"},
 	{"ablation-refine", "UBP -> item pricing LP refinement (Section 6.3)"},
+	{"live-updates", "base-database update latency and plan survival (docs/UPDATES.md)"},
 }
 
 func main() {
@@ -229,6 +230,8 @@ func (r *runner) run(id string) error {
 		return r.runCIPAblation()
 	case "ablation-refine":
 		return r.runRefineAblation()
+	case "live-updates":
+		return r.runLiveUpdates()
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

@@ -1,0 +1,106 @@
+package querypricing_test
+
+// Runnable godoc examples for the public facade. `go test` executes these
+// and compares their output, so every snippet here — and by extension the
+// README's quick-start prose — stays honest as the library evolves.
+
+import (
+	"fmt"
+
+	querypricing "querypricing"
+)
+
+// ExamplePrice mirrors the package quick start: build a pricing instance
+// by hand and run a registered algorithm on it by name.
+func ExamplePrice() {
+	h := querypricing.NewHypergraph(3)
+	_ = h.AddEdge([]int{0, 1}, 10, "q1")
+	_ = h.AddEdge([]int{1, 2}, 6, "q2")
+	res, err := querypricing.Price("LPIP", h, querypricing.AlgorithmOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("revenue %.0f\n", res.Revenue)
+	// Output: revenue 16
+}
+
+// ExampleListAlgorithms lists the engine registry: the six paper
+// algorithms, in the paper's order, plus anything the caller registered.
+func ExampleListAlgorithms() {
+	for _, name := range querypricing.ListAlgorithms() {
+		fmt.Println(name)
+	}
+	// Output:
+	// UBP
+	// UIP
+	// LPIP
+	// CIP
+	// Layering
+	// XOS
+}
+
+// ExampleBroker_Quote calibrates a broker from a forecast workload and
+// prices an ad-hoc query that never appeared in it.
+func ExampleBroker_Quote() {
+	db := querypricing.WorldDatabase(querypricing.WorldConfig{Countries: 30, Cities: 80, Seed: 1})
+	broker, err := querypricing.NewBroker(db, querypricing.BrokerConfig{SupportSize: 50, Seed: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	forecast := querypricing.SkewedWorkload(db)[:40]
+	if _, err := broker.Calibrate(forecast, querypricing.UniformValuation{K: 100}, querypricing.AlgoUIP); err != nil {
+		fmt.Println(err)
+		return
+	}
+	adhoc := &querypricing.SelectQuery{
+		Name:   "all-countries", // SELECT * FROM Country
+		Tables: []string{"Country"},
+	}
+	quote, err := broker.Quote(adhoc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("informative: %v, priced at database version %d\n", quote.Informative, quote.Version)
+	// Output: informative: true, priced at database version 0
+}
+
+// ExampleBroker_Update applies a live update to the seller's database: the
+// broker atomically publishes a new version, and subsequent quotes price
+// against the updated snapshot while receipts keep pinning the version
+// they were sold at.
+func ExampleBroker_Update() {
+	db := querypricing.WorldDatabase(querypricing.WorldConfig{Countries: 30, Cities: 80, Seed: 1})
+	broker, err := querypricing.NewBroker(db, querypricing.BrokerConfig{SupportSize: 50, Seed: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	q := &querypricing.SelectQuery{
+		Name:   "continents",
+		Tables: []string{"Country"},
+		Select: []querypricing.ColRef{{Table: "Country", Col: "Continent"}},
+	}
+	before, err := broker.Quote(q)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Country 0 moves to a new continent; column 2 is Country.Continent.
+	_, _, err = broker.Update([]querypricing.CellChange{
+		{Table: "Country", Row: 0, Col: 2, New: querypricing.StringValue("Oceania")},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	after, err := broker.Quote(q)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("quoted at version %d, requoted at version %d\n", before.Version, after.Version)
+	// Output: quoted at version 0, requoted at version 1
+}

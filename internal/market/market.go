@@ -19,6 +19,13 @@
 // memoized in a bounded LRU cache keyed by the query's canonical SQL
 // rendering, so repeated quotes for structurally identical queries skip
 // conflict-set computation entirely.
+//
+// The seller's data is versioned and may evolve while the market serves:
+// Broker.Update applies a batch of cell changes and atomically publishes a
+// successor data snapshot (new database version, support set advanced with
+// its cached plans delta-maintained, fresh conflict cache). Quotes and
+// receipts carry the version they were priced at; see docs/UPDATES.md for
+// the full life of an update.
 package market
 
 import (
@@ -85,13 +92,22 @@ type Quote struct {
 	// Informative is false when the query's conflict set is empty: the
 	// query reveals nothing about the support set and is free.
 	Informative bool
+	// Version is the base-database version the conflict set was computed
+	// against (see Broker.Update); a price is an offer on that exact
+	// snapshot.
+	Version uint64
 }
 
-// Receipt records a completed sale.
+// Receipt records a completed sale. Receipts pin the database version the
+// price was computed against: an update that lands after a sale never
+// re-prices it, and the sold conflict set remains the one the buyer's
+// query had on the pinned snapshot (docs/UPDATES.md, "Sold conflict
+// sets").
 type Receipt struct {
-	Query string
-	Price float64
-	When  time.Time
+	Query   string
+	Price   float64
+	When    time.Time
+	Version uint64
 }
 
 // pricingSnapshot is an immutable calibrated pricing. Quote loads the
@@ -102,21 +118,35 @@ type pricingSnapshot struct {
 	revenue   float64 // forecast revenue at calibration time
 }
 
+// marketState is the broker's immutable data snapshot: the versioned base
+// database, the support set interpreted against it, and the conflict-set
+// cache whose entries are valid exactly for that version. Update publishes
+// a successor state with one atomic swap; in-flight quotes that loaded the
+// previous state finish consistently against it.
+type marketState struct {
+	version uint64
+	db      *relational.Database
+	set     *support.Set
+	cache   *conflictCache // nil when caching is disabled
+}
+
 // Broker sells query answers over a dataset at arbitrage-free prices.
-// It is safe for concurrent use: quoting never blocks on recalibration.
+// It is safe for concurrent use: quoting never blocks on recalibration or
+// on live data updates.
 type Broker struct {
-	db  *relational.Database
-	set *support.Set
 	cfg Config
+
+	// state holds the current data snapshot (database, support set,
+	// conflict cache); Update swaps in a successor atomically.
+	state atomic.Pointer[marketState]
 
 	// snap holds the current calibrated pricing; nil until Calibrate
 	// succeeds for the first time (every quote is zero until then).
 	snap atomic.Pointer[pricingSnapshot]
 
-	// calMu serializes calibrations (quotes are not blocked by it).
+	// calMu serializes calibrations and updates (quotes are not blocked
+	// by it).
 	calMu sync.Mutex
-
-	cache *conflictCache
 
 	salesMu sync.Mutex
 	sales   []Receipt
@@ -138,19 +168,96 @@ func NewBroker(db *relational.Database, cfg Config) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("market: sampling support: %w", err)
 	}
-	b := &Broker{db: db, set: set, cfg: cfg}
-	if cfg.ConflictCacheSize >= 0 {
-		size := cfg.ConflictCacheSize
-		if size == 0 {
-			size = 1024
-		}
-		b.cache = newConflictCache(size)
+	return newBroker(db, set, cfg), nil
+}
+
+// NewBrokerWithSupport returns a broker over a caller-supplied support set
+// instead of sampling one: targeted supports (support.TargetedGenerate),
+// hand-built neighbor sets, or a set carried over from another broker. The
+// set must be rooted at db (set.DB == db); its own shard count governs
+// execution, and Config.Shards is overwritten with the set's effective
+// count so everything downstream (engine.Options.Shards) reports the
+// truth. Like NewBroker, the returned broker is uncalibrated.
+func NewBrokerWithSupport(db *relational.Database, set *support.Set, cfg Config) (*Broker, error) {
+	if set == nil {
+		return nil, fmt.Errorf("market: nil support set")
 	}
-	return b, nil
+	if set.DB != db {
+		return nil, fmt.Errorf("market: support set is rooted at a different database")
+	}
+	cfg.Shards = set.NumShards()
+	return newBroker(db, set, cfg), nil
+}
+
+func newBroker(db *relational.Database, set *support.Set, cfg Config) *Broker {
+	b := &Broker{cfg: cfg}
+	st := &marketState{version: db.Version(), db: db, set: set, cache: b.newCache()}
+	b.state.Store(st)
+	return b
+}
+
+// newCache builds a conflict cache per the broker's config (nil when
+// disabled).
+func (b *Broker) newCache() *conflictCache {
+	if b.cfg.ConflictCacheSize < 0 {
+		return nil
+	}
+	size := b.cfg.ConflictCacheSize
+	if size == 0 {
+		size = 1024
+	}
+	return newConflictCache(size)
 }
 
 // SupportSize returns |S|.
-func (b *Broker) SupportSize() int { return b.set.Size() }
+func (b *Broker) SupportSize() int { return b.state.Load().set.Size() }
+
+// Version returns the version of the base-database snapshot quotes are
+// currently priced against: the database's version at construction,
+// incremented by one per Update.
+func (b *Broker) Version() uint64 { return b.state.Load().version }
+
+// DB returns the current base-database snapshot. The returned database is
+// immutable — updates publish successors via Apply — so callers may
+// evaluate queries against it freely.
+func (b *Broker) DB() *relational.Database { return b.state.Load().db }
+
+// Update applies a batch of cell changes to the seller's database and
+// publishes the successor pricing snapshot with one atomic swap: a new
+// database version (relational.Database.Apply), the support set advanced
+// onto it (cached plans delta-maintained where the changes allow,
+// invalidated otherwise — support.Set.Advance), and a fresh conflict-set
+// cache (entries are keyed by canonical SQL only, so none may survive a
+// version bump). Concurrent quotes that loaded the previous state finish
+// against it — prices remain internally consistent offers on the snapshot
+// they were computed from, and receipts pin that version.
+//
+// The calibrated pricing function is retained: its item weights attach to
+// support neighbors, which an update never re-homes, so post-update quotes
+// re-price through their (possibly changed) conflict sets immediately.
+// Recalibrating against the new snapshot is worthwhile after updates large
+// enough to shift the forecast workload's conflict structure.
+//
+// Updates and calibrations serialize with each other; quoting never blocks
+// on either. It returns the new version, along with statistics on how much
+// compiled plan state was carried over.
+func (b *Broker) Update(changes []relational.CellChange) (uint64, support.UpdateStats, error) {
+	b.calMu.Lock()
+	defer b.calMu.Unlock()
+	st := b.state.Load()
+	newDB, err := st.db.Apply(changes)
+	if err != nil {
+		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
+	}
+	newSet, stats := st.set.Advance(newDB, changes)
+	b.state.Store(&marketState{
+		version: newDB.Version(),
+		db:      newDB,
+		set:     newSet,
+		cache:   b.newCache(),
+	})
+	return newDB.Version(), stats, nil
+}
 
 // engineOptions maps broker configuration onto the shared engine knob set.
 func (b *Broker) engineOptions() engine.Options {
@@ -186,8 +293,9 @@ func (b *Broker) Calibrate(queries []*relational.SelectQuery, model valuation.Mo
 	// probed with each neighbor's deltas), so it runs directly on the
 	// broker's support set — no database clone — and the plans it compiles
 	// stay in the set's cache where concurrent and future Quote calls
-	// reuse them.
-	h, _, err := support.BuildHypergraph(b.set, queries, support.BuildOptions{Workers: b.cfg.Workers})
+	// reuse them. Updates serialize on calMu, so the state cannot advance
+	// mid-build.
+	h, _, err := support.BuildHypergraph(b.state.Load().set, queries, support.BuildOptions{Workers: b.cfg.Workers})
 	if err != nil {
 		return 0, fmt.Errorf("market: building hypergraph: %w", err)
 	}
@@ -212,31 +320,35 @@ func (b *Broker) Algorithm() Algorithm {
 // Quote prices an arbitrary incoming query: it computes the query's
 // conflict set against the support (a read-only computation, memoized per
 // canonical query signature) and applies the current pricing snapshot to
-// that bundle. It never blocks on other quotes or on recalibration.
+// that bundle. It never blocks on other quotes, on recalibration, or on
+// live updates; the returned quote carries the database version it was
+// priced against.
 func (b *Broker) Quote(q *relational.SelectQuery) (Quote, error) {
-	return b.quoteWith(b.snap.Load(), q)
+	return b.quoteWith(b.state.Load(), b.snap.Load(), q)
 }
 
-// quoteWith prices one query under a specific snapshot (nil = uncalibrated).
-func (b *Broker) quoteWith(snap *pricingSnapshot, q *relational.SelectQuery) (Quote, error) {
-	items, err := b.conflictSet(q)
+// quoteWith prices one query under a specific data state and pricing
+// snapshot (nil = uncalibrated).
+func (b *Broker) quoteWith(st *marketState, snap *pricingSnapshot, q *relational.SelectQuery) (Quote, error) {
+	items, err := conflictSetOf(st, q)
 	if err != nil {
 		return Quote{}, err
 	}
-	return priceBundle(snap, q, items), nil
+	return priceBundle(st, snap, q, items), nil
 }
 
 // QuoteBatch prices a batch of queries concurrently over a bounded worker
 // pool (Config.Workers, default GOMAXPROCS). The returned quotes are
 // index-aligned with the input; the first error aborts the batch. The
-// pricing snapshot is loaded once for the whole batch, so every quote in
-// the response comes from the same calibrated pricing function (and the
-// batch as a whole stays arbitrage-free) even if a recalibration lands
-// mid-batch.
+// data state and pricing snapshot are loaded once for the whole batch, so
+// every quote in the response comes from the same calibrated pricing
+// function on the same database version (and the batch as a whole stays
+// arbitrage-free) even if a recalibration or an update lands mid-batch.
 func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
+	st := b.state.Load()
 	snap := b.snap.Load()
 	workers := b.cfg.Workers
 	if workers <= 0 {
@@ -262,7 +374,7 @@ func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) 
 				if failed.Load() {
 					continue // drain remaining jobs after a failure
 				}
-				quote, err := b.quoteWith(snap, queries[i])
+				quote, err := b.quoteWith(st, snap, queries[i])
 				if err != nil {
 					errOnce.Do(func() {
 						firstErr = fmt.Errorf("market: batch query %d: %w", i, err)
@@ -285,26 +397,28 @@ func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) 
 	return out, nil
 }
 
-// conflictSet computes (or recalls) CS(q, D). The cache key is the query's
-// canonical SQL rendering, which omits the query name: two structurally
-// identical queries share one cache entry. The support set is immutable
-// after NewBroker, so entries never need invalidation.
-func (b *Broker) conflictSet(q *relational.SelectQuery) ([]int, error) {
+// conflictSetOf computes (or recalls) CS(q, D) under one data state. The
+// cache key is the query's canonical SQL rendering, which omits the query
+// name: two structurally identical queries share one cache entry. The
+// cache lives inside the state, so a version bump retires every entry with
+// the state that produced it — a stale conflict set can never be served
+// for a newer snapshot.
+func conflictSetOf(st *marketState, q *relational.SelectQuery) ([]int, error) {
 	compute := func() ([]int, error) {
-		items, err := support.ConflictSet(b.set, q)
+		items, err := support.ConflictSet(st.set, q)
 		if err != nil {
 			return nil, fmt.Errorf("market: conflict set of %q: %w", q.Name, err)
 		}
 		return items, nil
 	}
-	if b.cache == nil {
+	if st.cache == nil {
 		return compute()
 	}
-	return b.cache.do(q.String(), compute)
+	return st.cache.do(q.String(), compute)
 }
 
 // priceBundle applies a pricing snapshot to a conflict set.
-func priceBundle(snap *pricingSnapshot, q *relational.SelectQuery, items []int) Quote {
+func priceBundle(st *marketState, snap *pricingSnapshot, q *relational.SelectQuery, items []int) Quote {
 	price := 0.0
 	if snap != nil {
 		e := hypergraph.Edge{Items: items}
@@ -324,27 +438,32 @@ func priceBundle(snap *pricingSnapshot, q *relational.SelectQuery, items []int) 
 		Price:        price,
 		ConflictSize: len(items),
 		Informative:  len(items) > 0,
+		Version:      st.version,
 	}
 }
 
 // Purchase quotes the query and, if the buyer's budget covers the price,
 // executes it and returns the answer with a receipt. A budget below the
-// price returns ErrBudget and no answer.
+// price returns ErrBudget and no answer. The quote, the delivered answer
+// and the receipt all come from one data state loaded at entry: a
+// concurrent Update cannot make the buyer pay for one snapshot and
+// receive another, and the receipt pins the version sold.
 func (b *Broker) Purchase(q *relational.SelectQuery, budget float64) (*relational.Result, Receipt, error) {
-	quote, err := b.Quote(q)
+	st := b.state.Load()
+	quote, err := b.quoteWith(st, b.snap.Load(), q)
 	if err != nil {
 		return nil, Receipt{}, err
 	}
 	if quote.Price > budget {
 		return nil, Receipt{}, fmt.Errorf("%w: price %.2f exceeds budget %.2f", ErrBudget, quote.Price, budget)
 	}
-	// The broker never mutates the base database (conflict sets are
-	// computed on overlay views), so evaluation needs no lock.
-	ans, err := q.Eval(b.db)
+	// Snapshots are immutable (updates publish successors; nothing ever
+	// mutates st.db), so evaluation needs no lock.
+	ans, err := q.Eval(st.db)
 	if err != nil {
 		return nil, Receipt{}, fmt.Errorf("market: executing %q: %w", q.Name, err)
 	}
-	r := Receipt{Query: q.Name, Price: quote.Price, When: time.Now()}
+	r := Receipt{Query: q.Name, Price: quote.Price, When: time.Now(), Version: st.version}
 	b.salesMu.Lock()
 	b.sales = append(b.sales, r)
 	b.revenue += quote.Price
@@ -377,8 +496,9 @@ func (b *Broker) Sales() []Receipt {
 // signatures to conflict sets, with in-flight deduplication: concurrent
 // misses on the same key (a batch of structurally identical queries on a
 // cold cache) share one computation instead of racing to repeat it.
-// Entries are never stale — the support set is fixed for a broker's
-// lifetime — so eviction exists only to bound memory.
+// Entries are never stale — each cache belongs to exactly one marketState
+// (one database version) and is retired wholesale with it on Update — so
+// eviction exists only to bound memory.
 type conflictCache struct {
 	mu       sync.Mutex
 	max      int
@@ -479,13 +599,15 @@ func (c *conflictCache) inflightLen() int {
 	return len(c.inflight)
 }
 
-// CacheLen reports the number of memoized conflict sets (for tests and
-// diagnostics); 0 when caching is disabled.
+// CacheLen reports the number of memoized conflict sets in the current
+// state (for tests and diagnostics); 0 when caching is disabled. A
+// version bump starts from an empty cache.
 func (b *Broker) CacheLen() int {
-	if b.cache == nil {
+	cache := b.state.Load().cache
+	if cache == nil {
 		return 0
 	}
-	b.cache.mu.Lock()
-	defer b.cache.mu.Unlock()
-	return b.cache.lru.Len()
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return cache.lru.Len()
 }

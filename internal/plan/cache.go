@@ -35,6 +35,66 @@ func NewIndexPool(db *relational.Database) *IndexPool {
 	return &IndexPool{db: db, m: make(map[indexPoolKey]map[string][]int32)}
 }
 
+// Advance returns a pool for the successor snapshot newDB (the receiver's
+// database with changes applied). Indexes on (table, column) pairs the
+// changes do not touch are shared outright; touched indexes are patched on
+// a copy — each changed cell moves one posting from its old key to its new
+// one — so no bare-scan index is ever rebuilt from scratch on an update.
+// The receiver keeps serving the predecessor snapshot unmodified.
+func (p *IndexPool) Advance(newDB *relational.Database, changes []relational.CellChange) *IndexPool {
+	np := &IndexPool{db: newDB, m: make(map[indexPoolKey]map[string][]int32)}
+	p.mu.Lock()
+	for key, idx := range p.m {
+		np.m[key] = idx // published index maps are immutable: share
+	}
+	p.mu.Unlock()
+	// Consolidate last-wins per cell, then patch each touched index.
+	type cell struct {
+		table    string
+		row, col int
+	}
+	final := make(map[cell]relational.Value, len(changes))
+	var order []cell
+	for _, c := range changes {
+		k := cell{c.Table, c.Row, c.Col}
+		if _, seen := final[k]; !seen {
+			order = append(order, k)
+		}
+		final[k] = c.New
+	}
+	patched := make(map[indexPoolKey]bool, 1)
+	var oldKey, newKey []byte
+	for _, k := range order {
+		pk := indexPoolKey{k.table, k.col}
+		idx, ok := np.m[pk]
+		if !ok {
+			continue // never built: a future get() hashes the new rows
+		}
+		ot := p.db.Table(k.table)
+		if ot == nil || k.row < 0 || k.row >= len(ot.Rows) {
+			continue // invalid change: Apply rejects these upstream
+		}
+		ov, nv := ot.Rows[k.row][k.col], final[k]
+		if ov.IsNull() && nv.IsNull() || !ov.IsNull() && !nv.IsNull() && sameKey(ov, nv) {
+			continue // key encoding unchanged: postings stay valid
+		}
+		if !patched[pk] {
+			np.m[pk] = cloneIndex(idx)
+			patched[pk] = true
+			idx = np.m[pk]
+		}
+		if !ov.IsNull() {
+			oldKey = ov.AppendEncode(oldKey[:0])
+			removePosting(idx, string(oldKey), int32(k.row))
+		}
+		if !nv.IsNull() {
+			newKey = nv.AppendEncode(newKey[:0])
+			insertPosting(idx, string(newKey), int32(k.row))
+		}
+	}
+	return np
+}
+
 func (p *IndexPool) get(table string, col int, rows [][]relational.Value) map[string][]int32 {
 	key := indexPoolKey{table, col}
 	p.mu.Lock()
@@ -192,4 +252,44 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// Advance returns a cache for the successor snapshot newDB, carrying over
+// every cached plan that Rebase can delta-maintain (LRU order preserved)
+// and dropping the rest for lazy recompilation on their next Get. The pool
+// must already be advanced to newDB (IndexPool.Advance); the receiver is
+// left untouched and keeps serving the predecessor snapshot — entries are
+// snapshotted under the lock, then rebased outside it, so concurrent Gets
+// against the old cache never stall on an update. It returns the new cache
+// plus how many plans were rebased and how many were invalidated.
+func (c *Cache) Advance(newDB *relational.Database, changes []relational.CellChange, pool *IndexPool) (*Cache, int, int) {
+	nc := NewCacheWithPool(c.max, pool)
+	nc.db = newDB
+	if pool != nil && pool.db == newDB {
+		nc.shared = pool
+	} else {
+		nc.shared = NewIndexPool(newDB)
+	}
+	type entry struct {
+		key string
+		p   *Plan
+	}
+	c.mu.Lock()
+	entries := make([]entry, 0, c.lru.Len())
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		entries = append(entries, entry{e.key, e.p})
+	}
+	c.mu.Unlock()
+	rebased, dropped := 0, 0
+	for _, e := range entries { // oldest first, so pushes preserve LRU order
+		np, ok := e.p.Rebase(newDB, changes, nc.shared)
+		if !ok {
+			dropped++
+			continue
+		}
+		nc.entries[e.key] = nc.lru.PushFront(&cacheEntry{key: e.key, p: np})
+		rebased++
+	}
+	return nc, rebased, dropped
 }

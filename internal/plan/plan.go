@@ -12,15 +12,23 @@
 // inserted (new) versions of the changed rows are joined outward through
 // the cached indexes, so per-neighbor cost is proportional to |delta| times
 // the rows it actually joins with, not to |DB|. The decision rules are
-// exact for plain projections, DISTINCT projections, the order-insensitive
-// aggregates (COUNT, COUNT(*), MIN, MAX), and — because the evaluator
-// accumulates SUM/AVG in canonical order (relational.CanonicalSum), making
-// them pure functions of each group's value multiset — for SUM, AVG and
-// COUNT(DISTINCT) as well, decided by replaying the delta against the
-// stored multiset. Plans fall back to full re-evaluation (Outcome
-// NeedFullEval) only for LIMIT queries (order-sensitive output),
-// disconnected join graphs, and the residual MIN/MAX tie cases whose
-// reported value depends on encounter order.
+// exact for plain projections, DISTINCT projections, and every aggregate:
+// COUNT and COUNT(*) are integer-exact; MIN/MAX store the canonical
+// extremum (the evaluator breaks Compare-equal ties toward the smallest
+// canonical encoding) plus its encoding multiplicity, so tie deaths and
+// births decide exactly; and — because the evaluator accumulates SUM/AVG
+// in canonical order (relational.CanonicalSum), making them pure functions
+// of each group's value multiset — SUM, AVG and COUNT(DISTINCT) are
+// decided by replaying the delta against the stored multiset. Plans fall
+// back to full re-evaluation (Outcome NeedFullEval) only for LIMIT queries
+// (order-sensitive output) and disconnected join graphs.
+//
+// The base database may evolve: relational.Database.Apply publishes each
+// update batch as a new snapshot, and Rebase carries a compiled plan onto
+// the successor — patching scans, join indexes, fingerprint terms and
+// per-group aggregate state from the change list with the same telescoping
+// delta machinery probes use — or reports that the plan must be recompiled
+// when a change escapes the cheap-patch cases (see docs/UPDATES.md).
 //
 // Plans are immutable after Compile and safe for concurrent use. Like the
 // fingerprint comparison they replace, the multiset comparisons tolerate
@@ -37,14 +45,12 @@ import (
 	"querypricing/internal/relational"
 )
 
-// CellChange is a single-cell difference from the base database (the
-// support package's Delta is an alias of this type).
-type CellChange struct {
-	Table string
-	Row   int
-	Col   int
-	New   relational.Value
-}
+// CellChange is a single-cell difference from the base database. It is an
+// alias of relational.CellChange — the one delta currency shared by support
+// neighbors (support.Delta), delta probes, and live base-database updates
+// (relational.Database.Apply) — so deltas flow through the stack without
+// conversion.
+type CellChange = relational.CellChange
 
 // Outcome is the verdict of a delta probe.
 type Outcome uint8
@@ -159,18 +165,43 @@ type valCount struct {
 }
 
 // aggBase is the base state of one aggregate within one group. MIN/MAX
-// decisions need only the extrema; SUM, AVG and COUNT(DISTINCT) store the
-// full value multiset so a delta can be applied to it and the new output
+// decisions need the canonical extrema plus their multiplicities (how many
+// occurrences carry the reported extremum's exact encoding), so tie deaths
+// and births decide exactly; SUM, AVG and COUNT(DISTINCT) store the full
+// value multiset so a delta can be applied to it and the new output
 // recomputed in the same canonical accumulation order Eval uses — making
 // their decisions exact instead of a full-re-evaluation fallback.
 type aggBase struct {
-	min, max relational.Value
+	min, max   relational.Value
+	minN, maxN int // occurrences of the extremum's exact encoding
 
 	vals       map[string]valCount // canonical encoding -> occurrences (multiset aggs only)
 	sortedKeys []string            // keys of vals in ascending encoding order
 	sum        float64             // canonical base sum (SUM/AVG)
-	cnt        int                 // base accepted-value occurrences
+	cnt        int                 // accepted (non-NULL) value occurrences, all aggs
 	distinct   int                 // base distinct accepted values
+}
+
+// noteExtrema folds one accepted value into the aggregate's canonical
+// extrema: strictly beyond values replace the extremum, Compare-equal
+// values with the identical encoding bump its multiplicity, and
+// Compare-equal values with a smaller encoding become the new canonical
+// representative (the tie-break Eval applies too).
+func (ab *aggBase) noteExtrema(v relational.Value) {
+	if ab.min.IsNull() {
+		ab.min, ab.minN = v, 1
+	} else if c := v.Compare(ab.min); c < 0 || (c == 0 && relational.EncodingLess(v, ab.min)) {
+		ab.min, ab.minN = v, 1
+	} else if c == 0 && sameKey(v, ab.min) {
+		ab.minN++
+	}
+	if ab.max.IsNull() {
+		ab.max, ab.maxN = v, 1
+	} else if c := v.Compare(ab.max); c > 0 || (c == 0 && relational.EncodingLess(v, ab.max)) {
+		ab.max, ab.maxN = v, 1
+	} else if c == 0 && sameKey(v, ab.max) {
+		ab.maxN++
+	}
 }
 
 // multisetAgg reports whether the aggregate's delta decision runs on the
@@ -187,12 +218,28 @@ func multisetAgg(a relational.Agg) bool {
 	return false
 }
 
-// Plan is a query compiled against a base database.
+// Plan is a query compiled against a base database. Every plan is stamped
+// with the version of the database it compiled against (Version); on a
+// base-database update, Rebase either delta-maintains the plan onto the
+// successor snapshot or reports that it must be recompiled.
 type Plan struct {
 	q      *relational.SelectQuery
 	fp     *relational.Footprint
 	fpCols map[string][]bool // footprint as per-table column bitmaps (rule 1)
 	baseFP uint64
+
+	dbVersion uint64 // relational.Database.Version() at compile time
+
+	// Fingerprint-maintenance state: baseFP decomposed into the header
+	// hash and the per-row hash aggregates CombineFingerprint mixes, so a
+	// Rebase can adjust them from the signed delta instead of re-running
+	// the query. fpMaintainable is false when the decomposition is not
+	// trusted (LIMIT/noProbe plans, or an aggregate plan whose recombined
+	// terms failed to reproduce Eval's fingerprint).
+	hdrHash        uint64
+	fpSum, fpXor   uint64
+	fpRows         int
+	fpMaintainable bool
 
 	mode    evalMode
 	aliases []*compiledAlias
@@ -209,6 +256,10 @@ type Plan struct {
 	aggCols   []colAt // col == -1 for COUNT(*)
 	groups    map[string]*groupState
 }
+
+// Version returns the version of the base database this plan was compiled
+// (or rebased) against.
+func (p *Plan) Version() uint64 { return p.dbVersion }
 
 // Compile builds the plan against the base database. Projection and
 // DISTINCT plans derive the base fingerprint from their own join
@@ -233,9 +284,10 @@ func compile(db *relational.Database, q *relational.SelectQuery, shared *IndexPo
 		return nil, err
 	}
 	p := &Plan{
-		q:       q,
-		fp:      fp,
-		byTable: make(map[string][]int),
+		q:         q,
+		fp:        fp,
+		byTable:   make(map[string][]int),
+		dbVersion: db.Version(),
 	}
 	switch {
 	case len(q.Aggs) > 0:
@@ -273,6 +325,7 @@ func compile(db *relational.Database, q *relational.SelectQuery, shared *IndexPo
 		}
 		p.baseFP = base.Fingerprint()
 		if p.mode == modeAggregate && !p.noProbe {
+			p.hdrHash = relational.HeaderHash(base.Cols)
 			p.buildBaseState()
 		}
 		return p, nil
@@ -664,12 +717,8 @@ func (p *Plan) buildBaseState() {
 					continue
 				}
 				ab := &gs.aggs[ai]
-				if ab.min.IsNull() || v.Compare(ab.min) < 0 {
-					ab.min = v
-				}
-				if ab.max.IsNull() || v.Compare(ab.max) > 0 {
-					ab.max = v
-				}
+				ab.cnt++
+				ab.noteExtrema(v)
 				if multisetAgg(p.q.Aggs[ai]) {
 					if ab.vals == nil {
 						ab.vals = make(map[string]valCount)
@@ -692,7 +741,10 @@ func (p *Plan) buildBaseState() {
 	}
 	switch p.mode {
 	case modeProjection:
-		p.baseFP = relational.CombineFingerprint(p.headerHash(), sum, xor, rows)
+		p.hdrHash = p.headerHash()
+		p.fpSum, p.fpXor, p.fpRows = sum, xor, rows
+		p.fpMaintainable = true
+		p.baseFP = relational.CombineFingerprint(p.hdrHash, sum, xor, rows)
 	case modeDistinct:
 		// The DISTINCT result is the support of the multiplicity map; its
 		// fingerprint combines each distinct row hash once.
@@ -701,7 +753,10 @@ func (p *Plan) buildBaseState() {
 			xor ^= h
 			rows++
 		}
-		p.baseFP = relational.CombineFingerprint(p.headerHash(), sum, xor, rows)
+		p.hdrHash = p.headerHash()
+		p.fpSum, p.fpXor, p.fpRows = sum, xor, rows
+		p.fpMaintainable = true
+		p.baseFP = relational.CombineFingerprint(p.hdrHash, sum, xor, rows)
 	case modeAggregate:
 		// Scalar aggregation over zero rows still has one output row.
 		if len(p.q.GroupBy) == 0 && len(p.groups) == 0 {
@@ -717,9 +772,8 @@ func (p *Plan) buildBaseState() {
 				}
 				ab := &gs.aggs[ai]
 				ab.sortedKeys = make([]string, 0, len(ab.vals))
-				for k, vc := range ab.vals {
+				for k := range ab.vals {
 					ab.sortedKeys = append(ab.sortedKeys, k)
-					ab.cnt += vc.n
 				}
 				sort.Strings(ab.sortedKeys)
 				ab.distinct = len(ab.vals)
@@ -736,6 +790,69 @@ func (p *Plan) buildBaseState() {
 				}
 			}
 		}
+		// Derive the fingerprint terms from the group states: one output
+		// row per group, hashed exactly as Eval encodes it. The combined
+		// value must reproduce Eval's fingerprint bit-for-bit; if it ever
+		// does not (a drift between groupRowHash and Eval's output
+		// encoding), the plan marks itself non-maintainable and live
+		// updates recompile it instead of patching — correctness degrades
+		// to a recompile, never to a wrong fingerprint.
+		var gBuf []byte
+		for key, gs := range p.groups {
+			var h uint64
+			h, gBuf = p.groupRowHash(key, gs, gBuf)
+			p.fpSum += h
+			p.fpXor ^= h
+			p.fpRows++
+		}
+		p.fpMaintainable = relational.CombineFingerprint(p.hdrHash, p.fpSum, p.fpXor, p.fpRows) == p.baseFP
+	}
+}
+
+// groupRowHash hashes the output row of one aggregate group exactly as
+// Eval's result encodes it: the group-by key encodings (the map key bytes)
+// followed by each aggregate's finalized output value. The scratch buffer
+// is returned for reuse.
+func (p *Plan) groupRowHash(key string, gs *groupState, buf []byte) (uint64, []byte) {
+	b := append(buf[:0], key...)
+	for ai := range p.q.Aggs {
+		b = appendAggOutput(b, p.q.Aggs[ai], p.aggCols[ai].col < 0, gs.rows, &gs.aggs[ai])
+	}
+	return relational.HashBytes(b), b
+}
+
+// appendAggOutput appends the canonical encoding of one aggregate's output
+// value, mirroring Eval's finalization: COUNT yields Int, SUM/AVG yield
+// Float (NULL over zero accepted values), MIN/MAX yield the stored
+// canonical extremum (NULL when no value was accepted).
+func appendAggOutput(b []byte, a relational.Agg, star bool, rows int, ab *aggBase) []byte {
+	switch a.Op {
+	case relational.AggCount:
+		n := ab.cnt
+		switch {
+		case star:
+			n = rows
+		case a.Distinct:
+			n = ab.distinct
+		}
+		return relational.Int(int64(n)).AppendEncode(b)
+	case relational.AggSum, relational.AggAvg:
+		n := ab.cnt
+		if a.Distinct {
+			n = ab.distinct
+		}
+		if n == 0 {
+			return relational.Null().AppendEncode(b)
+		}
+		out := ab.sum
+		if a.Op == relational.AggAvg {
+			out /= float64(n)
+		}
+		return relational.Float(out).AppendEncode(b)
+	case relational.AggMin:
+		return ab.min.AppendEncode(b)
+	default: // AggMax
+		return ab.max.AppendEncode(b)
 	}
 }
 

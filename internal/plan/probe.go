@@ -294,10 +294,12 @@ type groupDelta struct {
 
 // probeAggregate applies the exact decision tree for aggregate queries:
 // group appearance/disappearance and COUNT deltas are integer-exact;
-// MIN/MAX use the stored base extrema; SUM, AVG and COUNT(DISTINCT) are
-// decided exactly by replaying the delta against the group's stored value
-// multiset (decideMultiset). The only remaining NeedFullEval outcomes are
-// the MIN/MAX tie cases whose reported value depends on encounter order.
+// MIN/MAX are decided exactly from the stored canonical extrema and their
+// encoding multiplicities (decideExtremum); SUM, AVG and COUNT(DISTINCT)
+// are decided exactly by replaying the delta against the group's stored
+// value multiset (decideMultiset). No aggregate shape falls back to a full
+// re-evaluation anymore — NeedFullEval survives only as a defensive
+// verdict on impossible states.
 func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
 	deltas := make(map[string]*groupDelta)
 	var keyBuf []byte
@@ -427,14 +429,12 @@ func sameFloat(a, b float64) bool {
 	return math.Float64bits(a) == math.Float64bits(b)
 }
 
-// decideMultiset resolves a SUM, AVG or COUNT(DISTINCT) aggregate exactly:
-// the neighbor's signed value delta is applied to the group's stored
-// multiset and the new output recomputed with the same canonical
-// (encoding-sorted, Kahan) accumulation Eval uses, so the comparison
-// against the base output is bit-exact. Phantom add/remove pairs from the
-// telescoping enumeration cancel when the overlay is built, so netting is
-// unnecessary.
-func decideMultiset(a relational.Agg, ab *aggBase, removed, added []relational.Value) Outcome {
+// buildOverlay folds signed value lists into a per-encoding net-delta
+// overlay with its keys in ascending encoding order. Phantom add/remove
+// pairs from the telescoping enumeration cancel here, so callers need no
+// separate netting pass. Shared by the probe decisions and by Rebase's
+// state maintenance.
+func buildOverlay(removed, added []relational.Value) (map[string]*ovDelta, []string) {
 	overlay := make(map[string]*ovDelta, len(removed)+len(added))
 	var keys []string
 	var buf []byte
@@ -455,6 +455,16 @@ func decideMultiset(a relational.Agg, ab *aggBase, removed, added []relational.V
 		apply(v, -1)
 	}
 	sort.Strings(keys)
+	return overlay, keys
+}
+
+// decideMultiset resolves a SUM, AVG or COUNT(DISTINCT) aggregate exactly:
+// the neighbor's signed value delta is applied to the group's stored
+// multiset and the new output recomputed with the same canonical
+// (encoding-sorted, Kahan) accumulation Eval uses, so the comparison
+// against the base output is bit-exact.
+func decideMultiset(a relational.Agg, ab *aggBase, removed, added []relational.Value) Outcome {
+	overlay, keys := buildOverlay(removed, added)
 
 	// Walk the overlay to derive the new occurrence and distinct counts.
 	newCnt, newDistinct := ab.cnt, ab.distinct
@@ -584,24 +594,30 @@ func netDiff(rem, add []relational.Value) (nr, na []relational.Value) {
 	return nr, na
 }
 
-// decideExtremum handles MIN (dir < 0) and MAX (dir > 0) exactly: a value
-// beyond the stored base extremum changes the answer; removing a value tied
-// with the extremum is undecidable without multiplicities; everything else
-// leaves the extremum untouched. Ties with a different canonical encoding
-// (cross-kind numeric equality) are undecidable because the reported
-// extremum depends on encounter order.
+// decideExtremum handles MIN (dir < 0) and MAX (dir > 0) exactly. The plan
+// stores the canonical extremum (Eval's deterministic tie-break: the
+// smallest encoding among Compare-equal candidates) together with the
+// multiplicity of its exact encoding, so every case is decided:
+//
+//   - an added value strictly beyond the extremum — or Compare-equal with
+//     a smaller encoding, making it the new canonical representative —
+//     changes the reported value;
+//   - removals that exhaust every occurrence of the reported encoding
+//     change the answer (whatever replaces it encodes differently);
+//   - everything else (tie births with larger encodings, tie deaths with
+//     surviving copies, interior values) leaves the output untouched.
+//
+// The rem/add lists are netted (netDiff), so the same encoding never
+// appears on both sides.
 func decideExtremum(base *groupState, ai int, rem, add []relational.Value, dir int) Outcome {
 	var ext relational.Value
+	extN := 0
 	if base != nil {
+		ab := &base.aggs[ai]
 		if dir < 0 {
-			ext = base.aggs[ai].min
+			ext, extN = ab.min, ab.minN
 		} else {
-			ext = base.aggs[ai].max
-		}
-	}
-	for _, v := range rem {
-		if !ext.IsNull() && v.Compare(ext) == 0 {
-			return NeedFullEval // may have removed the (unique?) extremum
+			ext, extN = ab.max, ab.maxN
 		}
 	}
 	for _, v := range add {
@@ -612,9 +628,21 @@ func decideExtremum(base *groupState, ai int, rem, add []relational.Value, dir i
 		if dir < 0 && c < 0 || dir > 0 && c > 0 {
 			return Changed
 		}
-		if c == 0 && !sameKey(v, ext) {
-			return NeedFullEval // cross-kind tie: reported value is order-dependent
+		if c == 0 && !sameKey(v, ext) && relational.EncodingLess(v, ext) {
+			return Changed // new canonical representative of the tie class
 		}
+	}
+	remExt := 0
+	for _, v := range rem {
+		if !ext.IsNull() && v.Compare(ext) == 0 && sameKey(v, ext) {
+			remExt++
+		}
+	}
+	if remExt >= extN && remExt > 0 {
+		// Every occurrence of the reported encoding is gone; the new
+		// extremum — a tie mate with a larger encoding, a strictly interior
+		// value, or NULL — necessarily encodes differently.
+		return Changed
 	}
 	return Unchanged
 }

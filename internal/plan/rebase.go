@@ -1,0 +1,599 @@
+package plan
+
+// Live-update plan maintenance. When the base database advances to a new
+// snapshot (relational.Database.Apply), every compiled plan is either
+// delta-maintained onto the successor — scans, join indexes, fingerprint
+// terms, DISTINCT multiplicities and per-group aggregate state patched
+// from the change list with the same telescoping delta enumeration probes
+// use — or invalidated for lazy recompilation. The old plan is never
+// mutated: concurrent probes against the previous snapshot keep working,
+// and the rebased plan shares every untouched artifact structurally.
+//
+// A change escapes the cheap-patch cases (Rebase returns false) when:
+//
+//   - the plan cannot probe at all (LIMIT output, disconnected join graph):
+//     there is no delta machinery to maintain its state with;
+//   - an aggregate plan's fingerprint decomposition is untrusted
+//     (fpMaintainable false);
+//   - a change removes the last occurrence of a group's reported MIN/MAX
+//     encoding while accepted values remain: the new extremum is unknown
+//     without the full value multiset;
+//   - a change list references rows outside the plan's scans (defensive;
+//     Apply validates these before they reach Rebase).
+//
+// Everything else — predicate visibility flips included (the affected
+// alias's scan and indexes are rebuilt from the new table, still far
+// cheaper than re-running the query) — is patched in time proportional to
+// the change list and the artifacts it actually touches.
+
+import (
+	"sort"
+
+	"querypricing/internal/relational"
+)
+
+// Rebase carries a plan compiled against the predecessor of newDB onto
+// newDB, given the cell changes that produced it (order-insensitive up to
+// last-wins per cell, exactly Apply's semantics). On success it returns a
+// new plan equivalent to Compile(newDB, q) — same decisions, same base
+// fingerprint — sharing every artifact the changes did not touch; shared
+// supplies patched bare-scan indexes (a nil or mismatched pool rebuilds
+// them privately). On failure (false) the caller must recompile; the
+// receiver is never modified either way.
+func (p *Plan) Rebase(newDB *relational.Database, changes []CellChange, shared *IndexPool) (*Plan, bool) {
+	if p.noProbe || p.mode == modeFullOnly {
+		return nil, false
+	}
+	if p.mode == modeAggregate && !p.fpMaintainable {
+		return nil, false
+	}
+	rel, ok := p.relevantChanges(changes)
+	if !ok {
+		return nil, false
+	}
+	np := *p // immutable pieces (query, footprint, programs, outputs) shared
+	np.dbVersion = newDB.Version()
+	if len(rel) == 0 {
+		return &np, true
+	}
+
+	// State first: replay the telescoping delta enumeration of the OLD
+	// plan to patch fingerprint terms and mode-specific base state.
+	patches := p.buildPatches(rel)
+	switch p.mode {
+	case modeProjection:
+		p.rebaseProjection(&np, patches)
+	case modeDistinct:
+		if !p.rebaseDistinct(&np, patches) {
+			return nil, false
+		}
+	case modeAggregate:
+		if !p.rebaseAggregate(&np, patches) {
+			return nil, false
+		}
+	}
+
+	// Then the physical artifacts: per-alias scans and join indexes.
+	aliases, ok := p.rebaseAliases(newDB, rel, shared)
+	if !ok {
+		return nil, false
+	}
+	np.aliases = aliases
+	return &np, true
+}
+
+// relevantChanges consolidates the change list down to the plan's tables
+// with last-wins semantics per cell, rejecting (false) out-of-range
+// coordinates.
+func (p *Plan) relevantChanges(changes []CellChange) ([]CellChange, bool) {
+	type cell struct {
+		table    string
+		row, col int
+	}
+	idx := make(map[cell]int)
+	var out []CellChange
+	for _, c := range changes {
+		aliases := p.byTable[c.Table]
+		if len(aliases) == 0 {
+			continue // table not in the query: invisible to this plan
+		}
+		ca := p.aliases[aliases[0]]
+		if c.Row < 0 || c.Row >= len(ca.baseTableRows) || c.Col < 0 || c.Col >= len(ca.schema.Cols) {
+			return nil, false
+		}
+		k := cell{c.Table, c.Row, c.Col}
+		if i, seen := idx[k]; seen {
+			out[i].New = c.New // later change to the same cell wins
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, c)
+	}
+	return out, true
+}
+
+// rebaseProjection adjusts the projection fingerprint terms by the signed
+// projected-row hash delta.
+func (p *Plan) rebaseProjection(np *Plan, patches []*aliasPatch) {
+	var buf []byte
+	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+		h := p.projHash(tuple, &buf)
+		if sign > 0 {
+			np.fpSum += h
+			np.fpXor ^= h
+			np.fpRows++
+		} else {
+			np.fpSum -= h
+			np.fpXor ^= h
+			np.fpRows--
+		}
+	})
+	np.baseFP = relational.CombineFingerprint(np.hdrHash, np.fpSum, np.fpXor, np.fpRows)
+}
+
+// rebaseDistinct clones the multiplicity map, applies the signed delta,
+// and adjusts the fingerprint terms for every multiplicity that crosses
+// zero (the only transitions visible in a DISTINCT result).
+func (p *Plan) rebaseDistinct(np *Plan, patches []*aliasPatch) bool {
+	net := make(map[uint64]int)
+	var buf []byte
+	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+		net[p.projHash(tuple, &buf)] += sign
+	})
+	counts := make(map[uint64]int, len(p.distinctCounts))
+	for h, n := range p.distinctCounts {
+		counts[h] = n
+	}
+	for h, d := range net {
+		if d == 0 {
+			continue
+		}
+		n0 := counts[h]
+		n1 := n0 + d
+		if n1 < 0 {
+			return false // over-removal: state cannot be trusted
+		}
+		if n1 == 0 {
+			delete(counts, h)
+		} else {
+			counts[h] = n1
+		}
+		switch {
+		case n0 == 0 && n1 > 0:
+			np.fpSum += h
+			np.fpXor ^= h
+			np.fpRows++
+		case n0 > 0 && n1 == 0:
+			np.fpSum -= h
+			np.fpXor ^= h
+			np.fpRows--
+		}
+	}
+	np.distinctCounts = counts
+	np.baseFP = relational.CombineFingerprint(np.hdrHash, np.fpSum, np.fpXor, np.fpRows)
+	return true
+}
+
+// rebaseAggregate clones the group map, patches every touched group's
+// state (extrema with multiplicities, value multisets, counts), and
+// adjusts the fingerprint terms by each touched group's old and new output
+// row hash.
+func (p *Plan) rebaseAggregate(np *Plan, patches []*aliasPatch) bool {
+	deltas := make(map[string]*groupDelta)
+	var keyBuf []byte
+	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+		keyBuf = p.groupKey(tuple, keyBuf[:0])
+		gd := deltas[string(keyBuf)]
+		if gd == nil {
+			gd = &groupDelta{
+				removed: make([][]relational.Value, len(p.aggCols)),
+				added:   make([][]relational.Value, len(p.aggCols)),
+			}
+			deltas[string(keyBuf)] = gd
+		}
+		gd.rows += sign
+		for ai, at := range p.aggCols {
+			if at.col < 0 {
+				continue
+			}
+			v := tuple[at.alias][at.col]
+			if v.IsNull() {
+				continue
+			}
+			if sign > 0 {
+				gd.added[ai] = append(gd.added[ai], v)
+			} else {
+				gd.removed[ai] = append(gd.removed[ai], v)
+			}
+		}
+	})
+	if len(deltas) == 0 {
+		return true // changed rows never joined: state is untouched
+	}
+	groups := make(map[string]*groupState, len(p.groups))
+	for k, gs := range p.groups {
+		groups[k] = gs
+	}
+	grouped := len(p.q.GroupBy) > 0
+	var buf []byte
+	for key, gd := range deltas {
+		old := p.groups[key]
+		oldRows := 0
+		if old != nil {
+			oldRows = old.rows
+			var h uint64
+			h, buf = p.groupRowHash(key, old, buf)
+			np.fpSum -= h
+			np.fpXor ^= h
+			np.fpRows--
+		}
+		newRows := oldRows + gd.rows
+		if newRows < 0 {
+			return false
+		}
+		if grouped && newRows == 0 {
+			delete(groups, key) // the result row disappears
+			continue
+		}
+		ngs := &groupState{rows: newRows, aggs: make([]aggBase, len(p.q.Aggs))}
+		for ai := range p.q.Aggs {
+			var ob *aggBase
+			if old != nil {
+				ob = &old.aggs[ai]
+			}
+			nb, ok := rebaseAgg(p.q.Aggs[ai], p.aggCols[ai].col < 0, ob, gd.removed[ai], gd.added[ai])
+			if !ok {
+				return false
+			}
+			ngs.aggs[ai] = nb
+		}
+		groups[key] = ngs
+		var h uint64
+		h, buf = p.groupRowHash(key, ngs, buf)
+		np.fpSum += h
+		np.fpXor ^= h
+		np.fpRows++
+	}
+	np.groups = groups
+	np.baseFP = relational.CombineFingerprint(np.hdrHash, np.fpSum, np.fpXor, np.fpRows)
+	return true
+}
+
+// rebaseAgg produces the new base state of one aggregate in one group from
+// its signed value delta. COUNT(*) carries no per-aggregate state. For
+// SUM/AVG/COUNT(DISTINCT) the stored multiset absorbs the overlay with the
+// same canonical (encoding-sorted, Kahan) accumulation Compile uses, so the
+// rebased sum is bit-identical to a fresh compilation's. For MIN/MAX the
+// canonical extremum and its multiplicity are maintained; exhausting the
+// reported encoding while values remain is the one undecidable case
+// (false: recompile).
+func rebaseAgg(a relational.Agg, star bool, ob *aggBase, removed, added []relational.Value) (aggBase, bool) {
+	if star {
+		return aggBase{}, true // COUNT(*): the group's row count is the state
+	}
+	if ob == nil {
+		// Group born by this update: its whole state comes from the added
+		// values (net removals from a nonexistent group are impossible).
+		if rem, _ := netDiff(removed, added); len(rem) > 0 {
+			return aggBase{}, false
+		}
+		ob = &aggBase{}
+	}
+	if len(removed) == 0 && len(added) == 0 {
+		return *ob, true // untouched: share maps and slices structurally
+	}
+	nb := *ob
+	nb.cnt = ob.cnt + len(added) - len(removed)
+	if nb.cnt < 0 {
+		return aggBase{}, false
+	}
+	if multisetAgg(a) {
+		overlay, keys := buildOverlay(removed, added)
+		return mergeMultiset(a, ob, nb.cnt, overlay, keys)
+	}
+	rem, add := netDiff(removed, added)
+	if nb.cnt == 0 {
+		// Every accepted value is gone: the output reverts to NULL.
+		nb.min, nb.minN, nb.max, nb.maxN = relational.Null(), 0, relational.Null(), 0
+		return nb, true
+	}
+	var ok bool
+	if nb.min, nb.minN, ok = rebaseExtremum(nb.min, nb.minN, rem, add, -1); !ok {
+		return aggBase{}, false
+	}
+	if nb.max, nb.maxN, ok = rebaseExtremum(nb.max, nb.maxN, rem, add, +1); !ok {
+		return aggBase{}, false
+	}
+	return nb, true
+}
+
+// rebaseExtremum maintains one canonical extremum (dir < 0 = MIN) and its
+// encoding multiplicity across a netted value delta. It fails exactly when
+// every occurrence of the reported encoding is removed: the successor
+// extremum is unknown without the full multiset.
+func rebaseExtremum(ext relational.Value, extN int, rem, add []relational.Value, dir int) (relational.Value, int, bool) {
+	for _, v := range rem {
+		if !ext.IsNull() && v.Compare(ext) == 0 && sameKey(v, ext) {
+			extN--
+		}
+	}
+	if !ext.IsNull() && extN <= 0 {
+		return ext, extN, false
+	}
+	for _, v := range add {
+		if ext.IsNull() {
+			ext, extN = v, 1
+			continue
+		}
+		c := v.Compare(ext)
+		switch {
+		case dir < 0 && c < 0 || dir > 0 && c > 0:
+			ext, extN = v, 1
+		case c == 0 && sameKey(v, ext):
+			extN++
+		case c == 0 && relational.EncodingLess(v, ext):
+			ext, extN = v, 1 // new canonical representative of the tie class
+		}
+	}
+	return ext, extN, true
+}
+
+// mergeMultiset rebuilds a multiset aggregate's state by merging the base
+// multiset with the overlay in ascending encoding order, Kahan-summing as
+// Compile's finalization does — the rebased sum is therefore bit-identical
+// to a fresh compilation over the patched data. The extrema fields are
+// carried over untouched: no consumer reads them for multiset aggregates.
+func mergeMultiset(a relational.Agg, ob *aggBase, cnt int, overlay map[string]*ovDelta, keys []string) (aggBase, bool) {
+	nb := aggBase{min: ob.min, minN: ob.minN, max: ob.max, maxN: ob.maxN, cnt: cnt}
+	nb.vals = make(map[string]valCount, len(ob.vals)+len(keys))
+	nb.sortedKeys = make([]string, 0, len(ob.sortedKeys)+len(keys))
+	var sum, comp float64
+	bad := false
+	addKey := func(k string, n int, f float64) {
+		if n < 0 {
+			bad = true
+			return
+		}
+		if n == 0 {
+			return
+		}
+		nb.vals[k] = valCount{n: n, f: f}
+		nb.sortedKeys = append(nb.sortedKeys, k)
+		reps := n
+		if a.Distinct {
+			reps = 1 // Eval's DISTINCT filter accepts each value once
+		}
+		for i := 0; i < reps; i++ {
+			sum, comp = relational.AddKahan(sum, comp, f)
+		}
+	}
+	bi, oi := 0, 0
+	for bi < len(ob.sortedKeys) || oi < len(keys) {
+		switch {
+		case oi >= len(keys) || (bi < len(ob.sortedKeys) && ob.sortedKeys[bi] < keys[oi]):
+			k := ob.sortedKeys[bi]
+			vc := ob.vals[k]
+			addKey(k, vc.n, vc.f)
+			bi++
+		case bi >= len(ob.sortedKeys) || keys[oi] < ob.sortedKeys[bi]:
+			k := keys[oi]
+			e := overlay[k]
+			addKey(k, e.delta, e.f)
+			oi++
+		default: // same key on both sides
+			k := ob.sortedKeys[bi]
+			vc := ob.vals[k]
+			addKey(k, vc.n+overlay[k].delta, vc.f)
+			bi++
+			oi++
+		}
+	}
+	if bad {
+		return aggBase{}, false
+	}
+	nb.distinct = len(nb.vals)
+	nb.sum = sum
+	return nb, true
+}
+
+// rebaseAliases rebuilds the per-alias scans and indexes for the new
+// snapshot, sharing every alias the (used-column) changes do not touch.
+// Rows whose predicate visibility flips force a full rescan of that alias
+// from the new table; rows that stay in a scan are re-pointed at their new
+// version with the affected join-index postings patched in place (on
+// copies — the old plan keeps its artifacts).
+func (p *Plan) rebaseAliases(newDB *relational.Database, rel []CellChange, shared *IndexPool) ([]*compiledAlias, bool) {
+	type rowKey struct {
+		table string
+		row   int
+	}
+	byRow := make(map[rowKey][]CellChange, len(rel))
+	var order []rowKey
+	for _, c := range rel {
+		k := rowKey{c.Table, c.Row}
+		if _, seen := byRow[k]; !seen {
+			order = append(order, k)
+		}
+		byRow[k] = append(byRow[k], c)
+	}
+	out := make([]*compiledAlias, len(p.aliases))
+	copy(out, p.aliases)
+	for ai, ca := range p.aliases {
+		nt := newDB.Table(ca.table)
+		if nt == nil || len(nt.Rows) != len(ca.baseTableRows) {
+			return nil, false // cell updates never resize tables
+		}
+		touched := false
+		flip := false
+		var swaps []rowSwap
+		for _, rk := range order {
+			if rk.table != ca.table {
+				continue
+			}
+			group := byRow[rk]
+			if !relevantToAlias(ca, rk.table, rk.row, group) {
+				continue // only unused columns changed: indistinguishable
+			}
+			touched = true
+			if ca.bare {
+				continue // always visible; handled wholesale below
+			}
+			pos, inScan := ca.scanPos(rk.row)
+			newPass := ca.passes(nt.Rows[rk.row])
+			switch {
+			case inScan != newPass:
+				flip = true
+			case inScan:
+				swaps = append(swaps, rowSwap{pos: pos, row: rk.row, oldRow: ca.rows[pos]})
+			}
+			if flip {
+				break
+			}
+		}
+		if !touched {
+			continue // share the alias untouched
+		}
+		switch {
+		case ca.bare:
+			out[ai] = rebaseBareAlias(ca, nt, newDB, shared)
+		case flip:
+			out[ai] = rebuildFilteredAlias(ca, nt)
+		default:
+			out[ai] = patchFilteredAlias(ca, nt, swaps)
+		}
+	}
+	return out, true
+}
+
+// rebaseBareAlias re-points a predicate-free scan at the new table and
+// pulls its join indexes from the advanced shared pool (or rebuilds them
+// privately when no matching pool is supplied).
+func rebaseBareAlias(ca *compiledAlias, nt *relational.Table, newDB *relational.Database, shared *IndexPool) *compiledAlias {
+	nca := *ca
+	nca.baseTableRows = nt.Rows
+	nca.rows = nt.Rows
+	nca.indexes = make(map[int]map[string][]int32, len(ca.indexes))
+	for col := range ca.indexes {
+		if shared != nil && shared.db == newDB {
+			nca.indexes[col] = shared.get(ca.table, col, nt.Rows)
+		} else {
+			nca.indexes[col] = hashRows(nt.Rows, col)
+		}
+	}
+	return &nca
+}
+
+// rebuildFilteredAlias rescans the new table from scratch: the fallback
+// when a change flips a row across the alias's predicate boundary (scan
+// positions shift, so patching is not worth the bookkeeping).
+func rebuildFilteredAlias(ca *compiledAlias, nt *relational.Table) *compiledAlias {
+	nca := *ca
+	nca.baseTableRows = nt.Rows
+	nca.rows = nil
+	nca.posOfBaseRow = make(map[int]int32)
+	for ri, row := range nt.Rows {
+		if nca.passes(row) {
+			nca.posOfBaseRow[ri] = int32(len(nca.rows))
+			nca.rows = append(nca.rows, row)
+		}
+	}
+	nca.indexes = make(map[int]map[string][]int32, len(ca.indexes))
+	for col := range ca.indexes {
+		nca.indexes[col] = hashRows(nca.rows, col)
+	}
+	return &nca
+}
+
+// rowSwap records one in-scan row whose content changed without crossing
+// the alias's predicate boundary: scan position, base row index, and the
+// predecessor row object (for old index keys).
+type rowSwap struct {
+	pos    int32
+	row    int
+	oldRow []relational.Value
+}
+
+// patchFilteredAlias handles the visibility-stable case: changed in-scan
+// rows are re-pointed at their new versions (fresh outer slice, positions
+// unchanged) and each join index whose column actually changed gets its
+// postings moved from the old key to the new one.
+func patchFilteredAlias(ca *compiledAlias, nt *relational.Table, swaps []rowSwap) *compiledAlias {
+	nca := *ca
+	nca.baseTableRows = nt.Rows
+	nca.rows = make([][]relational.Value, len(ca.rows))
+	copy(nca.rows, ca.rows)
+	nca.indexes = make(map[int]map[string][]int32, len(ca.indexes))
+	for col, idx := range ca.indexes {
+		nca.indexes[col] = idx // shared until a swap touches the column
+	}
+	cloned := make(map[int]bool, len(ca.indexes))
+	var oldKey, newKey []byte
+	for _, sw := range swaps {
+		newRow := nt.Rows[sw.row]
+		nca.rows[sw.pos] = newRow
+		for col := range ca.indexes {
+			ov, nv := sw.oldRow[col], newRow[col]
+			if ov.IsNull() && nv.IsNull() || !ov.IsNull() && !nv.IsNull() && sameKey(ov, nv) {
+				continue // key unchanged: postings stay valid
+			}
+			if !cloned[col] {
+				nca.indexes[col] = cloneIndex(nca.indexes[col])
+				cloned[col] = true
+			}
+			idx := nca.indexes[col]
+			if !ov.IsNull() {
+				oldKey = ov.AppendEncode(oldKey[:0])
+				removePosting(idx, string(oldKey), sw.pos)
+			}
+			if !nv.IsNull() {
+				newKey = nv.AppendEncode(newKey[:0])
+				insertPosting(idx, string(newKey), sw.pos)
+			}
+		}
+	}
+	return &nca
+}
+
+// cloneIndex shallow-copies a join index map; posting slices stay shared
+// until removePosting/insertPosting replace them.
+func cloneIndex(idx map[string][]int32) map[string][]int32 {
+	out := make(map[string][]int32, len(idx))
+	for k, v := range idx {
+		out[k] = v
+	}
+	return out
+}
+
+// removePosting deletes one position from a key's posting list on a fresh
+// slice (the original may be shared with the predecessor plan), dropping
+// the key when the list empties.
+func removePosting(idx map[string][]int32, key string, pos int32) {
+	lst := idx[key]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= pos })
+	if i >= len(lst) || lst[i] != pos {
+		return // defensive: position not indexed
+	}
+	if len(lst) == 1 {
+		delete(idx, key)
+		return
+	}
+	out := make([]int32, 0, len(lst)-1)
+	out = append(out, lst[:i]...)
+	out = append(out, lst[i+1:]...)
+	idx[key] = out
+}
+
+// insertPosting adds one position to a key's posting list, preserving
+// ascending order, on a fresh slice.
+func insertPosting(idx map[string][]int32, key string, pos int32) {
+	lst := idx[key]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= pos })
+	if i < len(lst) && lst[i] == pos {
+		return // defensive: already indexed
+	}
+	out := make([]int32, 0, len(lst)+1)
+	out = append(out, lst[:i]...)
+	out = append(out, pos)
+	out = append(out, lst[i:]...)
+	idx[key] = out
+}

@@ -603,6 +603,22 @@ func CanonicalSum(vals []Value) float64 {
 	return sum
 }
 
+// extremumLess reports whether v replaces cur as the reported MIN:
+// strictly smaller by Compare, or Compare-equal with a strictly smaller
+// canonical encoding (the deterministic tie-break).
+func extremumLess(v, cur Value) bool {
+	c := v.Compare(cur)
+	return c < 0 || (c == 0 && EncodingLess(v, cur))
+}
+
+// extremumGreater is extremumLess's MAX twin: strictly greater by Compare,
+// or Compare-equal with a strictly smaller canonical encoding (ties break
+// toward the same canonical representative in both directions).
+func extremumGreater(v, cur Value) bool {
+	c := v.Compare(cur)
+	return c > 0 || (c == 0 && EncodingLess(v, cur))
+}
+
 type aggState struct {
 	groupKey []Value
 	count    int64
@@ -681,10 +697,15 @@ func (q *SelectQuery) evalAggregates(rows [][]Value, bind *binding) (*Result, er
 				if a.Op == AggSum || a.Op == AggAvg {
 					st.vals = append(st.vals, v)
 				}
-				if st.min.IsNull() || v.Compare(st.min) < 0 {
+				// Canonical extrema: among Compare-equal candidates (Int(3)
+				// vs Float(3)) the smallest canonical encoding is reported,
+				// so MIN/MAX are pure functions of the group's value
+				// multiset, never of encounter order — the property that
+				// lets delta probes decide tie deaths and births exactly.
+				if st.min.IsNull() || extremumLess(v, st.min) {
 					st.min = v
 				}
-				if st.max.IsNull() || v.Compare(st.max) > 0 {
+				if st.max.IsNull() || extremumGreater(v, st.max) {
 					st.max = v
 				}
 			}

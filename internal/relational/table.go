@@ -60,10 +60,14 @@ func (t *Table) Append(row ...Value) {
 // NumRows returns the row count.
 func (t *Table) NumRows() int { return len(t.Rows) }
 
-// Database is a named collection of tables.
+// Database is a named collection of tables, stamped with a monotonically
+// increasing version: 0 at construction, +1 per Apply (update.go). Higher
+// layers use the version to stamp compiled plans and pricing snapshots
+// with the exact data they were built against.
 type Database struct {
-	tables map[string]*Table
-	order  []string
+	tables  map[string]*Table
+	order   []string
+	version uint64
 }
 
 // NewDatabase returns an empty database.
@@ -129,7 +133,8 @@ func (d *Database) ActiveDomain(table, col string) []Value {
 }
 
 // Clone returns a deep copy of the database (fresh row slices; Values are
-// immutable so cells are shared).
+// immutable so cells are shared). The clone starts its own version lineage
+// at 0.
 func (d *Database) Clone() *Database {
 	out := NewDatabase()
 	for _, name := range d.order {

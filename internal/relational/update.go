@@ -1,0 +1,135 @@
+package relational
+
+// Live updates to the base database. The seller's data evolves between
+// sales, so Database carries a monotonically increasing version counter and
+// an Apply mutation API that publishes each batch of cell changes as a new
+// snapshot: the receiver is never modified, untouched tables (and the
+// untouched rows of touched tables) are shared structurally, and only the
+// changed rows are copied. Everything compiled against the old snapshot —
+// query plans, join indexes, fingerprints, in-flight quotes — stays valid
+// and keeps serving while higher layers swap in the successor (see
+// docs/UPDATES.md for the full update story).
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellChange is a single-cell update to the base database: table.Rows[Row][Col]
+// becomes New. It is the one delta currency of the whole stack — support
+// neighbors, plan probes and live updates all speak it (plan.CellChange and
+// support.Delta are aliases of this type).
+type CellChange struct {
+	Table string
+	Row   int
+	Col   int
+	New   Value
+}
+
+// Version returns the database's version: 0 for a freshly constructed (or
+// cloned) database, incremented by one on every Apply.
+func (d *Database) Version() uint64 { return d.version }
+
+// Apply publishes a new database snapshot with the changes applied, in
+// order (later changes to the same cell win), and the version counter
+// incremented by one. The receiver is NOT modified: untouched tables are
+// shared outright, touched tables get a fresh row slice sharing every
+// untouched row, and only changed rows are copied. Readers of the old
+// snapshot — concurrent quotes, compiled plans, overlay views — therefore
+// keep seeing exactly the data they started with.
+//
+// Every change is validated before anything is built — unknown table, row
+// or column out of range, or a non-NULL value whose kind contradicts the
+// column's declared kind (base data stays schema-typed; NULL is always
+// admissible). On error the returned database is nil and the receiver is
+// unchanged. Note the asymmetry with support neighbors, which are free to
+// posit cross-kind hypothetical values: neighbors describe databases the
+// seller might have had, updates mutate the one the seller actually has.
+func (d *Database) Apply(changes []CellChange) (*Database, error) {
+	for i, c := range changes {
+		t := d.tables[c.Table]
+		if t == nil {
+			return nil, fmt.Errorf("relational: apply: change %d references unknown table %q", i, c.Table)
+		}
+		if c.Row < 0 || c.Row >= len(t.Rows) {
+			return nil, fmt.Errorf("relational: apply: change %d row %d out of range for %q (%d rows)", i, c.Row, c.Table, len(t.Rows))
+		}
+		if c.Col < 0 || c.Col >= len(t.Schema.Cols) {
+			return nil, fmt.Errorf("relational: apply: change %d column %d out of range for %q (%d columns)", i, c.Col, c.Table, len(t.Schema.Cols))
+		}
+		if col := t.Schema.Cols[c.Col]; !c.New.IsNull() && c.New.K != col.Kind {
+			return nil, fmt.Errorf("relational: apply: change %d writes a %s into %s column %q.%q",
+				i, c.New.K, col.Kind, c.Table, col.Name)
+		}
+	}
+	touched := make(map[string]bool, 1)
+	for _, c := range changes {
+		touched[c.Table] = true
+	}
+	out := &Database{
+		tables:  make(map[string]*Table, len(d.tables)),
+		order:   append([]string(nil), d.order...), // never share the mutable order slice
+		version: d.version + 1,
+	}
+	for name, t := range d.tables {
+		if !touched[name] {
+			out.tables[name] = t // untouched table: shared outright
+			continue
+		}
+		nt := NewTable(t.Schema)
+		nt.Rows = make([][]Value, len(t.Rows))
+		copy(nt.Rows, t.Rows)
+		out.tables[name] = nt
+	}
+	type cellRow struct {
+		table string
+		row   int
+	}
+	copied := make(map[cellRow]bool, len(changes)) // (table, row) pairs already copied
+	for _, c := range changes {
+		nt := out.tables[c.Table]
+		key := cellRow{c.Table, c.Row}
+		if !copied[key] {
+			row := make([]Value, len(nt.Rows[c.Row]))
+			copy(row, nt.Rows[c.Row])
+			nt.Rows[c.Row] = row
+			copied[key] = true
+		}
+		nt.Rows[c.Row][c.Col] = c.New
+	}
+	return out, nil
+}
+
+// EncodingLess reports whether a's canonical encoding (AppendEncode) orders
+// strictly before b's, without materializing either encoding. It is the
+// tie-break Eval and the plan layer use to make MIN/MAX outputs pure
+// functions of each group's value multiset: among Compare-equal candidates
+// (e.g. Int(3) vs Float(3)), the one with the smallest canonical encoding
+// is reported, so the answer never depends on encounter order.
+func EncodingLess(a, b Value) bool {
+	if a.K != b.K {
+		return a.K < b.K // the kind byte leads every encoding
+	}
+	switch a.K {
+	case KindInt:
+		// Big-endian bytes of uint64(I): byte order == unsigned order.
+		return uint64(a.I) < uint64(b.I)
+	case KindFloat:
+		x, y := a.F, b.F
+		if x == 0 {
+			x = 0 // normalize -0, as AppendEncode does
+		}
+		if y == 0 {
+			y = 0
+		}
+		return math.Float64bits(x) < math.Float64bits(y)
+	case KindString:
+		// Length prefix first (big-endian uint32), then the bytes.
+		if len(a.S) != len(b.S) {
+			return len(a.S) < len(b.S)
+		}
+		return a.S < b.S
+	default: // NULL: identical encodings
+		return false
+	}
+}

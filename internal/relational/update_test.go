@@ -1,0 +1,154 @@
+package relational
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func updateTestDB() *Database {
+	db := NewDatabase()
+	t := NewTable(NewSchema("T",
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindString},
+	))
+	t.Append(Int(1), Str("x"))
+	t.Append(Int(2), Str("y"))
+	db.AddTable(t)
+	u := NewTable(NewSchema("U", Column{Name: "c", Kind: KindFloat}))
+	u.Append(Float(1.5))
+	db.AddTable(u)
+	return db
+}
+
+func TestApplyPublishesSnapshot(t *testing.T) {
+	db := updateTestDB()
+	if db.Version() != 0 {
+		t.Fatalf("fresh database version = %d, want 0", db.Version())
+	}
+	next, err := db.Apply([]CellChange{
+		{Table: "T", Row: 0, Col: 0, New: Int(10)},
+		{Table: "T", Row: 0, Col: 1, New: Str("z")},
+		{Table: "T", Row: 0, Col: 0, New: Int(11)}, // later change to the same cell wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version() != 1 {
+		t.Fatalf("version after Apply = %d, want 1", next.Version())
+	}
+	// The successor sees the changes, last-wins per cell.
+	if got := next.Table("T").Rows[0][0]; !got.Equal(Int(11)) {
+		t.Fatalf("new snapshot cell = %v, want 11", got)
+	}
+	if got := next.Table("T").Rows[0][1]; !got.Equal(Str("z")) {
+		t.Fatalf("new snapshot cell = %v, want z", got)
+	}
+	// The receiver is untouched (copy-on-write).
+	if got := db.Table("T").Rows[0][0]; !got.Equal(Int(1)) {
+		t.Fatalf("old snapshot mutated: %v", got)
+	}
+	// Untouched tables and rows are shared structurally.
+	if &next.Table("U").Rows[0][0] != &db.Table("U").Rows[0][0] {
+		t.Fatal("untouched table must be shared")
+	}
+	if &next.Table("T").Rows[1][0] != &db.Table("T").Rows[1][0] {
+		t.Fatal("untouched row of a touched table must be shared")
+	}
+	// Chained versions keep counting.
+	third, err := next.Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Version() != 2 {
+		t.Fatalf("chained version = %d, want 2", third.Version())
+	}
+}
+
+func TestApplyValidates(t *testing.T) {
+	db := updateTestDB()
+	bad := [][]CellChange{
+		{{Table: "Nope", Row: 0, Col: 0, New: Int(1)}},
+		{{Table: "T", Row: 9, Col: 0, New: Int(1)}},
+		{{Table: "T", Row: -1, Col: 0, New: Int(1)}},
+		{{Table: "T", Row: 0, Col: 7, New: Int(1)}},
+		{{Table: "T", Row: 0, Col: 0, New: Str("x")}},   // string into an Int column
+		{{Table: "U", Row: 0, Col: 0, New: Int(3)}},     // int into a Float column
+		{{Table: "T", Row: 1, Col: 1, New: Float(1.5)}}, // float into a String column
+	}
+	for i, ch := range bad {
+		if _, err := db.Apply(ch); err == nil {
+			t.Errorf("case %d: Apply accepted invalid change %+v", i, ch[0])
+		}
+	}
+	if db.Version() != 0 {
+		t.Fatal("failed Apply must leave the receiver unversioned")
+	}
+	if _, err := db.Apply([]CellChange{{Table: "T", Row: 0, Col: 0, New: Null()}}); err != nil {
+		t.Fatalf("NULL must be admissible in any column: %v", err)
+	}
+}
+
+// TestEncodingLessMatchesEncodings pins EncodingLess against the ground
+// truth it promises: byte order of AppendEncode.
+func TestEncodingLessMatchesEncodings(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(math.Copysign(0, -1)), Float(1.5), Float(-1.5), Float(math.Inf(1)),
+		Str(""), Str("a"), Str("b"), Str("ab"), Str("aa"), Str("ba"),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			want := bytes.Compare(a.AppendEncode(nil), b.AppendEncode(nil)) < 0
+			if got := EncodingLess(a, b); got != want {
+				t.Errorf("EncodingLess(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMinMaxTieBreakIsOrderInsensitive pins the canonical extremum: with
+// cross-kind Compare-equal values present, MIN/MAX report the same value
+// regardless of row order.
+func TestMinMaxTieBreakIsOrderInsensitive(t *testing.T) {
+	rows := [][]Value{
+		{Float(3), Int(7)},
+		{Int(3), Int(7)},
+		{Float(5), Int(7)},
+	}
+	q := &SelectQuery{Name: "mm", Tables: []string{"T"},
+		Aggs: []Agg{
+			{Op: AggMin, Col: ColRef{Table: "T", Col: "x"}},
+			{Op: AggMax, Col: ColRef{Table: "T", Col: "x"}},
+		}}
+	var want uint64
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		db := NewDatabase()
+		tab := NewTable(NewSchema("T",
+			Column{Name: "x", Kind: KindFloat},
+			Column{Name: "y", Kind: KindInt},
+		))
+		perm := rng.Perm(len(rows))
+		for _, i := range perm {
+			tab.Append(rows[i]...)
+		}
+		db.AddTable(tab)
+		res, err := q.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The canonical tie-break prefers the smallest encoding: Int(3)
+		// beats Float(3) for MIN, Float(5) is the unique MAX.
+		if got := res.Rows[0][0]; got.K != KindInt || got.I != 3 {
+			t.Fatalf("perm %v: MIN = %#v, want Int(3)", perm, got)
+		}
+		fp := res.Fingerprint()
+		if trial == 0 {
+			want = fp
+		} else if fp != want {
+			t.Fatalf("perm %v: fingerprint %x != %x (order-dependent extremum)", perm, fp, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package support
+
+// Live base-database updates. A support set's neighbors are defined as
+// deltas against the base database, so when the seller's data advances to
+// a new snapshot (relational.Database.Apply) the set itself advances: the
+// same neighbors, re-interpreted against the new base. Advance builds the
+// successor set without touching the original — concurrent quotes against
+// the old snapshot keep their set, caches and plans — and carries over as
+// much compiled state as the change list allows:
+//
+//   - the shard partition and every shard's inverted footprint index are
+//     shared outright: both depend only on each neighbor's delta
+//     coordinates ((table, row, col) footprints), which an update never
+//     moves, so no neighbor is ever re-homed by a base-data change — a
+//     deliberate property of footprint-based sharding;
+//   - the shared bare-scan index pool is advanced by patching only the
+//     (table, column) indexes the update touches (plan.IndexPool.Advance);
+//   - each shard's plan cache is advanced by delta-maintaining every
+//     cached plan onto the new snapshot (plan.Cache.Advance); plans a
+//     change escapes are invalidated and lazily recompiled on next use.
+//
+// A neighbor whose delta an update makes vacuous (the new base value now
+// equals the neighbor's) simply stops conflicting — exactly what a fresh
+// conflict-set computation over the new base reports, so results stay
+// byte-identical to a set literally constructed on the updated database.
+
+import (
+	"querypricing/internal/relational"
+)
+
+// UpdateStats reports how much compiled state an Advance carried over.
+type UpdateStats struct {
+	// PlansRebased counts cached plans delta-maintained onto the new
+	// snapshot across all shards.
+	PlansRebased int
+	// PlansInvalidated counts cached plans the change list escaped; they
+	// recompile lazily on their next use.
+	PlansInvalidated int
+}
+
+// Advance returns the support set re-based onto newDB — the successor
+// snapshot produced by applying changes to the set's current database —
+// with the same neighbors, the same shard partition, and every cached
+// plan either delta-maintained or dropped for lazy recompilation. The
+// receiver is never modified and remains fully usable against the old
+// snapshot; conflict sets computed on the advanced set are byte-identical
+// to those of a fresh Set built over newDB with the same neighbors.
+func (s *Set) Advance(newDB *relational.Database, changes []Delta) (*Set, UpdateStats) {
+	shards := s.ensureShards()
+	var st UpdateStats
+	newPool := s.pool.Advance(newDB, changes)
+	ns := &Set{
+		DB:        newDB,
+		Neighbors: s.Neighbors,
+		Shards:    s.Shards,
+		pool:      newPool,
+		fanout:    s.fanout, // one quote-fan-out budget across both snapshots
+	}
+	newShards := make([]*shard, len(shards))
+	for i, sh := range shards {
+		nsh := &shard{id: sh.id, global: sh.global, index: sh.index}
+		sh.planMu.Lock()
+		plans := sh.plans
+		sh.planMu.Unlock()
+		if plans != nil {
+			nc, rebased, dropped := plans.Advance(newDB, changes, newPool)
+			nsh.plans = nc
+			st.PlansRebased += rebased
+			st.PlansInvalidated += dropped
+		}
+		newShards[i] = nsh
+	}
+	ns.shards = newShards
+	return ns, st
+}

@@ -18,7 +18,9 @@
 //     bound);
 //   - worst-case gap constructions of Lemmas 2-4;
 //   - a lock-free data-market broker that quotes and sells arbitrage-free
-//     prices for live queries under heavy concurrent traffic.
+//     prices for live queries under heavy concurrent traffic, over a
+//     versioned base database that accepts live updates (Broker.Update)
+//     without stalling quotes.
 //
 // # Quick start
 //
@@ -49,7 +51,10 @@
 // swap, QuoteBatch fans a batch across a bounded worker pool, each quote
 // fans its conflict-set computation across the support shards, and
 // conflict sets are memoized in a bounded LRU keyed by the query's
-// canonical SQL rendering.
+// canonical SQL rendering. The seller's data may evolve while the market
+// serves: Broker.Update applies cell changes and atomically publishes a
+// new database version with cached plans delta-maintained; quotes and
+// receipts pin the version they were priced at (docs/UPDATES.md).
 //
 // See examples/ for end-to-end scenarios and cmd/pricebench for the
 // harness that regenerates every figure and table of the paper.
@@ -220,7 +225,9 @@ func ApplyValuations(h *Hypergraph, m ValuationModel, seed int64) {
 
 // ---- Relational substrate ----
 
-// Database is an in-memory relational database.
+// Database is an in-memory relational database. Databases are versioned:
+// Apply publishes a batch of cell changes as a new snapshot with the
+// version counter incremented, leaving the receiver untouched.
 type Database = relational.Database
 
 // SelectQuery is the deterministic query form the market prices.
@@ -228,6 +235,29 @@ type SelectQuery = relational.SelectQuery
 
 // QueryResult is a materialized query answer.
 type QueryResult = relational.Result
+
+// Value is a dynamically typed relational cell value.
+type Value = relational.Value
+
+// ColRef names a column of a table (or alias) inside a query.
+type ColRef = relational.ColRef
+
+// CellChange is a single-cell update to a database: Table.Rows[Row][Col]
+// becomes New. It is the delta currency of the whole stack — live updates
+// (Database.Apply, Broker.Update) and support-set neighbors both speak it.
+type CellChange = relational.CellChange
+
+// IntValue returns an integer cell value.
+func IntValue(v int64) Value { return relational.Int(v) }
+
+// FloatValue returns a float cell value.
+func FloatValue(v float64) Value { return relational.Float(v) }
+
+// StringValue returns a string cell value.
+func StringValue(s string) Value { return relational.Str(s) }
+
+// NullValue returns the SQL NULL cell value.
+func NullValue() Value { return relational.Null() }
 
 // ---- Dataset generators ----
 
@@ -326,8 +356,16 @@ type BrokerConfig = market.Config
 // BrokerAlgorithm selects the calibration algorithm.
 type BrokerAlgorithm = market.Algorithm
 
-// Quote is a priced offer for a query.
+// Quote is a priced offer for a query, stamped with the database version
+// it was priced against.
 type Quote = market.Quote
+
+// Receipt records a completed sale, pinning the database version sold.
+type Receipt = market.Receipt
+
+// SupportUpdateStats reports how much compiled plan state a live update
+// carried over (Broker.Update).
+type SupportUpdateStats = support.UpdateStats
 
 // The broker's calibration algorithms.
 const (
@@ -342,6 +380,12 @@ const (
 // NewBroker samples a support set over the dataset and returns a broker.
 func NewBroker(db *Database, cfg BrokerConfig) (*Broker, error) {
 	return market.NewBroker(db, cfg)
+}
+
+// NewBrokerWithSupport returns a broker over a caller-supplied support set
+// (for targeted supports, or to rebuild a broker over the same neighbors).
+func NewBrokerWithSupport(db *Database, set *SupportSet, cfg BrokerConfig) (*Broker, error) {
+	return market.NewBrokerWithSupport(db, set, cfg)
 }
 
 // ---- Online price learning (Section 7.2 future work) ----

@@ -17,8 +17,9 @@
 #
 # The tracked set pins the conflict-set engine: hypergraph construction
 # (serial vs parallel vs incremental vs sharded), the online conflict-set
-# path (cold/warm at |S|=150, single-shard and sharded at |S|=10k), and
-# batch quoting (serial vs pooled). When a benchmark appears several times
+# path (cold/warm at |S|=150, single-shard and sharded at |S|=10k), batch
+# quoting (serial vs pooled), and the live-update path (update latency +
+# post-update requote). When a benchmark appears several times
 # (construction runs -count times), the fastest run is recorded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,7 +30,7 @@ buildtime="${BENCHTIME_BUILD:-10x}"
 buildcount="${BENCHCOUNT_BUILD:-4}"
 quotetime="${BENCHTIME_QUOTE:-2s}"
 basefilter="${BENCHFILTER_BASE:-BenchmarkFig4Construction/.*/(serial|parallel)$}"
-quotefilter="${BENCHFILTER_QUOTE:-BenchmarkConflictSet|BenchmarkQuoteBatch}"
+quotefilter="${BENCHFILTER_QUOTE:-BenchmarkConflictSet|BenchmarkQuoteBatch|BenchmarkUpdateRequote}"
 out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
