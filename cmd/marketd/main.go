@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, mounted only with -pprof
 	"strconv"
 	"strings"
 
@@ -58,12 +59,14 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		algo     = flag.String("algorithm", "LPIP", "pricing algorithm: "+strings.Join(engine.List(), " | "))
-		supportN = flag.Int("support", 400, "support size")
-		shards   = flag.Int("shards", 0, "support-set shards (0 = GOMAXPROCS, <0 = one shard)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		valK     = flag.Float64("valuation-k", 100, "Uniform[1,k] calibration valuations")
+		addr      = flag.String("addr", ":8080", "listen address")
+		algo      = flag.String("algorithm", "LPIP", "pricing algorithm: "+strings.Join(engine.List(), " | "))
+		supportN  = flag.Int("support", 400, "support size")
+		shards    = flag.Int("shards", 0, "support-set shards (0 = GOMAXPROCS, <0 = one shard)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		valK      = flag.Float64("valuation-k", 100, "Uniform[1,k] calibration valuations")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		lazyDrain = flag.Bool("background-drain", true, "fold deferred plan rebases in the background after each update")
 	)
 	flag.Parse()
 
@@ -74,11 +77,12 @@ func main() {
 	log.Printf("marketd: generating world dataset...")
 	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: *seed})
 	broker, err := market.NewBroker(db, market.Config{
-		SupportSize:    *supportN,
-		Shards:         *shards,
-		Seed:           *seed,
-		LPIPCandidates: 16,
-		CIPEpsilon:     0.5,
+		SupportSize:     *supportN,
+		Shards:          *shards,
+		Seed:            *seed,
+		LPIPCandidates:  16,
+		CIPEpsilon:      0.5,
+		BackgroundDrain: *lazyDrain,
 	})
 	if err != nil {
 		log.Fatalf("marketd: %v", err)
@@ -144,13 +148,12 @@ func main() {
 			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 			return
 		}
-		log.Printf("marketd: update applied: version %d, %d changes, %d plans rebased, %d invalidated",
-			version, len(changes), stats.PlansRebased, stats.PlansInvalidated)
+		log.Printf("marketd: update applied: version %d, %d changes, %d plan rebases deferred",
+			version, len(changes), stats.PlansDeferred)
 		writeJSON(w, http.StatusOK, map[string]any{
-			"version":           version,
-			"changes":           len(changes),
-			"plans_rebased":     stats.PlansRebased,
-			"plans_invalidated": stats.PlansInvalidated,
+			"version":        version,
+			"changes":        len(changes),
+			"plans_deferred": stats.PlansDeferred,
 		})
 	})
 	mux.HandleFunc("POST /purchase", func(w http.ResponseWriter, r *http.Request) {
@@ -171,6 +174,13 @@ func main() {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"receipt": receipt, "answer": ans})
 	})
+
+	if *pprofOn {
+		// net/http/pprof registers its handlers on the default mux at
+		// import time; expose them only when asked.
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		log.Printf("marketd: pprof enabled under /debug/pprof/")
+	}
 
 	log.Printf("marketd: listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,6 +54,12 @@ var experimentIndex = []struct{ id, what string }{
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code, so profile teardown (deferred below)
+// runs before the process exits.
+func realMain() int {
 	var (
 		experiment = flag.String("experiment", "", "artifact id (see -list) or 'all'")
 		list       = flag.Bool("list", false, "print the experiment index and exit")
@@ -61,6 +69,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		lpipCap    = flag.Int("lpip-candidates", 16, "LPIP threshold cap (0 = all)")
 		skipCIP    = flag.Bool("skip-cip", false, "skip CIP and XOS (much faster)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		algos      = flag.String("algorithms", "",
 			"comma-separated pricing algorithms for the figure/table revenue sweeps "+
 				"(default all: "+strings.Join(engine.List(), ",")+"); special-case "+
@@ -68,13 +78,43 @@ func main() {
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pricebench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pricebench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pricebench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pricebench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	var roster []string
 	if *algos != "" {
 		for _, name := range strings.Split(*algos, ",") {
 			name = strings.TrimSpace(name)
 			if _, err := engine.Get(name); err != nil {
 				fmt.Fprintf(os.Stderr, "pricebench: %v\n", err)
-				os.Exit(2)
+				return 2
 			}
 			roster = append(roster, name)
 		}
@@ -86,9 +126,9 @@ func main() {
 			fmt.Printf("  %-8s %s\n", e.id, e.what)
 		}
 		if *experiment == "" && !*list {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	r := &runner{
@@ -111,9 +151,10 @@ func main() {
 	for _, id := range ids {
 		if err := r.run(id); err != nil {
 			fmt.Fprintf(os.Stderr, "pricebench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 type runner struct {

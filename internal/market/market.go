@@ -22,10 +22,12 @@
 //
 // The seller's data is versioned and may evolve while the market serves:
 // Broker.Update applies a batch of cell changes and atomically publishes a
-// successor data snapshot (new database version, support set advanced with
-// its cached plans delta-maintained, fresh conflict cache). Quotes and
-// receipts carry the version they were priced at; see docs/UPDATES.md for
-// the full life of an update.
+// successor data snapshot (new database version, support set advanced
+// lazily — cached plans fold the deferred change batches into one
+// coalesced rebase on their first post-update use, or when the optional
+// background drainer reaches them — and a fresh conflict cache). Quotes
+// and receipts carry the version they were priced at; see docs/UPDATES.md
+// for the full life of an update.
 package market
 
 import (
@@ -82,6 +84,13 @@ type Config struct {
 	// ConflictCacheSize bounds the conflict-set LRU cache: 0 picks the
 	// default of 1024 entries, negative disables caching.
 	ConflictCacheSize int
+	// BackgroundDrain, when set, spawns a background goroutine after each
+	// Update that eagerly folds the deferred plan rebases into the new
+	// snapshot (support.Set.Drain), so an idle broker converges instead of
+	// paying the coalesced rebase on each plan's next quote. At most one
+	// drainer runs at a time; it re-checks for newer snapshots before
+	// exiting.
+	BackgroundDrain bool
 }
 
 // Quote is a priced offer for a query.
@@ -147,6 +156,10 @@ type Broker struct {
 	// calMu serializes calibrations and updates (quotes are not blocked
 	// by it).
 	calMu sync.Mutex
+
+	// draining guards the single background drainer goroutine
+	// (Config.BackgroundDrain).
+	draining atomic.Bool
 
 	salesMu sync.Mutex
 	sales   []Receipt
@@ -225,12 +238,16 @@ func (b *Broker) DB() *relational.Database { return b.state.Load().db }
 // Update applies a batch of cell changes to the seller's database and
 // publishes the successor pricing snapshot with one atomic swap: a new
 // database version (relational.Database.Apply), the support set advanced
-// onto it (cached plans delta-maintained where the changes allow,
-// invalidated otherwise — support.Set.Advance), and a fresh conflict-set
-// cache (entries are keyed by canonical SQL only, so none may survive a
-// version bump). Concurrent quotes that loaded the previous state finish
-// against it — prices remain internally consistent offers on the snapshot
-// they were computed from, and receipts pin that version.
+// onto it lazily (cached plans carried over with their delta maintenance
+// deferred — each is rebased on its first post-update quote, all pending
+// batches coalesced into one pass; support.Set.Advance), and a fresh
+// conflict-set cache (entries are keyed by canonical SQL only, so none may
+// survive a version bump). Update latency is therefore independent of how
+// many plans are cached; set Config.BackgroundDrain (or call DrainPlans)
+// to fold the deferred rebases eagerly. Concurrent quotes that loaded the
+// previous state finish against it — prices remain internally consistent
+// offers on the snapshot they were computed from, and receipts pin that
+// version.
 //
 // The calibrated pricing function is retained: its item weights attach to
 // support neighbors, which an update never re-homes, so post-update quotes
@@ -256,7 +273,35 @@ func (b *Broker) Update(changes []relational.CellChange) (uint64, support.Update
 		set:     newSet,
 		cache:   b.newCache(),
 	})
+	if b.cfg.BackgroundDrain && b.draining.CompareAndSwap(false, true) {
+		go func() {
+			for {
+				cur := b.state.Load()
+				cur.set.Drain()
+				if b.state.Load() != cur {
+					continue // a newer snapshot appeared mid-drain
+				}
+				b.draining.Store(false)
+				// Close the lost-wakeup window: an Update that landed
+				// between the state check above and the Store saw
+				// draining=true and did not spawn a drainer. If the state
+				// moved, try to become the drainer again; if another
+				// goroutine already did, we're done either way.
+				if b.state.Load() == cur || !b.draining.CompareAndSwap(false, true) {
+					return
+				}
+			}
+		}()
+	}
 	return newDB.Version(), stats, nil
+}
+
+// DrainPlans synchronously folds every deferred update batch into the
+// current snapshot's cached plans (support.Set.Drain), returning how many
+// plans were rebased or recompiled. Quotes may run concurrently; a later
+// Update may still leave new deferred batches behind.
+func (b *Broker) DrainPlans() support.UpdateStats {
+	return b.state.Load().set.Drain()
 }
 
 // engineOptions maps broker configuration onto the shared engine knob set.
@@ -338,12 +383,17 @@ func (b *Broker) quoteWith(st *marketState, snap *pricingSnapshot, q *relational
 }
 
 // QuoteBatch prices a batch of queries concurrently over a bounded worker
-// pool (Config.Workers, default GOMAXPROCS). The returned quotes are
-// index-aligned with the input; the first error aborts the batch. The
-// data state and pricing snapshot are loaded once for the whole batch, so
-// every quote in the response comes from the same calibrated pricing
-// function on the same database version (and the batch as a whole stays
-// arbitrage-free) even if a recalibration or an update lands mid-batch.
+// pool (Config.Workers, default GOMAXPROCS). Each worker owns one
+// contiguous chunk of the batch rather than pulling items from a shared
+// channel: a worker keeps quoting against the same per-shard plan caches
+// and pooled probe arenas without per-item dispatch overhead, and with a
+// single worker (one core, or a one-query batch) the batch degenerates to
+// exactly the serial quote loop. The returned quotes are index-aligned
+// with the input; the first error aborts the batch. The data state and
+// pricing snapshot are loaded once for the whole batch, so every quote in
+// the response comes from the same calibrated pricing function on the same
+// database version (and the batch as a whole stays arbitrage-free) even if
+// a recalibration or an update lands mid-batch.
 func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -359,20 +409,36 @@ func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) 
 	}
 
 	out := make([]Quote, len(queries))
-	jobs := make(chan int)
+	if workers == 1 {
+		// Inline serial path: no goroutine, no synchronization.
+		for i, q := range queries {
+			quote, err := b.quoteWith(st, snap, q)
+			if err != nil {
+				return nil, fmt.Errorf("market: batch query %d: %w", i, err)
+			}
+			out[i] = quote
+		}
+		return out, nil
+	}
+
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 		failed   atomic.Bool
 	)
-	for w := 0; w < workers; w++ {
+	chunk := (len(queries) + workers - 1) / workers
+	for lo := 0; lo < len(queries); lo += chunk {
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range jobs {
+			for i := lo; i < hi; i++ {
 				if failed.Load() {
-					continue // drain remaining jobs after a failure
+					return // abandon the chunk after a failure
 				}
 				quote, err := b.quoteWith(st, snap, queries[i])
 				if err != nil {
@@ -380,16 +446,12 @@ func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) 
 						firstErr = fmt.Errorf("market: batch query %d: %w", i, err)
 						failed.Store(true)
 					})
-					continue
+					return
 				}
 				out[i] = quote
 			}
-		}()
+		}(lo, hi)
 	}
-	for i := range queries {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

@@ -1,7 +1,8 @@
 package plan
 
 import (
-	"container/list"
+	"maps"
+	"slices"
 	"sync"
 
 	"querypricing/internal/relational"
@@ -13,16 +14,71 @@ import (
 // streams.
 const DefaultCacheSize = 4096
 
+// MaxPendingBatches caps the pending change-batch log a lazily advanced
+// Cache or IndexPool carries. When an Advance would push the log past the
+// cap, the successor drains eagerly (every stale entry is folded up to the
+// new snapshot) and starts from an empty log — so sustained write-heavy
+// feeds pay one coalesced rebase per cap-full of batches instead of one
+// per batch, and the log never grows without bound.
+const MaxPendingBatches = 64
+
+// ChangeBatch is one applied update batch in a pending log: the cell
+// changes that carried the base database from version ToVersion-1 to
+// ToVersion. Pool logs additionally capture each cell's pre-change value
+// (Old) at Advance time, so a pending log never pins predecessor database
+// snapshots alive.
+type ChangeBatch struct {
+	// ToVersion is the database version the batch produced.
+	ToVersion uint64
+	// Changes is the batch's cell-change list, in application order.
+	Changes []relational.CellChange
+	// Old holds, index-aligned with Changes, each cell's value in the
+	// predecessor snapshot. Only the IndexPool's lazy index patcher reads
+	// it; cache logs leave it nil (Rebase needs no pre-change values).
+	Old []relational.Value
+}
+
+// coalesceFrom concatenates, in order, the changes of every pending batch
+// newer than fromVersion. Rebase and the index patcher both consolidate
+// with last-wins-per-cell semantics, so the concatenation is exactly the
+// composite change set from fromVersion to the newest batch — N deferred
+// batches fold into one rebase pass.
+func coalesceFrom(pending []ChangeBatch, fromVersion uint64) []relational.CellChange {
+	n := 0
+	for _, b := range pending {
+		if b.ToVersion > fromVersion {
+			n += len(b.Changes)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]relational.CellChange, 0, n)
+	for _, b := range pending {
+		if b.ToVersion > fromVersion {
+			out = append(out, b.Changes...)
+		}
+	}
+	return out
+}
+
 // IndexPool shares the join indexes of bare (predicate-free) scans across
 // plans — and across plan caches — compiled against the same base
 // database: a bare scan is the table itself, so its hash index depends
 // only on (table, column). A sharded support set hands one pool to every
 // shard's cache so no bare index is ever built twice. Safe for concurrent
 // use.
+//
+// Pools advance lazily across base-database updates: Advance appends the
+// change batch to a pending log instead of patching anything, and an index
+// is folded up to the pool's snapshot on its first post-update get — all
+// deferred batches coalesced into one patch pass per (table, column).
 type IndexPool struct {
-	mu sync.Mutex
-	db *relational.Database // fixed at construction
-	m  map[indexPoolKey]map[string][]int32
+	mu      sync.Mutex
+	db      *relational.Database // the snapshot this pool serves
+	version uint64               // == db.Version()
+	m       map[indexPoolKey]*poolEntry
+	pending []ChangeBatch // batches not yet folded into every entry
 }
 
 type indexPoolKey struct {
@@ -30,85 +86,144 @@ type indexPoolKey struct {
 	col   int
 }
 
+// poolEntry is one published bare-scan index together with the database
+// version it reflects. Entries are immutable once published; a lazy patch
+// replaces the entry, never mutates it, so pools for older snapshots that
+// share the entry keep serving their version.
+type poolEntry struct {
+	idx     map[string][]int32
+	version uint64
+}
+
 // NewIndexPool returns an empty pool for plans compiled against db.
 func NewIndexPool(db *relational.Database) *IndexPool {
-	return &IndexPool{db: db, m: make(map[indexPoolKey]map[string][]int32)}
+	return &IndexPool{db: db, version: db.Version(), m: make(map[indexPoolKey]*poolEntry)}
 }
 
 // Advance returns a pool for the successor snapshot newDB (the receiver's
-// database with changes applied). Indexes on (table, column) pairs the
-// changes do not touch are shared outright; touched indexes are patched on
-// a copy — each changed cell moves one posting from its old key to its new
-// one — so no bare-scan index is ever rebuilt from scratch on an update.
-// The receiver keeps serving the predecessor snapshot unmodified.
+// database with changes applied). Nothing is patched up front: every
+// published index is shared with the receiver and the batch is appended to
+// the successor's pending log; an index touched by deferred batches is
+// patched — one coalesced pass over all of them — the first time the
+// successor's get needs it. The receiver keeps serving the predecessor
+// snapshot unmodified. When the pending log would exceed MaxPendingBatches
+// the successor folds every entry eagerly and starts from an empty log.
 func (p *IndexPool) Advance(newDB *relational.Database, changes []relational.CellChange) *IndexPool {
-	np := &IndexPool{db: newDB, m: make(map[indexPoolKey]map[string][]int32)}
-	p.mu.Lock()
-	for key, idx := range p.m {
-		np.m[key] = idx // published index maps are immutable: share
-	}
-	p.mu.Unlock()
-	// Consolidate last-wins per cell, then patch each touched index.
-	type cell struct {
-		table    string
-		row, col int
-	}
-	final := make(map[cell]relational.Value, len(changes))
-	var order []cell
+	np := &IndexPool{db: newDB, version: newDB.Version(), m: make(map[indexPoolKey]*poolEntry)}
+	// Capture each valid cell's pre-change value now, from the receiver's
+	// snapshot, so the pending log carries plain values instead of keeping
+	// whole predecessor databases reachable. Invalid coordinates (which
+	// Apply rejects upstream anyway) are dropped here, exactly as the
+	// patcher used to skip them.
+	cs := make([]relational.CellChange, 0, len(changes))
+	old := make([]relational.Value, 0, len(changes))
 	for _, c := range changes {
-		k := cell{c.Table, c.Row, c.Col}
-		if _, seen := final[k]; !seen {
-			order = append(order, k)
+		t := p.db.Table(c.Table)
+		if t == nil || c.Row < 0 || c.Row >= len(t.Rows) || c.Col < 0 || c.Col >= len(t.Rows[c.Row]) {
+			continue
 		}
-		final[k] = c.New
+		cs = append(cs, c)
+		old = append(old, t.Rows[c.Row][c.Col])
 	}
-	patched := make(map[indexPoolKey]bool, 1)
+	p.mu.Lock()
+	minV := newDB.Version()
+	for key, e := range p.m {
+		np.m[key] = e // published entries are immutable: share
+		if e.version < minV {
+			minV = e.version
+		}
+	}
+	pending := p.pending
+	p.mu.Unlock()
+	// Keep only the batches some shared entry still needs, plus the new one.
+	for _, b := range pending {
+		if b.ToVersion > minV {
+			np.pending = append(np.pending, b)
+		}
+	}
+	np.pending = append(np.pending, ChangeBatch{ToVersion: newDB.Version(), Changes: cs, Old: old})
+	if len(np.pending) > MaxPendingBatches {
+		for key, e := range np.m {
+			if e.version != np.version {
+				np.m[key] = np.patchEntry(key, e)
+			}
+		}
+		np.pending = nil
+	}
+	return np
+}
+
+// patchEntry folds every pending batch newer than the entry's version into
+// a fresh entry for the pool's snapshot, coalescing all batches that touch
+// the entry's column into one remove/insert pass per row. The receiver's
+// lock may or may not be held — the method touches only immutable batch
+// data and the entry passed in, never p.m.
+func (p *IndexPool) patchEntry(key indexPoolKey, e *poolEntry) *poolEntry {
+	// Coalesce: per touched row, the value the entry currently indexes
+	// (the first newer batch's captured pre-change value) and the final
+	// value (the last change in the last touching batch).
+	var order []int
+	oldVals := make(map[int]relational.Value)
+	newVals := make(map[int]relational.Value)
+	for _, b := range p.pending {
+		if b.ToVersion <= e.version {
+			continue
+		}
+		for ci, c := range b.Changes {
+			if c.Table != key.table || c.Col != key.col {
+				continue
+			}
+			if _, seen := oldVals[c.Row]; !seen {
+				oldVals[c.Row] = b.Old[ci]
+				order = append(order, c.Row)
+			}
+			newVals[c.Row] = c.New
+		}
+	}
+	idx := e.idx
+	cloned := false
 	var oldKey, newKey []byte
-	for _, k := range order {
-		pk := indexPoolKey{k.table, k.col}
-		idx, ok := np.m[pk]
-		if !ok {
-			continue // never built: a future get() hashes the new rows
-		}
-		ot := p.db.Table(k.table)
-		if ot == nil || k.row < 0 || k.row >= len(ot.Rows) {
-			continue // invalid change: Apply rejects these upstream
-		}
-		ov, nv := ot.Rows[k.row][k.col], final[k]
+	for _, row := range order {
+		ov, nv := oldVals[row], newVals[row]
 		if ov.IsNull() && nv.IsNull() || !ov.IsNull() && !nv.IsNull() && sameKey(ov, nv) {
 			continue // key encoding unchanged: postings stay valid
 		}
-		if !patched[pk] {
-			np.m[pk] = cloneIndex(idx)
-			patched[pk] = true
-			idx = np.m[pk]
+		if !cloned {
+			idx = cloneIndex(idx)
+			cloned = true
 		}
 		if !ov.IsNull() {
 			oldKey = ov.AppendEncode(oldKey[:0])
-			removePosting(idx, string(oldKey), int32(k.row))
+			removePosting(idx, string(oldKey), int32(row))
 		}
 		if !nv.IsNull() {
 			newKey = nv.AppendEncode(newKey[:0])
-			insertPosting(idx, string(newKey), int32(k.row))
+			insertPosting(idx, string(newKey), int32(row))
 		}
 	}
-	return np
+	return &poolEntry{idx: idx, version: p.version}
 }
 
 func (p *IndexPool) get(table string, col int, rows [][]relational.Value) map[string][]int32 {
 	key := indexPoolKey{table, col}
 	p.mu.Lock()
-	if idx, ok := p.m[key]; ok {
+	if e, ok := p.m[key]; ok {
+		if e.version != p.version {
+			// First use since an update: fold the deferred batches in.
+			e = p.patchEntry(key, e)
+			p.m[key] = e
+		}
+		idx := e.idx
 		p.mu.Unlock()
 		return idx
 	}
 	p.mu.Unlock()
 	idx := hashRows(rows, col)
 	p.mu.Lock()
-	if prior, ok := p.m[key]; ok {
-		idx = prior // a concurrent builder won; share its copy
+	if prior, ok := p.m[key]; ok && prior.version == p.version {
+		idx = prior.idx // a concurrent builder won; share its copy
 	} else {
-		p.m[key] = idx
+		p.m[key] = &poolEntry{idx: idx, version: p.version}
 	}
 	p.mu.Unlock()
 	return idx
@@ -138,20 +253,118 @@ func Key(q *relational.SelectQuery) string { return q.String() }
 // Cache is a bounded LRU of compiled plans keyed by the query's canonical
 // SQL rendering, with in-flight deduplication: concurrent misses on the
 // same key share one compilation. It is safe for concurrent use.
+//
+// Caches advance lazily across base-database updates: Advance carries
+// every entry over untouched and appends the change batch to a pending
+// log; a plan is rebased on its first post-update use — all deferred
+// batches coalesced into one Rebase pass — and recompiled only if the
+// composite change escapes the delta-maintenance rules.
 type Cache struct {
 	mu       sync.Mutex
 	max      int
-	db       *relational.Database // the database current entries compile against
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recently used
+	db       *relational.Database // the snapshot current entries target
+	entries  map[string]int32     // key -> node index in lru
+	lru      lruList
+	count    int
 	inflight map[string]*compileCall
-	pool     *IndexPool // externally shared pool, nil for a private one
-	shared   *IndexPool // bare-scan join indexes used by current entries
+	pool     *IndexPool    // externally shared pool, nil for a private one
+	shared   *IndexPool    // bare-scan join indexes used by current entries
+	pending  []ChangeBatch // batches not yet folded into every entry
 }
 
-type cacheEntry struct {
-	key string
-	p   *Plan
+// lruList is an intrusive, slice-backed doubly-linked LRU. Compared to
+// container/list it stores every node in one contiguous slice, so
+// Cache.Advance snapshots the whole recency structure with a single slice
+// clone instead of re-allocating one element per cached plan — the reason
+// an update's cost no longer scales with per-element allocation.
+type lruList struct {
+	nodes      []lruNode
+	head, tail int32 // head = most recently used; -1 = empty
+	free       []int32
+}
+
+// lruNode is one LRU slot: the cached plan, its key, and intra-slice links.
+type lruNode struct {
+	key        string
+	p          *Plan
+	prev, next int32
+}
+
+// newLRU returns an empty list.
+func newLRU() lruList { return lruList{head: -1, tail: -1} }
+
+// pushFront inserts a new node at the front and returns its index.
+func (l *lruList) pushFront(key string, p *Plan) int32 {
+	var i int32
+	if n := len(l.free); n > 0 {
+		i = l.free[n-1]
+		l.free = l.free[:n-1]
+		l.nodes[i] = lruNode{key: key, p: p}
+	} else {
+		i = int32(len(l.nodes))
+		l.nodes = append(l.nodes, lruNode{key: key, p: p})
+	}
+	l.nodes[i].prev = -1
+	l.nodes[i].next = l.head
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+	return i
+}
+
+// unlink detaches node i from the chain without recycling its slot.
+func (l *lruList) unlink(i int32) {
+	nd := &l.nodes[i]
+	if nd.prev >= 0 {
+		l.nodes[nd.prev].next = nd.next
+	} else {
+		l.head = nd.next
+	}
+	if nd.next >= 0 {
+		l.nodes[nd.next].prev = nd.prev
+	} else {
+		l.tail = nd.prev
+	}
+}
+
+// moveToFront marks node i most recently used.
+func (l *lruList) moveToFront(i int32) {
+	if l.head == i {
+		return
+	}
+	l.unlink(i)
+	l.nodes[i].prev = -1
+	l.nodes[i].next = l.head
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+// remove detaches node i and recycles its slot (dropping the plan and key
+// references so the garbage collector can reclaim them).
+func (l *lruList) remove(i int32) {
+	l.unlink(i)
+	l.nodes[i] = lruNode{prev: -1, next: -1}
+	l.free = append(l.free, i)
+}
+
+// clone snapshots the list: one slice copy per backing array, nodes
+// (strings, plan pointers) shared structurally.
+func (l *lruList) clone() lruList {
+	return lruList{
+		nodes: slices.Clone(l.nodes),
+		head:  l.head,
+		tail:  l.tail,
+		free:  slices.Clone(l.free),
+	}
 }
 
 type compileCall struct {
@@ -177,8 +390,8 @@ func NewCacheWithPool(max int, pool *IndexPool) *Cache {
 	}
 	return &Cache{
 		max:      max,
-		entries:  make(map[string]*list.Element),
-		lru:      list.New(),
+		entries:  make(map[string]int32),
+		lru:      newLRU(),
 		inflight: make(map[string]*compileCall),
 		pool:     pool,
 	}
@@ -193,25 +406,39 @@ func (c *Cache) Get(db *relational.Database, q *relational.SelectQuery) (*Plan, 
 
 // GetKeyed is Get with the cache key precomputed by the caller (Key(q)),
 // for hot paths that already rendered the query's canonical SQL.
+//
+// A hit whose plan predates the cache's snapshot (deferred updates) is
+// upgraded in place before being returned: the pending batches since the
+// plan's version are coalesced into one Rebase — or, if the composite
+// change escapes delta maintenance, one recompilation. Concurrent requests
+// for the same stale key share one upgrade.
 func (c *Cache) GetKeyed(db *relational.Database, key string, q *relational.SelectQuery) (*Plan, bool, error) {
 	c.mu.Lock()
 	if c.db != db {
 		// Plans are compiled against one database; a different one
-		// invalidates every entry and the bare-scan index pool.
+		// invalidates every entry, the pending log, and the bare-scan
+		// index pool.
 		c.db = db
-		c.entries = make(map[string]*list.Element)
-		c.lru = list.New()
+		c.entries = make(map[string]int32)
+		c.lru = newLRU()
+		c.count = 0
+		c.pending = nil
 		if c.pool != nil && c.pool.db == db {
 			c.shared = c.pool
 		} else {
 			c.shared = NewIndexPool(db)
 		}
 	}
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		p := el.Value.(*cacheEntry).p
-		c.mu.Unlock()
-		return p, false, nil
+	cur := db.Version()
+	var stale *Plan
+	if i, ok := c.entries[key]; ok {
+		p := c.lru.nodes[i].p
+		if p.Version() == cur {
+			c.lru.moveToFront(i)
+			c.mu.Unlock()
+			return p, false, nil
+		}
+		stale = p // deferred update: upgrade below
 	}
 	if call, ok := c.inflight[key]; ok && call.db == db {
 		c.mu.Unlock()
@@ -226,43 +453,94 @@ func (c *Cache) GetKeyed(db *relational.Database, key string, q *relational.Sele
 		c.inflight[key] = call
 	}
 	shared := c.shared
+	pending := c.pending // append-only per cache generation: safe to read unlocked
 	c.mu.Unlock()
 
-	call.p, call.err = compile(db, q, shared)
+	fresh := false
+	if stale != nil {
+		if np, ok := stale.Rebase(db, coalesceFrom(pending, stale.Version()), shared); ok {
+			call.p = np
+		}
+	}
+	if call.p == nil {
+		call.p, call.err = compile(db, q, shared)
+		fresh = call.err == nil
+	}
 
 	c.mu.Lock()
 	if c.inflight[key] == call {
 		delete(c.inflight, key)
 	}
 	if call.err == nil && c.db == db { // don't publish into a flushed cache
-		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, p: call.p})
-		for c.lru.Len() > c.max {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		if i, ok := c.entries[key]; ok {
+			c.lru.nodes[i].p = call.p
+			c.lru.moveToFront(i)
+		} else {
+			c.entries[key] = c.lru.pushFront(key, call.p)
+			c.count++
+			for c.count > c.max {
+				oldest := c.lru.tail
+				delete(c.entries, c.lru.nodes[oldest].key)
+				c.lru.remove(oldest)
+				c.count--
+			}
 		}
 	}
 	c.mu.Unlock()
 	close(call.done)
-	return call.p, true, call.err
+	return call.p, fresh, call.err
 }
 
 // Len reports the number of cached plans.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.lru.Len()
+	return c.count
 }
 
-// Advance returns a cache for the successor snapshot newDB, carrying over
-// every cached plan that Rebase can delta-maintain (LRU order preserved)
-// and dropping the rest for lazy recompilation on their next Get. The pool
-// must already be advanced to newDB (IndexPool.Advance); the receiver is
-// left untouched and keeps serving the predecessor snapshot — entries are
-// snapshotted under the lock, then rebased outside it, so concurrent Gets
-// against the old cache never stall on an update. It returns the new cache
-// plus how many plans were rebased and how many were invalidated.
-func (c *Cache) Advance(newDB *relational.Database, changes []relational.CellChange, pool *IndexPool) (*Cache, int, int) {
+// StaleLen reports how many cached plans still predate the cache's current
+// snapshot (deferred rebases awaiting their first use or a Drain).
+func (c *Cache) StaleLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.db == nil {
+		return 0
+	}
+	cur := c.db.Version()
+	n := 0
+	for i := c.lru.head; i >= 0; i = c.lru.nodes[i].next {
+		if c.lru.nodes[i].p.Version() != cur {
+			n++
+		}
+	}
+	return n
+}
+
+// AdvanceStats reports what one Cache.Advance did: how many entries were
+// carried over with their maintenance deferred, and — on the
+// MaxPendingBatches cap path only — how many plans the amortized eager
+// drain rebased or recompiled right away.
+type AdvanceStats struct {
+	// Deferred counts entries still awaiting their coalesced fold-up
+	// after this Advance (0 on the cap path).
+	Deferred int
+	// Rebased counts plans the cap-triggered eager drain delta-maintained.
+	Rebased int
+	// Recompiled counts plans the cap-triggered eager drain recompiled.
+	Recompiled int
+}
+
+// Advance returns a cache for the successor snapshot newDB, deferring all
+// plan maintenance: every entry is carried over untouched (LRU order
+// preserved, Plan pointers shared) and the change batch is appended to the
+// pending log, so the cost of an update is independent of the number of
+// cached plans. Each plan is rebased — all deferred batches coalesced into
+// one pass — on its first use through the new cache, or recompiled when
+// the composite change escapes delta maintenance; Drain forces the
+// fold-up eagerly. The pool must already be advanced to newDB
+// (IndexPool.Advance); the receiver is left untouched and keeps serving
+// the predecessor snapshot.
+func (c *Cache) Advance(newDB *relational.Database, changes []relational.CellChange, pool *IndexPool) (*Cache, AdvanceStats) {
 	nc := NewCacheWithPool(c.max, pool)
 	nc.db = newDB
 	if pool != nil && pool.db == newDB {
@@ -270,26 +548,87 @@ func (c *Cache) Advance(newDB *relational.Database, changes []relational.CellCha
 	} else {
 		nc.shared = NewIndexPool(newDB)
 	}
-	type entry struct {
-		key string
-		p   *Plan
-	}
 	c.mu.Lock()
-	entries := make([]entry, 0, c.lru.Len())
-	for el := c.lru.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*cacheEntry)
-		entries = append(entries, entry{e.key, e.p})
+	minV := newDB.Version()
+	// One slice clone and one map clone snapshot the whole LRU: nodes
+	// (keys, plan pointers) are shared structurally, so Advance costs
+	// O(entries) in memmove rather than per-entry allocation.
+	nc.lru = c.lru.clone()
+	nc.entries = maps.Clone(c.entries)
+	nc.count = c.count
+	for i := c.lru.head; i >= 0; i = c.lru.nodes[i].next {
+		if v := c.lru.nodes[i].p.Version(); v < minV {
+			minV = v
+		}
+	}
+	pending := c.pending
+	c.mu.Unlock()
+	// Keep only the batches some carried entry still needs, plus the new one.
+	for _, b := range pending {
+		if b.ToVersion > minV {
+			nc.pending = append(nc.pending, b)
+		}
+	}
+	nc.pending = append(nc.pending, ChangeBatch{ToVersion: newDB.Version(), Changes: changes})
+	st := AdvanceStats{Deferred: nc.count}
+	if len(nc.pending) > MaxPendingBatches {
+		// Amortized bound: one eager coalesced drain per cap-full of
+		// batches, then a clean log. Nothing stays deferred on this path,
+		// and the drain's work is surfaced in the stats.
+		st.Rebased, st.Recompiled = nc.Drain(0)
+		nc.mu.Lock()
+		nc.pending = nil
+		nc.mu.Unlock()
+		st.Deferred = nc.StaleLen()
+	}
+	return nc, st
+}
+
+// Drain eagerly folds deferred updates into cached plans: up to limit
+// stale entries (all of them when limit <= 0) are rebased onto the cache's
+// snapshot — or recompiled when the composite change escapes delta
+// maintenance — exactly as their first use would. It returns how many
+// plans were rebased and how many had to be recompiled. Safe to run
+// concurrently with Gets (shared upgrades deduplicate); a background
+// drainer makes an idle cache converge so later quotes find warm,
+// up-to-date plans.
+func (c *Cache) Drain(limit int) (rebased, recompiled int) {
+	c.mu.Lock()
+	if c.db == nil {
+		c.mu.Unlock()
+		return 0, 0
+	}
+	db := c.db
+	cur := db.Version()
+	type staleRef struct {
+		key string
+		q   *relational.SelectQuery
+	}
+	var stales []staleRef
+	for i := c.lru.tail; i >= 0; i = c.lru.nodes[i].prev {
+		nd := &c.lru.nodes[i]
+		if nd.p.Version() != cur {
+			stales = append(stales, staleRef{nd.key, nd.p.Query()})
+		}
 	}
 	c.mu.Unlock()
-	rebased, dropped := 0, 0
-	for _, e := range entries { // oldest first, so pushes preserve LRU order
-		np, ok := e.p.Rebase(newDB, changes, nc.shared)
-		if !ok {
-			dropped++
+	for _, s := range stales {
+		if limit > 0 && rebased+recompiled >= limit {
+			break
+		}
+		_, fresh, err := c.GetKeyed(db, s.key, s.q)
+		if err != nil {
+			// Compilation failed (cannot happen for a previously compiled
+			// query under cell-level updates); the entry was dropped and
+			// will recompile on demand.
+			recompiled++
 			continue
 		}
-		nc.entries[e.key] = nc.lru.PushFront(&cacheEntry{key: e.key, p: np})
-		rebased++
+		if fresh {
+			recompiled++
+		} else {
+			rebased++
+		}
 	}
-	return nc, rebased, dropped
+	return rebased, recompiled
 }

@@ -40,7 +40,7 @@ package plan
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"querypricing/internal/relational"
 )
@@ -775,7 +775,7 @@ func (p *Plan) buildBaseState() {
 				for k := range ab.vals {
 					ab.sortedKeys = append(ab.sortedKeys, k)
 				}
-				sort.Strings(ab.sortedKeys)
+				slices.Sort(ab.sortedKeys)
 				ab.distinct = len(ab.vals)
 				var comp float64
 				for _, k := range ab.sortedKeys {
@@ -920,21 +920,48 @@ func sameKey(a, b relational.Value) bool {
 // aliasPatch is a neighbor's effect on one alias's scan.
 type aliasPatch struct {
 	removedPos []int32
-	removedSet map[int32]bool
 	added      [][]relational.Value
+	// removedSet mirrors removedPos for large patches only (built by
+	// buildPatches past removedSetThreshold): neighbor probes remove one
+	// or two rows and scan linearly, but a coalesced multi-batch Rebase
+	// can remove hundreds, and the enumeration checks membership per
+	// probed posting.
+	removedSet map[int32]struct{}
 }
+
+// removedSetThreshold is the removedPos length past which buildPatches
+// adds the membership map.
+const removedSetThreshold = 16
 
 func (ap *aliasPatch) empty() bool {
 	return ap == nil || (len(ap.removedPos) == 0 && len(ap.added) == 0)
 }
 
-// buildPatches turns cell changes into per-alias scan deltas. Rows whose
-// changes touch only columns the alias never reads are skipped: their old
-// and new versions are indistinguishable to the query. Changes touching a
-// single row — the overwhelmingly common neighbor shape — take a
-// grouping-free fast path.
-func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
-	patches := make([]*aliasPatch, len(p.aliases))
+// isRemoved reports whether a scan position is removed by the patch. The
+// removed list is almost always a single position (one changed row), so a
+// linear scan wins; large (rebase-sized) patches carry the map.
+func (ap *aliasPatch) isRemoved(pos int32) bool {
+	if ap.removedSet != nil {
+		_, ok := ap.removedSet[pos]
+		return ok
+	}
+	for _, rp := range ap.removedPos {
+		if rp == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPatches turns cell changes into per-alias scan deltas, filling the
+// caller's patch set and carving patched rows from the row arena (both
+// typically live in a worker's plan.Arena, so the hot path allocates
+// nothing). Rows whose changes touch only columns the alias never reads
+// are skipped: their old and new versions are indistinguishable to the
+// query. Changes touching a single row — the overwhelmingly common
+// neighbor shape — take a grouping-free fast path.
+func (p *Plan) buildPatches(changes []CellChange, ps *patchSet, ra *rowArena) {
+	ps.reset(len(p.aliases))
 	sameRow := true
 	for i := 1; i < len(changes); i++ {
 		if changes[i].Table != changes[0].Table || changes[i].Row != changes[0].Row {
@@ -944,9 +971,9 @@ func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
 	}
 	if sameRow {
 		if len(changes) > 0 {
-			p.patchGroup(patches, changes[0].Table, changes[0].Row, changes)
+			p.patchGroup(ps, ra, changes[0].Table, changes[0].Row, changes)
 		}
-		return patches
+		return
 	}
 	// Group changes by (table, row) so multi-delta rows patch once.
 	type rowKey struct {
@@ -963,9 +990,16 @@ func (p *Plan) buildPatches(changes []CellChange) []*aliasPatch {
 		byRow[k] = append(byRow[k], c)
 	}
 	for _, rk := range order {
-		p.patchGroup(patches, rk.table, rk.row, byRow[rk])
+		p.patchGroup(ps, ra, rk.table, rk.row, byRow[rk])
 	}
-	return patches
+	for _, ap := range ps.byAlias {
+		if ap != nil && len(ap.removedPos) > removedSetThreshold {
+			ap.removedSet = make(map[int32]struct{}, len(ap.removedPos))
+			for _, pos := range ap.removedPos {
+				ap.removedSet[pos] = struct{}{}
+			}
+		}
+	}
 }
 
 // relevantToAlias reports whether any change to (table, row) touches a
@@ -1009,8 +1043,9 @@ func visibleAfter(ca *compiledAlias, table string, row int, baseRow []relational
 }
 
 // patchGroup applies one (table, row) change group to every alias over
-// that table, appending to the per-alias patches.
-func (p *Plan) patchGroup(patches []*aliasPatch, table string, row int, group []CellChange) {
+// that table, appending to the per-alias patches. Patched rows are carved
+// from the row arena.
+func (p *Plan) patchGroup(ps *patchSet, ra *rowArena, table string, row int, group []CellChange) {
 	for _, ai := range p.byTable[table] {
 		ca := p.aliases[ai]
 		if !relevantToAlias(ca, table, row, group) {
@@ -1025,20 +1060,12 @@ func (p *Plan) patchGroup(patches []*aliasPatch, table string, row int, group []
 		if !inScan && !newPass {
 			continue
 		}
-		ap := patches[ai]
-		if ap == nil {
-			ap = &aliasPatch{}
-			patches[ai] = ap
-		}
+		ap := ps.at(ai)
 		if inScan {
 			ap.removedPos = append(ap.removedPos, pos)
-			if ap.removedSet == nil {
-				ap.removedSet = make(map[int32]bool, 2)
-			}
-			ap.removedSet[pos] = true
 		}
 		if newPass {
-			patched := make([]relational.Value, len(baseRow))
+			patched := ra.row(len(baseRow))
 			copy(patched, baseRow)
 			for _, c := range group {
 				if c.Col >= 0 && c.Col < len(patched) {

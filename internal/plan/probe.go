@@ -2,7 +2,7 @@ package plan
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"querypricing/internal/relational"
 )
@@ -66,19 +66,31 @@ func (p *Plan) LocallyPruned(changes []CellChange) bool {
 // runner enumerates joined tuples through the cached indexes. For delta
 // terms, aliases before deltaAlias see the neighbor's (new) scan version
 // and aliases after it see the base (old) version — the standard
-// telescoping decomposition of a multi-relation delta join.
+// telescoping decomposition of a multi-relation delta join. Emissions go
+// to the closure emit when set, and to the arena accumulator acc
+// otherwise (the allocation-free hot path).
 type runner struct {
 	p          *Plan
-	patches    []*aliasPatch
+	patches    *patchSet
 	deltaAlias int // -1 = base enumeration, all old versions
 	tuple      [][]relational.Value
 	emit       func(sign int)
+	acc        *probeAcc
 	keyBuf     []byte
+}
+
+// emitTuple dispatches one enumerated tuple to the runner's sink.
+func (r *runner) emitTuple(sign int) {
+	if r.emit != nil {
+		r.emit(sign)
+		return
+	}
+	r.acc.note(r.tuple, sign)
 }
 
 func (r *runner) step(prog []probeStep, si, sign int) {
 	if si == len(prog) {
-		r.emit(sign)
+		r.emitTuple(sign)
 		return
 	}
 	st := prog[si]
@@ -91,10 +103,10 @@ func (r *runner) step(prog []probeStep, si, sign int) {
 	newVersion := st.target < r.deltaAlias
 	var patch *aliasPatch
 	if newVersion && r.patches != nil {
-		patch = r.patches[st.target]
+		patch = r.patches.byAlias[st.target]
 	}
 	for _, pos := range ca.indexes[st.probeCol][string(r.keyBuf)] {
-		if patch != nil && patch.removedSet[pos] {
+		if patch != nil && patch.isRemoved(pos) {
 			continue
 		}
 		row := ca.rows[pos]
@@ -132,20 +144,28 @@ func extrasPass(candidate []relational.Value, extras []extraEq, tuple [][]relati
 	return true
 }
 
-// forEachDelta runs the signed delta enumeration: one telescoping term per
+// runDelta runs the signed delta enumeration: one telescoping term per
 // touched alias, each starting from that alias's removed (sign -1) and
-// added (sign +1) rows.
-func (p *Plan) forEachDelta(patches []*aliasPatch, emit func(tuple [][]relational.Value, sign int)) {
-	r := &runner{p: p, patches: patches, tuple: make([][]relational.Value, len(p.aliases))}
-	r.emit = func(sign int) { emit(r.tuple, sign) }
-	for i, patch := range patches {
+// added (sign +1) rows. The runner's sink (closure or accumulator) must be
+// configured by the caller.
+func (r *runner) runDelta(ps *patchSet) {
+	r.patches = ps
+	n := len(r.p.aliases)
+	if cap(r.tuple) < n {
+		r.tuple = make([][]relational.Value, n)
+	}
+	r.tuple = r.tuple[:n]
+	for i := range r.tuple {
+		r.tuple[i] = nil
+	}
+	for i, patch := range ps.byAlias {
 		if patch.empty() {
 			continue
 		}
 		r.deltaAlias = i
-		prog := p.programs[i]
+		prog := r.p.programs[i]
 		for _, pos := range patch.removedPos {
-			r.tuple[i] = p.aliases[i].rows[pos]
+			r.tuple[i] = r.p.aliases[i].rows[pos]
 			r.step(prog, 0, -1)
 		}
 		for _, arow := range patch.added {
@@ -154,6 +174,14 @@ func (p *Plan) forEachDelta(patches []*aliasPatch, emit func(tuple [][]relationa
 		}
 		r.tuple[i] = nil
 	}
+}
+
+// forEachDelta is the closure-sink form of the delta enumeration, used by
+// the cold paths (compile-time base state, Rebase maintenance).
+func (p *Plan) forEachDelta(ps *patchSet, emit func(tuple [][]relational.Value, sign int)) {
+	r := &runner{p: p, deltaAlias: -1}
+	r.emit = func(sign int) { emit(r.tuple, sign) }
+	r.runDelta(ps)
 }
 
 // ProbeResult is a probe outcome plus how it was reached.
@@ -222,8 +250,23 @@ func (p *Plan) inputTouched(changes []CellChange) bool {
 }
 
 // ProbeDelta is Probe with attribution, for callers that report pruning
-// statistics.
+// statistics. It borrows an arena from the package pool; workers that own
+// an Arena should call ProbeDeltaArena directly.
 func (p *Plan) ProbeDelta(changes []CellChange) ProbeResult {
+	a := arenaPool.Get().(*Arena)
+	pr := p.ProbeDeltaArena(changes, a)
+	arenaPool.Put(a)
+	return pr
+}
+
+// ProbeDeltaArena is ProbeDelta running on a caller-owned arena: all probe
+// scratch (patches, patched rows, enumeration state, accumulators) is
+// drawn from — and reclaimed by — the arena, so a warm probe allocates
+// nothing. A nil arena borrows one from the package pool.
+func (p *Plan) ProbeDeltaArena(changes []CellChange, a *Arena) ProbeResult {
+	if a == nil {
+		return p.ProbeDelta(changes)
+	}
 	if !p.inputTouched(changes) {
 		// The query's input relations are byte-identical.
 		return ProbeResult{Outcome: Unchanged, InputUntouched: true}
@@ -231,49 +274,41 @@ func (p *Plan) ProbeDelta(changes []CellChange) ProbeResult {
 	if p.noProbe || p.mode == modeFullOnly {
 		return ProbeResult{Outcome: NeedFullEval} // patches would go unread
 	}
-	patches := p.buildPatches(changes)
+	a.rows.reset()
+	p.buildPatches(changes, &a.patches, &a.rows)
+	acc := &a.acc
+	acc.reset(p)
+	r := &a.run
+	r.p, r.acc, r.emit = p, acc, nil
+	r.runDelta(&a.patches)
+	var out Outcome
 	switch p.mode {
 	case modeProjection:
-		return ProbeResult{Outcome: p.probeProjection(patches)}
+		out = decideProjection(acc)
 	case modeDistinct:
-		return ProbeResult{Outcome: p.probeDistinct(patches)}
+		out = p.decideDistinct(acc)
 	default:
-		return ProbeResult{Outcome: p.probeAggregate(patches)}
+		out = p.decideAggregate(acc, &a.ov)
 	}
+	// Drop the plan references on exit so an idle pooled arena never pins
+	// the last-probed plan (and its snapshot's artifacts) alive.
+	r.p, r.patches, r.acc, acc.p = nil, nil, nil, nil
+	return ProbeResult{Outcome: out}
 }
 
-// probeProjection compares the added and removed projected-row multisets.
-func (p *Plan) probeProjection(patches []*aliasPatch) Outcome {
-	var addCnt, remCnt int
-	var addSum, remSum, addXor, remXor uint64
-	var buf []byte
-	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
-		h := p.projHash(tuple, &buf)
-		if sign > 0 {
-			addCnt++
-			addSum += h
-			addXor ^= h
-		} else {
-			remCnt++
-			remSum += h
-			remXor ^= h
-		}
-	})
-	if addCnt != remCnt || addSum != remSum || addXor != remXor {
+// decideProjection compares the added and removed projected-row multisets
+// accumulated during enumeration.
+func decideProjection(acc *probeAcc) Outcome {
+	if acc.addCnt != acc.remCnt || acc.addSum != acc.remSum || acc.addXor != acc.remXor {
 		return Changed
 	}
 	return Unchanged
 }
 
-// probeDistinct checks whether any projected row's multiplicity crosses
+// decideDistinct checks whether any projected row's multiplicity crosses
 // zero — the only transitions that alter the DISTINCT result set.
-func (p *Plan) probeDistinct(patches []*aliasPatch) Outcome {
-	net := make(map[uint64]int)
-	var buf []byte
-	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
-		net[p.projHash(tuple, &buf)] += sign
-	})
-	for h, d := range net {
+func (p *Plan) decideDistinct(acc *probeAcc) Outcome {
+	for h, d := range acc.net {
 		if d == 0 {
 			continue
 		}
@@ -292,7 +327,7 @@ type groupDelta struct {
 	added   [][]relational.Value // per agg: non-NULL values added
 }
 
-// probeAggregate applies the exact decision tree for aggregate queries:
+// decideAggregate applies the exact decision tree for aggregate queries:
 // group appearance/disappearance and COUNT deltas are integer-exact;
 // MIN/MAX are decided exactly from the stored canonical extrema and their
 // encoding multiplicities (decideExtremum); SUM, AVG and COUNT(DISTINCT)
@@ -300,39 +335,10 @@ type groupDelta struct {
 // value multiset (decideMultiset). No aggregate shape falls back to a full
 // re-evaluation anymore — NeedFullEval survives only as a defensive
 // verdict on impossible states.
-func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
-	deltas := make(map[string]*groupDelta)
-	var keyBuf []byte
-	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
-		keyBuf = p.groupKey(tuple, keyBuf[:0])
-		gd := deltas[string(keyBuf)]
-		if gd == nil {
-			gd = &groupDelta{
-				removed: make([][]relational.Value, len(p.aggCols)),
-				added:   make([][]relational.Value, len(p.aggCols)),
-			}
-			deltas[string(keyBuf)] = gd
-		}
-		gd.rows += sign
-		for ai, at := range p.aggCols {
-			if at.col < 0 {
-				continue // COUNT(*): row delta is enough
-			}
-			v := tuple[at.alias][at.col]
-			if v.IsNull() {
-				continue // SQL aggregates skip NULLs
-			}
-			if sign > 0 {
-				gd.added[ai] = append(gd.added[ai], v)
-			} else {
-				gd.removed[ai] = append(gd.removed[ai], v)
-			}
-		}
-	})
-
+func (p *Plan) decideAggregate(acc *probeAcc, ov *overlayScratch) Outcome {
 	changed, unknown := false, false
 	grouped := len(p.q.GroupBy) > 0
-	for key, gd := range deltas {
+	for key, gd := range acc.deltas {
 		base := p.groups[key]
 		baseRows := 0
 		if base != nil {
@@ -347,7 +353,7 @@ func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
 			continue
 		}
 		for ai := range p.aggCols {
-			switch p.decideAgg(ai, base, gd) {
+			switch p.decideAgg(ai, base, gd, ov) {
 			case Changed:
 				changed = true
 			case NeedFullEval:
@@ -378,7 +384,7 @@ func (p *Plan) probeAggregate(patches []*aliasPatch) Outcome {
 // tuple another term adds back — so they are netted against each other
 // first; the net-removed values are then guaranteed to occur in the base
 // group and the net-added values to be genuinely new occurrences.
-func (p *Plan) decideAgg(ai int, base *groupState, gd *groupDelta) Outcome {
+func (p *Plan) decideAgg(ai int, base *groupState, gd *groupDelta, ov *overlayScratch) Outcome {
 	a := p.q.Aggs[ai]
 	if p.aggCols[ai].col < 0 { // COUNT(*)
 		if gd.rows != 0 {
@@ -395,9 +401,9 @@ func (p *Plan) decideAgg(ai int, base *groupState, gd *groupDelta) Outcome {
 		if base == nil {
 			return NeedFullEval // unreachable: touched groups carry base state
 		}
-		return decideMultiset(a, &base.aggs[ai], gd.removed[ai], gd.added[ai])
+		return decideMultiset(a, &base.aggs[ai], gd.removed[ai], gd.added[ai], ov)
 	}
-	rem, add := netDiff(gd.removed[ai], gd.added[ai])
+	rem, add := netDiff(gd.removed[ai], gd.added[ai], ov)
 	if len(rem) == 0 && len(add) == 0 {
 		// The group's value multiset is untouched: integer counts and
 		// order-insensitive extrema are exactly preserved.
@@ -433,18 +439,21 @@ func sameFloat(a, b float64) bool {
 // overlay with its keys in ascending encoding order. Phantom add/remove
 // pairs from the telescoping enumeration cancel here, so callers need no
 // separate netting pass. Shared by the probe decisions and by Rebase's
-// state maintenance.
-func buildOverlay(removed, added []relational.Value) (map[string]*ovDelta, []string) {
-	overlay := make(map[string]*ovDelta, len(removed)+len(added))
-	var keys []string
-	var buf []byte
+// state maintenance; a non-nil scratch recycles the map, key list and
+// entry store across calls.
+func buildOverlay(removed, added []relational.Value, ov *overlayScratch) (map[string]*ovDelta, []string) {
+	if ov == nil {
+		ov = &overlayScratch{}
+	}
+	ov.resetOverlay()
 	apply := func(v relational.Value, sign int) {
-		buf = v.AppendEncode(buf[:0])
-		e := overlay[string(buf)]
+		ov.encBuf = v.AppendEncode(ov.encBuf[:0])
+		e := ov.overlay[string(ov.encBuf)]
 		if e == nil {
-			e = &ovDelta{f: v.AsFloat()}
-			overlay[string(buf)] = e
-			keys = append(keys, string(buf))
+			e = ov.entry()
+			e.f = v.AsFloat()
+			ov.overlay[string(ov.encBuf)] = e
+			ov.overlayKeys = append(ov.overlayKeys, string(ov.encBuf))
 		}
 		e.delta += sign
 	}
@@ -454,8 +463,8 @@ func buildOverlay(removed, added []relational.Value) (map[string]*ovDelta, []str
 	for _, v := range removed {
 		apply(v, -1)
 	}
-	sort.Strings(keys)
-	return overlay, keys
+	slices.Sort(ov.overlayKeys)
+	return ov.overlay, ov.overlayKeys
 }
 
 // decideMultiset resolves a SUM, AVG or COUNT(DISTINCT) aggregate exactly:
@@ -463,8 +472,8 @@ func buildOverlay(removed, added []relational.Value) (map[string]*ovDelta, []str
 // multiset and the new output recomputed with the same canonical
 // (encoding-sorted, Kahan) accumulation Eval uses, so the comparison
 // against the base output is bit-exact.
-func decideMultiset(a relational.Agg, ab *aggBase, removed, added []relational.Value) Outcome {
-	overlay, keys := buildOverlay(removed, added)
+func decideMultiset(a relational.Agg, ab *aggBase, removed, added []relational.Value, ov *overlayScratch) Outcome {
+	overlay, keys := buildOverlay(removed, added, ov)
 
 	// Walk the overlay to derive the new occurrence and distinct counts.
 	newCnt, newDistinct := ab.cnt, ab.distinct
@@ -565,33 +574,36 @@ func mergedCanonicalSum(ab *aggBase, overlay map[string]*ovDelta, overlayKeys []
 
 // netDiff cancels matching occurrences (by canonical encoding) between the
 // removed and added value lists, returning the true multiset difference in
-// each direction.
-func netDiff(rem, add []relational.Value) (nr, na []relational.Value) {
+// each direction. A non-nil scratch recycles the counting map and result
+// slices; the returned slices are valid until its next use.
+func netDiff(rem, add []relational.Value, ov *overlayScratch) (nr, na []relational.Value) {
 	if len(rem) == 0 || len(add) == 0 {
 		return rem, add
 	}
-	surplus := make(map[string]int, len(add))
-	var buf []byte
+	if ov == nil {
+		ov = &overlayScratch{}
+	}
+	ov.resetSurplus()
 	for _, v := range add {
-		buf = v.AppendEncode(buf[:0])
-		surplus[string(buf)]++
+		ov.encBuf = v.AppendEncode(ov.encBuf[:0])
+		ov.surplus[string(ov.encBuf)]++
 	}
 	for _, v := range rem {
-		buf = v.AppendEncode(buf[:0])
-		if surplus[string(buf)] > 0 {
-			surplus[string(buf)]--
+		ov.encBuf = v.AppendEncode(ov.encBuf[:0])
+		if ov.surplus[string(ov.encBuf)] > 0 {
+			ov.surplus[string(ov.encBuf)]--
 		} else {
-			nr = append(nr, v)
+			ov.nrBuf = append(ov.nrBuf, v)
 		}
 	}
 	for _, v := range add {
-		buf = v.AppendEncode(buf[:0])
-		if surplus[string(buf)] > 0 {
-			surplus[string(buf)]--
-			na = append(na, v)
+		ov.encBuf = v.AppendEncode(ov.encBuf[:0])
+		if ov.surplus[string(ov.encBuf)] > 0 {
+			ov.surplus[string(ov.encBuf)]--
+			ov.naBuf = append(ov.naBuf, v)
 		}
 	}
-	return nr, na
+	return ov.nrBuf, ov.naBuf
 }
 
 // decideExtremum handles MIN (dir < 0) and MAX (dir > 0) exactly. The plan

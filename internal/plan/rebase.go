@@ -58,17 +58,20 @@ func (p *Plan) Rebase(newDB *relational.Database, changes []CellChange, shared *
 	}
 
 	// State first: replay the telescoping delta enumeration of the OLD
-	// plan to patch fingerprint terms and mode-specific base state.
-	patches := p.buildPatches(rel)
+	// plan to patch fingerprint terms and mode-specific base state. Rebase
+	// is the cold path, so it uses private (allocating) patch scratch.
+	var ps patchSet
+	var ra rowArena
+	p.buildPatches(rel, &ps, &ra)
 	switch p.mode {
 	case modeProjection:
-		p.rebaseProjection(&np, patches)
+		p.rebaseProjection(&np, &ps)
 	case modeDistinct:
-		if !p.rebaseDistinct(&np, patches) {
+		if !p.rebaseDistinct(&np, &ps) {
 			return nil, false
 		}
 	case modeAggregate:
-		if !p.rebaseAggregate(&np, patches) {
+		if !p.rebaseAggregate(&np, &ps) {
 			return nil, false
 		}
 	}
@@ -114,9 +117,9 @@ func (p *Plan) relevantChanges(changes []CellChange) ([]CellChange, bool) {
 
 // rebaseProjection adjusts the projection fingerprint terms by the signed
 // projected-row hash delta.
-func (p *Plan) rebaseProjection(np *Plan, patches []*aliasPatch) {
+func (p *Plan) rebaseProjection(np *Plan, ps *patchSet) {
 	var buf []byte
-	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+	p.forEachDelta(ps, func(tuple [][]relational.Value, sign int) {
 		h := p.projHash(tuple, &buf)
 		if sign > 0 {
 			np.fpSum += h
@@ -134,10 +137,10 @@ func (p *Plan) rebaseProjection(np *Plan, patches []*aliasPatch) {
 // rebaseDistinct clones the multiplicity map, applies the signed delta,
 // and adjusts the fingerprint terms for every multiplicity that crosses
 // zero (the only transitions visible in a DISTINCT result).
-func (p *Plan) rebaseDistinct(np *Plan, patches []*aliasPatch) bool {
+func (p *Plan) rebaseDistinct(np *Plan, ps *patchSet) bool {
 	net := make(map[uint64]int)
 	var buf []byte
-	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+	p.forEachDelta(ps, func(tuple [][]relational.Value, sign int) {
 		net[p.projHash(tuple, &buf)] += sign
 	})
 	counts := make(map[uint64]int, len(p.distinctCounts))
@@ -178,10 +181,10 @@ func (p *Plan) rebaseDistinct(np *Plan, patches []*aliasPatch) bool {
 // state (extrema with multiplicities, value multisets, counts), and
 // adjusts the fingerprint terms by each touched group's old and new output
 // row hash.
-func (p *Plan) rebaseAggregate(np *Plan, patches []*aliasPatch) bool {
+func (p *Plan) rebaseAggregate(np *Plan, ps *patchSet) bool {
 	deltas := make(map[string]*groupDelta)
 	var keyBuf []byte
-	p.forEachDelta(patches, func(tuple [][]relational.Value, sign int) {
+	p.forEachDelta(ps, func(tuple [][]relational.Value, sign int) {
 		keyBuf = p.groupKey(tuple, keyBuf[:0])
 		gd := deltas[string(keyBuf)]
 		if gd == nil {
@@ -274,7 +277,7 @@ func rebaseAgg(a relational.Agg, star bool, ob *aggBase, removed, added []relati
 	if ob == nil {
 		// Group born by this update: its whole state comes from the added
 		// values (net removals from a nonexistent group are impossible).
-		if rem, _ := netDiff(removed, added); len(rem) > 0 {
+		if rem, _ := netDiff(removed, added, nil); len(rem) > 0 {
 			return aggBase{}, false
 		}
 		ob = &aggBase{}
@@ -288,10 +291,10 @@ func rebaseAgg(a relational.Agg, star bool, ob *aggBase, removed, added []relati
 		return aggBase{}, false
 	}
 	if multisetAgg(a) {
-		overlay, keys := buildOverlay(removed, added)
+		overlay, keys := buildOverlay(removed, added, nil)
 		return mergeMultiset(a, ob, nb.cnt, overlay, keys)
 	}
-	rem, add := netDiff(removed, added)
+	rem, add := netDiff(removed, added, nil)
 	if nb.cnt == 0 {
 		// Every accepted value is gone: the output reverts to NULL.
 		nb.min, nb.minN, nb.max, nb.maxN = relational.Null(), 0, relational.Null(), 0

@@ -159,9 +159,10 @@ func TestRebaseUntouchedQueryIsShared(t *testing.T) {
 }
 
 // TestRebaseThroughPoolAndCache drives the cache-level update path:
-// Cache.Advance + IndexPool.Advance must hand out plans equivalent to
-// fresh compilations against the new snapshot, and leave the old cache
-// serving the old snapshot.
+// Cache.Advance + IndexPool.Advance defer all plan maintenance to first
+// use, and the lazily upgraded plans must be equivalent to fresh
+// compilations against the new snapshot while the old cache keeps serving
+// the old snapshot.
 func TestRebaseThroughPoolAndCache(t *testing.T) {
 	db := testDB()
 	pool := NewIndexPool(db)
@@ -179,9 +180,12 @@ func TestRebaseThroughPoolAndCache(t *testing.T) {
 	}
 	newDB := applyUpdate(t, db, changes)
 	newPool := pool.Advance(newDB, changes)
-	newCache, rebased, dropped := cache.Advance(newDB, changes, newPool)
-	if rebased == 0 {
-		t.Fatalf("no plan was rebased (dropped %d)", dropped)
+	newCache, ast := cache.Advance(newDB, changes, newPool)
+	if ast.Deferred != cache.Len() {
+		t.Fatalf("Advance deferred %d plans, want all %d", ast.Deferred, cache.Len())
+	}
+	if stale := newCache.StaleLen(); stale != ast.Deferred {
+		t.Fatalf("StaleLen = %d after Advance, want %d", stale, ast.Deferred)
 	}
 	for _, q := range queries {
 		np, fresh, err := newCache.Get(newDB, q)
@@ -196,6 +200,9 @@ func TestRebaseThroughPoolAndCache(t *testing.T) {
 			t.Fatalf("%s (fresh=%v): cache served fingerprint %x, want %x",
 				q.Name, fresh, np.BaseFingerprint(), ref.BaseFingerprint())
 		}
+		if np.Version() != newDB.Version() {
+			t.Fatalf("%s: lazily upgraded plan at version %d, want %d", q.Name, np.Version(), newDB.Version())
+		}
 		// The old cache still serves plans for the old snapshot.
 		op, _, err := cache.Get(db, q)
 		if err != nil {
@@ -208,6 +215,9 @@ func TestRebaseThroughPoolAndCache(t *testing.T) {
 		if op.BaseFingerprint() != oldRef.BaseFingerprint() {
 			t.Fatalf("%s: old cache corrupted by Advance", q.Name)
 		}
+	}
+	if stale := newCache.StaleLen(); stale != 0 {
+		t.Fatalf("StaleLen = %d after touching every entry, want 0", stale)
 	}
 }
 

@@ -1,0 +1,5 @@
+// Package raceinfo exposes whether the binary was built with the race
+// detector. Allocation-regression guards consult it: -race instruments
+// every allocation site, so testing.AllocsPerRun ceilings calibrated for
+// production builds do not hold under it.
+package raceinfo

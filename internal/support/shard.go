@@ -14,12 +14,15 @@ package support
 //     pruning discards, and
 //   - a compiled-plan cache. Plans are homed on one shard per query key,
 //     so concurrent quote traffic spreads across per-shard cache locks;
-//     every cache shares one bare-scan index pool (plan.IndexPool).
+//     every cache shares one bare-scan index pool (plan.IndexPool), and
+//   - a pooled per-quote scratch (candidate marks plus a plan.Arena), so
+//     a warm quote against the shard is allocation-free.
 //
 // The online path (ConflictSet) fans a single query out across shards,
-// each shard filling a conflict bitset over its local neighbors; the
-// bitsets are merged into the final ascending conflict set. Results are
-// byte-identical to an unsharded, full-scan computation at every K.
+// each shard emitting the ascending global indices of its conflicting
+// neighbors; one sort merges the disjoint per-shard lists into the final
+// ascending conflict set. Results are byte-identical to an unsharded,
+// full-scan computation at every K.
 //
 // This in-process layout is also the seam a multi-process distribution
 // would cut along: each shard's state (neighbors, plan cache, footprint
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
@@ -50,11 +54,14 @@ type shard struct {
 }
 
 // shardScratch is the reusable per-quote working memory of one shard:
-// the candidate mark slice (kept all-false between uses) and the
-// candidate id buffer.
+// the candidate mark slice (kept all-false between uses), the candidate id
+// buffer, and the probe arena the shard's delta probes draw all their
+// scratch from — together they make a warm quote against the shard
+// allocation-free.
 type shardScratch struct {
 	marked []bool
 	cand   []int32
+	arena  *plan.Arena
 }
 
 // planCache returns the shard's plan cache, creating it on first use with
@@ -171,7 +178,7 @@ func (sh *shard) candidates(p *plan.Plan, sc *shardScratch) []int32 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	for _, li := range out {
 		sc.marked[li] = false
 	}
@@ -179,55 +186,32 @@ func (sh *shard) candidates(p *plan.Plan, sc *shardScratch) []int32 {
 	return out
 }
 
-// conflictBits computes the shard's portion of CS(q, D) as a bitset over
-// its local neighbor ids (nil when no neighbor conflicts).
-func (sh *shard) conflictBits(s *Set, p *plan.Plan, st *Stats) ([]uint64, error) {
+// conflicts computes the shard's portion of CS(q, D), appending the global
+// indices of conflicting neighbors to out in ascending order (shard-local
+// ids ascend and the shard's global slice is ascending, so the scan emits
+// sorted output for free). All probe scratch comes from the shard's pooled
+// arena, so a warm call allocates only when out grows.
+func (sh *shard) conflicts(s *Set, p *plan.Plan, st *Stats, out []int) ([]int, error) {
 	sc, _ := sh.scratch.Get().(*shardScratch)
 	if sc == nil {
-		sc = &shardScratch{}
+		sc = &shardScratch{arena: plan.NewArena()}
 	}
 	defer sh.scratch.Put(sc)
 	cand := sh.candidates(p, sc)
 	st.PrunedByCols += len(sh.global) - len(cand)
-	if len(cand) == 0 {
-		return nil, nil
-	}
-	words := make([]uint64, (len(sh.global)+63)/64)
-	any := false
+	var view *relational.Database
 	for _, li := range cand {
 		nb := &s.Neighbors[sh.global[li]]
-		var view *relational.Database
-		conflict, err := decidePair(s, p, nb, BuildOptions{}, true, &view, st)
+		view = nil // overlay views are per neighbor
+		conflict, err := decidePair(s, p, nb, BuildOptions{}, true, &view, sc.arena, st)
 		if err != nil {
 			return nil, fmt.Errorf("%w (neighbor %d)", err, sh.global[li])
 		}
 		if conflict {
-			words[li>>6] |= 1 << (uint(li) & 63)
-			any = true
+			out = append(out, int(sh.global[li]))
 		}
 	}
-	if !any {
-		return nil, nil
-	}
-	return words, nil
-}
-
-// mergeConflictBits translates per-shard conflict bitsets into the final
-// conflict set: ascending global neighbor indices.
-func mergeConflictBits(shards []*shard, bitsets [][]uint64) []int {
-	var items []int
-	for si, words := range bitsets {
-		sh := shards[si]
-		for wi, w := range words {
-			for w != 0 {
-				li := wi<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				items = append(items, int(sh.global[li]))
-			}
-		}
-	}
-	sort.Ints(items)
-	return items
+	return out, nil
 }
 
 // ConflictSet computes CS(q, D) for a single query against the support
@@ -239,11 +223,12 @@ func mergeConflictBits(shards []*shard, bitsets [][]uint64) []int {
 // so repeated quotes — and quotes for queries a Calibrate already
 // compiled — skip the base evaluation entirely. Each shard's inverted
 // footprint index reduces the scan to the neighbors that can possibly
-// conflict, and with more than one shard the probing fans out across
-// shards concurrently; the per-shard conflict bitsets are then merged.
-// The computation never mutates shared state; any number of goroutines
-// may call it concurrently over one Set, and the result is byte-identical
-// at every shard count.
+// conflict, every probe draws its scratch from the shard's pooled arena,
+// and with more than one shard the probing fans out across shards
+// concurrently; the per-shard sorted conflict lists are then merged. The
+// computation never mutates shared state; any number of goroutines may
+// call it concurrently over one Set, and the result is byte-identical at
+// every shard count.
 func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
 	shards := set.ensureShards()
 	p, _, err := set.planForKeyed(plan.Key(q), q)
@@ -252,18 +237,14 @@ func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
 	}
 	if len(shards) == 1 {
 		var st Stats
-		words, err := shards[0].conflictBits(set, p, &st)
-		if err != nil {
-			return nil, err
-		}
-		return mergeConflictBits(shards, [][]uint64{words}), nil
+		return shards[0].conflicts(set, p, &st, nil)
 	}
 	// Fan out across shards, but keep the total number of extra
 	// goroutines across all concurrent quotes bounded (set.fanout holds
 	// GOMAXPROCS permits): when no permit is free — e.g. many QuoteBatch
 	// workers quoting at once — the shard is probed inline instead, so
 	// shard parallelism never oversubscribes the batch worker pool.
-	bitsets := make([][]uint64, len(shards))
+	results := make([][]int, len(shards))
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for i, sh := range shards {
@@ -274,18 +255,23 @@ func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
 				defer wg.Done()
 				defer func() { <-set.fanout }()
 				var st Stats
-				bitsets[i], errs[i] = sh.conflictBits(set, p, &st)
+				results[i], errs[i] = sh.conflicts(set, p, &st, nil)
 			}(i, sh)
 		default:
 			var st Stats
-			bitsets[i], errs[i] = sh.conflictBits(set, p, &st)
+			results[i], errs[i] = sh.conflicts(set, p, &st, nil)
 		}
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var items []int
+	for i, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+		items = append(items, results[i]...)
 	}
-	return mergeConflictBits(shards, bitsets), nil
+	// Each shard's list is ascending; one sort merges the disjoint lists
+	// into the canonical ascending conflict set.
+	sort.Ints(items)
+	return items, nil
 }

@@ -24,13 +24,15 @@
 // because evaluation accumulates them in canonical order.
 //
 // The neighbors of a Set are partitioned into shards (shard.go), each
-// owning its own plan cache and an inverted footprint index over its
-// neighbors' deltas. BuildHypergraph schedules shard × query tiles over a
-// bounded worker pool, and the online ConflictSet path fans a single
-// query out across shards, merging per-shard conflict bitsets. Nothing in
-// this package mutates the base database, so any number of goroutines may
-// compute conflict sets over the same Set concurrently, and results are
-// byte-identical at every shard count.
+// owning its own plan cache, an inverted footprint index over its
+// neighbors' deltas, and a pooled quote scratch (a plan.Arena), so warm
+// quotes are allocation-free. BuildHypergraph schedules shard × query
+// tiles over a bounded worker pool (one arena per worker), and the online
+// ConflictSet path fans a single query out across shards, merging the
+// per-shard sorted conflict lists. Nothing in this package mutates the
+// base database, so any number of goroutines may compute conflict sets
+// over the same Set concurrently, and results are byte-identical at every
+// shard count.
 package support
 
 import (
@@ -302,8 +304,10 @@ func (st *Stats) add(o Stats) {
 // overlay view for fallbacks (the view is shared across a neighbor's
 // queries within one worker). When skipRule1 is set the caller has already
 // established — e.g. through the builder's inverted footprint index — that
-// some delta touches the plan's footprint.
-func decidePair(set *Set, p *plan.Plan, nb *Neighbor, opts BuildOptions, skipRule1 bool, view **relational.Database, st *Stats) (bool, error) {
+// some delta touches the plan's footprint. The arena supplies all probe
+// scratch; each worker owns one (nil borrows from the plan package's
+// pool).
+func decidePair(set *Set, p *plan.Plan, nb *Neighbor, opts BuildOptions, skipRule1 bool, view **relational.Database, arena *plan.Arena, st *Stats) (bool, error) {
 	if !opts.DisablePruning {
 		if !skipRule1 && !p.TouchesChanges(nb.Deltas) {
 			st.PrunedByCols++
@@ -317,7 +321,7 @@ func decidePair(set *Set, p *plan.Plan, nb *Neighbor, opts BuildOptions, skipRul
 		} else {
 			// The probe subsumes rule 2: an untouched-input verdict is
 			// exactly the local-predicate prune.
-			pr := p.ProbeDelta(nb.Deltas)
+			pr := p.ProbeDeltaArena(nb.Deltas, arena)
 			if pr.InputUntouched {
 				st.PrunedByPred++
 				return false, nil
@@ -515,6 +519,7 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 				var local Stats
 				var marked []bool
 				var cand []int32
+				arena := plan.NewArena() // per-worker probe scratch
 				if fpIdx != nil {
 					marked = make([]bool, len(plans))
 				}
@@ -545,7 +550,7 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 						var view *relational.Database
 						if fpIdx == nil {
 							for qi := lo; qi < hi; qi++ {
-								ok, err := decidePair(set, plans[qi], nb, opts, false, &view, &local)
+								ok, err := decidePair(set, plans[qi], nb, opts, false, &view, arena, &local)
 								if err != nil {
 									fail(fmt.Errorf("%w (neighbor %d)", err, gi))
 									break
@@ -559,7 +564,7 @@ func BuildHypergraph(set *Set, queries []*relational.SelectQuery, opts BuildOpti
 						cand = fpIdx.candidates(set.DB, nb, lo, hi, marked, cand)
 						local.PrunedByCols += int(hi-lo) - len(cand)
 						for _, qi := range cand {
-							ok, err := decidePair(set, plans[qi], nb, opts, true, &view, &local)
+							ok, err := decidePair(set, plans[qi], nb, opts, true, &view, arena, &local)
 							if err != nil {
 								fail(fmt.Errorf("%w (neighbor %d)", err, gi))
 								break

@@ -5,19 +5,21 @@ package support
 // a new snapshot (relational.Database.Apply) the set itself advances: the
 // same neighbors, re-interpreted against the new base. Advance builds the
 // successor set without touching the original — concurrent quotes against
-// the old snapshot keep their set, caches and plans — and carries over as
-// much compiled state as the change list allows:
+// the old snapshot keep their set, caches and plans — and defers all
+// compiled-state maintenance:
 //
 //   - the shard partition and every shard's inverted footprint index are
 //     shared outright: both depend only on each neighbor's delta
 //     coordinates ((table, row, col) footprints), which an update never
 //     moves, so no neighbor is ever re-homed by a base-data change — a
 //     deliberate property of footprint-based sharding;
-//   - the shared bare-scan index pool is advanced by patching only the
-//     (table, column) indexes the update touches (plan.IndexPool.Advance);
-//   - each shard's plan cache is advanced by delta-maintaining every
-//     cached plan onto the new snapshot (plan.Cache.Advance); plans a
-//     change escapes are invalidated and lazily recompiled on next use.
+//   - the shared bare-scan index pool and each shard's plan cache advance
+//     lazily (plan.IndexPool.Advance, plan.Cache.Advance): the change
+//     batch is appended to a pending log, and a plan or index is folded up
+//     to the new snapshot — all deferred batches coalesced into one rebase
+//     or patch pass — on its first post-update use. Advance cost is
+//     therefore independent of how many plans are cached. Drain forces the
+//     fold-up eagerly (e.g. from a background goroutine on an idle broker).
 //
 // A neighbor whose delta an update makes vacuous (the new base value now
 // equals the neighbor's) simply stops conflicting — exactly what a fresh
@@ -28,27 +30,35 @@ import (
 	"querypricing/internal/relational"
 )
 
-// UpdateStats reports how much compiled state an Advance carried over.
+// UpdateStats reports how much compiled state an Advance or Drain touched.
 type UpdateStats struct {
-	// PlansRebased counts cached plans delta-maintained onto the new
-	// snapshot across all shards.
+	// PlansDeferred counts cached plans carried across an Advance with
+	// their delta maintenance deferred to first use (or a Drain).
+	PlansDeferred int
+	// PlansRebased counts cached plans a Drain delta-maintained onto the
+	// set's snapshot — including the amortized eager drain an Advance
+	// runs when the pending log hits its cap.
 	PlansRebased int
-	// PlansInvalidated counts cached plans the change list escaped; they
-	// recompile lazily on their next use.
+	// PlansInvalidated counts cached plans whose deferred changes escaped
+	// delta maintenance; a Drain recompiles them (first use would too).
 	PlansInvalidated int
 }
 
 // Advance returns the support set re-based onto newDB — the successor
 // snapshot produced by applying changes to the set's current database —
 // with the same neighbors, the same shard partition, and every cached
-// plan either delta-maintained or dropped for lazy recompilation. The
-// receiver is never modified and remains fully usable against the old
-// snapshot; conflict sets computed on the advanced set are byte-identical
-// to those of a fresh Set built over newDB with the same neighbors.
+// plan carried over for lazy, coalesced rebasing on first use (see
+// plan.Cache.Advance). The receiver is never modified and remains fully
+// usable against the old snapshot; conflict sets computed on the advanced
+// set are byte-identical to those of a fresh Set built over newDB with the
+// same neighbors.
 func (s *Set) Advance(newDB *relational.Database, changes []Delta) (*Set, UpdateStats) {
 	shards := s.ensureShards()
 	var st UpdateStats
-	newPool := s.pool.Advance(newDB, changes)
+	// One defensive copy, shared by the pool's and every cache's pending
+	// log: callers are free to reuse their change slice afterwards.
+	ch := append([]Delta(nil), changes...)
+	newPool := s.pool.Advance(newDB, ch)
 	ns := &Set{
 		DB:        newDB,
 		Neighbors: s.Neighbors,
@@ -63,13 +73,50 @@ func (s *Set) Advance(newDB *relational.Database, changes []Delta) (*Set, Update
 		plans := sh.plans
 		sh.planMu.Unlock()
 		if plans != nil {
-			nc, rebased, dropped := plans.Advance(newDB, changes, newPool)
+			nc, ast := plans.Advance(newDB, ch, newPool)
 			nsh.plans = nc
-			st.PlansRebased += rebased
-			st.PlansInvalidated += dropped
+			st.PlansDeferred += ast.Deferred
+			st.PlansRebased += ast.Rebased
+			st.PlansInvalidated += ast.Recompiled
 		}
 		newShards[i] = nsh
 	}
 	ns.shards = newShards
 	return ns, st
+}
+
+// Drain eagerly folds every deferred update batch into the set's cached
+// plans, exactly as each plan's first post-update use would: pending
+// batches are coalesced into one rebase pass per plan, and plans the
+// composite change escapes are recompiled. Safe to run concurrently with
+// quotes (shared upgrades deduplicate); an optional background drainer
+// calls this so idle brokers converge instead of deferring forever.
+func (s *Set) Drain() UpdateStats {
+	var st UpdateStats
+	for _, sh := range s.ensureShards() {
+		sh.planMu.Lock()
+		plans := sh.plans
+		sh.planMu.Unlock()
+		if plans != nil {
+			rebased, recompiled := plans.Drain(0)
+			st.PlansRebased += rebased
+			st.PlansInvalidated += recompiled
+		}
+	}
+	return st
+}
+
+// StalePlans reports how many cached plans across all shards still carry
+// deferred update batches (diagnostics and tests).
+func (s *Set) StalePlans() int {
+	n := 0
+	for _, sh := range s.ensureShards() {
+		sh.planMu.Lock()
+		plans := sh.plans
+		sh.planMu.Unlock()
+		if plans != nil {
+			n += plans.StaleLen()
+		}
+	}
+	return n
 }

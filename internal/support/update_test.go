@@ -92,9 +92,8 @@ func TestAdvanceMatchesFreshSet(t *testing.T) {
 						t.Fatal(err)
 					}
 					adv, stats := cur.Advance(newDB, changes)
-					if round == 0 && stats.PlansRebased == 0 {
-						t.Fatalf("K=%d: warmed caches but no plan was rebased (invalidated %d)",
-							k, stats.PlansInvalidated)
+					if round == 0 && stats.PlansDeferred == 0 {
+						t.Fatalf("K=%d: warmed caches but no plan maintenance was deferred", k)
 					}
 					fresh := &support.Set{DB: newDB, Neighbors: set.Neighbors, Shards: k}
 					assertSameConflictSets(t, w, qs,

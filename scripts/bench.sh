@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
 #
-# Usage: scripts/bench.sh [n]
-#   n                PR / trajectory index (default 3); output lands in BENCH_<n>.json
+# Usage: scripts/bench.sh [n] [--compare BENCH_<m>.json]
+#   n                PR / trajectory index (default 5); output lands in BENCH_<n>.json
+#   --compare FILE   after writing BENCH_<n>.json, print a per-benchmark
+#                    delta table (ns/op and allocs/op) against FILE
 #   BENCHTIME_BASE   -benchtime for the serial/parallel baselines (default 5x;
 #                    these run up to ~13 s/op, so the count stays small)
 #   BENCHTIME_BUILD  -benchtime for the incremental/sharded engine pair
@@ -24,7 +26,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-n="${1:-3}"
+n="5"
+compare=""
+while [ $# -gt 0 ]; do
+	case "$1" in
+	--compare)
+		compare="${2:?--compare needs a file}"
+		shift 2
+		;;
+	*)
+		n="$1"
+		shift
+		;;
+	esac
+done
 basetime="${BENCHTIME_BASE:-5x}"
 buildtime="${BENCHTIME_BUILD:-10x}"
 buildcount="${BENCHCOUNT_BUILD:-4}"
@@ -98,3 +113,7 @@ awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ -n "$compare" ]; then
+	scripts/benchcompare.sh "$compare" "$out"
+fi

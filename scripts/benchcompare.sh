@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# benchcompare.sh — print per-benchmark deltas between two BENCH_<n>.json
+# files produced by scripts/bench.sh.
+#
+# Usage: scripts/benchcompare.sh OLD.json NEW.json
+#
+# For every benchmark present in NEW, prints old/new ns_per_op and
+# allocs_per_op with percentage deltas (negative = faster/leaner).
+# Benchmarks missing from OLD show as "new". The files are line-structured
+# (one benchmark object per line), so a POSIX awk join is enough — no jq
+# dependency.
+set -euo pipefail
+
+old="${1:?usage: benchcompare.sh OLD.json NEW.json}"
+new="${2:?usage: benchcompare.sh OLD.json NEW.json}"
+
+awk -v oldfile="$old" -v newfile="$new" '
+  function field(line, key,    rest) {
+    if (match(line, "\"" key "\": [0-9.]+") == 0) return ""
+    rest = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": ", "", rest)
+    return rest
+  }
+  function name(line,    rest) {
+    if (match(line, "\"name\": \"[^\"]+\"") == 0) return ""
+    rest = substr(line, RSTART, RLENGTH)
+    sub(/"name": "/, "", rest)
+    sub(/"$/, "", rest)
+    return rest
+  }
+  function pct(o, n) {
+    if (o == "" || o + 0 == 0) return "      -"
+    return sprintf("%+6.1f%%", 100 * (n - o) / o)
+  }
+  BEGIN {
+    while ((getline line < oldfile) > 0) {
+      nm = name(line)
+      if (nm == "") continue
+      oldNs[nm] = field(line, "ns_per_op")
+      oldAllocs[nm] = field(line, "allocs_per_op")
+    }
+    close(oldfile)
+    printf "%-42s %14s %14s %8s   %10s %10s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+    while ((getline line < newfile) > 0) {
+      nm = name(line)
+      if (nm == "") continue
+      ns = field(line, "ns_per_op")
+      al = field(line, "allocs_per_op")
+      if (nm in oldNs) {
+        printf "%-42s %14s %14s %8s   %10s %10s %8s\n", nm, oldNs[nm], ns, pct(oldNs[nm], ns), \
+          (oldAllocs[nm] == "" ? "-" : oldAllocs[nm]), (al == "" ? "-" : al), \
+          (al == "" ? "      -" : pct(oldAllocs[nm], al))
+      } else {
+        printf "%-42s %14s %14s %8s   %10s %10s %8s\n", nm, "-", ns, "new", "-", (al == "" ? "-" : al), "-"
+      }
+    }
+    close(newfile)
+  }
+' </dev/null
