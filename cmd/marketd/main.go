@@ -5,7 +5,7 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /stats              broker status (support size, algorithm, revenue, version)
+//	GET  /stats              broker status (support size, algorithm, revenue, version, plan-cache state)
 //	GET  /algorithms         the engine registry's algorithm names
 //	POST /quote              body: SelectQuery -> Quote
 //	POST /quote/batch        body: [SelectQuery, ...] -> [Quote, ...]
@@ -103,6 +103,10 @@ func main() {
 			"revenue":      broker.Revenue(),
 			"sales":        len(broker.Sales()),
 			"version":      broker.Version(),
+			// Deferred-maintenance state of the plan caches: totals plus a
+			// per-shard breakdown of cached/stale plans and pending update
+			// batches (see docs/UPDATES.md).
+			"plans": broker.PlanStats(),
 		})
 	})
 	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {

@@ -161,6 +161,11 @@ type Broker struct {
 	// (Config.BackgroundDrain).
 	draining atomic.Bool
 
+	// plansDeferred accumulates UpdateStats.PlansDeferred across every
+	// Update: the running total of plan rebases the broker has deferred
+	// to first use instead of paying at update time (see PlanStats).
+	plansDeferred atomic.Int64
+
 	salesMu sync.Mutex
 	sales   []Receipt
 	revenue float64
@@ -267,6 +272,7 @@ func (b *Broker) Update(changes []relational.CellChange) (uint64, support.Update
 		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
 	}
 	newSet, stats := st.set.Advance(newDB, changes)
+	b.plansDeferred.Add(int64(stats.PlansDeferred))
 	b.state.Store(&marketState{
 		version: newDB.Version(),
 		db:      newDB,
@@ -294,6 +300,32 @@ func (b *Broker) Update(changes []relational.CellChange) (uint64, support.Update
 		}()
 	}
 	return newDB.Version(), stats, nil
+}
+
+// PlanStats is the broker's plan-cache maintenance snapshot: per-shard
+// cached/stale plan counts and pending-log depths for the current data
+// snapshot, their totals, and the cumulative number of plan rebases
+// deferred across every Update since the broker was built.
+type PlanStats struct {
+	Plans          int                      `json:"plans"`
+	Stale          int                      `json:"stale"`
+	PendingBatches int                      `json:"pending_batches"`
+	DeferredTotal  int64                    `json:"deferred_total"`
+	Shards         []support.ShardPlanStats `json:"shards"`
+}
+
+// PlanStats reports the current snapshot's plan-cache state (see the
+// PlanStats type). Counts are point-in-time: concurrent quotes and the
+// background drainer fold stale plans forward as they run.
+func (b *Broker) PlanStats() PlanStats {
+	shards := b.state.Load().set.PlanStats()
+	out := PlanStats{Shards: shards, DeferredTotal: b.plansDeferred.Load()}
+	for _, s := range shards {
+		out.Plans += s.Plans
+		out.Stale += s.Stale
+		out.PendingBatches += s.Pending
+	}
+	return out
 }
 
 // DrainPlans synchronously folds every deferred update batch into the

@@ -1,8 +1,8 @@
 package plan
 
 import (
-	"maps"
 	"slices"
+	"sort"
 	"sync"
 
 	"querypricing/internal/relational"
@@ -38,15 +38,18 @@ type ChangeBatch struct {
 	Old []relational.Value
 }
 
-// coalesceFrom concatenates, in order, the changes of every pending batch
-// newer than fromVersion. Rebase and the index patcher both consolidate
-// with last-wins-per-cell semantics, so the concatenation is exactly the
-// composite change set from fromVersion to the newest batch — N deferred
-// batches fold into one rebase pass.
-func coalesceFrom(pending []ChangeBatch, fromVersion uint64) []relational.CellChange {
+// coalesceRange concatenates, in order, the changes of every pending batch
+// in the half-open version window (fromVersion, toVersion]. Rebase and the
+// index patcher both consolidate with last-wins-per-cell semantics, so the
+// concatenation is exactly the composite change set carrying a plan from
+// fromVersion to toVersion — N deferred batches fold into one rebase pass.
+// The upper bound matters now that the log is shared across cache
+// generations: it may already hold batches newer than the generation a
+// stale plan is being folded toward.
+func coalesceRange(pending []ChangeBatch, fromVersion, toVersion uint64) []relational.CellChange {
 	n := 0
 	for _, b := range pending {
-		if b.ToVersion > fromVersion {
+		if b.ToVersion > fromVersion && b.ToVersion <= toVersion {
 			n += len(b.Changes)
 		}
 	}
@@ -55,7 +58,7 @@ func coalesceFrom(pending []ChangeBatch, fromVersion uint64) []relational.CellCh
 	}
 	out := make([]relational.CellChange, 0, n)
 	for _, b := range pending {
-		if b.ToVersion > fromVersion {
+		if b.ToVersion > fromVersion && b.ToVersion <= toVersion {
 			out = append(out, b.Changes...)
 		}
 	}
@@ -78,12 +81,45 @@ type IndexPool struct {
 	db      *relational.Database // the snapshot this pool serves
 	version uint64               // == db.Version()
 	m       map[indexPoolKey]*poolEntry
+	scans   map[scanPoolKey]*scanEntry
+	sorted  map[indexPoolKey]*sortedEntry
 	pending []ChangeBatch // batches not yet folded into every entry
 }
 
 type indexPoolKey struct {
 	table string
 	col   int
+}
+
+// scanPoolKey identifies a filtered scan by table and the canonical
+// encoding of its pushed-down predicates (resolved column, operator and
+// operand encodings, in push-down order). Workloads repeat predicates
+// across queries, so sharing the scan skips re-evaluating them per plan.
+type scanPoolKey struct {
+	table string
+	preds string
+}
+
+// scanEntry is one published filtered scan: the rows passing the
+// predicates, in table order, and the base-row -> position+1 table.
+// Entries are immutable once published and read-only to every plan that
+// adopts them (rebasing always replaces scan slices, never mutates them).
+// Unlike bare-scan indexes, stale entries are never patched: a snapshot
+// mismatch just rescans, exactly what an unshared compile would do.
+type scanEntry struct {
+	rows    [][]relational.Value
+	pos     []int32
+	version uint64
+}
+
+// sortedEntry is one published sorted column order: the table's non-NULL
+// row indices, ascending by cell value (Value.Compare, ties by row
+// index). Range predicates binary-search it instead of scanning the
+// table. Immutable once published; dropped on Advance like filtered
+// scans and rebuilt at the new snapshot on first use.
+type sortedEntry struct {
+	order   []int32
+	version uint64
 }
 
 // poolEntry is one published bare-scan index together with the database
@@ -97,7 +133,13 @@ type poolEntry struct {
 
 // NewIndexPool returns an empty pool for plans compiled against db.
 func NewIndexPool(db *relational.Database) *IndexPool {
-	return &IndexPool{db: db, version: db.Version(), m: make(map[indexPoolKey]*poolEntry)}
+	return &IndexPool{
+		db:      db,
+		version: db.Version(),
+		m:       make(map[indexPoolKey]*poolEntry),
+		scans:   make(map[scanPoolKey]*scanEntry),
+		sorted:  make(map[indexPoolKey]*sortedEntry),
+	}
 }
 
 // Advance returns a pool for the successor snapshot newDB (the receiver's
@@ -109,7 +151,17 @@ func NewIndexPool(db *relational.Database) *IndexPool {
 // snapshot unmodified. When the pending log would exceed MaxPendingBatches
 // the successor folds every entry eagerly and starts from an empty log.
 func (p *IndexPool) Advance(newDB *relational.Database, changes []relational.CellChange) *IndexPool {
-	np := &IndexPool{db: newDB, version: newDB.Version(), m: make(map[indexPoolKey]*poolEntry)}
+	// Filtered scans are not carried across snapshots: a stale entry is
+	// useless (membership and row contents may both have moved), and the
+	// successor's first compile per predicate rescans — the same cost an
+	// unshared compile pays.
+	np := &IndexPool{
+		db:      newDB,
+		version: newDB.Version(),
+		m:       make(map[indexPoolKey]*poolEntry),
+		scans:   make(map[scanPoolKey]*scanEntry),
+		sorted:  make(map[indexPoolKey]*sortedEntry),
+	}
 	// Capture each valid cell's pre-change value now, from the receiver's
 	// snapshot, so the pending log carries plain values instead of keeping
 	// whole predecessor databases reachable. Invalid coordinates (which
@@ -229,19 +281,132 @@ func (p *IndexPool) get(table string, col int, rows [][]relational.Value) map[st
 	return idx
 }
 
+// getScan returns the shared filtered scan for (table, predicate key) at
+// the pool's snapshot, building it with build on first use. A concurrent
+// builder's published entry wins, so every plan compiled against the same
+// snapshot shares one rows slice and one position table.
+func (p *IndexPool) getScan(table, preds string, build func() ([][]relational.Value, []int32)) ([][]relational.Value, []int32) {
+	key := scanPoolKey{table, preds}
+	p.mu.Lock()
+	if e, ok := p.scans[key]; ok && e.version == p.version {
+		p.mu.Unlock()
+		return e.rows, e.pos
+	}
+	p.mu.Unlock()
+	rows, pos := build()
+	p.mu.Lock()
+	if prior, ok := p.scans[key]; ok && prior.version == p.version {
+		rows, pos = prior.rows, prior.pos // a concurrent builder won; share its copy
+	} else {
+		p.scans[key] = &scanEntry{rows: rows, pos: pos, version: p.version}
+	}
+	p.mu.Unlock()
+	return rows, pos
+}
+
+// getSorted returns the shared sorted order of (table, column) at the
+// pool's snapshot, building it on first use: the table's non-NULL row
+// indices ascending by cell value, ties broken by row index so the
+// published order is deterministic. A concurrent builder's entry wins.
+func (p *IndexPool) getSorted(table string, col int, rows [][]relational.Value) []int32 {
+	key := indexPoolKey{table, col}
+	p.mu.Lock()
+	if e, ok := p.sorted[key]; ok && e.version == p.version {
+		p.mu.Unlock()
+		return e.order
+	}
+	p.mu.Unlock()
+	order := make([]int32, 0, len(rows))
+	for ri, row := range rows {
+		if !row[col].IsNull() {
+			order = append(order, int32(ri))
+		}
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := rows[a][col].Compare(rows[b][col]); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+	p.mu.Lock()
+	if prior, ok := p.sorted[key]; ok && prior.version == p.version {
+		order = prior.order // a concurrent builder won; share its copy
+	} else {
+		p.sorted[key] = &sortedEntry{order: order, version: p.version}
+	}
+	p.mu.Unlock()
+	return order
+}
+
+// searchGE returns the first position in a sorted order whose cell is >= v
+// under Value.Compare; searchGT the first strictly greater. Together they
+// delimit every range predicate's candidate window.
+func searchGE(order []int32, rows [][]relational.Value, col int, v relational.Value) int {
+	return sort.Search(len(order), func(i int) bool {
+		return rows[order[i]][col].Compare(v) >= 0
+	})
+}
+
+func searchGT(order []int32, rows [][]relational.Value, col int, v relational.Value) int {
+	return sort.Search(len(order), func(i int) bool {
+		return rows[order[i]][col].Compare(v) > 0
+	})
+}
+
 // hashRows indexes a scan on one column; NULL keys are excluded, mirroring
-// Eval's hash join.
+// Eval's hash join. The build is two-pass through a pooled compile arena:
+// the counting pass allocates each key string exactly once (in the
+// arena's ordinal map), every posting list is carved from one
+// exactly-sized block, and the published map is presized — so the only
+// allocations that survive are the ones the plan actually keeps. Postings
+// are filled in row order, so each list is ascending, and every carve is
+// capacity-exact, so a later insertPosting reallocates instead of
+// clobbering its neighbor.
 func hashRows(rows [][]relational.Value, col int) map[string][]int32 {
-	idx := make(map[string][]int32)
-	var buf []byte
+	ar := getCompileArena()
+	defer ar.recycle()
+	keys, counts, buf := ar.keys, ar.counts[:0], ar.buf
+	n := 0
+	for _, row := range rows {
+		v := row[col]
+		if v.IsNull() {
+			continue
+		}
+		n++
+		buf = v.AppendEncode(buf[:0])
+		if bi, ok := keys[string(buf)]; ok {
+			counts[bi]++
+		} else {
+			keys[string(buf)] = int32(len(counts))
+			counts = append(counts, 1)
+		}
+	}
+	idx := make(map[string][]int32, len(counts))
+	if n == 0 {
+		ar.buf, ar.counts = buf, counts
+		return idx
+	}
+	block := make([]int32, n) // the one postings allocation the plan keeps
+	spans := ar.spans[:0]
+	off := 0
+	for _, c := range counts {
+		spans = append(spans, block[off:off:off+int(c)])
+		off += int(c)
+	}
 	for pos, row := range rows {
 		v := row[col]
 		if v.IsNull() {
 			continue
 		}
 		buf = v.AppendEncode(buf[:0])
-		idx[string(buf)] = append(idx[string(buf)], int32(pos))
+		spans[keys[string(buf)]] = append(spans[keys[string(buf)]], int32(pos))
 	}
+	// Publishing reuses the ordinal map's key strings: ranging hands back
+	// the exact string headers the counting pass allocated.
+	for k, bi := range keys {
+		idx[k] = spans[bi]
+	}
+	ar.buf, ar.counts, ar.spans = buf, counts, spans
 	return idx
 }
 
@@ -254,36 +419,86 @@ func Key(q *relational.SelectQuery) string { return q.String() }
 // SQL rendering, with in-flight deduplication: concurrent misses on the
 // same key share one compilation. It is safe for concurrent use.
 //
-// Caches advance lazily across base-database updates: Advance carries
-// every entry over untouched and appends the change batch to a pending
-// log; a plan is rebased on its first post-update use — all deferred
-// batches coalesced into one Rebase pass — and recompiled only if the
-// composite change escapes the delta-maintenance rules.
+// A Cache value is a lightweight generation handle: all entries live in a
+// cacheStore shared by every generation of one Advance chain. Each entry
+// is a versioned slot whose plan only ever moves forward in version, so
+// Advance touches nothing but the shared change log and O(1) generation
+// metadata — its cost is independent of how many plans are cached — while
+// older generations keep serving their own snapshot (a slot already
+// upgraded past a generation is answered by a private compilation instead
+// of winding the shared slot back). A plan is rebased on its first
+// post-update use — all deferred batches coalesced into one Rebase pass —
+// and recompiled only if the composite change escapes the
+// delta-maintenance rules.
 type Cache struct {
+	store   *cacheStore
+	pool    *IndexPool           // externally shared pool, nil for a private one
+	db      *relational.Database // the snapshot this generation serves
+	version uint64               // == db.Version(); plans fold toward this
+	shared  *IndexPool           // bare-scan join indexes used by this generation
+}
+
+// cacheStore is the state every generation of one cache lineage shares:
+// the entry slots (LRU nodes holding versioned plans), the in-flight
+// compilation table, and the pending change-batch log. One mutex guards
+// it all; slot plans are read and published only under it.
+//
+// Log invariant: log holds, in order, the batches covering versions
+// (logBase, latestVer], and every slot's plan version is >= logBase — so
+// any slot can be folded to any generation in that window by coalescing
+// the batches in between. Publishing enforces the invariant: a plan older
+// than logBase is returned to its caller but never stored.
+type cacheStore struct {
 	mu       sync.Mutex
 	max      int
-	db       *relational.Database // the snapshot current entries target
-	entries  map[string]int32     // key -> node index in lru
+	entries  map[string]int32 // key -> node index in lru
 	lru      lruList
 	count    int
 	inflight map[string]*compileCall
-	pool     *IndexPool    // externally shared pool, nil for a private one
-	shared   *IndexPool    // bare-scan join indexes used by current entries
-	pending  []ChangeBatch // batches not yet folded into every entry
+
+	log       []ChangeBatch        // covers versions (logBase, latestVer]
+	logBase   uint64               // every slot plan is at version >= logBase
+	latestVer uint64               // newest advanced-to version
+	latestDB  *relational.Database // newest advanced-to snapshot (nil: unbound)
+	flushGen  uint64               // bumped on cross-lineage flush; fences stray publishes
+
+	// Single-entry memo for coalesceRange: a Drain folds hundreds of plans
+	// sleeping at the same version toward the same target, and the
+	// composite change set is identical for all of them. The memoized slice
+	// is immutable once published.
+	memoFrom, memoTo uint64
+	memoChanges      []relational.CellChange
 }
 
-// lruList is an intrusive, slice-backed doubly-linked LRU. Compared to
-// container/list it stores every node in one contiguous slice, so
-// Cache.Advance snapshots the whole recency structure with a single slice
-// clone instead of re-allocating one element per cached plan — the reason
-// an update's cost no longer scales with per-element allocation.
+// coalesceLocked returns the composite change set for the window
+// (fromVersion, toVersion], memoizing the most recent window. Called with
+// the store mutex held.
+func (s *cacheStore) coalesceLocked(fromVersion, toVersion uint64) []relational.CellChange {
+	if s.memoFrom == fromVersion && s.memoTo == toVersion && s.memoChanges != nil {
+		return s.memoChanges
+	}
+	out := coalesceRange(s.log, fromVersion, toVersion)
+	if out == nil {
+		// Distinguish "empty window" from "no memo yet" without a flag.
+		out = []relational.CellChange{}
+	}
+	s.memoFrom, s.memoTo, s.memoChanges = fromVersion, toVersion, out
+	return out
+}
+
+// lruList is an intrusive, slice-backed doubly-linked LRU holding the
+// shared entry slots: one contiguous node slice referenced by every cache
+// generation, so no part of the recency structure is ever cloned on an
+// update.
 type lruList struct {
 	nodes      []lruNode
 	head, tail int32 // head = most recently used; -1 = empty
 	free       []int32
 }
 
-// lruNode is one LRU slot: the cached plan, its key, and intra-slice links.
+// lruNode is one shared entry slot: the cached plan (versioned — replaced
+// only by a strictly newer plan, under the store mutex), its key, and
+// intra-slice links.
 type lruNode struct {
 	key        string
 	p          *Plan
@@ -356,17 +571,6 @@ func (l *lruList) remove(i int32) {
 	l.free = append(l.free, i)
 }
 
-// clone snapshots the list: one slice copy per backing array, nodes
-// (strings, plan pointers) shared structurally.
-func (l *lruList) clone() lruList {
-	return lruList{
-		nodes: slices.Clone(l.nodes),
-		head:  l.head,
-		tail:  l.tail,
-		free:  slices.Clone(l.free),
-	}
-}
-
 type compileCall struct {
 	done chan struct{}
 	db   *relational.Database // the database this compilation targets
@@ -389,11 +593,48 @@ func NewCacheWithPool(max int, pool *IndexPool) *Cache {
 		max = DefaultCacheSize
 	}
 	return &Cache{
-		max:      max,
-		entries:  make(map[string]int32),
-		lru:      newLRU(),
-		inflight: make(map[string]*compileCall),
-		pool:     pool,
+		store: &cacheStore{
+			max:      max,
+			entries:  make(map[string]int32),
+			lru:      newLRU(),
+			inflight: make(map[string]*compileCall),
+		},
+		pool: pool,
+	}
+}
+
+// bindLocked points the generation handle at db, binding (or flushing) the
+// shared store as needed. Called with the store mutex held, on the first
+// use of a fresh cache and whenever a caller hands a generation a database
+// it was not built for.
+func (c *Cache) bindLocked(db *relational.Database) {
+	s := c.store
+	if s.latestDB == nil {
+		// First use of a fresh store: adopt db as the lineage root.
+		s.latestDB = db
+		s.latestVer = db.Version()
+		s.logBase = db.Version()
+	} else if s.latestDB != db {
+		// A different database lineage. Versions across lineages are
+		// incomparable, so every slot, the log, and any in-flight publish
+		// are meaningless for it: flush the whole store and fence stragglers
+		// with flushGen.
+		s.flushGen++
+		s.entries = make(map[string]int32)
+		s.lru = newLRU()
+		s.count = 0
+		s.log = nil
+		s.memoChanges = nil // version windows are lineage-relative
+		s.latestDB = db
+		s.latestVer = db.Version()
+		s.logBase = db.Version()
+	}
+	c.db = db
+	c.version = db.Version()
+	if c.pool != nil && c.pool.db == db {
+		c.shared = c.pool
+	} else {
+		c.shared = NewIndexPool(db)
 	}
 }
 
@@ -407,58 +648,64 @@ func (c *Cache) Get(db *relational.Database, q *relational.SelectQuery) (*Plan, 
 // GetKeyed is Get with the cache key precomputed by the caller (Key(q)),
 // for hot paths that already rendered the query's canonical SQL.
 //
-// A hit whose plan predates the cache's snapshot (deferred updates) is
-// upgraded in place before being returned: the pending batches since the
-// plan's version are coalesced into one Rebase — or, if the composite
-// change escapes delta maintenance, one recompilation. Concurrent requests
-// for the same stale key share one upgrade.
+// A hit whose plan predates this generation's snapshot (deferred updates)
+// is upgraded in the shared slot before being returned: the pending
+// batches between the plan's version and the generation's are coalesced
+// into one Rebase — or, if the composite change escapes delta maintenance,
+// one recompilation. Concurrent requests for the same stale key share one
+// upgrade. A hit whose plan a successor generation already upgraded PAST
+// this snapshot is answered by a private compilation: the shared slot is
+// never wound back, and the old generation's answers stay byte-identical
+// to its snapshot.
 func (c *Cache) GetKeyed(db *relational.Database, key string, q *relational.SelectQuery) (*Plan, bool, error) {
-	c.mu.Lock()
+	s := c.store
+	s.mu.Lock()
 	if c.db != db {
-		// Plans are compiled against one database; a different one
-		// invalidates every entry, the pending log, and the bare-scan
-		// index pool.
-		c.db = db
-		c.entries = make(map[string]int32)
-		c.lru = newLRU()
-		c.count = 0
-		c.pending = nil
-		if c.pool != nil && c.pool.db == db {
-			c.shared = c.pool
-		} else {
-			c.shared = NewIndexPool(db)
-		}
+		c.bindLocked(db)
 	}
-	cur := db.Version()
+	myVer := c.version
 	var stale *Plan
-	if i, ok := c.entries[key]; ok {
-		p := c.lru.nodes[i].p
-		if p.Version() == cur {
-			c.lru.moveToFront(i)
-			c.mu.Unlock()
+	if i, ok := s.entries[key]; ok {
+		p := s.lru.nodes[i].p
+		switch {
+		case p.Version() == myVer:
+			s.lru.moveToFront(i)
+			s.mu.Unlock()
 			return p, false, nil
+		case p.Version() < myVer:
+			stale = p // deferred update: fold forward below
 		}
-		stale = p // deferred update: upgrade below
+		// p.Version() > myVer: a successor generation owns the slot now;
+		// fall through to a private compile (the monotone publish guard
+		// below keeps the slot on its newer plan).
 	}
-	if call, ok := c.inflight[key]; ok && call.db == db {
-		c.mu.Unlock()
+	if call, ok := s.inflight[key]; ok && call.db == db {
+		s.mu.Unlock()
 		<-call.done
 		return call.p, false, call.err
 	}
 	call := &compileCall{done: make(chan struct{}), db: db}
-	if _, ok := c.inflight[key]; !ok {
+	if _, ok := s.inflight[key]; !ok {
 		// Register for dedup. A slot occupied by a compilation against a
-		// different (stale) database is left alone: this call compiles
+		// different database is left alone: this call compiles
 		// unregistered rather than hand its followers the wrong plan.
-		c.inflight[key] = call
+		s.inflight[key] = call
 	}
 	shared := c.shared
-	pending := c.pending // append-only per cache generation: safe to read unlocked
-	c.mu.Unlock()
+	fg := s.flushGen
+	var changes []relational.CellChange
+	if stale != nil {
+		// Capture the composite change set under the lock: the shared log
+		// is mutated by later Advances, but the batches themselves are
+		// immutable and the invariant (stale version >= logBase) guarantees
+		// the window (stale, myVer] is fully covered.
+		changes = s.coalesceLocked(stale.Version(), myVer)
+	}
+	s.mu.Unlock()
 
 	fresh := false
 	if stale != nil {
-		if np, ok := stale.Rebase(db, coalesceFrom(pending, stale.Version()), shared); ok {
+		if np, ok := stale.Rebase(db, changes, shared); ok {
 			call.p = np
 		}
 	}
@@ -467,53 +714,79 @@ func (c *Cache) GetKeyed(db *relational.Database, key string, q *relational.Sele
 		fresh = call.err == nil
 	}
 
-	c.mu.Lock()
-	if c.inflight[key] == call {
-		delete(c.inflight, key)
+	s.mu.Lock()
+	if s.inflight[key] == call {
+		delete(s.inflight, key)
 	}
-	if call.err == nil && c.db == db { // don't publish into a flushed cache
-		if i, ok := c.entries[key]; ok {
-			c.lru.nodes[i].p = call.p
-			c.lru.moveToFront(i)
-		} else {
-			c.entries[key] = c.lru.pushFront(key, call.p)
-			c.count++
-			for c.count > c.max {
-				oldest := c.lru.tail
-				delete(c.entries, c.lru.nodes[oldest].key)
-				c.lru.remove(oldest)
-				c.count--
+	// Publish monotonically: never into a flushed store (flushGen fence),
+	// never a plan older than the slot already holds, and never one the
+	// shared log could no longer fold forward (version < logBase).
+	if call.err == nil && s.flushGen == fg && c.db == db {
+		v := call.p.Version()
+		if i, ok := s.entries[key]; ok {
+			if nd := &s.lru.nodes[i]; v > nd.p.Version() && v >= s.logBase {
+				nd.p = call.p
+			}
+			s.lru.moveToFront(i)
+		} else if v >= s.logBase {
+			s.entries[key] = s.lru.pushFront(key, call.p)
+			s.count++
+			for s.count > s.max {
+				oldest := s.lru.tail
+				delete(s.entries, s.lru.nodes[oldest].key)
+				s.lru.remove(oldest)
+				s.count--
 			}
 		}
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	close(call.done)
 	return call.p, fresh, call.err
 }
 
-// Len reports the number of cached plans.
+// Len reports the number of cached plans (shared across all generations of
+// the cache's Advance chain).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.count
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
 }
 
-// StaleLen reports how many cached plans still predate the cache's current
-// snapshot (deferred rebases awaiting their first use or a Drain).
+// StaleLen reports how many cached plans still predate this generation's
+// snapshot (deferred rebases awaiting their first use or a Drain). Slots a
+// successor generation already upgraded past this one are not counted:
+// they are not foldable toward this snapshot, and this generation answers
+// them with private compilations instead.
 func (c *Cache) StaleLen() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c.db == nil {
 		return 0
 	}
-	cur := c.db.Version()
+	return s.staleCountLocked(c.version)
+}
+
+// staleCountLocked counts slots whose plan predates version v.
+func (s *cacheStore) staleCountLocked(v uint64) int {
 	n := 0
-	for i := c.lru.head; i >= 0; i = c.lru.nodes[i].next {
-		if c.lru.nodes[i].p.Version() != cur {
+	for i := s.lru.head; i >= 0; i = s.lru.nodes[i].next {
+		if s.lru.nodes[i].p.Version() < v {
 			n++
 		}
 	}
 	return n
+}
+
+// PendingBatches reports the number of update batches in the shared
+// pending log — the deferred work a Drain (or first use of every stale
+// plan) would fold. Observability for marketd's /stats endpoint.
+func (c *Cache) PendingBatches() int {
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
 }
 
 // AdvanceStats reports what one Cache.Advance did: how many entries were
@@ -530,56 +803,96 @@ type AdvanceStats struct {
 	Recompiled int
 }
 
-// Advance returns a cache for the successor snapshot newDB, deferring all
-// plan maintenance: every entry is carried over untouched (LRU order
-// preserved, Plan pointers shared) and the change batch is appended to the
-// pending log, so the cost of an update is independent of the number of
-// cached plans. Each plan is rebased — all deferred batches coalesced into
-// one pass — on its first use through the new cache, or recompiled when
-// the composite change escapes delta maintenance; Drain forces the
+// Advance returns a cache generation for the successor snapshot newDB,
+// deferring all plan maintenance: every entry slot stays shared (nothing
+// is cloned — not the entry map, not the LRU) and the change batch is
+// appended to the shared pending log, so the cost of an update is O(batch)
+// plus O(1) generation metadata, independent of the number of cached
+// plans. Each plan is folded forward — all deferred batches coalesced into
+// one pass — on its first use through the new generation, or recompiled
+// when the composite change escapes delta maintenance; Drain forces the
 // fold-up eagerly. The pool must already be advanced to newDB
-// (IndexPool.Advance); the receiver is left untouched and keeps serving
-// the predecessor snapshot.
+// (IndexPool.Advance); the receiver keeps serving the predecessor
+// snapshot (slots upgraded past it are answered by private compilations).
+//
+// Advancing a generation that is no longer the newest starts a fresh,
+// empty store for the successor — versions on a diverged lineage are
+// incomparable with the shared slots — unless the store was already
+// advanced to this exact newDB (sibling handles advanced with the same
+// successor snapshot converge on one generation instead of
+// double-appending the batch).
 func (c *Cache) Advance(newDB *relational.Database, changes []relational.CellChange, pool *IndexPool) (*Cache, AdvanceStats) {
-	nc := NewCacheWithPool(c.max, pool)
-	nc.db = newDB
+	s := c.store
+	newVer := newDB.Version()
+	nc := &Cache{store: s, pool: pool, db: newDB, version: newVer}
 	if pool != nil && pool.db == newDB {
 		nc.shared = pool
 	} else {
 		nc.shared = NewIndexPool(newDB)
 	}
-	c.mu.Lock()
-	minV := newDB.Version()
-	// One slice clone and one map clone snapshot the whole LRU: nodes
-	// (keys, plan pointers) are shared structurally, so Advance costs
-	// O(entries) in memmove rather than per-entry allocation.
-	nc.lru = c.lru.clone()
-	nc.entries = maps.Clone(c.entries)
-	nc.count = c.count
-	for i := c.lru.head; i >= 0; i = c.lru.nodes[i].next {
-		if v := c.lru.nodes[i].p.Version(); v < minV {
-			minV = v
-		}
+	s.mu.Lock()
+	var st AdvanceStats
+	switch {
+	case c.db == nil && s.latestDB == nil:
+		// Advancing a never-used cache: adopt newDB as the lineage root.
+		// There are no entries, so nothing needs the batch.
+		s.latestDB = newDB
+		s.latestVer = newVer
+		s.logBase = newVer
+	case s.latestDB == newDB && s.latestVer == newVer:
+		// Already advanced to this exact snapshot by a sibling handle:
+		// converge without appending the batch twice.
+		st.Deferred = s.staleCountLocked(newVer)
+	case s.latestDB == c.db && s.latestVer == c.version:
+		// Linear advance of the newest generation — the O(changes) path.
+		// Every slot predates newVer (slots never outrun latestVer), so the
+		// deferred count is just the entry count.
+		s.log = append(s.log, ChangeBatch{ToVersion: newVer, Changes: changes})
+		s.latestDB = newDB
+		s.latestVer = newVer
+		st.Deferred = s.count
+	default:
+		// Branching advance from a non-latest generation: the successor's
+		// lineage diverges from the slots' (same version numbers, different
+		// databases), so shared slots cannot serve it. Start it on a fresh
+		// store; plans recompile on demand.
+		max := s.max
+		s.mu.Unlock()
+		fresh := NewCacheWithPool(max, pool)
+		fresh.store.latestDB = newDB
+		fresh.store.latestVer = newVer
+		fresh.store.logBase = newVer
+		fresh.db = newDB
+		fresh.version = newVer
+		fresh.shared = nc.shared
+		return fresh, AdvanceStats{}
 	}
-	pending := c.pending
-	c.mu.Unlock()
-	// Keep only the batches some carried entry still needs, plus the new one.
-	for _, b := range pending {
-		if b.ToVersion > minV {
-			nc.pending = append(nc.pending, b)
-		}
-	}
-	nc.pending = append(nc.pending, ChangeBatch{ToVersion: newDB.Version(), Changes: changes})
-	st := AdvanceStats{Deferred: nc.count}
-	if len(nc.pending) > MaxPendingBatches {
+	capDrain := len(s.log) > MaxPendingBatches
+	s.mu.Unlock()
+	if capDrain {
 		// Amortized bound: one eager coalesced drain per cap-full of
-		// batches, then a clean log. Nothing stays deferred on this path,
-		// and the drain's work is surfaced in the stats.
+		// batches, then the log is trimmed to what the slots still need.
+		// The drain's work is surfaced in the stats.
 		st.Rebased, st.Recompiled = nc.Drain(0)
-		nc.mu.Lock()
-		nc.pending = nil
-		nc.mu.Unlock()
-		st.Deferred = nc.StaleLen()
+		s.mu.Lock()
+		minV := s.latestVer
+		for i := s.lru.head; i >= 0; i = s.lru.nodes[i].next {
+			if v := s.lru.nodes[i].p.Version(); v < minV {
+				minV = v
+			}
+		}
+		if minV > s.logBase {
+			var kept []ChangeBatch
+			for _, b := range s.log {
+				if b.ToVersion > minV {
+					kept = append(kept, b)
+				}
+			}
+			s.log = kept
+			s.logBase = minV
+		}
+		st.Deferred = s.staleCountLocked(newVer)
+		s.mu.Unlock()
 	}
 	return nc, st
 }
@@ -589,45 +902,83 @@ func (c *Cache) Advance(newDB *relational.Database, changes []relational.CellCha
 // snapshot — or recompiled when the composite change escapes delta
 // maintenance — exactly as their first use would. It returns how many
 // plans were rebased and how many had to be recompiled. Safe to run
-// concurrently with Gets (shared upgrades deduplicate); a background
-// drainer makes an idle cache converge so later quotes find warm,
-// up-to-date plans.
+// concurrently with Gets: slot publishes are monotone, so a concurrent
+// upgrade of the same slot is harmless (whichever newer plan lands first
+// wins and the other is discarded). Unlike a Get, a drain does not touch
+// LRU recency — background maintenance should not look like use. A
+// background drainer makes an idle cache converge so later quotes find
+// warm, up-to-date plans.
 func (c *Cache) Drain(limit int) (rebased, recompiled int) {
-	c.mu.Lock()
+	s := c.store
+	s.mu.Lock()
 	if c.db == nil {
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return 0, 0
 	}
 	db := c.db
-	cur := db.Version()
-	type staleRef struct {
-		key string
-		q   *relational.SelectQuery
-	}
-	var stales []staleRef
-	for i := c.lru.tail; i >= 0; i = c.lru.nodes[i].prev {
-		nd := &c.lru.nodes[i]
-		if nd.p.Version() != cur {
-			stales = append(stales, staleRef{nd.key, nd.p.Query()})
+	cur := c.version
+	shared := c.shared
+	fg := s.flushGen
+	var stales []string
+	for i := s.lru.tail; i >= 0; i = s.lru.nodes[i].prev {
+		nd := &s.lru.nodes[i]
+		if nd.p.Version() < cur {
+			stales = append(stales, nd.key)
 		}
 	}
-	c.mu.Unlock()
-	for _, s := range stales {
+	s.mu.Unlock()
+	for _, key := range stales {
 		if limit > 0 && rebased+recompiled >= limit {
 			break
 		}
-		_, fresh, err := c.GetKeyed(db, s.key, s.q)
-		if err != nil {
-			// Compilation failed (cannot happen for a previously compiled
-			// query under cell-level updates); the entry was dropped and
-			// will recompile on demand.
-			recompiled++
-			continue
+		s.mu.Lock()
+		if s.flushGen != fg {
+			s.mu.Unlock()
+			return rebased, recompiled
 		}
-		if fresh {
-			recompiled++
-		} else {
+		i, ok := s.entries[key]
+		if !ok {
+			s.mu.Unlock()
+			continue // evicted since the scan
+		}
+		p := s.lru.nodes[i].p
+		if p.Version() >= cur {
+			s.mu.Unlock()
+			continue // a concurrent Get or sibling drain already folded it
+		}
+		changes := s.coalesceLocked(p.Version(), cur)
+		s.mu.Unlock()
+
+		np, folded := p.Rebase(db, changes, shared)
+		if !folded {
+			var err error
+			np, err = compile(db, p.Query(), shared)
+			if err != nil {
+				// Compilation failed (cannot happen for a previously
+				// compiled query under cell-level updates); drop the entry
+				// so it recompiles on demand.
+				s.mu.Lock()
+				if j, ok := s.entries[key]; ok && s.flushGen == fg && s.lru.nodes[j].p == p {
+					delete(s.entries, key)
+					s.lru.remove(j)
+					s.count--
+				}
+				s.mu.Unlock()
+				recompiled++
+				continue
+			}
+		}
+		s.mu.Lock()
+		if j, ok := s.entries[key]; ok && s.flushGen == fg {
+			if nd := &s.lru.nodes[j]; np.Version() > nd.p.Version() && np.Version() >= s.logBase {
+				nd.p = np
+			}
+		}
+		s.mu.Unlock()
+		if folded {
 			rebased++
+		} else {
+			recompiled++
 		}
 	}
 	return rebased, recompiled

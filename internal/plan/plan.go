@@ -97,6 +97,15 @@ type colAt struct {
 	col   int
 }
 
+// tableAliasEntry groups the alias positions scanning one base table.
+// Plans keep these in a short slice rather than a map: a query joins a
+// handful of tables, so the per-candidate probe path resolves a change's
+// table with a couple of string compares instead of a map hash.
+type tableAliasEntry struct {
+	table   string
+	aliases []int
+}
+
 // predAt is a pushed-down predicate with its column index resolved.
 type predAt struct {
 	col  int
@@ -113,7 +122,7 @@ type compiledAlias struct {
 
 	baseTableRows [][]relational.Value // the base table's full row slice (shared)
 	rows          [][]relational.Value // scan: base rows passing preds, in table order
-	posOfBaseRow  map[int]int32        // base row index -> scan position (nil when bare)
+	posOfBaseRow  []int32              // base row index -> scan position+1 (0 = filtered out; nil when bare)
 	indexes       map[int]map[string][]int32
 
 	usedCols []bool // column indexes this alias reads (preds, joins, output)
@@ -125,8 +134,11 @@ func (ca *compiledAlias) scanPos(ri int) (int32, bool) {
 	if ca.bare {
 		return int32(ri), true
 	}
-	pos, ok := ca.posOfBaseRow[ri]
-	return pos, ok
+	if ri < 0 || ri >= len(ca.posOfBaseRow) {
+		return 0, false
+	}
+	v := ca.posOfBaseRow[ri]
+	return v - 1, v != 0
 }
 
 // probeStep binds one more alias during delta enumeration.
@@ -243,7 +255,7 @@ type Plan struct {
 
 	mode    evalMode
 	aliases []*compiledAlias
-	byTable map[string][]int // base table name -> alias positions
+	byTable []tableAliasEntry // per base table, the alias positions scanning it
 
 	programs [][]probeStep // per start alias; nil when probing is impossible
 	noProbe  bool
@@ -286,7 +298,6 @@ func compile(db *relational.Database, q *relational.SelectQuery, shared *IndexPo
 	p := &Plan{
 		q:         q,
 		fp:        fp,
-		byTable:   make(map[string][]int),
 		dbVersion: db.Version(),
 	}
 	switch {
@@ -300,7 +311,7 @@ func compile(db *relational.Database, q *relational.SelectQuery, shared *IndexPo
 		p.mode = modeProjection
 	}
 
-	if err := p.compileAliases(db); err != nil {
+	if err := p.compileAliases(db, shared); err != nil {
 		return nil, err
 	}
 	if err := p.compileOutputs(); err != nil {
@@ -357,13 +368,13 @@ func (p *Plan) validateLeftDeep(conds []joinAt) error {
 // so rule-1 checks are a map lookup and a slice index per delta.
 func (p *Plan) buildFootprintBitmaps() {
 	p.fpCols = make(map[string][]bool, len(p.byTable))
-	for table, aliases := range p.byTable {
-		schema := p.aliases[aliases[0]].schema
+	for _, e := range p.byTable {
+		schema := p.aliases[e.aliases[0]].schema
 		cols := make([]bool, len(schema.Cols))
 		for ci, c := range schema.Cols {
-			cols[ci] = p.fp.Touches(table, c.Name)
+			cols[ci] = p.fp.Touches(e.table, c.Name)
 		}
-		p.fpCols[table] = cols
+		p.fpCols[e.table] = cols
 	}
 }
 
@@ -396,7 +407,7 @@ func (p *Plan) aliasName(i int) string {
 	return p.q.Tables[i]
 }
 
-func (p *Plan) compileAliases(db *relational.Database) error {
+func (p *Plan) compileAliases(db *relational.Database, shared *IndexPool) error {
 	perAlias := make(map[string][]relational.Predicate)
 	for _, pr := range p.q.Where {
 		perAlias[pr.Col.Table] = append(perAlias[pr.Col.Table], pr)
@@ -432,19 +443,164 @@ func (p *Plan) compileAliases(db *relational.Database) error {
 			// are row indices, so no position map is needed.
 			ca.bare = true
 			ca.rows = t.Rows
+		} else if shared != nil && shared.db == db {
+			// Workloads repeat pushed-down predicates across queries, so
+			// the filtered scan is shared through the pool: one predicate
+			// pass per distinct (table, predicate set) per snapshot, and
+			// every adopting plan references the same read-only slices.
+			ca.rows, ca.posOfBaseRow = shared.getScan(ca.table, predsKey(ca.preds), func() ([][]relational.Value, []int32) {
+				return buildFilteredScanIndexed(t.Rows, ca, shared)
+			})
 		} else {
-			ca.posOfBaseRow = make(map[int]int32)
-			for ri, row := range t.Rows {
-				if ca.passes(row) {
-					ca.posOfBaseRow[ri] = int32(len(ca.rows))
-					ca.rows = append(ca.rows, row)
-				}
-			}
+			ca.rows, ca.posOfBaseRow = buildFilteredScan(t.Rows, ca)
 		}
 		p.aliases = append(p.aliases, ca)
-		p.byTable[p.q.Tables[i]] = append(p.byTable[p.q.Tables[i]], i)
+		p.addTableAlias(p.q.Tables[i], i)
 	}
 	return nil
+}
+
+func (p *Plan) addTableAlias(table string, ai int) {
+	for j := range p.byTable {
+		if p.byTable[j].table == table {
+			p.byTable[j].aliases = append(p.byTable[j].aliases, ai)
+			return
+		}
+	}
+	p.byTable = append(p.byTable, tableAliasEntry{table: table, aliases: []int{ai}})
+}
+
+// aliasesOf returns the alias positions scanning a base table (nil when
+// the table is not in the query).
+func (p *Plan) aliasesOf(table string) []int {
+	for i := range p.byTable {
+		if p.byTable[i].table == table {
+			return p.byTable[i].aliases
+		}
+	}
+	return nil
+}
+
+// buildFilteredScan evaluates the alias's predicates over the table once:
+// one pass collects the matching positions into pooled scratch, then the
+// rows slice and position table are built exactly sized, since both
+// persist (in the plan or the shared pool) and should carry no
+// append-doubling garbage from construction.
+func buildFilteredScan(tableRows [][]relational.Value, ca *compiledAlias) ([][]relational.Value, []int32) {
+	ar := getCompileArena()
+	match := ar.counts[:0]
+	for ri, row := range tableRows {
+		if ca.passes(row) {
+			match = append(match, int32(ri))
+		}
+	}
+	pos := make([]int32, len(tableRows))
+	rows := make([][]relational.Value, len(match))
+	for p, ri := range match {
+		pos[ri] = int32(p) + 1
+		rows[p] = tableRows[ri]
+	}
+	ar.counts = match
+	ar.recycle()
+	return rows, pos
+}
+
+// buildFilteredScanIndexed is buildFilteredScan accelerated through the
+// shared pool: one pushed-down predicate is resolved against a pooled
+// (table, column) structure — built once, shared by every compile on that
+// column — and only the candidate window is checked against the remaining
+// predicates. String equalities use the bare-scan hash index (exact:
+// canonical encodings equate strings iff Predicate.Matches does, and NULL
+// is absent from both). Ranges and numeric equalities use the pooled
+// sorted order, whose Value.Compare ordering is the same relation every
+// range operator is defined by, for every kind. Predicates no pooled
+// structure captures fall back to the full predicate scan.
+func buildFilteredScanIndexed(tableRows [][]relational.Value, ca *compiledAlias, shared *IndexPool) ([][]relational.Value, []int32) {
+	for pi, pa := range ca.preds {
+		var cand []int32
+		inRowOrder := false
+		switch pr := pa.pred; {
+		case pr.Op == relational.OpEq && pr.Val.K == relational.KindString:
+			idx := shared.get(ca.table, pa.col, tableRows)
+			var kb [64]byte
+			cand = idx[string(pr.Val.AppendEncode(kb[:0]))] // postings are ascending
+			inRowOrder = true
+		case pr.Op == relational.OpEq, pr.Op == relational.OpLt, pr.Op == relational.OpLe,
+			pr.Op == relational.OpGt, pr.Op == relational.OpGe, pr.Op == relational.OpBetween:
+			order := shared.getSorted(ca.table, pa.col, tableRows)
+			lo, hi := 0, len(order)
+			switch pr.Op {
+			case relational.OpEq:
+				lo, hi = searchGE(order, tableRows, pa.col, pr.Val), searchGT(order, tableRows, pa.col, pr.Val)
+			case relational.OpLt:
+				hi = searchGE(order, tableRows, pa.col, pr.Val)
+			case relational.OpLe:
+				hi = searchGT(order, tableRows, pa.col, pr.Val)
+			case relational.OpGt:
+				lo = searchGT(order, tableRows, pa.col, pr.Val)
+			case relational.OpGe:
+				lo = searchGE(order, tableRows, pa.col, pr.Val)
+			case relational.OpBetween:
+				lo, hi = searchGE(order, tableRows, pa.col, pr.Val), searchGT(order, tableRows, pa.col, pr.Val2)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			cand = order[lo:hi] // ascending by value, not by row
+		default:
+			continue
+		}
+		ar := getCompileArena()
+		if !inRowOrder {
+			// Scans are in table order: re-sort the candidate window by
+			// row index in pooled scratch before filtering.
+			ar.aux = append(ar.aux[:0], cand...)
+			slices.Sort(ar.aux)
+			cand = ar.aux
+		}
+		match := ar.counts[:0]
+		for _, ri := range cand {
+			row := tableRows[ri]
+			ok := true
+			for pj, pb := range ca.preds {
+				if pj != pi && !pb.pred.Matches(row[pb.col]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				match = append(match, ri)
+			}
+		}
+		pos := make([]int32, len(tableRows))
+		rows := make([][]relational.Value, len(match))
+		for p, ri := range match {
+			pos[ri] = int32(p) + 1
+			rows[p] = tableRows[ri]
+		}
+		ar.counts = match
+		ar.recycle()
+		return rows, pos
+	}
+	return buildFilteredScan(tableRows, ca)
+}
+
+// predsKey canonically encodes an alias's pushed-down predicates for the
+// shared-scan pool: resolved column, operator, and the self-delimiting
+// canonical encodings of every operand, in push-down order.
+func predsKey(preds []predAt) string {
+	var b []byte
+	for _, pa := range preds {
+		b = append(b, byte(pa.col>>8), byte(pa.col), byte(pa.pred.Op))
+		b = pa.pred.Val.AppendEncode(b)
+		b = pa.pred.Val2.AppendEncode(b)
+		n := len(pa.pred.Set)
+		b = append(b, byte(n>>8), byte(n))
+		for _, v := range pa.pred.Set {
+			b = v.AppendEncode(b)
+		}
+	}
+	return string(b)
 }
 
 func (ca *compiledAlias) passes(row []relational.Value) bool {
@@ -1046,7 +1202,7 @@ func visibleAfter(ca *compiledAlias, table string, row int, baseRow []relational
 // that table, appending to the per-alias patches. Patched rows are carved
 // from the row arena.
 func (p *Plan) patchGroup(ps *patchSet, ra *rowArena, table string, row int, group []CellChange) {
-	for _, ai := range p.byTable[table] {
+	for _, ai := range p.aliasesOf(table) {
 		ca := p.aliases[ai]
 		if !relevantToAlias(ca, table, row, group) {
 			continue

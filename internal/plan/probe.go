@@ -21,7 +21,7 @@ func (p *Plan) LocallyPruned(changes []CellChange) bool {
 	}
 	checked := make(map[rowKey]bool, len(changes))
 	for _, c := range changes {
-		tableAliases := p.byTable[c.Table]
+		tableAliases := p.aliasesOf(c.Table)
 		if len(tableAliases) == 0 {
 			continue // table not in the query
 		}
@@ -212,7 +212,7 @@ func (p *Plan) Probe(changes []CellChange) Outcome {
 func (p *Plan) inputTouched(changes []CellChange) bool {
 	for i := range changes {
 		c := &changes[i]
-		tableAliases := p.byTable[c.Table]
+		tableAliases := p.aliasesOf(c.Table)
 		if len(tableAliases) == 0 {
 			continue
 		}

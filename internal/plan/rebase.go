@@ -93,10 +93,10 @@ func (p *Plan) relevantChanges(changes []CellChange) ([]CellChange, bool) {
 		table    string
 		row, col int
 	}
-	idx := make(map[cell]int)
+	var idx map[cell]int // lazily built: most plans see no relevant change
 	var out []CellChange
 	for _, c := range changes {
-		aliases := p.byTable[c.Table]
+		aliases := p.aliasesOf(c.Table)
 		if len(aliases) == 0 {
 			continue // table not in the query: invisible to this plan
 		}
@@ -108,6 +108,9 @@ func (p *Plan) relevantChanges(changes []CellChange) ([]CellChange, bool) {
 		if i, seen := idx[k]; seen {
 			out[i].New = c.New // later change to the same cell wins
 			continue
+		}
+		if idx == nil {
+			idx = make(map[cell]int)
 		}
 		idx[k] = len(out)
 		out = append(out, c)
@@ -493,10 +496,10 @@ func rebuildFilteredAlias(ca *compiledAlias, nt *relational.Table) *compiledAlia
 	nca := *ca
 	nca.baseTableRows = nt.Rows
 	nca.rows = nil
-	nca.posOfBaseRow = make(map[int]int32)
+	nca.posOfBaseRow = make([]int32, len(nt.Rows))
 	for ri, row := range nt.Rows {
 		if nca.passes(row) {
-			nca.posOfBaseRow[ri] = int32(len(nca.rows))
+			nca.posOfBaseRow[ri] = int32(len(nca.rows)) + 1
 			nca.rows = append(nca.rows, row)
 		}
 	}

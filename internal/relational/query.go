@@ -2,7 +2,9 @@ package relational
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -173,21 +175,44 @@ type Result struct {
 	Rows [][]Value
 }
 
-// FNV-1a parameters, inlined below: hashing dominates conflict-set
-// computation, and hash/fnv's interface forces one heap-allocated hasher
-// per row.
+// FNV-1a parameters for HeaderHash: header hashing runs once per
+// compile, so it keeps the simple byte-at-a-time form.
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211
 )
 
-// HashBytes returns the FNV-1a hash of b — the per-row hash inside
+// hashMix is the 128-bit-multiply mixing step of HashBytes (the wyhash
+// family construction): full avalanche per word at one multiply.
+func hashMix(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// HashBytes returns a 64-bit hash of b — the per-row hash inside
 // Fingerprint, exported so the plan layer can maintain fingerprints
-// incrementally from projected-row encodings.
+// incrementally from projected-row encodings. Row hashing dominates
+// conflict-set computation, so it consumes eight bytes per step with
+// multiply mixing rather than byte-at-a-time FNV. The function is a pure
+// function of the bytes (stable within and across processes), but the
+// concrete values are an internal detail: fingerprints are only ever
+// compared against fingerprints computed by the same code.
 func HashBytes(b []byte) uint64 {
-	h := uint64(fnvOffset64)
-	for _, c := range b {
-		h = (h ^ uint64(c)) * fnvPrime64
+	const (
+		k0 = 0x9e3779b97f4a7c15
+		k1 = 0xff51afd7ed558ccd
+		k2 = 0xc4ceb9fe1a85ec53
+	)
+	h := k0 ^ hashMix(uint64(len(b))+1, k1)
+	for ; len(b) >= 8; b = b[8:] {
+		h = hashMix(h^binary.LittleEndian.Uint64(b), k2)
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i := 0; i < len(b); i++ {
+			tail |= uint64(b[i]) << (8 * uint(i))
+		}
+		h = hashMix(h^tail, k1)
 	}
 	return h
 }
@@ -216,9 +241,9 @@ func CombineFingerprint(hdr, sum, xor uint64, rows int) uint64 {
 // Fingerprint returns an order-insensitive 64-bit hash of the result
 // (column names + multiset of rows). Two results compare equal for pricing
 // purposes iff their fingerprints match; collisions are negligible at the
-// support sizes used here. The per-row hash is FNV-1a over the canonical
-// row encoding, inlined so the hot loop allocates nothing beyond one
-// reused encode buffer.
+// support sizes used here. The per-row hash is HashBytes over the
+// canonical row encoding, inlined so the hot loop allocates nothing
+// beyond one reused encode buffer.
 func (r *Result) Fingerprint() uint64 {
 	var sum, xor uint64
 	buf := make([]byte, 0, 64)
@@ -356,6 +381,10 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 	if len(q.Tables) == 0 {
 		return nil, fmt.Errorf("relational: query %q has no tables", q.Name)
 	}
+	// All join intermediates — filtered scans, the hash table, the combined
+	// tuples — come from a pooled scratch; the Result aliases none of it.
+	s := evalScratchPool.Get().(*evalScratch)
+	defer s.release()
 	// Partition predicates per alias for pushdown.
 	perAlias := make(map[string][]Predicate)
 	for _, p := range q.Where {
@@ -365,6 +394,7 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 	bind := &binding{offsets: make(map[string]int), schemas: make(map[string]*Schema)}
 	var joined [][]Value
 	width := 0
+	nextBuf := 1 // ping-pong: which of bufA/bufB the next join output uses
 	for i := range q.Tables {
 		t := db.Table(q.Tables[i])
 		if t == nil {
@@ -390,7 +420,10 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 				p  Predicate
 			}{ci, p})
 		}
-		var scanned [][]Value
+		scanned := s.scan[:0]
+		if i == 0 {
+			scanned = s.bufA[:0] // the first scan IS the running join result
+		}
 		for _, row := range t.Rows {
 			ok := true
 			for _, ip := range idxPreds {
@@ -409,8 +442,10 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 			bind.schemas[al] = t.Schema
 			width = len(t.Schema.Cols)
 			joined = scanned
+			s.bufA = scanned // retain any growth for the next Eval
 			continue
 		}
+		s.scan = scanned
 
 		// Find the join conditions connecting this table to the prefix.
 		var conds []JoinCond
@@ -445,15 +480,47 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 		if buildCi < 0 {
 			return nil, fmt.Errorf("relational: query %q: unknown join column %q of %q", q.Name, conds[0].Left.Col, al)
 		}
-		hash := make(map[string][][]Value)
-		var keyBuf []byte
+		// Exact-key hash build in two passes over the scratch: count rows
+		// per key (allocating each key string once), carve every posting
+		// list from one exactly-sized slab, then fill. Bucket fill order is
+		// scan order, so join enumeration order — and therefore projection
+		// output and LIMIT semantics — is identical to the naive build.
+		clear(s.hash)
+		s.buckets = s.buckets[:0]
+		keyBuf := s.keyBuf
+		nonNull := 0
+		for _, row := range scanned {
+			v := row[buildCi]
+			if v.IsNull() {
+				continue
+			}
+			nonNull++
+			keyBuf = v.AppendEncode(keyBuf[:0])
+			if bi, ok := s.hash[string(keyBuf)]; ok {
+				s.buckets[bi].n++
+			} else {
+				s.hash[string(keyBuf)] = int32(len(s.buckets))
+				s.buckets = append(s.buckets, joinBucket{n: 1})
+			}
+		}
+		if cap(s.posts) < nonNull {
+			s.posts = make([][]Value, nonNull)
+		}
+		posts := s.posts[:nonNull]
+		off := 0
+		for bi := range s.buckets {
+			n := int(s.buckets[bi].n)
+			s.buckets[bi].rows = posts[off : off : off+n]
+			off += n
+		}
 		for _, row := range scanned {
 			v := row[buildCi]
 			if v.IsNull() {
 				continue
 			}
 			keyBuf = v.AppendEncode(keyBuf[:0])
-			hash[string(keyBuf)] = append(hash[string(keyBuf)], row)
+			bi := s.hash[string(keyBuf)]
+			s.buckets[bi].rows = append(s.buckets[bi].rows, row)
 		}
 		type extraCond struct{ newCi, oldIdx int }
 		var extras []extraCond
@@ -469,14 +536,21 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 			extras = append(extras, extraCond{ci, oi})
 		}
 
-		var next [][]Value
+		next := s.bufB[:0]
+		if nextBuf == 0 {
+			next = s.bufA[:0]
+		}
 		for _, lrow := range joined {
 			v := lrow[probeIdx]
 			if v.IsNull() {
 				continue
 			}
 			keyBuf = v.AppendEncode(keyBuf[:0])
-			for _, rrow := range hash[string(keyBuf)] {
+			bi, ok := s.hash[string(keyBuf)]
+			if !ok {
+				continue
+			}
+			for _, rrow := range s.buckets[bi].rows {
 				ok := true
 				for _, ec := range extras {
 					if !rrow[ec.newCi].Equal(lrow[ec.oldIdx]) {
@@ -487,12 +561,19 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 				if !ok {
 					continue
 				}
-				combined := make([]Value, 0, width)
-				combined = append(combined, lrow...)
-				combined = append(combined, rrow...)
+				combined := s.vals.alloc(width)
+				n := copy(combined, lrow)
+				copy(combined[n:], rrow)
 				next = append(next, combined)
 			}
 		}
+		s.keyBuf = keyBuf
+		if nextBuf == 0 {
+			s.bufA = next
+		} else {
+			s.bufB = next
+		}
+		nextBuf ^= 1
 		joined = next
 	}
 

@@ -231,7 +231,7 @@ func (sh *shard) conflicts(s *Set, p *plan.Plan, st *Stats, out []int) ([]int, e
 // every shard count.
 func ConflictSet(set *Set, q *relational.SelectQuery) ([]int, error) {
 	shards := set.ensureShards()
-	p, _, err := set.planForKeyed(plan.Key(q), q)
+	p, _, err := set.planForKeyed(set.keyFor(q), q)
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"querypricing/internal/hypergraph"
 	"querypricing/internal/plan"
@@ -76,6 +77,11 @@ type Set struct {
 	shards  []*shard
 	pool    *plan.IndexPool
 	fanout  chan struct{} // bounds extra goroutines across concurrent quotes
+
+	// keyMemo caches plan.Key per query object (see keyFor); keyMemoN
+	// bounds it so ad-hoc query churn cannot grow the set without limit.
+	keyMemo  sync.Map // *relational.SelectQuery -> string
+	keyMemoN atomic.Int64
 }
 
 // Size returns n = |S|.
@@ -87,7 +93,29 @@ func (s *Set) Size() int { return len(s.Neighbors) }
 // the query's home shard, so concurrent quote traffic for different
 // queries spreads across per-shard cache locks.
 func (s *Set) PlanFor(q *relational.SelectQuery) (*plan.Plan, bool, error) {
-	return s.planForKeyed(plan.Key(q), q)
+	return s.planForKeyed(s.keyFor(q), q)
+}
+
+// maxKeyMemo bounds the per-set query-key memo; past it, keys are simply
+// recomputed (correct, just slower).
+const maxKeyMemo = 1 << 12
+
+// keyFor returns plan.Key(q), memoized by query identity. Brokers quote
+// the same query objects repeatedly — a query is read-only once it has
+// been quoted, the same contract its cached plan already relies on — and
+// rebuilding the canonical query string otherwise dominates the fixed
+// cost of a warm quote.
+func (s *Set) keyFor(q *relational.SelectQuery) string {
+	if v, ok := s.keyMemo.Load(q); ok {
+		return v.(string)
+	}
+	k := plan.Key(q)
+	if s.keyMemoN.Load() < maxKeyMemo {
+		if _, loaded := s.keyMemo.LoadOrStore(q, k); !loaded {
+			s.keyMemoN.Add(1)
+		}
+	}
+	return k
 }
 
 func (s *Set) planForKeyed(key string, q *relational.SelectQuery) (*plan.Plan, bool, error) {

@@ -120,3 +120,35 @@ func (s *Set) StalePlans() int {
 	}
 	return n
 }
+
+// ShardPlanStats is one shard's deferred-maintenance snapshot: how many
+// plans its cache holds, how many of those are still behind the set's
+// database snapshot, and how many change batches sit in the cache's
+// pending log waiting to be coalesced into them.
+type ShardPlanStats struct {
+	Shard   int `json:"shard"`
+	Plans   int `json:"plans"`
+	Stale   int `json:"stale"`
+	Pending int `json:"pending_batches"`
+}
+
+// PlanStats reports every shard's deferred-maintenance state (diagnostics;
+// marketd surfaces this under GET /stats). The counts are a point-in-time
+// snapshot: concurrent quotes and drains move plans out of the stale
+// column as they fold them forward.
+func (s *Set) PlanStats() []ShardPlanStats {
+	shards := s.ensureShards()
+	out := make([]ShardPlanStats, len(shards))
+	for i, sh := range shards {
+		sh.planMu.Lock()
+		plans := sh.plans
+		sh.planMu.Unlock()
+		out[i].Shard = sh.id
+		if plans != nil {
+			out[i].Plans = plans.Len()
+			out[i].Stale = plans.StaleLen()
+			out[i].Pending = plans.PendingBatches()
+		}
+	}
+	return out
+}

@@ -2,11 +2,17 @@
 # bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
 #
 # Usage: scripts/bench.sh [n] [--compare BENCH_<m>.json]
-#   n                PR / trajectory index (default 5); output lands in BENCH_<n>.json
+#   n                PR / trajectory index (default 6); output lands in BENCH_<n>.json
 #   --compare FILE   after writing BENCH_<n>.json, print a per-benchmark
-#                    delta table (ns/op and allocs/op) against FILE
+#                    delta table (ns/op and allocs/op) against FILE and
+#                    exit nonzero if any benchmark regressed more than
+#                    BENCH_FAIL_OVER percent (default 10) in either —
+#                    the same gate CI's bench-smoke job applies to the
+#                    recorded trajectory
 #   BENCHTIME_BASE   -benchtime for the serial/parallel baselines (default 5x;
 #                    these run up to ~13 s/op, so the count stays small)
+#   BENCHCOUNT_BASE  how many fresh-process rounds the baseline group runs
+#                    (default 3; the fastest run per benchmark is recorded)
 #   BENCHTIME_BUILD  -benchtime for the incremental/sharded engine pair
 #                    (default 10x)
 #   BENCHCOUNT_BUILD how many alternating-order process rounds the engine pair
@@ -15,6 +21,9 @@
 #   BENCHTIME_QUOTE  -benchtime for the quote-path group (default 2s; these
 #                    run in microseconds, so time-based sampling gives the
 #                    thousands of iterations a stable number needs)
+#   BENCHCOUNT_QUOTE how many fresh-process rounds the quote group runs
+#                    (default 3; the fastest run per benchmark is recorded,
+#                    so one slow host phase cannot poison the whole group)
 #   BENCHFILTER_BASE / BENCHFILTER_QUOTE  override those group regexps
 #
 # The tracked set pins the conflict-set engine: hypergraph construction
@@ -26,7 +35,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-n="5"
+n="6"
 compare=""
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -41,22 +50,29 @@ while [ $# -gt 0 ]; do
 	esac
 done
 basetime="${BENCHTIME_BASE:-5x}"
+basecount="${BENCHCOUNT_BASE:-3}"
 buildtime="${BENCHTIME_BUILD:-10x}"
 buildcount="${BENCHCOUNT_BUILD:-4}"
 quotetime="${BENCHTIME_QUOTE:-2s}"
+quotecount="${BENCHCOUNT_QUOTE:-3}"
 basefilter="${BENCHFILTER_BASE:-BenchmarkFig4Construction/.*/(serial|parallel)$}"
 quotefilter="${BENCHFILTER_QUOTE:-BenchmarkConflictSet|BenchmarkQuoteBatch|BenchmarkUpdateRequote}"
 out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-# Three groups, three sampling strategies: the pre-incremental baselines
-# run up to ~13 s/op, so they get a small fixed count; the tracked engine
-# variants are cheap, so they run in several fresh processes — alternating
-# the incremental/sharded order so machine-load drift hits both sides
-# equally — and record their fastest run; the quote-path benches run in
-# microseconds, so they sample time-based.
-go test -run '^$' -bench "$basefilter" -benchtime "$basetime" . | tee "$raw"
+# Three groups, one sampling principle — every group runs in several
+# fresh processes and the fastest run per benchmark is recorded, which is
+# robust to background host interference: the pre-incremental baselines
+# run up to ~13 s/op, so they get a small fixed count per round; the
+# tracked engine variants are cheap, so they alternate the
+# incremental/sharded order across rounds so machine-load drift hits both
+# sides equally; the quote-path benches run in microseconds, so they
+# sample time-based within each round.
+: > "$raw"
+for i in $(seq "$basecount"); do
+	go test -run '^$' -bench "$basefilter" -benchtime "$basetime" . | tee -a "$raw"
+done
 for i in $(seq "$buildcount"); do
 	if [ $((i % 2)) -eq 1 ]; then
 		go test -run '^$' -bench 'BenchmarkFig4Construction/.*/incremental$' -benchtime "$buildtime" . | tee -a "$raw"
@@ -66,7 +82,9 @@ for i in $(seq "$buildcount"); do
 		go test -run '^$' -bench 'BenchmarkFig4Construction/.*/incremental$' -benchtime "$buildtime" . | tee -a "$raw"
 	fi
 done
-go test -run '^$' -bench "$quotefilter" -benchtime "$quotetime" . | tee -a "$raw"
+for i in $(seq "$quotecount"); do
+	go test -run '^$' -bench "$quotefilter" -benchtime "$quotetime" . | tee -a "$raw"
+done
 
 awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^goos:/   { goos = $2 }
@@ -115,5 +133,5 @@ awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 echo "wrote $out"
 
 if [ -n "$compare" ]; then
-	scripts/benchcompare.sh "$compare" "$out"
+	scripts/benchcompare.sh --fail-over "${BENCH_FAIL_OVER:-10}" "$compare" "$out"
 fi
