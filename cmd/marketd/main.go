@@ -1,11 +1,16 @@
 // Command marketd runs a demonstration data-market broker over HTTP (the
 // Qirana role): it loads the synthetic world dataset, calibrates an
 // arbitrage-free pricing from the skewed workload, and serves quotes and
-// purchases for ad-hoc queries.
+// purchases for ad-hoc queries. With -data-dir it is durable: calibrated
+// state, update batches and sale receipts persist to a snapshot + WAL
+// directory, and a restart restores byte-identical quotes at the pinned
+// version without recalibrating (see docs/OPERATIONS.md).
 //
 // Endpoints (all JSON):
 //
-//	GET  /stats              broker status (support size, algorithm, revenue, version, plan-cache state)
+//	GET  /healthz            liveness (process up)
+//	GET  /readyz             readiness (booted, not draining, not saturated)
+//	GET  /stats              broker status (support size, algorithm, revenue, version, plan-cache and store state)
 //	GET  /algorithms         the engine registry's algorithm names
 //	POST /quote              body: SelectQuery -> Quote
 //	POST /quote/batch        body: [SelectQuery, ...] -> [Quote, ...]
@@ -26,11 +31,21 @@
 // Each update atomically publishes a new database version; quotes in
 // flight keep pricing against the previous snapshot, later quotes see the
 // new one, and every Quote/Receipt reports the version it was priced at
-// (see docs/UPDATES.md).
+// (see docs/UPDATES.md). With -data-dir, each update and purchase is
+// written ahead to the WAL before it is acknowledged; a persistence
+// failure degrades the market to read-only (503 on writes, quotes keep
+// serving) rather than acknowledging non-durable state.
+//
+// Overload and shutdown behavior: at most -max-inflight requests are
+// processed concurrently (excess quotes shed with 429, writes with 503),
+// each request runs under a -request-timeout deadline that batch quoting
+// propagates into its workers, and SIGINT/SIGTERM drains gracefully —
+// /readyz starts failing, in-flight requests finish, a final snapshot is
+// written.
 //
 // Start with:
 //
-//	marketd -addr :8080 -algorithm LPIP
+//	marketd -addr :8080 -algorithm LPIP -data-dir /var/lib/marketd
 //
 // Quoting rides the incremental conflict-set engine: calibration compiles
 // every forecast query into a cached plan (internal/plan), and each quote
@@ -40,21 +55,19 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // profiling endpoints, mounted only with -pprof
-	"strconv"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
-	"querypricing/internal/datagen"
 	"querypricing/internal/engine"
-	"querypricing/internal/market"
-	"querypricing/internal/relational"
-	"querypricing/internal/valuation"
-	"querypricing/internal/workloads"
 )
 
 func main() {
@@ -67,118 +80,32 @@ func main() {
 		valK      = flag.Float64("valuation-k", 100, "Uniform[1,k] calibration valuations")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		lazyDrain = flag.Bool("background-drain", true, "fold deferred plan rebases in the background after each update")
+
+		dataDir    = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+		snapEvery  = flag.Int("snapshot-every", 64, "roll a snapshot after this many durable updates (0 = only at shutdown)")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (0 = none)")
+		maxInfl    = flag.Int("max-inflight", 128, "concurrent quote/update/purchase bound; excess is shed (0 = unbounded)")
+		drainWait  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	)
 	flag.Parse()
 
-	if _, err := engine.Get(*algo); err != nil {
-		log.Fatalf("marketd: %v", err)
-	}
-
-	log.Printf("marketd: generating world dataset...")
-	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: *seed})
-	broker, err := market.NewBroker(db, market.Config{
+	srv, err := newServer(serverConfig{
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
+		Algorithm:       *algo,
 		SupportSize:     *supportN,
 		Shards:          *shards,
 		Seed:            *seed,
-		LPIPCandidates:  16,
-		CIPEpsilon:      0.5,
+		ValK:            *valK,
 		BackgroundDrain: *lazyDrain,
+		RequestTimeout:  *reqTimeout,
+		MaxInflight:     *maxInfl,
 	})
 	if err != nil {
 		log.Fatalf("marketd: %v", err)
 	}
-	log.Printf("marketd: calibrating %s from the skewed workload...", *algo)
-	forecast := workloads.Skewed(db)
-	rev, err := broker.Calibrate(forecast, valuation.Uniform{K: *valK}, market.Algorithm(*algo))
-	if err != nil {
-		log.Fatalf("marketd: calibration: %v", err)
-	}
-	log.Printf("marketd: calibrated; forecast revenue %.2f over %d queries", rev, len(forecast))
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"support_size": broker.SupportSize(),
-			"algorithm":    broker.Algorithm(),
-			"revenue":      broker.Revenue(),
-			"sales":        len(broker.Sales()),
-			"version":      broker.Version(),
-			// Deferred-maintenance state of the plan caches: totals plus a
-			// per-shard breakdown of cached/stale plans and pending update
-			// batches (see docs/UPDATES.md).
-			"plans": broker.PlanStats(),
-		})
-	})
-	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.List()})
-	})
-	mux.HandleFunc("POST /quote", func(w http.ResponseWriter, r *http.Request) {
-		q, err := decodeQuery(r)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		quote, err := broker.Quote(q)
-		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, quote)
-	})
-	mux.HandleFunc("POST /quote/batch", func(w http.ResponseWriter, r *http.Request) {
-		qs, err := decodeQueryBatch(r)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		quotes, err := broker.QuoteBatch(qs)
-		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
-			return
-		}
-		if quotes == nil {
-			quotes = []market.Quote{} // encode empty batches as [], not null
-		}
-		writeJSON(w, http.StatusOK, quotes)
-	})
-	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
-		changes, err := decodeChanges(r)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		version, stats, err := broker.Update(changes)
-		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
-			return
-		}
-		log.Printf("marketd: update applied: version %d, %d changes, %d plan rebases deferred",
-			version, len(changes), stats.PlansDeferred)
-		writeJSON(w, http.StatusOK, map[string]any{
-			"version":        version,
-			"changes":        len(changes),
-			"plans_deferred": stats.PlansDeferred,
-		})
-	})
-	mux.HandleFunc("POST /purchase", func(w http.ResponseWriter, r *http.Request) {
-		q, err := decodeQuery(r)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "budget query parameter required"})
-			return
-		}
-		ans, receipt, err := broker.Purchase(q, budget)
-		if err != nil {
-			writeJSON(w, http.StatusPaymentRequired, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"receipt": receipt, "answer": ans})
-	})
-
+	mux := srv.routes()
 	if *pprofOn {
 		// net/http/pprof registers its handlers on the default mux at
 		// import time; expose them only when asked.
@@ -186,63 +113,42 @@ func main() {
 		log.Printf("marketd: pprof enabled under /debug/pprof/")
 	}
 
-	log.Printf("marketd: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		log.Fatal(err)
+	// A real server, not a bare ListenAndServe: header/read/write/idle
+	// timeouts bound what any one connection can hold open, independent of
+	// the per-request handler deadline.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-}
 
-func decodeQuery(r *http.Request) (*relational.SelectQuery, error) {
-	defer r.Body.Close()
-	var q relational.SelectQuery
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&q); err != nil {
-		return nil, fmt.Errorf("bad query: %w", err)
-	}
-	if q.Name == "" {
-		q.Name = "adhoc"
-	}
-	return &q, nil
-}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
-func decodeQueryBatch(r *http.Request) ([]*relational.SelectQuery, error) {
-	defer r.Body.Close()
-	var qs []*relational.SelectQuery
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&qs); err != nil {
-		return nil, fmt.Errorf("bad query batch: %w", err)
-	}
-	for i, q := range qs {
-		if q == nil {
-			return nil, fmt.Errorf("bad query batch: null query at index %d", i)
-		}
-		if q.Name == "" {
-			q.Name = fmt.Sprintf("adhoc-%d", i)
-		}
-	}
-	return qs, nil
-}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("marketd: listening on %s (restored=%v, boot %.2fs)", *addr, srv.restored, srv.bootedIn.Seconds())
 
-func decodeChanges(r *http.Request) ([]relational.CellChange, error) {
-	defer r.Body.Close()
-	var changes []relational.CellChange
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&changes); err != nil {
-		return nil, fmt.Errorf("bad update: %w", err)
+	select {
+	case err := <-errCh:
+		log.Fatalf("marketd: %v", err)
+	case <-ctx.Done():
 	}
-	if len(changes) == 0 {
-		return nil, fmt.Errorf("bad update: empty change list")
-	}
-	return changes, nil
-}
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("marketd: encoding response: %v", err)
+	// Drain: stop accepting, fail readiness, let in-flight requests finish
+	// within the budget, then persist a final snapshot.
+	log.Printf("marketd: signal received; draining (%s budget)...", *drainWait)
+	srv.beginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("marketd: shutdown: %v", err)
 	}
+	if err := srv.close(); err != nil {
+		log.Printf("marketd: closing store: %v", err)
+	}
+	log.Printf("marketd: bye")
 }

@@ -1,0 +1,208 @@
+package main
+
+// End-to-end serving tests over httptest: the restart contract (a second
+// boot on the same data directory serves byte-identical quotes without
+// recalibrating), and the robustness surface (health/readiness, admission
+// shedding, drain, request deadlines).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testConfig is a small, fast boot: modest support set, two shards.
+func testConfig(dir string) serverConfig {
+	return serverConfig{
+		DataDir:        dir,
+		SnapshotEvery:  4,
+		Algorithm:      "LPIP",
+		SupportSize:    60,
+		Shards:         2,
+		Seed:           7,
+		ValK:           100,
+		RequestTimeout: 10 * time.Second,
+		MaxInflight:    8,
+	}
+}
+
+// The doc-comment example query and update, used verbatim.
+const (
+	countryQuery = `{"Name":"q","Tables":["Country"],` +
+		`"Where":[{"Col":{"Table":"Country","Col":"Continent"},"Op":0,"Val":{"K":3,"S":"Asia"}}],` +
+		`"Select":[{"Table":"Country","Col":"Name"}]}`
+	countryUpdate = `[{"Table":"Country","Row":3,"Col":2,"New":{"K":3,"S":"Europe"}}]`
+)
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestRestartServesIdenticalQuotes is the restart contract end to end: a
+// server takes an update and a purchase, shuts down cleanly, and its
+// successor on the same directory reports restored=true and returns the
+// byte-identical quote response at the same version.
+func TestRestartServesIdenticalQuotes(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := newServer(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.routes())
+
+	if code, body := post(t, ts1.URL+"/update", countryUpdate); code != http.StatusOK {
+		t.Fatalf("update: %d %s", code, body)
+	}
+	if code, body := post(t, ts1.URL+"/purchase?budget=1e18", countryQuery); code != http.StatusOK {
+		t.Fatalf("purchase: %d %s", code, body)
+	}
+	code, want := post(t, ts1.URL+"/quote", countryQuery)
+	if code != http.StatusOK {
+		t.Fatalf("quote: %d %s", code, want)
+	}
+	ts1.Close()
+	if err := s1.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := newServer(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.close()
+	if !s2.restored {
+		t.Fatal("second boot did not restore from the data directory")
+	}
+	ts2 := httptest.NewServer(s2.routes())
+	defer ts2.Close()
+
+	code, got := post(t, ts2.URL+"/quote", countryQuery)
+	if code != http.StatusOK {
+		t.Fatalf("restored quote: %d %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored quote differs:\n  before restart: %s\n  after restart:  %s", want, got)
+	}
+
+	code, stats := get(t, ts2.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, stats)
+	}
+	var st struct {
+		Version  uint64 `json:"version"`
+		Sales    int    `json:"sales"`
+		Restored bool   `json:"restored"`
+	}
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 1 || st.Sales != 1 || !st.Restored {
+		t.Fatalf("restored stats: version %d sales %d restored %v, want 1, 1, true", st.Version, st.Sales, st.Restored)
+	}
+}
+
+// TestServingPolicy exercises the robustness surface on one in-memory
+// boot: health/readiness, admission shedding at the concurrency bound,
+// drain semantics, and the per-request deadline.
+func TestServingPolicy(t *testing.T) {
+	cfg := testConfig("") // in-memory: the policy layer is disk-independent
+	cfg.MaxInflight = 2
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	t.Run("healthy-and-ready", func(t *testing.T) {
+		if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+			t.Fatalf("healthz: %d %s", code, body)
+		}
+		if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+			t.Fatalf("readyz: %d %s", code, body)
+		}
+	})
+
+	t.Run("sheds-at-concurrency-bound", func(t *testing.T) {
+		// Occupy every admission token, as saturating traffic would.
+		s.sem <- struct{}{}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem; <-s.sem }()
+
+		resp, err := http.Post(ts.URL+"/quote", "application/json", strings.NewReader(countryQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated quote: %d, want 429", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("shed response missing Retry-After")
+		}
+		if code, _ := post(t, ts.URL+"/update", countryUpdate); code != http.StatusServiceUnavailable {
+			t.Fatalf("saturated update: %d, want 503", code)
+		}
+		if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+			t.Fatalf("saturated readyz: %d, want 503", code)
+		}
+	})
+
+	t.Run("deadline-propagates-into-batch", func(t *testing.T) {
+		s.cfg.RequestTimeout = time.Nanosecond
+		defer func() { s.cfg.RequestTimeout = 10 * time.Second }()
+		code, body := post(t, ts.URL+"/quote/batch", "["+countryQuery+"]")
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("expired batch quote: %d %s, want 503", code, body)
+		}
+	})
+
+	t.Run("drain", func(t *testing.T) {
+		// Last: draining is one-way for a server instance.
+		s.beginDrain()
+		if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+			t.Fatalf("draining healthz: %d, want 200 (process is alive)", code)
+		}
+		if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+			t.Fatalf("draining readyz: %d, want 503", code)
+		}
+		if code, _ := post(t, ts.URL+"/update", countryUpdate); code != http.StatusServiceUnavailable {
+			t.Fatalf("draining update: %d, want 503", code)
+		}
+		// Reads keep serving while the drain runs its course.
+		if code, body := post(t, ts.URL+"/quote", countryQuery); code != http.StatusOK {
+			t.Fatalf("draining quote: %d %s", code, body)
+		}
+	})
+}

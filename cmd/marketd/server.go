@@ -1,0 +1,507 @@
+package main
+
+// The serving core of marketd, separated from flag parsing and process
+// lifecycle (main.go) so tests can boot a server against a temp data
+// directory, drive it over httptest, "crash" it, and boot a second one on
+// the same directory.
+//
+// Robustness posture:
+//
+//   - admission control: at most cfg.MaxInflight request bodies are being
+//     processed at once; excess quote traffic is shed with 429 (retryable
+//     by the same client), excess or degraded write traffic with 503;
+//   - per-request deadlines: every handler runs under a context that
+//     expires after cfg.RequestTimeout, and batch quoting propagates that
+//     context into its workers (a hung batch cannot pin a worker pool);
+//   - graceful drain: beginDrain() flips readiness so load balancers stop
+//     sending traffic, in-flight requests finish, and close() writes a
+//     final snapshot so the next boot replays nothing.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/engine"
+	"querypricing/internal/market"
+	"querypricing/internal/relational"
+	"querypricing/internal/store"
+	"querypricing/internal/valuation"
+	"querypricing/internal/workloads"
+)
+
+// serverConfig is everything a server boot needs; main.go fills it from
+// flags, tests fill it directly.
+type serverConfig struct {
+	// DataDir is the durable state directory; empty runs in-memory only
+	// (every boot recalibrates, nothing survives a restart).
+	DataDir string
+	// SnapshotEvery rolls a snapshot after that many durable updates.
+	SnapshotEvery int
+
+	Algorithm       string
+	SupportSize     int
+	Shards          int
+	Seed            int64
+	ValK            float64
+	BackgroundDrain bool
+
+	// RequestTimeout bounds each request's handler context; 0 means no
+	// per-request deadline.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently-processing requests on the quote,
+	// update and purchase endpoints; 0 disables admission control.
+	MaxInflight int
+}
+
+// server is one booted broker plus its serving policy. Boot it with
+// newServer, mount routes() on an http.Server, and close() it on the way
+// out.
+type server struct {
+	cfg    serverConfig
+	broker *market.Broker
+	mgr    *store.Manager // nil when cfg.DataDir is empty
+
+	sem      chan struct{} // admission tokens; nil when MaxInflight is 0
+	draining chan struct{} // closed by beginDrain
+
+	// restored records whether this boot recovered state from the data
+	// directory (true) or bootstrapped and calibrated from scratch
+	// (false); surfaced in /stats and asserted by the restart tests.
+	restored bool
+	bootedIn time.Duration
+}
+
+// newServer boots a broker: from the data directory when it holds a
+// snapshot (no recalibration — the point of the store), bootstrapping the
+// demo dataset and calibrating otherwise.
+func newServer(cfg serverConfig) (*server, error) {
+	if _, err := engine.Get(cfg.Algorithm); err != nil {
+		return nil, err
+	}
+	s := &server{cfg: cfg, draining: make(chan struct{})}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	start := time.Now()
+
+	var st *store.Store
+	var loaded *market.BrokerSnapshot
+	if cfg.DataDir != "" {
+		var err error
+		st, err = store.Open(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		res, err := st.Load()
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("marketd: recovering %s: %w", cfg.DataDir, err)
+		}
+		loaded = res.Snapshot
+		if loaded != nil {
+			log.Printf("marketd: recovered %s: snapshot v%d + %d updates, %d receipts replayed (%d torn bytes dropped)",
+				cfg.DataDir, res.SnapshotVersion, res.ReplayedUpdates, res.ReplayedReceipts, res.TornBytes)
+		}
+	}
+
+	if loaded != nil {
+		b, err := market.Restore(*loaded, market.Config{
+			Shards:          cfg.Shards,
+			Seed:            cfg.Seed,
+			LPIPCandidates:  16,
+			CIPEpsilon:      0.5,
+			BackgroundDrain: cfg.BackgroundDrain,
+		})
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("marketd: restoring broker: %w", err)
+		}
+		s.broker = b
+		s.restored = true
+	} else {
+		b, err := bootstrapBroker(cfg)
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		s.broker = b
+	}
+
+	if st != nil {
+		s.mgr = store.NewManager(s.broker, st, store.ManagerOptions{SnapshotEvery: cfg.SnapshotEvery})
+		if !s.restored {
+			// First boot on an empty directory: persist the calibrated
+			// state so the next boot restores instead of recalibrating.
+			if err := s.mgr.Snapshot(); err != nil {
+				st.Close()
+				return nil, fmt.Errorf("marketd: initial snapshot: %w", err)
+			}
+		}
+	}
+	s.bootedIn = time.Since(start)
+	return s, nil
+}
+
+// bootstrapBroker builds and calibrates the demonstration market: the
+// synthetic world dataset priced from the skewed workload.
+func bootstrapBroker(cfg serverConfig) (*market.Broker, error) {
+	log.Printf("marketd: generating world dataset...")
+	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: cfg.Seed})
+	broker, err := market.NewBroker(db, market.Config{
+		SupportSize:     cfg.SupportSize,
+		Shards:          cfg.Shards,
+		Seed:            cfg.Seed,
+		LPIPCandidates:  16,
+		CIPEpsilon:      0.5,
+		BackgroundDrain: cfg.BackgroundDrain,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("marketd: %w", err)
+	}
+	log.Printf("marketd: calibrating %s from the skewed workload...", cfg.Algorithm)
+	forecast := workloads.Skewed(db)
+	rev, err := broker.Calibrate(forecast, valuation.Uniform{K: cfg.ValK}, market.Algorithm(cfg.Algorithm))
+	if err != nil {
+		return nil, fmt.Errorf("marketd: calibration: %w", err)
+	}
+	log.Printf("marketd: calibrated; forecast revenue %.2f over %d queries", rev, len(forecast))
+	return broker, nil
+}
+
+// beginDrain flips the server to draining: /readyz starts failing (pulling
+// the instance out of load-balancer rotation) and new write traffic is
+// refused; in-flight requests are unaffected.
+func (s *server) beginDrain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+func (s *server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// close releases the broker's durable state: a final snapshot (so the next
+// boot's WAL replay is empty) and the store's file handles.
+func (s *server) close() error {
+	if s.mgr == nil {
+		return nil
+	}
+	return s.mgr.Close()
+}
+
+// admit takes an admission token, or reports shed=true when the server is
+// at its concurrency bound. The caller must release() iff admitted.
+func (s *server) admit() (shed bool) {
+	if s.sem == nil {
+		return false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return false
+	default:
+		return true
+	}
+}
+
+func (s *server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+func (s *server) inflight() int {
+	if s.sem == nil {
+		return 0
+	}
+	return len(s.sem)
+}
+
+// requestContext derives the handler context: the client's, bounded by the
+// per-request deadline.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// guarded wraps a work-bearing handler with the serving policy: shed at
+// the concurrency bound (quotes get 429 — retry the same instance; writes
+// get 503 — go elsewhere), refuse writes while draining, and run the
+// handler under the per-request deadline.
+func (s *server) guarded(isWrite bool, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if isWrite && s.isDraining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining: not accepting writes"})
+			return
+		}
+		if s.admit() {
+			w.Header().Set("Retry-After", "1")
+			status := http.StatusTooManyRequests
+			if isWrite {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, map[string]string{"error": "overloaded: admission queue full"})
+			return
+		}
+		defer s.release()
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		h(w, r, ctx)
+	}
+}
+
+// routes mounts the API.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.List()})
+	})
+	mux.HandleFunc("POST /quote", s.guarded(false, s.handleQuote))
+	mux.HandleFunc("POST /quote/batch", s.guarded(false, s.handleQuoteBatch))
+	mux.HandleFunc("POST /update", s.guarded(true, s.handleUpdate))
+	mux.HandleFunc("POST /purchase", s.guarded(true, s.handlePurchase))
+	return mux
+}
+
+// handleHealthz is liveness: the process is up and the mux serving. It
+// stays 200 while draining (the process is healthy, just leaving).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: calibration or restore is complete (implied
+// by the server existing), the instance is not draining, and the admission
+// queue has room. Load balancers route on this.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.isDraining():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.sem != nil && s.inflight() >= cap(s.sem):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "restored": s.restored})
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := map[string]any{
+		"support_size": s.broker.SupportSize(),
+		"algorithm":    s.broker.Algorithm(),
+		"revenue":      s.broker.Revenue(),
+		"sales":        len(s.broker.Sales()),
+		"version":      s.broker.Version(),
+		// Deferred-maintenance state of the plan caches: totals plus a
+		// per-shard breakdown of cached/stale plans and pending update
+		// batches (see docs/UPDATES.md).
+		"plans": s.broker.PlanStats(),
+		// Boot provenance: whether this process restored from disk (and
+		// skipped calibration) and how long boot took.
+		"restored":     s.restored,
+		"boot_sec":     s.bootedIn.Seconds(),
+		"draining":     s.isDraining(),
+		"inflight":     s.inflight(),
+		"max_inflight": s.cfg.MaxInflight,
+	}
+	if s.mgr != nil {
+		stats["store"] = s.mgr.Store().Stats()
+		deg, msg := s.mgr.Degraded()
+		stats["degraded"] = deg
+		if deg {
+			stats["degraded_reason"] = msg
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *server) handleQuote(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	q, err := decodeQuery(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	quote, err := s.broker.Quote(q)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, quote)
+}
+
+func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	qs, err := decodeQueryBatch(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	quotes, err := s.broker.QuoteBatchContext(ctx, qs)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	if quotes == nil {
+		quotes = []market.Quote{} // encode empty batches as [], not null
+	}
+	writeJSON(w, http.StatusOK, quotes)
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	changes, err := decodeChanges(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	version, ustats, err := s.update(changes)
+	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	log.Printf("marketd: update applied: version %d, %d changes, %d plan rebases deferred",
+		version, len(changes), ustats.PlansDeferred)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":        version,
+		"changes":        len(changes),
+		"plans_deferred": ustats.PlansDeferred,
+	})
+}
+
+func (s *server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	q, err := decodeQuery(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "budget query parameter required"})
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	ans, receipt, err := s.purchase(q, budget)
+	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusPaymentRequired, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"receipt": receipt, "answer": ans})
+}
+
+// update routes a mutation through the durability layer when one exists.
+func (s *server) update(changes []relational.CellChange) (uint64, updateStats, error) {
+	if s.mgr != nil {
+		v, st, err := s.mgr.Update(changes)
+		return v, updateStats{PlansDeferred: st.PlansDeferred}, err
+	}
+	v, st, err := s.broker.Update(changes)
+	return v, updateStats{PlansDeferred: st.PlansDeferred}, err
+}
+
+// purchase routes a sale through the durability layer when one exists.
+func (s *server) purchase(q *relational.SelectQuery, budget float64) (*relational.Result, market.Receipt, error) {
+	if s.mgr != nil {
+		return s.mgr.Purchase(q, budget)
+	}
+	return s.broker.Purchase(q, budget)
+}
+
+// updateStats is the projection of support.UpdateStats the API reports.
+type updateStats struct {
+	PlansDeferred int
+}
+
+func decodeQuery(r *http.Request) (*relational.SelectQuery, error) {
+	defer r.Body.Close()
+	var q relational.SelectQuery
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("bad query: %w", err)
+	}
+	if q.Name == "" {
+		q.Name = "adhoc"
+	}
+	return &q, nil
+}
+
+func decodeQueryBatch(r *http.Request) ([]*relational.SelectQuery, error) {
+	defer r.Body.Close()
+	var qs []*relational.SelectQuery
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qs); err != nil {
+		return nil, fmt.Errorf("bad query batch: %w", err)
+	}
+	for i, q := range qs {
+		if q == nil {
+			return nil, fmt.Errorf("bad query batch: null query at index %d", i)
+		}
+		if q.Name == "" {
+			q.Name = fmt.Sprintf("adhoc-%d", i)
+		}
+	}
+	return qs, nil
+}
+
+func decodeChanges(r *http.Request) ([]relational.CellChange, error) {
+	defer r.Body.Close()
+	var changes []relational.CellChange
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&changes); err != nil {
+		return nil, fmt.Errorf("bad update: %w", err)
+	}
+	if len(changes) == 0 {
+		return nil, fmt.Errorf("bad update: empty change list")
+	}
+	return changes, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("marketd: encoding response: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"querypricing/internal/engine"
@@ -12,6 +13,7 @@ import (
 	"querypricing/internal/online"
 	"querypricing/internal/pricing"
 	"querypricing/internal/relational"
+	"querypricing/internal/store"
 	"querypricing/internal/support"
 	"querypricing/internal/valuation"
 )
@@ -309,5 +311,95 @@ func (r *runner) runLiveUpdates() error {
 	}
 	fmt.Printf("\nequivalence: %d updated-broker quotes (prices and member-for-member conflict sets) identical to a fresh broker on version %d\n",
 		len(probe), broker.Version())
+	return nil
+}
+
+// runRestart measures the durability story's payoff (docs/OPERATIONS.md):
+// what a cold boot costs with calibration versus restoring a snapshot, and
+// that the restored broker quotes byte-identically. The snapshot round
+// trips through a real data directory, not just memory.
+func (r *runner) runRestart() error {
+	sc, err := r.scenario(experiments.Skewed)
+	if err != nil {
+		return err
+	}
+	cfg := market.Config{Seed: r.seed, LPIPCandidates: r.lpipCap, Shards: r.shards}
+
+	// Cold path: build + calibrate from scratch.
+	coldStart := time.Now()
+	broker, err := market.NewBrokerWithSupport(sc.DB, sc.Set, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := broker.Calibrate(sc.Queries, valuation.Uniform{K: 100}, market.LPIP); err != nil {
+		return err
+	}
+	cold := time.Since(coldStart)
+
+	// Persist through a real store directory and recover from it.
+	dir, err := os.MkdirTemp("", "pricebench-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if _, err := st.Load(); err != nil {
+		return err
+	}
+	writeStart := time.Now()
+	if err := st.WriteSnapshot(broker.Snapshot()); err != nil {
+		return err
+	}
+	writeTime := time.Since(writeStart)
+	st.Close()
+
+	restoreStart := time.Now()
+	st2, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st2.Close()
+	res, err := st2.Load()
+	if err != nil {
+		return err
+	}
+	if res.Snapshot == nil {
+		return fmt.Errorf("restart: no snapshot recovered from %s", dir)
+	}
+	restored, err := market.Restore(*res.Snapshot, cfg)
+	if err != nil {
+		return err
+	}
+	restore := time.Since(restoreStart)
+
+	probe := sc.Queries[:40]
+	want, err := broker.QuoteBatch(probe)
+	if err != nil {
+		return err
+	}
+	got, err := restored.QuoteBatch(probe)
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("restart: quote %d diverged: calibrated %+v, restored %+v", i, want[i], got[i])
+		}
+	}
+
+	stats := st2.Stats()
+	fmt.Println("== Restart: calibrate vs restore (docs/OPERATIONS.md) ==")
+	fmt.Printf("%-28s %12v\n", "cold boot (build+calibrate)", cold.Round(time.Millisecond))
+	fmt.Printf("%-28s %12v\n", "snapshot write", writeTime.Round(time.Millisecond))
+	fmt.Printf("%-28s %12v\n", "restore (load+rebuild)", restore.Round(time.Millisecond))
+	if restore > 0 {
+		fmt.Printf("%-28s %12.1fx\n", "restore speedup", float64(cold)/float64(restore))
+	}
+	fmt.Printf("%-28s %12d bytes (version %d)\n", "snapshot size", stats.SnapshotBytes, stats.SnapshotVersion)
+	fmt.Printf("\nidentity: %d quotes byte-identical between the calibrated and restored brokers\n", len(probe))
 	return nil
 }

@@ -51,6 +51,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"ablation-cip", "CIP epsilon sensitivity (Section 6.4)"},
 	{"ablation-refine", "UBP -> item pricing LP refinement (Section 6.3)"},
 	{"live-updates", "base-database update latency and plan survival (docs/UPDATES.md)"},
+	{"restart", "calibrate vs snapshot-restore boot cost and quote identity (docs/OPERATIONS.md)"},
 }
 
 func main() {
@@ -273,6 +274,8 @@ func (r *runner) run(id string) error {
 		return r.runRefineAblation()
 	case "live-updates":
 		return r.runLiveUpdates()
+	case "restart":
+		return r.runRestart()
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

@@ -32,6 +32,7 @@ package market
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -427,6 +428,17 @@ func (b *Broker) quoteWith(st *marketState, snap *pricingSnapshot, q *relational
 // database version (and the batch as a whole stays arbitrage-free) even if
 // a recalibration or an update lands mid-batch.
 func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) {
+	return b.QuoteBatchContext(context.Background(), queries)
+}
+
+// QuoteBatchContext is QuoteBatch under a context: each worker checks the
+// context between quotes and the batch aborts with the context's error as
+// soon as it is cancelled or its deadline passes. Serving layers derive
+// per-request deadlines from it (cmd/marketd), so one slow batch cannot
+// hold worker goroutines past its request's budget. A cancelled batch
+// returns no quotes: partial batches would break the all-from-one-snapshot
+// guarantee silently.
+func (b *Broker) QuoteBatchContext(ctx context.Context, queries []*relational.SelectQuery) ([]Quote, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -444,6 +456,9 @@ func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) 
 	if workers == 1 {
 		// Inline serial path: no goroutine, no synchronization.
 		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("market: batch cancelled at query %d: %w", i, err)
+			}
 			quote, err := b.quoteWith(st, snap, q)
 			if err != nil {
 				return nil, fmt.Errorf("market: batch query %d: %w", i, err)
@@ -471,6 +486,13 @@ func (b *Broker) QuoteBatch(queries []*relational.SelectQuery) ([]Quote, error) 
 			for i := lo; i < hi; i++ {
 				if failed.Load() {
 					return // abandon the chunk after a failure
+				}
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("market: batch cancelled at query %d: %w", i, err)
+						failed.Store(true)
+					})
+					return
 				}
 				quote, err := b.quoteWith(st, snap, queries[i])
 				if err != nil {

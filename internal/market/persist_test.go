@@ -1,0 +1,156 @@
+package market
+
+// Snapshot/Restore: a broker rebuilt from its snapshot must serve
+// byte-identical quotes at the pinned version without re-running
+// Calibrate or BuildHypergraph, across all four workloads and shard
+// counts; QuoteBatchContext must abort promptly on cancellation.
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+)
+
+// TestSnapshotRestoreQuotesByteIdentical is the durability acceptance
+// property at the broker layer: Snapshot → Restore (at several shard
+// counts, including a different one than the original) reproduces every
+// quote of the original broker exactly, plus version, sales and revenue.
+func TestSnapshotRestoreQuotesByteIdentical(t *testing.T) {
+	for _, w := range []string{"skewed", "uniform", "ssb", "tpch"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			db, qs := updateScenario(t, w)
+			rng := rand.New(rand.NewSource(int64(len(w) * 7)))
+			set, err := support.Generate(db, support.GenOptions{Size: 50, Seed: 9, DeltasPerNeighbor: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := NewBrokerWithSupport(db, set, Config{Seed: 9, Shards: 2, LPIPCandidates: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := orig.Calibrate(qs, valuation.Uniform{K: 80}, LPIP); err != nil {
+				t.Fatal(err)
+			}
+			// Exercise the lineage: an update and a couple of sales, so the
+			// snapshot carries a non-trivial version and sales log.
+			if _, _, err := orig.Update(brokerRandomUpdate(rng, orig.DB(), 3)); err != nil {
+				t.Fatal(err)
+			}
+			sold := 0
+			for _, q := range qs {
+				if _, _, err := orig.Purchase(q, 1e18); err != nil {
+					t.Fatal(err)
+				}
+				if sold++; sold == 3 {
+					break
+				}
+			}
+
+			bs := orig.Snapshot()
+			if bs.Version != orig.Version() || bs.Version != 1 {
+				t.Fatalf("snapshot version = %d, broker %d", bs.Version, orig.Version())
+			}
+			for _, k := range []int{0, 1, 2, runtime.GOMAXPROCS(0)} {
+				got, err := Restore(bs, Config{Seed: 9, Shards: k, LPIPCandidates: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Version() != orig.Version() {
+					t.Fatalf("K=%d: restored version %d != %d", k, got.Version(), orig.Version())
+				}
+				if got.Algorithm() != orig.Algorithm() {
+					t.Fatalf("K=%d: restored algorithm %q != %q", k, got.Algorithm(), orig.Algorithm())
+				}
+				if got.Revenue() != orig.Revenue() {
+					t.Fatalf("K=%d: restored revenue %v != %v", k, got.Revenue(), orig.Revenue())
+				}
+				if len(got.Sales()) != sold {
+					t.Fatalf("K=%d: restored %d sales, want %d", k, len(got.Sales()), sold)
+				}
+				for _, q := range qs {
+					a, err := orig.Quote(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := got.Quote(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a != b {
+						t.Fatalf("%s/%s K=%d: restored quote %+v != original %+v", w, q.Name, k, b, a)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsBadSnapshots covers the restore guard rails.
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	db, qs := updateScenario(t, "skewed")
+	set, err := support.Generate(db, support.GenOptions{Size: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBrokerWithSupport(db, set, Config{Seed: 3, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Quote(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	good := b.Snapshot()
+
+	bad := good
+	bad.DB = nil
+	if _, err := Restore(bad, Config{}); err == nil {
+		t.Fatal("restore accepted a snapshot without a database")
+	}
+	bad = good
+	bad.Version++
+	if _, err := Restore(bad, Config{}); err == nil {
+		t.Fatal("restore accepted a version/database mismatch")
+	}
+	bad = good
+	bad.Neighbors = nil
+	if _, err := Restore(bad, Config{}); err == nil {
+		t.Fatal("restore accepted a snapshot without neighbors")
+	}
+}
+
+// TestQuoteBatchContextCancel: a cancelled context aborts the batch with
+// the context error and no partial result, on both the serial and pooled
+// paths.
+func TestQuoteBatchContextCancel(t *testing.T) {
+	db, qs := updateScenario(t, "uniform")
+	set, err := support.Generate(db, support.GenOptions{Size: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b, err := NewBrokerWithSupport(db, set, Config{Seed: 4, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.cfg.Workers = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		quotes, err := b.QuoteBatchContext(ctx, qs)
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled batch returned no error", workers)
+		}
+		if quotes != nil {
+			t.Fatalf("workers=%d: cancelled batch returned partial quotes", workers)
+		}
+		// The same batch under a live context succeeds.
+		if _, err := b.QuoteBatchContext(context.Background(), qs); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}

@@ -75,6 +75,17 @@ func NewDatabase() *Database {
 	return &Database{tables: make(map[string]*Table)}
 }
 
+// NewDatabaseAtVersion returns an empty database whose version lineage
+// starts at v instead of 0. It exists for restore paths (internal/store):
+// a persisted snapshot of version v is reloaded into a database that
+// reports the same version it had when it was written, so replayed WAL
+// batches and re-pinned quotes line up with the original lineage.
+func NewDatabaseAtVersion(v uint64) *Database {
+	d := NewDatabase()
+	d.version = v
+	return d
+}
+
 // AddTable registers a table under its schema name.
 func (d *Database) AddTable(t *Table) {
 	name := t.Schema.Name

@@ -30,6 +30,34 @@ type CellChange struct {
 // cloned) database, incremented by one on every Apply.
 func (d *Database) Version() uint64 { return d.version }
 
+// ValidateChanges checks a change batch against the database without
+// building anything: unknown table, row or column out of range, or a
+// non-NULL value whose kind contradicts the column's declared kind (base
+// data stays schema-typed; NULL is always admissible). It is exactly the
+// validation Apply performs before constructing the successor snapshot,
+// exported so write-ahead layers (internal/store) can refuse a bad batch
+// *before* logging it — a WAL must never contain a record that replay
+// would reject.
+func (d *Database) ValidateChanges(changes []CellChange) error {
+	for i, c := range changes {
+		t := d.tables[c.Table]
+		if t == nil {
+			return fmt.Errorf("relational: apply: change %d references unknown table %q", i, c.Table)
+		}
+		if c.Row < 0 || c.Row >= len(t.Rows) {
+			return fmt.Errorf("relational: apply: change %d row %d out of range for %q (%d rows)", i, c.Row, c.Table, len(t.Rows))
+		}
+		if c.Col < 0 || c.Col >= len(t.Schema.Cols) {
+			return fmt.Errorf("relational: apply: change %d column %d out of range for %q (%d columns)", i, c.Col, c.Table, len(t.Schema.Cols))
+		}
+		if col := t.Schema.Cols[c.Col]; !c.New.IsNull() && c.New.K != col.Kind {
+			return fmt.Errorf("relational: apply: change %d writes a %s into %s column %q.%q",
+				i, c.New.K, col.Kind, c.Table, col.Name)
+		}
+	}
+	return nil
+}
+
 // Apply publishes a new database snapshot with the changes applied, in
 // order (later changes to the same cell win), and the version counter
 // incremented by one. The receiver is NOT modified: untouched tables are
@@ -38,29 +66,14 @@ func (d *Database) Version() uint64 { return d.version }
 // snapshot — concurrent quotes, compiled plans, overlay views — therefore
 // keep seeing exactly the data they started with.
 //
-// Every change is validated before anything is built — unknown table, row
-// or column out of range, or a non-NULL value whose kind contradicts the
-// column's declared kind (base data stays schema-typed; NULL is always
-// admissible). On error the returned database is nil and the receiver is
-// unchanged. Note the asymmetry with support neighbors, which are free to
-// posit cross-kind hypothetical values: neighbors describe databases the
-// seller might have had, updates mutate the one the seller actually has.
+// Every change is validated before anything is built (ValidateChanges);
+// on error the returned database is nil and the receiver is unchanged.
+// Note the asymmetry with support neighbors, which are free to posit
+// cross-kind hypothetical values: neighbors describe databases the seller
+// might have had, updates mutate the one the seller actually has.
 func (d *Database) Apply(changes []CellChange) (*Database, error) {
-	for i, c := range changes {
-		t := d.tables[c.Table]
-		if t == nil {
-			return nil, fmt.Errorf("relational: apply: change %d references unknown table %q", i, c.Table)
-		}
-		if c.Row < 0 || c.Row >= len(t.Rows) {
-			return nil, fmt.Errorf("relational: apply: change %d row %d out of range for %q (%d rows)", i, c.Row, c.Table, len(t.Rows))
-		}
-		if c.Col < 0 || c.Col >= len(t.Schema.Cols) {
-			return nil, fmt.Errorf("relational: apply: change %d column %d out of range for %q (%d columns)", i, c.Col, c.Table, len(t.Schema.Cols))
-		}
-		if col := t.Schema.Cols[c.Col]; !c.New.IsNull() && c.New.K != col.Kind {
-			return nil, fmt.Errorf("relational: apply: change %d writes a %s into %s column %q.%q",
-				i, c.New.K, col.Kind, c.Table, col.Name)
-		}
+	if err := d.ValidateChanges(changes); err != nil {
+		return nil, err
 	}
 	touched := make(map[string]bool, 1)
 	for _, c := range changes {

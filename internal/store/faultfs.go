@@ -1,0 +1,314 @@
+package store
+
+// Fault injection for the persistence protocol. FaultFS wraps a real FS
+// and fires scripted faults at exact operations: a torn write that leaves
+// half a WAL frame on disk and "crashes" the process, a short write, a
+// disk-full error, or a clean crash before/after one operation. Recovery
+// tests drive a store through FaultFS until the fault fires, then reopen
+// the same directory through a healthy FS and assert the recovered broker
+// is byte-identical to an uninterrupted one (fault_test.go).
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrCrashed is returned by every FaultFS operation after a crash fault
+// has fired: the simulated process is dead, nothing else reaches disk.
+var ErrCrashed = errors.New("store: simulated crash")
+
+// ErrInjected is the base error of non-crash injected faults (short
+// writes, generic I/O failures), so tests can errors.Is for it.
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultOp names an FS operation a fault can attach to.
+type FaultOp string
+
+// The operations FaultFS can interpose on. FaultOpWrite and FaultOpSync
+// match per-file operations (the path is the file's path); the rest match
+// the FS-level calls of the same name.
+const (
+	FaultOpWrite    FaultOp = "write"
+	FaultOpSync     FaultOp = "sync"
+	FaultOpCreate   FaultOp = "create"
+	FaultOpAppend   FaultOp = "append"
+	FaultOpRename   FaultOp = "rename"
+	FaultOpRemove   FaultOp = "remove"
+	FaultOpTruncate FaultOp = "truncate"
+)
+
+// FaultMode is what happens when a fault fires.
+type FaultMode int
+
+// The failure modes.
+const (
+	// FailIO fails the operation with an ErrInjected I/O error; nothing
+	// is written, the process lives (transient failure).
+	FailIO FaultMode = iota
+	// FailENOSPC behaves like a full disk: writes land a prefix of the
+	// buffer and fail with ENOSPC; other operations just fail. The
+	// process lives.
+	FailENOSPC
+	// ShortWrite writes a prefix of the buffer and fails with an
+	// ErrInjected short-write error. The process lives; the partial
+	// frame stays on disk, exactly what a crash-interrupted write(2)
+	// leaves behind.
+	ShortWrite
+	// TornWrite writes a prefix of the buffer and then crashes: every
+	// later operation returns ErrCrashed.
+	TornWrite
+	// CrashBefore crashes instead of performing the operation.
+	CrashBefore
+	// CrashAfter performs the operation, then crashes: the operation's
+	// effect is on disk but the process never observes the success.
+	CrashAfter
+)
+
+// Fault is one scripted failure: it fires on the Nth operation whose op
+// matches Op and whose path contains PathContains (N is 1-based;
+// 0 means 1). A fault fires at most once.
+type Fault struct {
+	Op           FaultOp
+	PathContains string
+	N            int
+	Mode         FaultMode
+
+	remaining int
+	fired     bool
+}
+
+// FaultFS wraps an inner FS with a fault script. It is safe for
+// concurrent use. The zero value is not usable; use NewFaultFS.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	crashed bool
+	log     []string
+}
+
+// NewFaultFS wraps inner with an empty fault script.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// Inject adds a fault to the script.
+func (f *FaultFS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fault.remaining = fault.N
+	if fault.remaining < 1 {
+		fault.remaining = 1
+	}
+	f.faults = append(f.faults, &fault)
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Fired reports whether every injected fault has fired (tests assert the
+// script actually covered the intended operation).
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ft := range f.faults {
+		if !ft.fired {
+			return false
+		}
+	}
+	return true
+}
+
+// Log returns the operations seen so far, for debugging fault scripts.
+func (f *FaultFS) Log() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.log...)
+}
+
+// check consults the script for one operation. It returns the fault to
+// apply (nil = proceed normally) or ErrCrashed if the process is already
+// dead.
+func (f *FaultFS) check(op FaultOp, path string) (*Fault, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.log = append(f.log, string(op)+" "+path)
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	for _, ft := range f.faults {
+		if ft.fired || ft.Op != op || !strings.Contains(path, ft.PathContains) {
+			continue
+		}
+		if ft.remaining--; ft.remaining > 0 {
+			continue
+		}
+		ft.fired = true
+		switch ft.Mode {
+		case TornWrite, CrashBefore, CrashAfter:
+			f.crashed = true
+		}
+		return ft, nil
+	}
+	return nil, nil
+}
+
+// apply runs one non-write operation under the script.
+func (f *FaultFS) apply(op FaultOp, path string, run func() error) error {
+	ft, err := f.check(op, path)
+	if err != nil {
+		return err
+	}
+	if ft == nil {
+		return run()
+	}
+	switch ft.Mode {
+	case FailIO, ShortWrite:
+		return fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+	case FailENOSPC:
+		return fmt.Errorf("%s %s: %w", op, path, syscall.ENOSPC)
+	case CrashBefore, TornWrite:
+		return ErrCrashed
+	case CrashAfter:
+		if err := run(); err != nil {
+			return err
+		}
+		return ErrCrashed
+	}
+	return run()
+}
+
+// MkdirAll implements FS (never faulted: directory creation happens once
+// at open, before any protocol step worth killing).
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// Create implements FS.
+func (f *FaultFS) Create(path string) (File, error) {
+	var file File
+	err := f.apply(FaultOpCreate, path, func() error {
+		var e error
+		file, e = f.inner.Create(path)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: file}, nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	var file File
+	err := f.apply(FaultOpAppend, path, func() error {
+		var e error
+		file, e = f.inner.OpenAppend(path)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: file}, nil
+}
+
+// ReadFile implements FS (reads are not faulted; corruption is simulated
+// by the write-side faults that produce it).
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(path)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(path string) (int64, time.Time, error) {
+	if f.Crashed() {
+		return 0, time.Time{}, ErrCrashed
+	}
+	return f.inner.Stat(path)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return f.apply(FaultOpRename, newpath, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	return f.apply(FaultOpRemove, path, func() error { return f.inner.Remove(path) })
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	return f.apply(FaultOpTruncate, path, func() error { return f.inner.Truncate(path, size) })
+}
+
+// SyncDir implements FS (treated as a sync on the directory path).
+func (f *FaultFS) SyncDir(dir string) error {
+	return f.apply(FaultOpSync, dir, func() error { return f.inner.SyncDir(dir) })
+}
+
+// faultFile routes a file's writes and syncs back through the script.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner File
+}
+
+// Write implements File, honoring partial-write fault modes.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ft, err := ff.fs.check(FaultOpWrite, ff.path)
+	if err != nil {
+		return 0, err
+	}
+	if ft == nil {
+		return ff.inner.Write(p)
+	}
+	switch ft.Mode {
+	case FailIO:
+		return 0, fmt.Errorf("%w: write %s", ErrInjected, ff.path)
+	case FailENOSPC, ShortWrite, TornWrite:
+		n, _ := ff.inner.Write(p[:len(p)/2]) // the torn half reaches disk
+		switch ft.Mode {
+		case FailENOSPC:
+			return n, fmt.Errorf("write %s: %w", ff.path, syscall.ENOSPC)
+		case ShortWrite:
+			return n, fmt.Errorf("%w: short write %s", ErrInjected, ff.path)
+		default:
+			return n, ErrCrashed
+		}
+	case CrashBefore:
+		return 0, ErrCrashed
+	case CrashAfter:
+		n, err := ff.inner.Write(p)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrCrashed
+	}
+	return ff.inner.Write(p)
+}
+
+// Sync implements File.
+func (ff *faultFile) Sync() error {
+	return ff.fs.apply(FaultOpSync, ff.path, ff.inner.Sync)
+}
+
+// Close implements File (never faulted: close-after-crash is a no-op in
+// the simulated world, and the underlying descriptor must be released
+// either way).
+func (ff *faultFile) Close() error { return ff.inner.Close() }

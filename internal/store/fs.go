@@ -1,0 +1,118 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// File is the writable-file surface the store needs: sequential writes,
+// durability barriers, close. Snapshot temp files and WAL segments are
+// both written through it, so a fault-injecting implementation (FaultFS)
+// can interpose on every byte that would reach disk.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Close closes the file; writes after Close are invalid.
+	Close() error
+}
+
+// FS is the filesystem slice the store runs on. The production
+// implementation is OSFS; tests substitute FaultFS to simulate torn
+// writes, short writes, ENOSPC and crashes at precise points in the
+// persistence protocol. Paths are ordinary OS paths; implementations may
+// interpret them relative to a root of their choosing.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens a file for writing, truncating it if it exists
+	// (snapshot temp files).
+	Create(path string) (File, error)
+	// OpenAppend opens a file for appending, creating it if missing
+	// (WAL segments).
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the names (not paths) of the directory's entries.
+	ReadDir(dir string) ([]string, error)
+	// Stat returns the file's size and modification time.
+	Stat(path string) (size int64, mtime time.Time, err error)
+	// Rename atomically replaces newpath with oldpath (the commit point
+	// of a snapshot write).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (snapshot/WAL pruning).
+	Remove(path string) error
+	// Truncate cuts the file to the given size (rolling back a partial
+	// WAL append).
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory, making a completed rename/create
+	// durable against the containing directory's metadata.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS backed by the os package.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (OSFS) Stat(path string) (int64, time.Time, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	return fi.Size(), fi.ModTime(), nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// fsync on a directory is not supported on every platform; a failed
+	// directory sync after a successful rename narrows durability, it
+	// does not corrupt, so surface only open errors.
+	_ = d.Sync()
+	return d.Close()
+}

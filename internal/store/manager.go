@@ -1,0 +1,174 @@
+package store
+
+// Manager binds a live market.Broker to a Store with write-ahead
+// semantics: every state transition the broker acknowledges is durable
+// first. It also owns the degradation policy — when the disk fails, the
+// market degrades to read-only (quotes keep serving off the in-memory
+// snapshot; updates and purchases are refused) instead of either lying
+// about durability or falling over.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"querypricing/internal/market"
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+)
+
+// ErrDegraded wraps persistence failures surfaced through Manager.Update
+// and Manager.Purchase: the requested write was refused because it could
+// not be made durable. Serving layers map it to 503.
+var ErrDegraded = errors.New("store: degraded (persistence failure), refusing writes")
+
+// ManagerOptions tunes a Manager.
+type ManagerOptions struct {
+	// SnapshotEvery rolls a fresh snapshot after that many durable
+	// updates (coalescing the WAL); 0 disables automatic snapshots —
+	// the WAL then grows until Snapshot is called explicitly (e.g. on
+	// shutdown).
+	SnapshotEvery int
+}
+
+// Manager serializes a broker's mutations through its write-ahead log.
+// Quotes go straight to the Broker (lock-free, unaffected); Update,
+// Purchase and Snapshot must go through the Manager — a mutation applied
+// to the broker directly would fork the in-memory state from the log.
+type Manager struct {
+	broker *market.Broker
+	store  *Store
+	opts   ManagerOptions
+
+	mu        sync.Mutex // serializes WAL appends with the broker mutations they describe
+	sinceSnap int
+
+	degraded atomic.Bool
+	lastErr  atomic.Value // string
+}
+
+// NewManager wires a broker to its store. The store must already be
+// loaded (and the broker restored from the load result, or freshly
+// bootstrapped); call Snapshot once after bootstrap so the WAL has a base
+// state.
+func NewManager(b *market.Broker, st *Store, opts ManagerOptions) *Manager {
+	return &Manager{broker: b, store: st, opts: opts}
+}
+
+// Broker returns the managed broker (for the read paths: Quote,
+// QuoteBatch, stats).
+func (m *Manager) Broker() *market.Broker { return m.broker }
+
+// Store returns the underlying store (diagnostics).
+func (m *Manager) Store() *Store { return m.store }
+
+// degrade records a persistence failure and flips the market read-only.
+func (m *Manager) degrade(err error) {
+	m.lastErr.Store(err.Error())
+	m.degraded.Store(true)
+}
+
+// recover clears the degraded flag after a successful durable write (the
+// disk came back; nothing acknowledged in between was lost because
+// nothing was acknowledged).
+func (m *Manager) recovered() { m.degraded.Store(false) }
+
+// Degraded reports whether the market is read-only due to a persistence
+// failure, and the failure that caused it.
+func (m *Manager) Degraded() (bool, string) {
+	if !m.degraded.Load() {
+		return false, ""
+	}
+	msg, _ := m.lastErr.Load().(string)
+	return true, msg
+}
+
+// Update validates, durably logs, then applies one update batch:
+// write-ahead order, so an acknowledged update survives any crash after
+// this returns. Validation runs first so the WAL never holds a record
+// replay would reject. A persistence failure refuses the update with
+// ErrDegraded and leaves the broker exactly as it was; later updates
+// retry the disk and clear the degradation if it heals.
+func (m *Manager) Update(changes []relational.CellChange) (uint64, support.UpdateStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.broker.DB().ValidateChanges(changes); err != nil {
+		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
+	}
+	next := m.broker.Version() + 1
+	if err := m.store.AppendUpdate(next, changes); err != nil {
+		m.degrade(err)
+		return 0, support.UpdateStats{}, fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	version, stats, err := m.broker.Update(changes)
+	if err != nil {
+		// Unreachable after validation; if it happens the WAL is ahead of
+		// memory, which recovery resolves in the WAL's favor — degrade so
+		// nothing else widens the gap.
+		m.degrade(err)
+		return 0, stats, err
+	}
+	m.recovered()
+	if m.sinceSnap++; m.opts.SnapshotEvery > 0 && m.sinceSnap >= m.opts.SnapshotEvery {
+		m.snapshotLocked() // best-effort; failure degrades but the update is durable
+	}
+	return version, stats, nil
+}
+
+// Purchase is Broker.Purchase with a durable receipt: the sale is logged
+// before the answer is released, so a receipt the buyer holds is always
+// recoverable. In degraded mode new purchases are refused outright — the
+// sale would leave no durable trace, and a durable receipt is part of
+// the product.
+func (m *Manager) Purchase(q *relational.SelectQuery, budget float64) (*relational.Result, market.Receipt, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if deg, msg := m.Degraded(); deg {
+		return nil, market.Receipt{}, fmt.Errorf("%w: %s", ErrDegraded, msg)
+	}
+	ans, receipt, err := m.broker.Purchase(q, budget)
+	if err != nil {
+		return nil, market.Receipt{}, err
+	}
+	if err := m.store.AppendReceipt(receipt); err != nil {
+		// The sale is already in the in-memory log and the buyer gets the
+		// answer (it was computed and the price agreed); what is lost on a
+		// crash before the next successful snapshot is this receipt. Flag
+		// it loudly instead of failing a completed sale.
+		m.degrade(err)
+		return ans, receipt, nil
+	}
+	m.recovered()
+	return ans, receipt, nil
+}
+
+// Snapshot durably persists the broker's full current state and rotates
+// the WAL. Serialized with Update/Purchase so the snapshot is consistent
+// with the log.
+func (m *Manager) Snapshot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+func (m *Manager) snapshotLocked() error {
+	if err := m.store.WriteSnapshot(m.broker.Snapshot()); err != nil {
+		m.degrade(err)
+		return err
+	}
+	m.sinceSnap = 0
+	m.recovered()
+	return nil
+}
+
+// Close takes a final snapshot (making the next startup's WAL replay
+// empty) and releases the store. Safe to call after a failed snapshot:
+// the WAL already holds everything acknowledged.
+func (m *Manager) Close() error {
+	snapErr := m.Snapshot()
+	if err := m.store.Close(); err != nil {
+		return err
+	}
+	return snapErr
+}

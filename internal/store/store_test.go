@@ -1,0 +1,437 @@
+package store
+
+// Core persistence properties: snapshot round-trips byte-identically,
+// WAL replay reconstructs updates and receipts exactly-once, recovery
+// falls back past a corrupt newest snapshot, torn WAL tails are dropped
+// and truncated away, and pruning keeps a bounded set of artifacts.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/market"
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+	"querypricing/internal/workloads"
+)
+
+// scenario builds a small dataset + query sample for one of the four
+// workloads (the store-layer twin of the market package's helper).
+func scenario(t *testing.T, workload string) (*relational.Database, []*relational.SelectQuery) {
+	t.Helper()
+	var (
+		db  *relational.Database
+		all []*relational.SelectQuery
+	)
+	switch workload {
+	case "skewed":
+		db = datagen.World(datagen.WorldConfig{Countries: 40, Cities: 100, Seed: 41})
+		all = workloads.Skewed(db)
+	case "uniform":
+		db = datagen.World(datagen.WorldConfig{Countries: 40, Cities: 100, Seed: 42})
+		all = workloads.Uniform(db, 40)
+	case "ssb":
+		db = datagen.SSB(datagen.SSBConfig{Customers: 60, Suppliers: 30, Parts: 30, LineOrders: 140, Seed: 43})
+		all = workloads.SSB(db)
+	case "tpch":
+		db = datagen.TPCH(datagen.TPCHConfig{Parts: 50, Suppliers: 10, Customers: 25, Orders: 140, Seed: 44})
+		all = workloads.TPCH(db)
+	default:
+		t.Fatalf("unknown workload %q", workload)
+	}
+	if len(all) > 30 {
+		all = all[:30]
+	}
+	return db, all
+}
+
+// calibratedBroker samples a support set over db and calibrates.
+func calibratedBroker(t *testing.T, db *relational.Database, qs []*relational.SelectQuery) *market.Broker {
+	t.Helper()
+	set, err := support.Generate(db, support.GenOptions{Size: 40, Seed: 7, DeltasPerNeighbor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := market.NewBrokerWithSupport(db, set, market.Config{Seed: 7, Shards: 2, LPIPCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Calibrate(qs, valuation.Uniform{K: 70}, market.LPIP); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// randomChanges draws an update batch from the database's active domains.
+func randomChanges(rng *rand.Rand, db *relational.Database, n int) []relational.CellChange {
+	names := db.TableNames()
+	var out []relational.CellChange
+	for len(out) < n {
+		tn := names[rng.Intn(len(names))]
+		tab := db.Table(tn)
+		row, col := rng.Intn(tab.NumRows()), rng.Intn(len(tab.Schema.Cols))
+		domain := db.ActiveDomain(tn, tab.Schema.Cols[col].Name)
+		if len(domain) == 0 {
+			continue
+		}
+		out = append(out, relational.CellChange{Table: tn, Row: row, Col: col, New: domain[rng.Intn(len(domain))]})
+	}
+	return out
+}
+
+// assertSameBroker asserts two brokers quote byte-identically on qs and
+// agree on version, sales and revenue.
+func assertSameBroker(t *testing.T, label string, want, got *market.Broker, qs []*relational.SelectQuery) {
+	t.Helper()
+	if want.Version() != got.Version() {
+		t.Fatalf("%s: version %d != %d", label, got.Version(), want.Version())
+	}
+	if want.Revenue() != got.Revenue() {
+		t.Fatalf("%s: revenue %v != %v", label, got.Revenue(), want.Revenue())
+	}
+	ws, gs := want.Sales(), got.Sales()
+	if len(ws) != len(gs) {
+		t.Fatalf("%s: %d sales != %d", label, len(gs), len(ws))
+	}
+	for i := range ws {
+		if ws[i].Query != gs[i].Query || ws[i].Price != gs[i].Price || ws[i].Version != gs[i].Version {
+			t.Fatalf("%s: sale %d: %+v != %+v", label, i, gs[i], ws[i])
+		}
+	}
+	for _, q := range qs {
+		a, err := want.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s/%s: quote %+v != %+v", label, q.Name, b, a)
+		}
+	}
+}
+
+// reopen loads a fresh Store over dir and restores a broker from it.
+func reopen(t *testing.T, dir string, shards int) (*Store, *market.Broker, LoadResult) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot == nil {
+		t.Fatalf("reopen %s: no snapshot recovered", dir)
+	}
+	b, err := market.Restore(*res.Snapshot, market.Config{Seed: 7, Shards: shards, LPIPCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, b, res
+}
+
+func TestEmptyDirectoryBootstraps(t *testing.T) {
+	st, err := Open(t.TempDir() + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != nil {
+		t.Fatal("empty directory produced a snapshot")
+	}
+	// Appends before the first snapshot are refused: there is no base
+	// state for the log to be relative to.
+	if err := st.AppendUpdate(1, nil); err != ErrNoWAL {
+		t.Fatalf("append before snapshot: %v, want ErrNoWAL", err)
+	}
+}
+
+// TestSnapshotRoundTrip: WriteSnapshot → Load → Restore reproduces the
+// broker exactly, pricing and sales included, without recalibration.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, w := range []string{"skewed", "uniform", "ssb", "tpch"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			db, qs := scenario(t, w)
+			orig := calibratedBroker(t, db, qs)
+			if _, _, err := orig.Purchase(qs[0], 1e18); err != nil {
+				t.Fatal(err)
+			}
+
+			dir := filepath.Join(t.TempDir(), "data")
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Load(); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.WriteSnapshot(orig.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			st.Close()
+
+			st2, restored, res := reopen(t, dir, 3)
+			defer st2.Close()
+			if res.ReplayedUpdates != 0 || res.ReplayedReceipts != 0 {
+				t.Fatalf("clean snapshot replayed %d updates, %d receipts", res.ReplayedUpdates, res.ReplayedReceipts)
+			}
+			assertSameBroker(t, w, orig, restored, qs)
+		})
+	}
+}
+
+// TestWALReplay: updates and receipts appended after the snapshot are
+// replayed on top of it, in order, exactly once.
+func TestWALReplay(t *testing.T) {
+	db, qs := scenario(t, "skewed")
+	orig := calibratedBroker(t, db, qs)
+	rng := rand.New(rand.NewSource(99))
+
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(orig.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(orig, st, ManagerOptions{})
+	for i := 0; i < 3; i++ {
+		if _, _, err := mgr.Update(randomChanges(rng, orig.DB(), 2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := mgr.Purchase(qs[i], 1e18); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close() // no final snapshot: recovery must come from the WAL
+
+	st2, restored, res := reopen(t, dir, 2)
+	defer st2.Close()
+	if res.ReplayedUpdates != 3 || res.ReplayedReceipts != 3 {
+		t.Fatalf("replayed %d updates, %d receipts; want 3, 3", res.ReplayedUpdates, res.ReplayedReceipts)
+	}
+	if res.SnapshotVersion != 0 || restored.Version() != 3 {
+		t.Fatalf("snapshot version %d, restored version %d; want 0, 3", res.SnapshotVersion, restored.Version())
+	}
+	assertSameBroker(t, "wal-replay", orig, restored, qs)
+
+	// Reopening again replays the same records once more from disk —
+	// nothing was consumed destructively except the torn-tail truncation.
+	st3, again, _ := reopen(t, dir, 1)
+	defer st3.Close()
+	assertSameBroker(t, "wal-replay-again", orig, again, qs)
+}
+
+// TestCorruptNewestSnapshotFallsBack: recovery skips a snapshot that
+// fails its checksum and rebuilds the same state from the previous
+// snapshot plus the WAL chain across both epochs.
+func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
+	db, qs := scenario(t, "uniform")
+	orig := calibratedBroker(t, db, qs)
+	rng := rand.New(rand.NewSource(5))
+
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(orig.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(orig, st, ManagerOptions{})
+	if _, _, err := mgr.Update(randomChanges(rng, orig.DB(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Snapshot(); err != nil { // snap-…1 on disk, wal rotated
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.Update(randomChanges(rng, orig.DB(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Flip one payload byte of the newest snapshot.
+	path := filepath.Join(dir, snapName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, restored, res := reopen(t, dir, 2)
+	defer st2.Close()
+	if res.SkippedSnapshots != 1 || res.SnapshotVersion != 0 {
+		t.Fatalf("skipped %d snapshots, started from %d; want 1, 0", res.SkippedSnapshots, res.SnapshotVersion)
+	}
+	if res.ReplayedUpdates != 2 {
+		t.Fatalf("replayed %d updates across the epoch chain, want 2", res.ReplayedUpdates)
+	}
+	assertSameBroker(t, "fallback", orig, restored, qs)
+}
+
+// TestTornWALTailDropped: a partial frame at the end of the WAL (a crash
+// mid-append) is ignored on recovery and truncated away, and appends
+// continue cleanly afterwards.
+func TestTornWALTailDropped(t *testing.T) {
+	db, qs := scenario(t, "skewed")
+	orig := calibratedBroker(t, db, qs)
+	rng := rand.New(rand.NewSource(6))
+
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(orig.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(orig, st, ManagerOptions{})
+	if _, _, err := mgr.Update(randomChanges(rng, orig.DB(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Simulate a torn append: half a frame of garbage at the tail.
+	walPath := filepath.Join(dir, walName(0))
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x12, 0x34, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore, _, _ := OSFS{}.Stat(walPath)
+
+	st2, restored, res := reopen(t, dir, 1)
+	if res.TornBytes != 6 {
+		t.Fatalf("TornBytes = %d, want 6", res.TornBytes)
+	}
+	assertSameBroker(t, "torn-tail", orig, restored, qs)
+	sizeAfter, _, _ := OSFS{}.Stat(walPath)
+	if sizeAfter != sizeBefore-6 {
+		t.Fatalf("torn tail not truncated: %d -> %d", sizeBefore, sizeAfter)
+	}
+
+	// The store keeps working: another update, another recovery.
+	mgr2 := NewManager(restored, st2, ManagerOptions{})
+	if _, _, err := mgr2.Update(randomChanges(rng, restored.DB(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3, again, _ := reopen(t, dir, 1)
+	defer st3.Close()
+	assertSameBroker(t, "torn-tail-continue", restored, again, qs)
+}
+
+// TestSnapshotRotationPrunes: after several snapshots only the newest
+// two (and their WAL segments) remain.
+func TestSnapshotRotationPrunes(t *testing.T) {
+	db, qs := scenario(t, "skewed")
+	orig := calibratedBroker(t, db, qs)
+	rng := rand.New(rand.NewSource(8))
+
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(orig, st, ManagerOptions{SnapshotEvery: 1}) // snapshot after every update
+	if err := mgr.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := mgr.Update(randomChanges(rng, orig.DB(), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	snaps, wals, err := st.scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0] != 4 || snaps[1] != 3 {
+		t.Fatalf("kept snapshots %v, want [4 3]", snaps)
+	}
+	for _, e := range wals {
+		if e < 3 {
+			t.Fatalf("stale WAL epoch %d survived pruning (%v)", e, wals)
+		}
+	}
+
+	st2, restored, _ := reopen(t, dir, 2)
+	defer st2.Close()
+	assertSameBroker(t, "pruned", orig, restored, qs)
+}
+
+// TestStatsShape: ages, sizes and sequence numbers move as expected.
+func TestStatsShape(t *testing.T) {
+	db, qs := scenario(t, "skewed")
+	orig := calibratedBroker(t, db, qs)
+	rng := rand.New(rand.NewSource(12))
+
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(orig.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(orig, st, ManagerOptions{})
+	if _, _, err := mgr.Update(randomChanges(rng, orig.DB(), 1)); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.SnapshotVersion != 0 || s.WALEpoch != 0 || s.LastSeq != 1 || s.WALRecords != 1 {
+		t.Fatalf("stats after one update: %+v", s)
+	}
+	if s.SnapshotBytes <= 0 || s.WALBytes <= 0 {
+		t.Fatalf("sizes not tracked: %+v", s)
+	}
+	if s.SnapshotAgeSec < 0 || s.WALAgeSec < 0 {
+		t.Fatalf("negative ages: %+v", s)
+	}
+	if err := mgr.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s = st.Stats()
+	if s.SnapshotVersion != 1 || s.WALEpoch != 1 || s.WALBytes != 0 || s.LastSeq != 1 {
+		t.Fatalf("stats after rotation: %+v", s)
+	}
+}
