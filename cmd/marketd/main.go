@@ -6,11 +6,12 @@
 // directory, and a restart restores byte-identical quotes at the pinned
 // version without recalibrating (see docs/OPERATIONS.md).
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET  /healthz            liveness (process up)
 //	GET  /readyz             readiness (booted, not draining, not saturated)
 //	GET  /stats              broker status (support size, algorithm, revenue, version, plan-cache and store state)
+//	GET  /metrics            Prometheus text-format metrics (see docs/OPERATIONS.md)
 //	GET  /algorithms         the engine registry's algorithm names
 //	POST /quote              body: SelectQuery -> Quote
 //	POST /quote/batch        body: [SelectQuery, ...] -> [Quote, ...]
@@ -37,21 +38,20 @@
 // serving) rather than acknowledging non-durable state.
 //
 // Overload and shutdown behavior: at most -max-inflight requests are
-// processed concurrently (excess quotes shed with 429, writes with 503),
-// each request runs under a -request-timeout deadline that batch quoting
-// propagates into its workers, and SIGINT/SIGTERM drains gracefully —
-// /readyz starts failing, in-flight requests finish, a final snapshot is
-// written.
+// processed concurrently (excess quotes shed with 429, writes with 503,
+// both carrying Retry-After), each request runs under a -request-timeout
+// deadline that batch quoting propagates into its workers, and
+// SIGINT/SIGTERM drains gracefully — /readyz starts failing, in-flight
+// requests finish, a final snapshot is written.
 //
 // Start with:
 //
 //	marketd -addr :8080 -algorithm LPIP -data-dir /var/lib/marketd
 //
-// Quoting rides the incremental conflict-set engine: calibration compiles
-// every forecast query into a cached plan (internal/plan), and each quote
-// decides its conflict set by probing those plans with the neighbors'
-// deltas — repeated query shapes never pay a full base evaluation, and
-// recalibration shares the same read-only support set as live quotes.
+// The serving core (routing, admission control, drain, durability,
+// metrics) lives in internal/serve so tests and the load harness
+// (pricebench -experiment load, docs/LOAD.md) boot the identical stack
+// in-process; this command is flag parsing and process lifecycle.
 package main
 
 import (
@@ -68,6 +68,7 @@ import (
 	"time"
 
 	"querypricing/internal/engine"
+	"querypricing/internal/serve"
 )
 
 func main() {
@@ -89,7 +90,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv, err := newServer(serverConfig{
+	srv, err := serve.New(serve.Config{
 		DataDir:         *dataDir,
 		SnapshotEvery:   *snapEvery,
 		Algorithm:       *algo,
@@ -105,7 +106,7 @@ func main() {
 		log.Fatalf("marketd: %v", err)
 	}
 
-	mux := srv.routes()
+	mux := srv.Routes()
 	if *pprofOn {
 		// net/http/pprof registers its handlers on the default mux at
 		// import time; expose them only when asked.
@@ -130,7 +131,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("marketd: listening on %s (restored=%v, boot %.2fs)", *addr, srv.restored, srv.bootedIn.Seconds())
+	log.Printf("marketd: listening on %s (restored=%v, boot %.2fs)", *addr, srv.Restored(), srv.BootDuration().Seconds())
 
 	select {
 	case err := <-errCh:
@@ -141,13 +142,13 @@ func main() {
 	// Drain: stop accepting, fail readiness, let in-flight requests finish
 	// within the budget, then persist a final snapshot.
 	log.Printf("marketd: signal received; draining (%s budget)...", *drainWait)
-	srv.beginDrain()
+	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("marketd: shutdown: %v", err)
 	}
-	if err := srv.close(); err != nil {
+	if err := srv.Close(); err != nil {
 		log.Printf("marketd: closing store: %v", err)
 	}
 	log.Printf("marketd: bye")

@@ -1,0 +1,185 @@
+package main
+
+// The sustained-load SLO experiment (docs/LOAD.md): boot the real
+// marketd serving stack in-process (internal/serve over httptest) — or
+// target an already-running marketd via -load-addr — and drive it with
+// open-loop mixed traffic (internal/loadgen) at a configured rate, mix
+// and duration. Reports per-class throughput, shed/error counts and
+// p50/p95/p99 latency; with -slo it also prints Benchmark-format
+// slo_load lines that scripts/bench.sh folds into BENCH_<n>.json, so the
+// bench-compare gate catches latency-under-load regressions the same way
+// it catches microbenchmark ones.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/loadgen"
+	"querypricing/internal/metrics"
+	"querypricing/internal/relational"
+	"querypricing/internal/serve"
+	"querypricing/internal/workloads"
+)
+
+// parseMix decodes "-mix quote=0.85,batch=0.05,update=0.05,purchase=0.05"
+// (empty = loadgen.DefaultMix).
+func parseMix(s string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if s == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad -mix element %q (want class=weight)", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return m, fmt.Errorf("bad -mix weight %q: %w", kv[1], err)
+		}
+		switch strings.TrimSpace(kv[0]) {
+		case "quote":
+			m.Quote = v
+		case "batch":
+			m.Batch = v
+		case "update":
+			m.Update = v
+		case "purchase":
+			m.Purchase = v
+		default:
+			return m, fmt.Errorf("unknown -mix class %q (quote|batch|update|purchase)", kv[0])
+		}
+	}
+	return m, nil
+}
+
+func (r *runner) runLoad() error {
+	mix, err := parseMix(r.loadMix)
+	if err != nil {
+		return err
+	}
+
+	var (
+		baseURL string
+		db      *relational.Database
+	)
+	if r.loadAddr != "" {
+		baseURL = strings.TrimSuffix(r.loadAddr, "/")
+		if !strings.HasPrefix(baseURL, "http") {
+			baseURL = "http://" + baseURL
+		}
+		// The workload must be valid against the server's dataset:
+		// regenerate the marketd demo world with the same -seed the server
+		// was started with.
+		db = datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: r.seed})
+		fmt.Printf("== load: targeting %s (workload regenerated at seed %d) ==\n", baseURL, r.seed)
+	} else {
+		supportN := r.supportN
+		if supportN <= 0 {
+			supportN = 200
+		}
+		dir, err := os.MkdirTemp("", "pricebench-load-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		start := time.Now()
+		s, err := serve.New(serve.Config{
+			DataDir:         dir,
+			SnapshotEvery:   64,
+			Algorithm:       "LPIP",
+			SupportSize:     supportN,
+			Shards:          r.shards,
+			Seed:            r.seed,
+			ValK:            100,
+			BackgroundDrain: true,
+			RequestTimeout:  10 * time.Second,
+			MaxInflight:     256,
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		ts := httptest.NewServer(s.Routes())
+		defer ts.Close()
+		baseURL = ts.URL
+		db = s.Broker().DB()
+		fmt.Printf("== load: in-process marketd (support %d, durable, booted in %v) ==\n",
+			supportN, time.Since(start).Round(time.Millisecond))
+	}
+
+	queries := workloads.Skewed(db)
+	if len(queries) > 200 {
+		queries = queries[:200]
+	}
+	w, err := loadgen.NewWorkload(db, queries, loadgen.WorkloadConfig{Seed: r.seed})
+	if err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:  baseURL,
+		Rate:     r.loadRate,
+		Duration: r.loadDur,
+		Mix:      mix,
+		Workers:  r.loadWorkers,
+		Seed:     r.seed,
+	}
+	fmt.Printf("offered %.0f req/s for %v, mix %s\n", cfg.Rate, cfg.Duration, func() loadgen.Mix {
+		if mix == (loadgen.Mix{}) {
+			return loadgen.DefaultMix()
+		}
+		return mix
+	}())
+	res, err := loadgen.Run(cfg, w)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+
+	if err := checkMetrics(baseURL); err != nil {
+		return err
+	}
+	if r.loadSLO {
+		// Benchmark-format lines for scripts/bench.sh (see docs/LOAD.md).
+		fmt.Print(res.SLOLines())
+	}
+	if n := res.NonShedErrors(); n > 0 {
+		return fmt.Errorf("load run produced %d non-shed errors", n)
+	}
+	return nil
+}
+
+// checkMetrics scrapes GET /metrics and validates the exposition format.
+func checkMetrics(baseURL string) error {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scraping /metrics: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading /metrics: %w", err)
+	}
+	if errs := metrics.Lint(string(data)); len(errs) != 0 {
+		return fmt.Errorf("/metrics failed exposition lint: %v", errs[0])
+	}
+	samples := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	fmt.Printf("metrics: /metrics lint-clean, %d samples\n", samples)
+	return nil
+}

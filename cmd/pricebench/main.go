@@ -52,6 +52,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"ablation-refine", "UBP -> item pricing LP refinement (Section 6.3)"},
 	{"live-updates", "base-database update latency and plan survival (docs/UPDATES.md)"},
 	{"restart", "calibrate vs snapshot-restore boot cost and quote identity (docs/OPERATIONS.md)"},
+	{"load", "sustained-load SLO harness: open-loop mixed traffic vs marketd (docs/LOAD.md)"},
 }
 
 func main() {
@@ -76,6 +77,13 @@ func realMain() int {
 			"comma-separated pricing algorithms for the figure/table revenue sweeps "+
 				"(default all: "+strings.Join(engine.List(), ",")+"); special-case "+
 				"experiments (lemmas, ablations, support-selection) keep their fixed rosters")
+
+		loadRate    = flag.Float64("rate", 300, "load experiment: offered request rate (req/s)")
+		loadDur     = flag.Duration("duration", 4*time.Second, "load experiment: run duration")
+		loadMix     = flag.String("mix", "", "load experiment: traffic mix, e.g. quote=0.85,batch=0.05,update=0.05,purchase=0.05 (empty = that default)")
+		loadAddr    = flag.String("load-addr", "", "load experiment: target a running marketd at this address instead of booting in-process (its -seed must match)")
+		loadWorkers = flag.Int("load-workers", 0, "load experiment: open-loop lanes (0 = scaled to rate)")
+		loadSLO     = flag.Bool("slo", false, "load experiment: print Benchmark-format slo_load lines for scripts/bench.sh")
 	)
 	flag.Parse()
 
@@ -133,14 +141,20 @@ func realMain() int {
 	}
 
 	r := &runner{
-		scale:    *scale,
-		supportN: *supportN,
-		shards:   *shards,
-		seed:     *seed,
-		lpipCap:  *lpipCap,
-		skipCIP:  *skipCIP,
-		roster:   roster,
-		cache:    map[experiments.Workload]*experiments.Scenario{},
+		scale:       *scale,
+		supportN:    *supportN,
+		shards:      *shards,
+		seed:        *seed,
+		lpipCap:     *lpipCap,
+		skipCIP:     *skipCIP,
+		roster:      roster,
+		cache:       map[experiments.Workload]*experiments.Scenario{},
+		loadRate:    *loadRate,
+		loadDur:     *loadDur,
+		loadMix:     *loadMix,
+		loadAddr:    *loadAddr,
+		loadWorkers: *loadWorkers,
+		loadSLO:     *loadSLO,
 	}
 	ids := []string{*experiment}
 	if *experiment == "all" {
@@ -167,6 +181,14 @@ type runner struct {
 	skipCIP  bool
 	roster   []string // engine algorithm names (nil = full registry)
 	cache    map[experiments.Workload]*experiments.Scenario
+
+	// Load-experiment knobs (see load.go and docs/LOAD.md).
+	loadRate    float64
+	loadDur     time.Duration
+	loadMix     string
+	loadAddr    string
+	loadWorkers int
+	loadSLO     bool
 }
 
 func (r *runner) scenario(w experiments.Workload) (*experiments.Scenario, error) {
@@ -276,6 +298,8 @@ func (r *runner) run(id string) error {
 		return r.runLiveUpdates()
 	case "restart":
 		return r.runRestart()
+	case "load":
+		return r.runLoad()
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Hist is an HDR-style log-bucketed latency histogram: geometric buckets
+// at 8 per octave (~9% relative precision, plenty for p50/p99 SLO
+// tracking) spanning 1µs to ~5 minutes, with exact min/max kept on the
+// side. It is not safe for concurrent use — each load worker records
+// into its own Hist and the results are merged at the end, so the hot
+// path is two integer ops and no contention.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64 // total ns
+	min    uint64
+	max    uint64
+}
+
+const (
+	histMinNs         = 1000 // 1µs floor; everything faster lands in bucket 0
+	histSubBits       = 3    // 2^3 = 8 buckets per octave
+	histOctaves       = 28   // covers histMinNs << 28 ≈ 268s
+	histBuckets       = histOctaves << histSubBits
+	histBucketsPerOct = 1 << histSubBits
+)
+
+// bucketOf maps a nanosecond latency to its bucket index.
+func bucketOf(ns uint64) int {
+	if ns < histMinNs {
+		return 0
+	}
+	idx := int(math.Log2(float64(ns)/histMinNs) * histBucketsPerOct)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the upper bound (ns) of bucket i.
+func bucketUpper(i int) uint64 {
+	return uint64(histMinNs * math.Pow(2, float64(i+1)/histBucketsPerOct))
+}
+
+// Observe records one latency.
+func (h *Hist) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.counts[bucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds other into h (worker results into the run total).
+func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Count returns the number of recorded latencies.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Mean returns the mean latency (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest recorded latency.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the smallest recorded latency.
+func (h *Hist) Min() time.Duration { return time.Duration(h.min) }
+
+// Quantile returns the latency at quantile q (0 < q <= 1), resolved to
+// the upper bound of the bucket the rank lands in — the conventional
+// conservative HDR read-out — clamped to the exact observed max.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			up := bucketUpper(i)
+			if up > h.max {
+				up = h.max
+			}
+			if up < h.min {
+				up = h.min
+			}
+			return time.Duration(up)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// String renders the standard SLO cut: p50/p90/p99 and max.
+func (h *Hist) String() string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.90).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}

@@ -1,0 +1,257 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Buckets are ~9% wide, so quantiles land within ~10% of truth.
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 500 * time.Millisecond}, {0.90, 900 * time.Millisecond}, {0.99, 990 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo, hi := c.want*85/100, c.want*115/100
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%g) = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	if h.Max() != time.Second || h.Min() != time.Millisecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Errorf("p100 %v exceeds max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistMergeMatchesCombined(t *testing.T) {
+	var a, b, all Hist
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		all.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Max() != all.Max() || a.Min() != all.Min() {
+		t.Fatal("merge lost observations")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("Quantile(%g): merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty hist must read as zeros")
+	}
+}
+
+// TestDeterministicSequence: the (class, body) sequence is a pure
+// function of the seed — independent of worker count and timing.
+func TestDeterministicSequence(t *testing.T) {
+	thresholds := [4]float64{0.85, 0.90, 0.95, 1.0}
+	seq := func(seed int64) string {
+		s := ""
+		for k := 0; k < 200; k++ {
+			s += string(classOf(thresholds, seed, k)[0])
+		}
+		return s
+	}
+	if seq(1) != seq(1) {
+		t.Fatal("same seed produced different sequences")
+	}
+	if seq(1) == seq(2) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	counts := map[Class]int{}
+	for k := 0; k < 10000; k++ {
+		counts[classOf(thresholds, 1, k)]++
+	}
+	if q := counts[ClassQuote]; q < 8200 || q > 8800 {
+		t.Errorf("quote share %d/10000, want ≈8500", q)
+	}
+}
+
+// stubServer fakes marketd's endpoints with counters, returning a
+// rising version for quotes and shedding every shedEvery-th request.
+type stubServer struct {
+	version   atomic.Uint64
+	total     atomic.Uint64
+	shedEvery uint64
+
+	mu     sync.Mutex
+	byPath map[string]int
+}
+
+func (s *stubServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := s.total.Add(1)
+	s.mu.Lock()
+	if s.byPath == nil {
+		s.byPath = map[string]int{}
+	}
+	s.byPath[r.URL.Path]++
+	s.mu.Unlock()
+	if s.shedEvery > 0 && n%s.shedEvery == 0 {
+		w.Header().Set("Retry-After", "1")
+		if r.URL.Path == "/quote" || r.URL.Path == "/quote/batch" {
+			w.WriteHeader(http.StatusTooManyRequests)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		return
+	}
+	switch r.URL.Path {
+	case "/quote":
+		fmt.Fprintf(w, `{"Version": %d}`, s.version.Add(1))
+	default:
+		fmt.Fprint(w, `{}`)
+	}
+}
+
+func testWorkload() Workload {
+	body := []byte(`{"Name":"q"}`)
+	return Workload{
+		Quotes:    [][]byte{body},
+		Batches:   [][]byte{[]byte(`[{"Name":"q"}]`)},
+		Updates:   [][]byte{[]byte(`[]`)},
+		Purchases: [][]byte{body},
+		Budget:    1e18,
+	}
+}
+
+func TestRunAgainstStub(t *testing.T) {
+	stub := &stubServer{shedEvery: 10}
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+
+	res, err := Run(Config{
+		BaseURL:  srv.URL,
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Seed:     42,
+		Workers:  8,
+	}, testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.TotalSent(), int(stub.total.Load()); got != want {
+		t.Fatalf("client sent %d, server saw %d", got, want)
+	}
+	totalShed, totalOK := 0, 0
+	for _, c := range Classes {
+		cr := res.Class(c)
+		if cr.Sent > 0 && cr.OK+cr.Shed+cr.Errors != cr.Sent {
+			t.Errorf("%s: ok+shed+err = %d, sent = %d", c, cr.OK+cr.Shed+cr.Errors, cr.Sent)
+		}
+		totalShed += cr.Shed
+		totalOK += cr.OK
+	}
+	if want := res.TotalSent() / 10; totalShed != want {
+		t.Errorf("shed = %d, want %d (every 10th request)", totalShed, want)
+	}
+	if res.NonShedErrors() != 0 {
+		t.Errorf("non-shed errors = %d, want 0:\n%s", res.NonShedErrors(), res)
+	}
+	if res.VersionRegressions != 0 {
+		t.Errorf("version regressions = %d", res.VersionRegressions)
+	}
+	if res.MaxVersion == 0 {
+		t.Error("no versions observed from quote responses")
+	}
+	if res.Class(ClassQuote).Latency.Count() == 0 {
+		t.Error("quote latency histogram is empty")
+	}
+	codes, counts := res.StatusCounts()
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != res.TotalSent() {
+		t.Errorf("status counts sum %d != sent %d (codes %v)", sum, res.TotalSent(), codes)
+	}
+}
+
+// TestRunSameSeedSameRequests: two runs with the same seed hit the
+// server with the identical per-path request counts.
+func TestRunSameSeedSameRequests(t *testing.T) {
+	counts := func() map[string]int {
+		stub := &stubServer{}
+		srv := httptest.NewServer(stub)
+		defer srv.Close()
+		_, err := Run(Config{
+			BaseURL:  srv.URL,
+			Rate:     500,
+			Duration: 300 * time.Millisecond,
+			Seed:     7,
+			Workers:  4,
+		}, testWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stub.byPath
+	}
+	a, b := counts(), counts()
+	if len(a) == 0 {
+		t.Fatal("no requests issued")
+	}
+	for path, n := range a {
+		if b[path] != n {
+			t.Errorf("path %s: run A %d requests, run B %d", path, n, b[path])
+		}
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	w := testWorkload()
+	if _, err := Run(Config{BaseURL: "http://x", Rate: 0, Duration: time.Second}, w); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Rate: 1, Duration: 0}, w); err == nil {
+		t.Error("zero duration accepted")
+	}
+	empty := Workload{Quotes: [][]byte{[]byte(`{}`)}}
+	if _, err := Run(Config{BaseURL: "http://x", Rate: 1, Duration: time.Second}, empty); err == nil {
+		t.Error("empty pool for weighted class accepted")
+	}
+}
+
+func TestSLOLinesFormat(t *testing.T) {
+	res := &Result{Offered: 100, Elapsed: time.Second, Classes: map[Class]*ClassResult{}}
+	cr := &ClassResult{Sent: 100, OK: 99, Errors: 1, Status: map[int]int{200: 99, 500: 1}}
+	for i := 0; i < 100; i++ {
+		cr.Latency.Observe(time.Millisecond)
+	}
+	res.Classes[ClassQuote] = cr
+	out := res.SLOLines()
+	for _, want := range []string{
+		"Benchmarkslo_load/quote_p50 1 ",
+		"Benchmarkslo_load/quote_p99 1 ",
+		"Benchmarkslo_load/quote_err_ppm 1 10000 ns/op",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SLO lines missing %q:\n%s", want, out)
+		}
+	}
+}

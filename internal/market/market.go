@@ -167,6 +167,15 @@ type Broker struct {
 	// to first use instead of paying at update time (see PlanStats).
 	plansDeferred atomic.Int64
 
+	// cacheHits/cacheMisses count conflict-cache outcomes cumulatively
+	// over the broker's lifetime. They live here rather than on the cache
+	// because each cache is retired wholesale with its marketState on
+	// Update — per-state counters would reset on every version bump.
+	// Joining an in-flight computation counts as a hit (the caller did
+	// not pay for the computation).
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
 	salesMu sync.Mutex
 	sales   []Receipt
 	revenue float64
@@ -408,7 +417,7 @@ func (b *Broker) Quote(q *relational.SelectQuery) (Quote, error) {
 // quoteWith prices one query under a specific data state and pricing
 // snapshot (nil = uncalibrated).
 func (b *Broker) quoteWith(st *marketState, snap *pricingSnapshot, q *relational.SelectQuery) (Quote, error) {
-	items, err := conflictSetOf(st, q)
+	items, err := b.conflictSetOf(st, q)
 	if err != nil {
 		return Quote{}, err
 	}
@@ -519,7 +528,7 @@ func (b *Broker) QuoteBatchContext(ctx context.Context, queries []*relational.Se
 // cache lives inside the state, so a version bump retires every entry with
 // the state that produced it — a stale conflict set can never be served
 // for a newer snapshot.
-func conflictSetOf(st *marketState, q *relational.SelectQuery) ([]int, error) {
+func (b *Broker) conflictSetOf(st *marketState, q *relational.SelectQuery) ([]int, error) {
 	compute := func() ([]int, error) {
 		items, err := support.ConflictSet(st.set, q)
 		if err != nil {
@@ -530,7 +539,29 @@ func conflictSetOf(st *marketState, q *relational.SelectQuery) ([]int, error) {
 	if st.cache == nil {
 		return compute()
 	}
-	return st.cache.do(q.String(), compute)
+	items, hit, err := st.cache.do(q.String(), compute)
+	if hit {
+		b.cacheHits.Add(1)
+	} else {
+		b.cacheMisses.Add(1)
+	}
+	return items, err
+}
+
+// CacheStats is the broker-lifetime conflict-cache accounting: hits and
+// misses are cumulative across version bumps (unlike CacheLen, which
+// reads the current state's cache), so serving layers can export them as
+// monotone counters.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+	// Size is the number of memoized conflict sets in the current state.
+	Size int
+}
+
+// CacheStats returns the cumulative conflict-cache counters.
+func (b *Broker) CacheStats() CacheStats {
+	return CacheStats{Hits: b.cacheHits.Load(), Misses: b.cacheMisses.Load(), Size: b.CacheLen()}
 }
 
 // priceBundle applies a pricing snapshot to a conflict set.
@@ -647,19 +678,21 @@ func newConflictCache(max int) *conflictCache {
 
 // do returns the cached conflict set for key, joining an in-flight
 // computation if one exists, and otherwise running compute itself and
-// publishing the result. Failed computations are not cached.
-func (c *conflictCache) do(key string, compute func() ([]int, error)) ([]int, error) {
+// publishing the result. Failed computations are not cached. The hit
+// result reports whether the caller avoided paying for the computation
+// (a memoized entry or an in-flight join).
+func (c *conflictCache) do(key string, compute func() ([]int, error)) (items []int, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		items := el.Value.(*cacheEntry).items
 		c.mu.Unlock()
-		return items, nil
+		return items, true, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-call.done
-		return call.items, call.err
+		return call.items, true, call.err
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[key] = call
@@ -674,7 +707,7 @@ func (c *conflictCache) do(key string, compute func() ([]int, error)) ([]int, er
 	}
 	c.mu.Unlock()
 	close(call.done)
-	return call.items, call.err
+	return call.items, false, call.err
 }
 
 func (c *conflictCache) get(key string) ([]int, bool) {

@@ -264,7 +264,7 @@ func TestConflictCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			items, err := c.do("k", compute)
+			items, _, err := c.do("k", compute)
 			if err != nil {
 				t.Error(err)
 			}
@@ -288,10 +288,10 @@ func TestConflictCacheSingleflight(t *testing.T) {
 
 	// Errors are returned to all waiters but never cached.
 	wantErr := errors.New("boom")
-	if _, err := c.do("bad", func() ([]int, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+	if _, _, err := c.do("bad", func() ([]int, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
 		t.Errorf("do error = %v, want %v", err, wantErr)
 	}
-	if _, err := c.do("bad", func() ([]int, error) { return []int{1}, nil }); err != nil {
+	if _, _, err := c.do("bad", func() ([]int, error) { return []int{1}, nil }); err != nil {
 		t.Errorf("retry after error failed: %v", err)
 	}
 }

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Exposition-format line shapes: a sample is `name{labels} value` with
+// the label block optional; HELP/TYPE comments introduce a family.
+var (
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [-+]?[0-9.eE+-]+(e[-+][0-9]+)?$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? (NaN|[+-]Inf)$`)
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// Lint validates a Prometheus text-format exposition: every line is a
+// well-formed sample or HELP/TYPE comment, every sample belongs to a
+// family announced by a preceding TYPE line, and histogram families end
+// with their _sum and _count series. It returns one error per violation
+// (nil for a clean exposition). This is the validity check the
+// metamorphic test applies to marketd's /metrics output; it is a format
+// linter, not a full parser — Prometheus itself remains the authority.
+func Lint(text string) []error {
+	var errs []error
+	announced := map[string]string{} // family -> type
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := sc.Text()
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "#") {
+			if helpRe.MatchString(s) {
+				continue
+			}
+			if m := typeRe.FindStringSubmatch(s); m != nil {
+				announced[m[1]] = m[2]
+				continue
+			}
+			errs = append(errs, fmt.Errorf("line %d: malformed comment: %s", line, s))
+			continue
+		}
+		if !sampleRe.MatchString(s) {
+			errs = append(errs, fmt.Errorf("line %d: malformed sample: %s", line, s))
+			continue
+		}
+		name := s
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := announced[strings.TrimSuffix(name, suffix)]; ok && t == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+				break
+			}
+		}
+		if _, ok := announced[base]; !ok {
+			errs = append(errs, fmt.Errorf("line %d: sample %q has no preceding # TYPE", line, name))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("scanning exposition: %w", err))
+	}
+	return errs
+}

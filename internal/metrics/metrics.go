@@ -1,0 +1,364 @@
+// Package metrics is a dependency-free Prometheus instrumentation layer:
+// counters, gauges and histograms registered on a Registry and served in
+// the Prometheus text exposition format (version 0.0.4, the format every
+// Prometheus-compatible scraper speaks). It exists so marketd can expose
+// a production /metrics endpoint without pulling the prometheus client
+// library into the module — the subset implemented here (counter, gauge,
+// histogram, label vectors, collect-on-scrape callbacks) is exactly what
+// the serving stack needs, and the output is validated line-by-line by
+// the package tests and reconciled against client-side request counts by
+// the metamorphic test in internal/serve.
+//
+// Concurrency: instrument updates (Inc/Add/Set/Observe) are lock-free
+// atomics on the hot path; label-vector children are resolved under a
+// per-vector mutex and can be pre-resolved with With at wiring time.
+// WritePrometheus takes a consistent point-in-time read of every
+// instrument.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a set of metric families and renders them in
+// registration order. The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// family is one named metric with its type, help text, and the children
+// (one per label-value combination; exactly one for unlabeled metrics).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]child // key = joined label values
+	order    []string
+	collect  func() float64 // non-nil for *Func metrics
+}
+
+// child is anything that can render its sample lines.
+type child interface {
+	write(w io.Writer, name, labelPrefix string) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+// register adds a family, panicking on duplicate names — metric wiring is
+// static configuration, and a silent duplicate would split samples across
+// two families.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", f.name))
+	}
+	r.names[f.name] = true
+	f.children = map[string]child{}
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers an unlabeled monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: "counter"})
+	c := &Counter{}
+	f.child("", c)
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotone totals another layer already tracks (e.g. the
+// broker's cumulative deferred-rebase count).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "counter", collect: fn})
+}
+
+// CounterVec registers a labeled counter family; resolve children with
+// With.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.register(&family{name: name, help: help, typ: "counter", labels: labels})
+	return &CounterVec{f: f}
+}
+
+// Gauge registers an unlabeled gauge (a value that can go up and down).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: "gauge"})
+	g := &Gauge{}
+	f.child("", g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time
+// — the collect-on-scrape idiom for state another layer owns (plan-cache
+// depths, WAL age, in-flight requests).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, typ: "gauge", collect: fn})
+}
+
+// Histogram registers an unlabeled cumulative histogram with the given
+// upper bucket bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, typ: "histogram"})
+	h := newHistogram(buckets)
+	f.child("", h)
+	return h
+}
+
+// HistogramVec registers a labeled histogram family; every child shares
+// the same bucket bounds.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.register(&family{name: name, help: help, typ: "histogram", labels: labels})
+	return &HistogramVec{f: f, buckets: append([]float64(nil), buckets...)}
+}
+
+// child returns (creating if needed) the family's child for one joined
+// label-value key.
+func (f *family) child(key string, mk child) child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	f.children[key] = mk
+	f.order = append(f.order, key)
+	return mk
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families in registration order, children in first-use order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		if f.collect != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.collect())); err != nil {
+				return err
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for i, key := range keys {
+			if err := children[i].write(w, f.name, labelPrefix(f.labels, key)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// labelPrefix renders `name1="v1",name2="v2"` for a child's joined key
+// ("" for unlabeled metrics). Values were joined with \x1f at With time.
+func labelPrefix(names []string, key string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	vals := strings.Split(key, "\x1f")
+	parts := make([]string, len(names))
+	for i, n := range names {
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		parts[i] = n + `="` + escapeLabel(v) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integers without an exponent (the
+// common case for counters), everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sampleLine writes one `name{labels} value` line.
+func sampleLine(w io.Writer, name, labelPrefix, suffix string, extraLabel string, v float64) error {
+	labels := labelPrefix
+	if extraLabel != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabel
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s%s %s\n", name, suffix, labels, formatFloat(v))
+	return err
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (must be non-negative; counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name, lp string) error {
+	return sampleLine(w, name, lp, "", "", float64(c.v.Load()))
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// With returns (creating if needed) the child counter for the given label
+// values, in the order the labels were declared. Resolve once and reuse
+// on hot paths.
+func (cv *CounterVec) With(values ...string) *Counter {
+	c := cv.f.child(strings.Join(values, "\x1f"), &Counter{})
+	return c.(*Counter)
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, lp string) error {
+	return sampleLine(w, name, lp, "", "", g.Value())
+}
+
+// Histogram is a cumulative histogram: counts per upper bound, plus the
+// sum and total count Prometheus derives rates and means from.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+func (h *Histogram) write(w io.Writer, name, lp string) error {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := sampleLine(w, name, lp, "_bucket", `le="`+formatFloat(b)+`"`, float64(cum)); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := sampleLine(w, name, lp, "_bucket", `le="+Inf"`, float64(cum)); err != nil {
+		return err
+	}
+	if err := sampleLine(w, name, lp, "_sum", "", math.Float64frombits(h.sum.Load())); err != nil {
+		return err
+	}
+	return sampleLine(w, name, lp, "_count", "", float64(h.count.Load()))
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// With returns (creating if needed) the child histogram for the given
+// label values. Resolve once and reuse on hot paths.
+func (hv *HistogramVec) With(values ...string) *Histogram {
+	h := hv.f.child(strings.Join(values, "\x1f"), newHistogram(hv.buckets))
+	return h.(*Histogram)
+}
+
+// DefLatencyBuckets returns the default request-latency bucket bounds in
+// seconds: 100µs to 10s in a 1-2.5-5 progression, matching the range a
+// quote path that runs in tens of microseconds to a cold batch that runs
+// in seconds actually spans.
+func DefLatencyBuckets() []float64 {
+	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// DefFsyncBuckets returns the default fsync-latency bucket bounds in
+// seconds: 50µs to 1s — a healthy fsync is sub-millisecond, and anything
+// beyond the tail bound is a disk in trouble.
+func DefFsyncBuckets() []float64 {
+	return []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	g := r.Gauge("inflight", "In-flight requests.")
+	cv := r.CounterVec("by_route_total", "Requests by route and code.", "route", "code")
+
+	c.Inc()
+	c.Add(2)
+	g.Set(5)
+	g.Add(-2)
+	cv.With("/quote", "200").Add(7)
+	cv.With("/quote", "429").Inc()
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 3",
+		"inflight 3",
+		`by_route_total{route="/quote",code="200"} 7`,
+		`by_route_total{route="/quote",code="429"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 2`, // le is inclusive
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 2.565",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestHistogramVecSharesBuckets(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("req_seconds", "Per-route latency.", []float64{0.1}, "route")
+	hv.With("/a").Observe(0.05)
+	hv.With("/b").Observe(0.5)
+	out := render(t, r)
+	for _, want := range []string{
+		`req_seconds_bucket{route="/a",le="0.1"} 1`,
+		`req_seconds_bucket{route="/b",le="0.1"} 0`,
+		`req_seconds_bucket{route="/b",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.GaugeFunc("age_seconds", "Sampled at scrape time.", func() float64 { return v })
+	r.CounterFunc("deferred_total", "Sampled counter.", func() float64 { return 9 })
+	v = 42
+	out := render(t, r)
+	if !strings.Contains(out, "age_seconds 42") || !strings.Contains(out, "deferred_total 9") {
+		t.Fatalf("collect-on-scrape values missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("odd_total", "Escaping.", "what")
+	cv.With(`a"b\c` + "\n").Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `odd_total{what="a\"b\\c\n"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+	if errs := Lint(out); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "again")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", DefLatencyBuckets())
+	cv := r.CounterVec("cv_total", "cv", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 1e6)
+				cv.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %g, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if cv.With("a").Value()+cv.With("b").Value() != 8000 {
+		t.Fatal("vector children lost increments")
+	}
+	if errs := Lint(render(t, r)); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}
+
+func TestLintCatchesGarbage(t *testing.T) {
+	bad := "# TYPE x counter\nx{a=\"b\" 1\n"
+	if errs := Lint(bad); len(errs) == 0 {
+		t.Fatal("lint accepted a malformed sample")
+	}
+	orphan := "y_total 3\n"
+	if errs := Lint(orphan); len(errs) == 0 {
+		t.Fatal("lint accepted a sample with no TYPE")
+	}
+}

@@ -1,0 +1,378 @@
+package serve
+
+// Sustained-load tests over the in-process serving stack: a soak run
+// against a durable broker (zero non-shed errors, monotone versions,
+// clean final snapshot), admission-shedding and disk-degradation
+// accounting (client-side results and /metrics must agree), and the
+// metamorphic reconciliation — after a fixed-seed run, the server's
+// request counters must match the generator's client-side counts
+// exactly.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"querypricing/internal/loadgen"
+	"querypricing/internal/metrics"
+	"querypricing/internal/store"
+	"querypricing/internal/workloads"
+)
+
+// buildWorkload derives a mixed workload from the server's own database:
+// the skewed forecast corpus for quotes/batches/purchases, random
+// active-domain cell flips for updates.
+func buildWorkload(t *testing.T, s *Server) loadgen.Workload {
+	t.Helper()
+	db := s.Broker().DB()
+	queries := workloads.Skewed(db)
+	if len(queries) > 200 {
+		queries = queries[:200]
+	}
+	w, err := loadgen.NewWorkload(db, queries, loadgen.WorkloadConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// scrape fetches and lints /metrics, returning the exposition text.
+func scrape(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if errs := metrics.Lint(text); len(errs) != 0 {
+		t.Fatalf("/metrics failed lint: %v", errs)
+	}
+	return text
+}
+
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([0-9.eE+-]+|NaN|[+-]Inf)$`)
+
+// samples parses an exposition into family -> labelBlock -> value
+// ("" for unlabeled samples).
+func samples(t *testing.T, text string) map[string]map[string]float64 {
+	t.Helper()
+	out := map[string]map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable metrics line: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		if out[m[1]] == nil {
+			out[m[1]] = map[string]float64{}
+		}
+		out[m[1]][m[2]] = v
+	}
+	return out
+}
+
+func routeOf(c loadgen.Class) string {
+	switch c {
+	case loadgen.ClassQuote:
+		return "/quote"
+	case loadgen.ClassBatch:
+		return "/quote/batch"
+	case loadgen.ClassUpdate:
+		return "/update"
+	default:
+		return "/purchase"
+	}
+}
+
+// TestLoadMetricsReconcile is the metamorphic check: after a fixed-seed
+// run with zero transport errors, the server's
+// marketd_http_requests_total{route,code} counters must equal the
+// generator's client-side per-class per-status counts exactly, and shed
+// plus succeeded plus errored must account for every request sent.
+func TestLoadMetricsReconcile(t *testing.T) {
+	s, err := New(testConfig("")) // in-memory: the counters are what's under test
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:  ts.URL,
+		Rate:     300,
+		Duration: 1200 * time.Millisecond,
+		Seed:     123,
+		Workers:  16,
+	}, buildWorkload(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fams := samples(t, scrape(t, ts.URL))
+	requests := fams["marketd_http_requests_total"]
+	shed := fams["marketd_http_shed_total"]
+
+	serverTotal := 0.0
+	for _, c := range loadgen.Classes {
+		cr := res.Class(c)
+		if cr.Status[0] != 0 {
+			t.Fatalf("%s: %d transport errors; reconciliation requires a clean transport", c, cr.Status[0])
+		}
+		if cr.OK+cr.Shed+cr.Errors != cr.Sent {
+			t.Errorf("%s: ok %d + shed %d + err %d != sent %d", c, cr.OK, cr.Shed, cr.Errors, cr.Sent)
+		}
+		route := routeOf(c)
+		clientShed := 0.0
+		for code, n := range cr.Status {
+			key := fmt.Sprintf(`{route=%q,code=%q}`, route, strconv.Itoa(code))
+			if got := requests[key]; got != float64(n) {
+				t.Errorf("requests_total%s = %v, client sent %d", key, got, n)
+			}
+			serverTotal += float64(n)
+		}
+		for key, v := range shed {
+			if strings.Contains(key, fmt.Sprintf("route=%q", route)) {
+				clientShed += v
+			}
+		}
+		if clientShed != float64(cr.Shed) {
+			t.Errorf("%s: server shed %v, client observed %d", c, clientShed, cr.Shed)
+		}
+	}
+	if serverTotal != float64(res.TotalSent()) {
+		t.Errorf("server counted %v work requests, client sent %d", serverTotal, res.TotalSent())
+	}
+
+	// The latency histogram must have observed every work request.
+	latCount := 0.0
+	for key, v := range fams["marketd_http_request_seconds_count"] {
+		for _, c := range loadgen.Classes {
+			if strings.Contains(key, fmt.Sprintf("route=%q", routeOf(c))) {
+				latCount += v
+			}
+		}
+	}
+	if latCount != float64(res.TotalSent()) {
+		t.Errorf("latency histogram count %v != sent %d", latCount, res.TotalSent())
+	}
+}
+
+// TestAdmissionShedAccounting drives traffic into a fully-occupied
+// admission queue: every request must come back 429 (quotes) or 503 with
+// Retry-After (writes), be classified shed — never error — on both
+// sides, and the server must resume serving once the queue frees up.
+func TestAdmissionShedAccounting(t *testing.T) {
+	cfg := testConfig("")
+	cfg.MaxInflight = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	s.sem <- struct{}{} // saturate: every arrival from here is shed
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:  ts.URL,
+		Rate:     250,
+		Duration: 600 * time.Millisecond,
+		Seed:     9,
+		Workers:  8,
+	}, buildWorkload(t, s))
+	<-s.sem
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.NonShedErrors() != 0 {
+		t.Fatalf("saturated run produced %d non-shed errors:\n%s", res.NonShedErrors(), res)
+	}
+	for _, c := range loadgen.Classes {
+		cr := res.Class(c)
+		if cr.Sent == 0 {
+			continue
+		}
+		if cr.Shed != cr.Sent {
+			t.Errorf("%s: shed %d of %d sent (all must shed)", c, cr.Shed, cr.Sent)
+		}
+		wantCode := http.StatusTooManyRequests
+		if c == loadgen.ClassUpdate || c == loadgen.ClassPurchase {
+			wantCode = http.StatusServiceUnavailable
+		}
+		if cr.Status[wantCode] != cr.Sent {
+			t.Errorf("%s: status counts %v, want all %d", c, cr.Status, wantCode)
+		}
+	}
+
+	fams := samples(t, scrape(t, ts.URL))
+	shedTotal := 0.0
+	for _, v := range fams["marketd_http_shed_total"] {
+		shedTotal += v
+	}
+	if shedTotal != float64(res.TotalSent()) {
+		t.Errorf("server shed_total %v != %d requests sent", shedTotal, res.TotalSent())
+	}
+
+	// Queue freed: the market serves again.
+	if code, body := post(t, ts.URL+"/quote", countryQuery); code != http.StatusOK {
+		t.Fatalf("post-shed quote: %d %s", code, body)
+	}
+}
+
+// TestDegradationShedsAndSelfHeals injects a WAL fsync failure under a
+// durable server: the failing update is refused 503+Retry-After (shed,
+// not error), /metrics reports marketd_store_degraded 1, and the next
+// update retries the healthy disk and clears the degradation.
+func TestDegradationShedsAndSelfHeals(t *testing.T) {
+	ffs := store.NewFaultFS(store.OSFS{})
+	cfg := testConfig(t.TempDir())
+	cfg.FS = ffs
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	ffs.Inject(store.Fault{Op: store.FaultOpSync, PathContains: "wal-", Mode: store.FailIO})
+
+	code, body, hdr := postHdr(t, ts.URL+"/update", countryUpdate)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded update: %d %s, want 503", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("degraded refusal missing Retry-After (must classify as shed)")
+	}
+	if !ffs.Fired() {
+		t.Fatal("fault script did not fire")
+	}
+
+	fams := samples(t, scrape(t, ts.URL))
+	if v := fams["marketd_store_degraded"][""]; v != 1 {
+		t.Fatalf("marketd_store_degraded = %v while degraded, want 1", v)
+	}
+	if v := fams["marketd_http_shed_total"][`{route="/update",code="503"}`]; v != 1 {
+		t.Fatalf("shed_total for degraded update = %v, want 1", v)
+	}
+
+	// Purchases are refused too — a sale must leave a durable receipt.
+	if code, _, hdr := postHdr(t, ts.URL+"/purchase?budget=1e18", countryQuery); code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("degraded purchase: %d (Retry-After %q), want 503 + Retry-After", code, hdr.Get("Retry-After"))
+	}
+
+	// The fault fired once; the retry reaches a healthy disk and heals.
+	if code, body := post(t, ts.URL+"/update", countryUpdate); code != http.StatusOK {
+		t.Fatalf("healing update: %d %s", code, body)
+	}
+	fams = samples(t, scrape(t, ts.URL))
+	if v := fams["marketd_store_degraded"][""]; v != 0 {
+		t.Fatalf("marketd_store_degraded = %v after heal, want 0", v)
+	}
+	if v := fams["marketd_broker_version"][""]; v != 1 {
+		t.Fatalf("broker version = %v after healed update, want 1", v)
+	}
+	if code, body := post(t, ts.URL+"/purchase?budget=1e18", countryQuery); code != http.StatusOK {
+		t.Fatalf("post-heal purchase: %d %s", code, body)
+	}
+}
+
+// TestSoak runs sustained mixed traffic against a durable broker:
+// several seconds of open-loop load (quotes, batches, updates,
+// purchases) with zero non-shed errors, monotone observed versions, a
+// valid /metrics exposition at the end, and a clean final snapshot —
+// the next boot replays nothing. Skipped in short mode; CI runs it
+// under -race.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: multi-second sustained-load run")
+	}
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.MaxInflight = 64
+	cfg.SnapshotEvery = 16
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:  ts.URL,
+		Rate:     150,
+		Duration: 6 * time.Second,
+		Seed:     11,
+		Workers:  24,
+	}, buildWorkload(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak:\n%s", res)
+
+	if res.NonShedErrors() != 0 {
+		t.Errorf("soak produced %d non-shed errors", res.NonShedErrors())
+	}
+	if res.VersionRegressions != 0 {
+		t.Errorf("observed %d version regressions (stale snapshot served after a newer one)", res.VersionRegressions)
+	}
+	if res.MaxVersion == 0 {
+		t.Error("no version advance observed: updates did not land or quotes never saw them")
+	}
+	if res.TotalSent() < 500 {
+		t.Errorf("only %d requests issued; the open loop stalled", res.TotalSent())
+	}
+	scrape(t, ts.URL) // exposition stays lint-clean after sustained load
+
+	finalVersion := s.Broker().Version()
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean shutdown contract: the final snapshot absorbed everything, so
+	// recovery replays nothing.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	lr, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Snapshot == nil {
+		t.Fatal("no snapshot after clean soak shutdown")
+	}
+	if lr.ReplayedUpdates != 0 || lr.ReplayedReceipts != 0 {
+		t.Errorf("clean shutdown left WAL records: %d updates, %d receipts replayed", lr.ReplayedUpdates, lr.ReplayedReceipts)
+	}
+	if lr.Snapshot.Version != finalVersion {
+		t.Errorf("recovered version %d, served version %d", lr.Snapshot.Version, finalVersion)
+	}
+	if lr.TornBytes != 0 {
+		t.Errorf("clean shutdown left %d torn WAL bytes", lr.TornBytes)
+	}
+}

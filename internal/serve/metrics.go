@@ -1,0 +1,129 @@
+package serve
+
+// Prometheus instrumentation for the serving stack. Two kinds of
+// instruments live here: event-driven ones updated on the request path
+// (counters, latency and fsync histograms), and collect-on-scrape
+// gauges/counters that read broker, plan-cache and store state at
+// exposition time — the broker already maintains that state atomically,
+// so scraping costs a handful of atomic loads, not locks on the quote
+// path. Metric names, types and meanings are documented for operators in
+// docs/OPERATIONS.md; keep the two in sync.
+
+import (
+	"querypricing/internal/metrics"
+)
+
+// serverMetrics is the instrument set one Server exports at /metrics.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests *metrics.CounterVec   // marketd_http_requests_total{route,code}
+	shed     *metrics.CounterVec   // marketd_http_shed_total{route,code}
+	latency  *metrics.HistogramVec // marketd_http_request_seconds{route}
+	fsync    *metrics.HistogramVec // marketd_store_fsync_seconds{op}
+}
+
+// newServerMetrics builds the registry and the event-driven instruments;
+// the state collectors are registered later by registerStateMetrics,
+// once the broker and store exist.
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("marketd_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		shed: reg.CounterVec("marketd_http_shed_total",
+			"Requests refused retryably (429, or 503 with Retry-After): admission control, drain, deadline, degraded store.", "route", "code"),
+		latency: reg.HistogramVec("marketd_http_request_seconds",
+			"HTTP request latency by route.", metrics.DefLatencyBuckets(), "route"),
+		fsync: reg.HistogramVec("marketd_store_fsync_seconds",
+			"Durable-write fsync latency, by operation (wal | snapshot).", metrics.DefFsyncBuckets(), "op"),
+	}
+}
+
+// registerStateMetrics mounts the collect-on-scrape views over the
+// booted broker (and store, when durable). Called once from New after
+// the broker exists.
+func (s *Server) registerStateMetrics() {
+	reg := s.m.reg
+
+	reg.GaugeFunc("marketd_http_inflight",
+		"Requests currently holding an admission token (0 when -max-inflight is unbounded).",
+		func() float64 { return float64(s.inflight()) })
+	reg.GaugeFunc("marketd_draining",
+		"1 while the server is draining (readiness failing, writes refused).",
+		func() float64 {
+			if s.isDraining() {
+				return 1
+			}
+			return 0
+		})
+
+	reg.GaugeFunc("marketd_broker_version",
+		"Database version quotes are currently priced against.",
+		func() float64 { return float64(s.broker.Version()) })
+	reg.GaugeFunc("marketd_broker_revenue",
+		"Cumulative revenue across completed sales.",
+		func() float64 { return s.broker.Revenue() })
+	reg.GaugeFunc("marketd_broker_sales",
+		"Completed sales (receipts held by the broker).",
+		func() float64 { return float64(len(s.broker.Sales())) })
+
+	reg.CounterFunc("marketd_conflict_cache_hits_total",
+		"Conflict-set cache hits (including in-flight joins), cumulative across version bumps.",
+		func() float64 { return float64(s.broker.CacheStats().Hits) })
+	reg.CounterFunc("marketd_conflict_cache_misses_total",
+		"Conflict-set cache misses (computations paid), cumulative across version bumps.",
+		func() float64 { return float64(s.broker.CacheStats().Misses) })
+
+	reg.GaugeFunc("marketd_plans_cached",
+		"Compiled query plans cached across support shards.",
+		func() float64 { return float64(s.broker.PlanStats().Plans) })
+	reg.GaugeFunc("marketd_plans_stale",
+		"Cached plans awaiting a lazy rebase against newer data.",
+		func() float64 { return float64(s.broker.PlanStats().Stale) })
+	reg.GaugeFunc("marketd_plans_pending_batches",
+		"Deferred update batches not yet folded into plan caches.",
+		func() float64 { return float64(s.broker.PlanStats().PendingBatches) })
+	reg.CounterFunc("marketd_plans_deferred_total",
+		"Plan rebases deferred to first use instead of paid at update time, cumulative.",
+		func() float64 { return float64(s.broker.PlanStats().DeferredTotal) })
+
+	if s.mgr == nil {
+		return
+	}
+	reg.GaugeFunc("marketd_store_degraded",
+		"1 while the market is read-only after a persistence failure.",
+		func() float64 {
+			if deg, _ := s.mgr.Degraded(); deg {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("marketd_store_snapshot_age_seconds",
+		"Seconds since the last snapshot was committed.",
+		func() float64 { return s.mgr.Store().Stats().SnapshotAgeSec })
+	reg.GaugeFunc("marketd_store_snapshot_bytes",
+		"Size of the last committed snapshot.",
+		func() float64 { return float64(s.mgr.Store().Stats().SnapshotBytes) })
+	reg.GaugeFunc("marketd_store_wal_age_seconds",
+		"Seconds since the last WAL append (or segment creation).",
+		func() float64 { return s.mgr.Store().Stats().WALAgeSec })
+	reg.GaugeFunc("marketd_store_wal_bytes",
+		"Bytes in the active WAL segment.",
+		func() float64 { return float64(s.mgr.Store().Stats().WALBytes) })
+	reg.GaugeFunc("marketd_store_wal_records",
+		"Records appended to the active WAL segment this process lifetime.",
+		func() float64 { return float64(s.mgr.Store().Stats().WALRecords) })
+	reg.GaugeFunc("marketd_store_wal_broken",
+		"1 while the active WAL segment is broken (appends refused until a snapshot rotates it).",
+		func() float64 {
+			if s.mgr.Store().Stats().WALBroken {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("marketd_store_last_seq",
+		"Last durable record sequence number assigned.",
+		func() float64 { return float64(s.mgr.Store().Stats().LastSeq) })
+}

@@ -1,21 +1,30 @@
-package main
-
-// The serving core of marketd, separated from flag parsing and process
-// lifecycle (main.go) so tests can boot a server against a temp data
-// directory, drive it over httptest, "crash" it, and boot a second one on
-// the same directory.
+// Package serve is the serving core of marketd, separated from flag
+// parsing and process lifecycle (cmd/marketd) so tests and the load
+// harness (cmd/pricebench -experiment load) can boot the real serving
+// stack in-process — against a temp data directory, over httptest,
+// "crash" it, and boot a second one on the same directory.
 //
 // Robustness posture:
 //
-//   - admission control: at most cfg.MaxInflight request bodies are being
-//     processed at once; excess quote traffic is shed with 429 (retryable
-//     by the same client), excess or degraded write traffic with 503;
+//   - admission control: at most Config.MaxInflight request bodies are
+//     being processed at once; excess quote traffic is shed with 429
+//     (retryable by the same client), excess or degraded write traffic
+//     with 503 — every shed response carries Retry-After, which is how
+//     clients (and internal/loadgen) distinguish intentional shedding
+//     from errors;
 //   - per-request deadlines: every handler runs under a context that
-//     expires after cfg.RequestTimeout, and batch quoting propagates that
-//     context into its workers (a hung batch cannot pin a worker pool);
-//   - graceful drain: beginDrain() flips readiness so load balancers stop
-//     sending traffic, in-flight requests finish, and close() writes a
-//     final snapshot so the next boot replays nothing.
+//     expires after Config.RequestTimeout, and batch quoting propagates
+//     that context into its workers (a hung batch cannot pin a worker
+//     pool);
+//   - graceful drain: BeginDrain flips readiness so load balancers stop
+//     sending traffic, in-flight requests finish, and Close writes a
+//     final snapshot so the next boot replays nothing;
+//   - observability: every server carries a metrics.Registry served at
+//     GET /metrics in Prometheus text format — request counts by route
+//     and status, latency histograms, shed counts, plan-cache and
+//     conflict-cache state, store ages and fsync latency (see
+//     docs/OPERATIONS.md).
+package serve
 
 import (
 	"context"
@@ -30,20 +39,24 @@ import (
 	"querypricing/internal/datagen"
 	"querypricing/internal/engine"
 	"querypricing/internal/market"
+	"querypricing/internal/metrics"
 	"querypricing/internal/relational"
 	"querypricing/internal/store"
 	"querypricing/internal/valuation"
 	"querypricing/internal/workloads"
 )
 
-// serverConfig is everything a server boot needs; main.go fills it from
+// Config is everything a server boot needs; cmd/marketd fills it from
 // flags, tests fill it directly.
-type serverConfig struct {
+type Config struct {
 	// DataDir is the durable state directory; empty runs in-memory only
 	// (every boot recalibrates, nothing survives a restart).
 	DataDir string
 	// SnapshotEvery rolls a snapshot after that many durable updates.
 	SnapshotEvery int
+	// FS overrides the store's filesystem (fault-injection tests); nil
+	// uses the real one.
+	FS store.FS
 
 	Algorithm       string
 	SupportSize     int
@@ -60,16 +73,17 @@ type serverConfig struct {
 	MaxInflight int
 }
 
-// server is one booted broker plus its serving policy. Boot it with
-// newServer, mount routes() on an http.Server, and close() it on the way
-// out.
-type server struct {
-	cfg    serverConfig
+// Server is one booted broker plus its serving policy. Boot it with New,
+// mount Routes on an http.Server, and Close it on the way out.
+type Server struct {
+	cfg    Config
 	broker *market.Broker
 	mgr    *store.Manager // nil when cfg.DataDir is empty
 
 	sem      chan struct{} // admission tokens; nil when MaxInflight is 0
-	draining chan struct{} // closed by beginDrain
+	draining chan struct{} // closed by BeginDrain
+
+	m *serverMetrics
 
 	// restored records whether this boot recovered state from the data
 	// directory (true) or bootstrapped and calibrated from scratch
@@ -78,27 +92,35 @@ type server struct {
 	bootedIn time.Duration
 }
 
-// newServer boots a broker: from the data directory when it holds a
-// snapshot (no recalibration — the point of the store), bootstrapping the
-// demo dataset and calibrating otherwise.
-func newServer(cfg serverConfig) (*server, error) {
+// New boots a broker: from the data directory when it holds a snapshot
+// (no recalibration — the point of the store), bootstrapping the demo
+// dataset and calibrating otherwise.
+func New(cfg Config) (*Server, error) {
 	if _, err := engine.Get(cfg.Algorithm); err != nil {
 		return nil, err
 	}
-	s := &server{cfg: cfg, draining: make(chan struct{})}
+	s := &Server{cfg: cfg, draining: make(chan struct{})}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.m = newServerMetrics()
 	start := time.Now()
 
 	var st *store.Store
 	var loaded *market.BrokerSnapshot
 	if cfg.DataDir != "" {
+		fsys := cfg.FS
+		if fsys == nil {
+			fsys = store.OSFS{}
+		}
 		var err error
-		st, err = store.Open(cfg.DataDir)
+		st, err = store.OpenFS(cfg.DataDir, fsys)
 		if err != nil {
 			return nil, err
 		}
+		st.SetSyncObserver(func(op string, d time.Duration) {
+			s.m.fsync.With(op).Observe(d.Seconds())
+		})
 		res, err := st.Load()
 		if err != nil {
 			st.Close()
@@ -147,13 +169,14 @@ func newServer(cfg serverConfig) (*server, error) {
 			}
 		}
 	}
+	s.registerStateMetrics()
 	s.bootedIn = time.Since(start)
 	return s, nil
 }
 
 // bootstrapBroker builds and calibrates the demonstration market: the
 // synthetic world dataset priced from the skewed workload.
-func bootstrapBroker(cfg serverConfig) (*market.Broker, error) {
+func bootstrapBroker(cfg Config) (*market.Broker, error) {
 	log.Printf("marketd: generating world dataset...")
 	db := datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: cfg.Seed})
 	broker, err := market.NewBroker(db, market.Config{
@@ -177,10 +200,24 @@ func bootstrapBroker(cfg serverConfig) (*market.Broker, error) {
 	return broker, nil
 }
 
-// beginDrain flips the server to draining: /readyz starts failing (pulling
-// the instance out of load-balancer rotation) and new write traffic is
-// refused; in-flight requests are unaffected.
-func (s *server) beginDrain() {
+// Broker returns the served broker (read-only diagnostics; tests).
+func (s *Server) Broker() *market.Broker { return s.broker }
+
+// Restored reports whether this boot recovered state from the data
+// directory rather than calibrating from scratch.
+func (s *Server) Restored() bool { return s.restored }
+
+// BootDuration reports how long New took.
+func (s *Server) BootDuration() time.Duration { return s.bootedIn }
+
+// Metrics returns the server's metrics registry (also served at
+// GET /metrics).
+func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
+
+// BeginDrain flips the server to draining: /readyz starts failing
+// (pulling the instance out of load-balancer rotation) and new write
+// traffic is refused; in-flight requests are unaffected.
+func (s *Server) BeginDrain() {
 	select {
 	case <-s.draining:
 	default:
@@ -188,7 +225,7 @@ func (s *server) beginDrain() {
 	}
 }
 
-func (s *server) isDraining() bool {
+func (s *Server) isDraining() bool {
 	select {
 	case <-s.draining:
 		return true
@@ -197,18 +234,18 @@ func (s *server) isDraining() bool {
 	}
 }
 
-// close releases the broker's durable state: a final snapshot (so the next
-// boot's WAL replay is empty) and the store's file handles.
-func (s *server) close() error {
+// Close releases the broker's durable state: a final snapshot (so the
+// next boot's WAL replay is empty) and the store's file handles.
+func (s *Server) Close() error {
 	if s.mgr == nil {
 		return nil
 	}
 	return s.mgr.Close()
 }
 
-// admit takes an admission token, or reports shed=true when the server is
-// at its concurrency bound. The caller must release() iff admitted.
-func (s *server) admit() (shed bool) {
+// admit takes an admission token, or reports shed=true when the server
+// is at its concurrency bound. The caller must release() iff admitted.
+func (s *Server) admit() (shed bool) {
 	if s.sem == nil {
 		return false
 	}
@@ -220,22 +257,22 @@ func (s *server) admit() (shed bool) {
 	}
 }
 
-func (s *server) release() {
+func (s *Server) release() {
 	if s.sem != nil {
 		<-s.sem
 	}
 }
 
-func (s *server) inflight() int {
+func (s *Server) inflight() int {
 	if s.sem == nil {
 		return 0
 	}
 	return len(s.sem)
 }
 
-// requestContext derives the handler context: the client's, bounded by the
-// per-request deadline.
-func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+// requestContext derives the handler context: the client's, bounded by
+// the per-request deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.cfg.RequestTimeout <= 0 {
 		return r.Context(), func() {}
 	}
@@ -243,22 +280,21 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 }
 
 // guarded wraps a work-bearing handler with the serving policy: shed at
-// the concurrency bound (quotes get 429 — retry the same instance; writes
-// get 503 — go elsewhere), refuse writes while draining, and run the
-// handler under the per-request deadline.
-func (s *server) guarded(isWrite bool, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
+// the concurrency bound (quotes get 429 — retry the same instance;
+// writes get 503 — go elsewhere), refuse writes while draining, and run
+// the handler under the per-request deadline.
+func (s *Server) guarded(isWrite bool, h func(http.ResponseWriter, *http.Request, context.Context)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if isWrite && s.isDraining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining: not accepting writes"})
+			writeRetryable(w, http.StatusServiceUnavailable, "draining: not accepting writes")
 			return
 		}
 		if s.admit() {
-			w.Header().Set("Retry-After", "1")
 			status := http.StatusTooManyRequests
 			if isWrite {
 				status = http.StatusServiceUnavailable
 			}
-			writeJSON(w, status, map[string]string{"error": "overloaded: admission queue full"})
+			writeRetryable(w, status, "overloaded: admission queue full")
 			return
 		}
 		defer s.release()
@@ -268,32 +304,71 @@ func (s *server) guarded(isWrite bool, h func(http.ResponseWriter, *http.Request
 	}
 }
 
-// routes mounts the API.
-func (s *server) routes() *http.ServeMux {
+// statusRecorder captures the status a handler wrote so the metrics
+// middleware can label its counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request counter, latency histogram
+// and shed counter for one route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		code := strconv.Itoa(rec.status)
+		s.m.requests.With(route, code).Inc()
+		s.m.latency.With(route).Observe(time.Since(start).Seconds())
+		if isShed(rec.status, rec.Header()) {
+			s.m.shed.With(route, code).Inc()
+		}
+	}
+}
+
+// isShed is the serving policy's definition of an intentional, retryable
+// refusal — the same classification internal/loadgen applies client-side
+// — as opposed to an error: 429, or 503 carrying Retry-After.
+func isShed(status int, h http.Header) bool {
+	return status == http.StatusTooManyRequests ||
+		(status == http.StatusServiceUnavailable && h.Get("Retry-After") != "")
+}
+
+// Routes mounts the API.
+func (s *Server) Routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /algorithms", s.instrument("/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.List()})
-	})
-	mux.HandleFunc("POST /quote", s.guarded(false, s.handleQuote))
-	mux.HandleFunc("POST /quote/batch", s.guarded(false, s.handleQuoteBatch))
-	mux.HandleFunc("POST /update", s.guarded(true, s.handleUpdate))
-	mux.HandleFunc("POST /purchase", s.guarded(true, s.handlePurchase))
+	}))
+	// /metrics is deliberately not instrumented: scrapes should not
+	// perturb the request counters they report.
+	mux.Handle("GET /metrics", s.m.reg.Handler())
+	mux.HandleFunc("POST /quote", s.instrument("/quote", s.guarded(false, s.handleQuote)))
+	mux.HandleFunc("POST /quote/batch", s.instrument("/quote/batch", s.guarded(false, s.handleQuoteBatch)))
+	mux.HandleFunc("POST /update", s.instrument("/update", s.guarded(true, s.handleUpdate)))
+	mux.HandleFunc("POST /purchase", s.instrument("/purchase", s.guarded(true, s.handlePurchase)))
 	return mux
 }
 
 // handleHealthz is liveness: the process is up and the mux serving. It
 // stays 200 while draining (the process is healthy, just leaving).
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleReadyz is readiness: calibration or restore is complete (implied
-// by the server existing), the instance is not draining, and the admission
-// queue has room. Load balancers route on this.
-func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+// by the server existing), the instance is not draining, and the
+// admission queue has room. Load balancers route on this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.isDraining():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -304,7 +379,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := map[string]any{
 		"support_size": s.broker.SupportSize(),
 		"algorithm":    s.broker.Algorithm(),
@@ -334,14 +409,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, stats)
 }
 
-func (s *server) handleQuote(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request, ctx context.Context) {
 	q, err := decodeQuery(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	if err := ctx.Err(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	quote, err := s.broker.Quote(q)
@@ -352,7 +427,7 @@ func (s *server) handleQuote(w http.ResponseWriter, r *http.Request, ctx context
 	writeJSON(w, http.StatusOK, quote)
 }
 
-func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+func (s *Server) handleQuoteBatch(w http.ResponseWriter, r *http.Request, ctx context.Context) {
 	qs, err := decodeQueryBatch(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -361,7 +436,7 @@ func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request, ctx co
 	quotes, err := s.broker.QuoteBatchContext(ctx, qs)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
@@ -373,27 +448,25 @@ func (s *server) handleQuoteBatch(w http.ResponseWriter, r *http.Request, ctx co
 	writeJSON(w, http.StatusOK, quotes)
 }
 
-func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ctx context.Context) {
 	changes, err := decodeChanges(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	if err := ctx.Err(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	version, ustats, err := s.update(changes)
 	if err != nil {
 		if errors.Is(err, store.ErrDegraded) {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
-	log.Printf("marketd: update applied: version %d, %d changes, %d plan rebases deferred",
-		version, len(changes), ustats.PlansDeferred)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version":        version,
 		"changes":        len(changes),
@@ -401,7 +474,7 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request, ctx contex
 	})
 }
 
-func (s *server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx context.Context) {
 	q, err := decodeQuery(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
@@ -413,13 +486,13 @@ func (s *server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx cont
 		return
 	}
 	if err := ctx.Err(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	ans, receipt, err := s.purchase(q, budget)
 	if err != nil {
 		if errors.Is(err, store.ErrDegraded) {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusPaymentRequired, map[string]string{"error": err.Error()})
@@ -429,7 +502,7 @@ func (s *server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx cont
 }
 
 // update routes a mutation through the durability layer when one exists.
-func (s *server) update(changes []relational.CellChange) (uint64, updateStats, error) {
+func (s *Server) update(changes []relational.CellChange) (uint64, updateStats, error) {
 	if s.mgr != nil {
 		v, st, err := s.mgr.Update(changes)
 		return v, updateStats{PlansDeferred: st.PlansDeferred}, err
@@ -439,7 +512,7 @@ func (s *server) update(changes []relational.CellChange) (uint64, updateStats, e
 }
 
 // purchase routes a sale through the durability layer when one exists.
-func (s *server) purchase(q *relational.SelectQuery, budget float64) (*relational.Result, market.Receipt, error) {
+func (s *Server) purchase(q *relational.SelectQuery, budget float64) (*relational.Result, market.Receipt, error) {
 	if s.mgr != nil {
 		return s.mgr.Purchase(q, budget)
 	}
@@ -504,4 +577,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("marketd: encoding response: %v", err)
 	}
+}
+
+// writeRetryable is writeJSON for refusals the client should retry
+// (admission shed, drain, per-request deadline, degraded store): the
+// Retry-After header marks the response as shed rather than error, for
+// both external clients and the shed metrics.
+func writeRetryable(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, status, map[string]string{"error": msg})
 }

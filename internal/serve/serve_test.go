@@ -1,4 +1,4 @@
-package main
+package serve
 
 // End-to-end serving tests over httptest: the restart contract (a second
 // boot on the same data directory serves byte-identical quotes without
@@ -17,8 +17,8 @@ import (
 )
 
 // testConfig is a small, fast boot: modest support set, two shards.
-func testConfig(dir string) serverConfig {
-	return serverConfig{
+func testConfig(dir string) Config {
+	return Config{
 		DataDir:        dir,
 		SnapshotEvery:  4,
 		Algorithm:      "LPIP",
@@ -74,11 +74,11 @@ func get(t *testing.T, url string) (int, []byte) {
 func TestRestartServesIdenticalQuotes(t *testing.T) {
 	dir := t.TempDir()
 
-	s1, err := newServer(testConfig(dir))
+	s1, err := New(testConfig(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1 := httptest.NewServer(s1.routes())
+	ts1 := httptest.NewServer(s1.Routes())
 
 	if code, body := post(t, ts1.URL+"/update", countryUpdate); code != http.StatusOK {
 		t.Fatalf("update: %d %s", code, body)
@@ -91,19 +91,19 @@ func TestRestartServesIdenticalQuotes(t *testing.T) {
 		t.Fatalf("quote: %d %s", code, want)
 	}
 	ts1.Close()
-	if err := s1.close(); err != nil {
+	if err := s1.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	s2, err := newServer(testConfig(dir))
+	s2, err := New(testConfig(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s2.close()
-	if !s2.restored {
+	defer s2.Close()
+	if !s2.Restored() {
 		t.Fatal("second boot did not restore from the data directory")
 	}
-	ts2 := httptest.NewServer(s2.routes())
+	ts2 := httptest.NewServer(s2.Routes())
 	defer ts2.Close()
 
 	code, got := post(t, ts2.URL+"/quote", countryQuery)
@@ -137,11 +137,11 @@ func TestRestartServesIdenticalQuotes(t *testing.T) {
 func TestServingPolicy(t *testing.T) {
 	cfg := testConfig("") // in-memory: the policy layer is disk-independent
 	cfg.MaxInflight = 2
-	s, err := newServer(cfg)
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Routes())
 	defer ts.Close()
 
 	t.Run("healthy-and-ready", func(t *testing.T) {
@@ -177,6 +177,20 @@ func TestServingPolicy(t *testing.T) {
 		if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
 			t.Fatalf("saturated readyz: %d, want 503", code)
 		}
+
+		// The refusals above must be accounted as shed, not errors.
+		var buf strings.Builder
+		if err := s.Metrics().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			`marketd_http_shed_total{route="/quote",code="429"} 1`,
+			`marketd_http_shed_total{route="/update",code="503"} 1`,
+		} {
+			if !strings.Contains(buf.String(), want) {
+				t.Errorf("metrics missing %q", want)
+			}
+		}
 	})
 
 	t.Run("deadline-propagates-into-batch", func(t *testing.T) {
@@ -190,19 +204,37 @@ func TestServingPolicy(t *testing.T) {
 
 	t.Run("drain", func(t *testing.T) {
 		// Last: draining is one-way for a server instance.
-		s.beginDrain()
+		s.BeginDrain()
 		if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
 			t.Fatalf("draining healthz: %d, want 200 (process is alive)", code)
 		}
 		if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
 			t.Fatalf("draining readyz: %d, want 503", code)
 		}
-		if code, _ := post(t, ts.URL+"/update", countryUpdate); code != http.StatusServiceUnavailable {
+		code, _, hdr := postHdr(t, ts.URL+"/update", countryUpdate)
+		if code != http.StatusServiceUnavailable {
 			t.Fatalf("draining update: %d, want 503", code)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatal("draining refusal missing Retry-After (must classify as shed)")
 		}
 		// Reads keep serving while the drain runs its course.
 		if code, body := post(t, ts.URL+"/quote", countryQuery); code != http.StatusOK {
 			t.Fatalf("draining quote: %d %s", code, body)
 		}
 	})
+}
+
+func postHdr(t *testing.T, url, body string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
 }

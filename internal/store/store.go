@@ -71,6 +71,21 @@ type Store struct {
 	walRecords int
 	walTime    time.Time // last append (or segment creation)
 	walBroken  bool
+
+	// syncObserver, when set, is called after every successful fsync with
+	// the op ("wal" for record appends, "snapshot" for snapshot commits)
+	// and its duration. Serving layers hook it to export fsync latency;
+	// the store itself has no metrics dependency.
+	syncObserver func(op string, d time.Duration)
+}
+
+// SetSyncObserver installs the fsync-latency hook (nil removes it). Call
+// it before the store starts serving appends; the callback runs with the
+// store's mutex held and must not call back into the store.
+func (s *Store) SetSyncObserver(fn func(op string, d time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncObserver = fn
 }
 
 // Open opens (creating if needed) a data directory on the real
@@ -343,9 +358,13 @@ func (s *Store) WriteSnapshot(bs market.BrokerSnapshot) error {
 		_ = f.Close()
 		return fmt.Errorf("store: writing %s: %w", tmp, err)
 	}
+	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("store: syncing %s: %w", tmp, err)
+	}
+	if s.syncObserver != nil {
+		s.syncObserver("snapshot", time.Since(syncStart))
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: closing %s: %w", tmp, err)
@@ -432,6 +451,7 @@ func (s *Store) appendLocked(rec walRecord) error {
 		}
 		return fmt.Errorf("store: WAL append: %w", werr)
 	}
+	syncStart := time.Now()
 	if serr := s.wal.Sync(); serr != nil {
 		// The frame may or may not have reached disk; it is intact either
 		// way (CRC decides at recovery), but we cannot acknowledge it.
@@ -440,6 +460,9 @@ func (s *Store) appendLocked(rec walRecord) error {
 			return fmt.Errorf("store: WAL sync failed (%v) and rollback failed: %w", serr, terr)
 		}
 		return fmt.Errorf("store: WAL sync: %w", serr)
+	}
+	if s.syncObserver != nil {
+		s.syncObserver("wal", time.Since(syncStart))
 	}
 	s.seq = rec.Seq
 	s.walBytes += int64(len(frame))

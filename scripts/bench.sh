@@ -2,7 +2,7 @@
 # bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
 #
 # Usage: scripts/bench.sh [n] [--compare BENCH_<m>.json]
-#   n                PR / trajectory index (default 6); output lands in BENCH_<n>.json
+#   n                PR / trajectory index (default 8); output lands in BENCH_<n>.json
 #   --compare FILE   after writing BENCH_<n>.json, print a per-benchmark
 #                    delta table (ns/op and allocs/op) against FILE and
 #                    exit nonzero if any benchmark regressed more than
@@ -25,6 +25,13 @@
 #                    (default 3; the fastest run per benchmark is recorded,
 #                    so one slow host phase cannot poison the whole group)
 #   BENCHFILTER_BASE / BENCHFILTER_QUOTE  override those group regexps
+#   LOADRATE / LOADDUR / LOADCOUNT  the SLO load group: offered rate
+#                    (default 300 req/s), duration per round (default 4s)
+#                    and rounds (default 2; fastest per entry recorded) of
+#                    `pricebench -experiment load -slo`, whose
+#                    slo_load/<class>_{p50,p95,p99,err_ppm} lines land in
+#                    the JSON alongside the microbenchmarks (docs/LOAD.md);
+#                    LOADCOUNT=0 skips the group
 #
 # The tracked set pins the conflict-set engine: hypergraph construction
 # (serial vs parallel vs incremental vs sharded), the online conflict-set
@@ -35,7 +42,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-n="6"
+n="8"
 compare=""
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -57,6 +64,9 @@ quotetime="${BENCHTIME_QUOTE:-2s}"
 quotecount="${BENCHCOUNT_QUOTE:-3}"
 basefilter="${BENCHFILTER_BASE:-BenchmarkFig4Construction/.*/(serial|parallel)$}"
 quotefilter="${BENCHFILTER_QUOTE:-BenchmarkConflictSet|BenchmarkQuoteBatch|BenchmarkUpdateRequote}"
+loadrate="${LOADRATE:-300}"
+loaddur="${LOADDUR:-4s}"
+loadcount="${LOADCOUNT:-2}"
 out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -85,6 +95,16 @@ done
 for i in $(seq "$quotecount"); do
 	go test -run '^$' -bench "$quotefilter" -benchtime "$quotetime" . | tee -a "$raw"
 done
+# The SLO load group: the full serving stack (internal/serve over
+# httptest) under open-loop mixed traffic; pricebench prints its
+# latency-percentile results as Benchmark-format lines, so the same awk
+# ingests them as slo_load/* entries and --compare gates
+# latency-under-load regressions like any other benchmark.
+if [ "$loadcount" -gt 0 ]; then
+	for i in $(seq "$loadcount"); do
+		go run ./cmd/pricebench -experiment load -rate "$loadrate" -duration "$loaddur" -slo | tee -a "$raw"
+	done
+fi
 
 awk -v pr="$n" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^goos:/   { goos = $2 }

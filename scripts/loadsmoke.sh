@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Load smoke test: boot the real marketd binary with a data directory,
+# drive it with a few seconds of open-loop mixed traffic from the load
+# generator (pricebench -experiment load -load-addr, docs/LOAD.md),
+# scrape /metrics and check the exposition is lint-clean and carries the
+# expected families, then drain with SIGTERM. The generator exits
+# nonzero on any non-shed error, so a 5xx that is not intentional
+# shedding fails the job. The in-process version (with exact
+# client/server counter reconciliation) lives in
+# internal/serve/load_test.go; this exercises the same stack over a real
+# socket, real files and a real signal.
+#
+# Usage: scripts/loadsmoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18081}"
+RATE="${LOADRATE:-120}"
+DUR="${LOADDUR:-3s}"
+DIR="$(mktemp -d)"
+BIN="$DIR/marketd"
+PID=""
+trap 'test -n "$PID" && kill -9 "$PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://localhost:$PORT/readyz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "loadsmoke: server never became ready on :$PORT" >&2
+  exit 1
+}
+
+go build -o "$BIN" ./cmd/marketd
+
+echo "== boot marketd (durable, support 80) =="
+"$BIN" -addr ":$PORT" -data-dir "$DIR/data" -support 80 -shards 2 -seed 1 &
+PID=$!
+wait_ready
+
+echo "== load: $RATE req/s for $DUR =="
+# -seed must match the server's so the generated workload is valid
+# against its dataset; nonzero exit here means non-shed errors.
+go run ./cmd/pricebench -experiment load \
+  -load-addr "localhost:$PORT" -seed 1 -rate "$RATE" -duration "$DUR"
+
+echo "== scrape /metrics =="
+METRICS="$(curl -fsS "http://localhost:$PORT/metrics")"
+for family in \
+  marketd_http_requests_total \
+  marketd_http_request_seconds_bucket \
+  marketd_store_fsync_seconds_bucket \
+  marketd_broker_version \
+  marketd_store_last_seq; do
+  if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
+    echo "loadsmoke: /metrics missing family $family" >&2
+    exit 1
+  fi
+done
+
+# No non-shed 5xx server-side either: every 5xx the server counted must
+# appear in the shed counter (503 + Retry-After); a plain 500 would not.
+FIVEXX="$(printf '%s\n' "$METRICS" | awk '/^marketd_http_requests_total\{.*code="5/ {s += $2} END {print s + 0}')"
+SHED5="$(printf '%s\n' "$METRICS" | awk '/^marketd_http_shed_total\{.*code="5/ {s += $2} END {print s + 0}')"
+if [ "$FIVEXX" != "$SHED5" ]; then
+  echo "loadsmoke: $FIVEXX server 5xx responses but only $SHED5 were shed" >&2
+  exit 1
+fi
+
+echo "== drain (SIGTERM) =="
+kill -TERM "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "loadsmoke: ok ($FIVEXX 5xx, all intentional shed)"
