@@ -1,14 +1,18 @@
 package main
 
-// The sustained-load SLO experiment (docs/LOAD.md): boot the real
+// The sustained-load SLO experiments (docs/LOAD.md): boot the real
 // marketd serving stack in-process (internal/serve over httptest) — or
 // target an already-running marketd via -load-addr — and drive it with
 // open-loop mixed traffic (internal/loadgen) at a configured rate, mix
-// and duration. Reports per-class throughput, shed/error counts and
-// p50/p95/p99 latency; with -slo it also prints Benchmark-format
-// slo_load lines that scripts/bench.sh folds into BENCH_<n>.json, so the
-// bench-compare gate catches latency-under-load regressions the same way
-// it catches microbenchmark ones.
+// and duration. "load" runs the default serving mix; "ingest" runs the
+// streaming-ingest mix, where updates dominate the write share and half
+// the update bodies are full-row inserts, so the database grows while
+// quotes keep serving. Both report per-class throughput, shed/error
+// counts and p50/p95/p99 latency; with -slo they also print
+// Benchmark-format slo_load / slo_ingest lines that scripts/bench.sh
+// folds into BENCH_<n>.json, so the bench-compare gate catches
+// latency-under-load regressions the same way it catches
+// microbenchmark ones.
 
 import (
 	"fmt"
@@ -60,15 +64,31 @@ func parseMix(s string) (loadgen.Mix, error) {
 	return m, nil
 }
 
-func (r *runner) runLoad() error {
+// runLoad drives the default serving mix; runIngest drives the
+// streaming-ingest mix (update-heavy, half the update bodies full-row
+// inserts) and additionally reports database growth. Both share
+// runLoadExperiment and differ only in mix, workload shape and the
+// slo_<group> name their -slo lines carry.
+func (r *runner) runLoad() error   { return r.runLoadExperiment(false) }
+func (r *runner) runIngest() error { return r.runLoadExperiment(true) }
+
+func (r *runner) runLoadExperiment(ingest bool) error {
 	mix, err := parseMix(r.loadMix)
 	if err != nil {
 		return err
+	}
+	group := "load"
+	if ingest {
+		group = "ingest"
+		if mix == (loadgen.Mix{}) {
+			mix = loadgen.StreamingIngestMix()
+		}
 	}
 
 	var (
 		baseURL string
 		db      *relational.Database
+		srv     *serve.Server
 	)
 	if r.loadAddr != "" {
 		baseURL = strings.TrimSuffix(r.loadAddr, "/")
@@ -79,7 +99,7 @@ func (r *runner) runLoad() error {
 		// regenerate the marketd demo world with the same -seed the server
 		// was started with.
 		db = datagen.World(datagen.WorldConfig{Countries: 239, Cities: 800, Seed: r.seed})
-		fmt.Printf("== load: targeting %s (workload regenerated at seed %d) ==\n", baseURL, r.seed)
+		fmt.Printf("== %s: targeting %s (workload regenerated at seed %d) ==\n", group, baseURL, r.seed)
 	} else {
 		supportN := r.supportN
 		if supportN <= 0 {
@@ -111,18 +131,24 @@ func (r *runner) runLoad() error {
 		defer ts.Close()
 		baseURL = ts.URL
 		db = s.Broker().DB()
-		fmt.Printf("== load: in-process marketd (support %d, durable, booted in %v) ==\n",
-			supportN, time.Since(start).Round(time.Millisecond))
+		srv = s
+		fmt.Printf("== %s: in-process marketd (support %d, durable, booted in %v) ==\n",
+			group, supportN, time.Since(start).Round(time.Millisecond))
 	}
 
 	queries := workloads.Skewed(db)
 	if len(queries) > 200 {
 		queries = queries[:200]
 	}
-	w, err := loadgen.NewWorkload(db, queries, loadgen.WorkloadConfig{Seed: r.seed})
+	wcfg := loadgen.WorkloadConfig{Seed: r.seed}
+	if ingest {
+		wcfg.IngestFraction = 0.5
+	}
+	w, err := loadgen.NewWorkload(db, queries, wcfg)
 	if err != nil {
 		return err
 	}
+	rowsBefore := countRows(db)
 
 	cfg := loadgen.Config{
 		BaseURL:  baseURL,
@@ -144,17 +170,35 @@ func (r *runner) runLoad() error {
 	}
 	fmt.Println(res)
 
+	if srv != nil {
+		// In-process only: with -load-addr the remote database is opaque.
+		cur := srv.Broker().DB()
+		fmt.Printf("database: %d -> %d rows (version %d)\n", rowsBefore, countRows(cur), srv.Broker().Version())
+		if ingest && countRows(cur) <= rowsBefore && res.Class(loadgen.ClassUpdate).OK > 0 {
+			return fmt.Errorf("ingest run applied updates but the database did not grow")
+		}
+	}
 	if err := checkMetrics(baseURL); err != nil {
 		return err
 	}
 	if r.loadSLO {
 		// Benchmark-format lines for scripts/bench.sh (see docs/LOAD.md).
-		fmt.Print(res.SLOLines())
+		fmt.Print(res.SLOLinesNamed(group))
 	}
 	if n := res.NonShedErrors(); n > 0 {
-		return fmt.Errorf("load run produced %d non-shed errors", n)
+		return fmt.Errorf("%s run produced %d non-shed errors", group, n)
 	}
 	return nil
+}
+
+// countRows sums physical slots (live + tombstoned) across all tables —
+// inserts grow it monotonically, which is the ingest signal we report.
+func countRows(db *relational.Database) int {
+	n := 0
+	for _, tn := range db.TableNames() {
+		n += db.Table(tn).NumRows()
+	}
+	return n
 }
 
 // checkMetrics scrapes GET /metrics and validates the exposition format.

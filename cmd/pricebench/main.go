@@ -53,6 +53,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"live-updates", "base-database update latency and plan survival (docs/UPDATES.md)"},
 	{"restart", "calibrate vs snapshot-restore boot cost and quote identity (docs/OPERATIONS.md)"},
 	{"load", "sustained-load SLO harness: open-loop mixed traffic vs marketd (docs/LOAD.md)"},
+	{"ingest", "streaming-ingest load: insert-bearing update mix vs marketd (docs/LOAD.md)"},
 }
 
 func main() {
@@ -83,7 +84,7 @@ func realMain() int {
 		loadMix     = flag.String("mix", "", "load experiment: traffic mix, e.g. quote=0.85,batch=0.05,update=0.05,purchase=0.05 (empty = that default)")
 		loadAddr    = flag.String("load-addr", "", "load experiment: target a running marketd at this address instead of booting in-process (its -seed must match)")
 		loadWorkers = flag.Int("load-workers", 0, "load experiment: open-loop lanes (0 = scaled to rate)")
-		loadSLO     = flag.Bool("slo", false, "load experiment: print Benchmark-format slo_load lines for scripts/bench.sh")
+		loadSLO     = flag.Bool("slo", false, "load/ingest experiments: print Benchmark-format slo_<experiment> lines for scripts/bench.sh")
 	)
 	flag.Parse()
 
@@ -300,6 +301,8 @@ func (r *runner) run(id string) error {
 		return r.runRestart()
 	case "load":
 		return r.runLoad()
+	case "ingest":
+		return r.runIngest()
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

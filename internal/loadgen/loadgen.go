@@ -65,6 +65,13 @@ type Mix struct {
 // 85% single quotes, 5% batches, 5% updates, 5% purchases.
 func DefaultMix() Mix { return Mix{Quote: 0.85, Batch: 0.05, Update: 0.05, Purchase: 0.05} }
 
+// StreamingIngestMix returns the write-heavy mix for ingest experiments:
+// 55% quotes, 5% batches, 35% updates, 5% purchases. Pair it with a
+// workload built with WorkloadConfig.IngestFraction > 0 so a share of
+// those updates are row inserts — the database then grows for the whole
+// run while quotes keep being served off it.
+func StreamingIngestMix() Mix { return Mix{Quote: 0.55, Batch: 0.05, Update: 0.35, Purchase: 0.05} }
+
 // weights returns the class weights in Classes order.
 func (m Mix) weights() [4]float64 {
 	return [4]float64{m.Quote, m.Batch, m.Update, m.Purchase}
@@ -138,6 +145,16 @@ type WorkloadConfig struct {
 	// UpdateBatch is the number of cell changes per update body
 	// (default 1 — the fine-grained live-update shape).
 	UpdateBatch int
+	// IngestFraction is the fraction of update bodies that are row
+	// inserts (streaming ingest) instead of cell flips; 0 keeps the
+	// historical cell-only pool. Inserts stay valid no matter how often
+	// the run replays them (every insert appends a fresh row), which is
+	// what lets an open-loop generator cycle a fixed body pool. Deletes
+	// are deliberately absent: a delete body is valid at most once (row
+	// identity is born server-side and dies with the tombstone), so
+	// delete traffic belongs to the closed-loop durability and
+	// equivalence suites, not a replayed pool.
+	IngestFraction float64
 	// Seed drives the random cell-change generation.
 	Seed int64
 	// Budget is the purchase budget (default 1e18: always affordable).
@@ -191,14 +208,37 @@ func NewWorkload(db *relational.Database, queries []*relational.SelectQuery, cfg
 	names := db.TableNames()
 	for len(w.Updates) < cfg.Updates {
 		changes := make([]relational.CellChange, 0, cfg.UpdateBatch)
+		if rng.Float64() < cfg.IngestFraction {
+			// Ingest body: UpdateBatch full-row inserts, values drawn from
+			// each column's active domain (NULL for empty domains).
+			for len(changes) < cfg.UpdateBatch {
+				tn := names[rng.Intn(len(names))]
+				t := db.Table(tn)
+				vals := make([]relational.Value, len(t.Schema.Cols))
+				for ci := range vals {
+					domain := db.ActiveDomain(tn, t.Schema.Cols[ci].Name)
+					if len(domain) == 0 {
+						vals[ci] = relational.Null()
+					} else {
+						vals[ci] = domain[rng.Intn(len(domain))]
+					}
+				}
+				changes = append(changes, relational.RowInsert(tn, vals...))
+			}
+		}
+		used := make(map[[3]interface{}]bool)
 		for len(changes) < cfg.UpdateBatch {
 			tn := names[rng.Intn(len(names))]
 			t := db.Table(tn)
 			row, col := rng.Intn(t.NumRows()), rng.Intn(len(t.Schema.Cols))
+			if used[[3]interface{}{tn, row, col}] {
+				continue
+			}
 			domain := db.ActiveDomain(tn, t.Schema.Cols[col].Name)
 			if len(domain) < 2 {
 				continue
 			}
+			used[[3]interface{}{tn, row, col}] = true
 			changes = append(changes, relational.CellChange{
 				Table: tn, Row: row, Col: col, New: domain[rng.Intn(len(domain))],
 			})
@@ -335,7 +375,12 @@ func (r *Result) String() string {
 // harness's ns/op slot) and the error rate in parts per million of
 // requests sent (same slot, documented in docs/LOAD.md). Status-ordered
 // and deterministic, so trajectory diffs are stable.
-func (r *Result) SLOLines() string {
+func (r *Result) SLOLines() string { return r.SLOLinesNamed("load") }
+
+// SLOLinesNamed is SLOLines under a caller-chosen group name, so
+// distinct experiments (the default serving mix, the streaming-ingest
+// mix) record separate slo_<group>/* trajectories in BENCH_<n>.json.
+func (r *Result) SLOLinesNamed(group string) string {
 	var sb strings.Builder
 	for _, c := range Classes {
 		cr, ok := r.Classes[c]
@@ -346,9 +391,9 @@ func (r *Result) SLOLines() string {
 			name string
 			p    float64
 		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
-			fmt.Fprintf(&sb, "Benchmarkslo_load/%s_%s 1 %d ns/op\n", c, q.name, cr.Latency.Quantile(q.p).Nanoseconds())
+			fmt.Fprintf(&sb, "Benchmarkslo_%s/%s_%s 1 %d ns/op\n", group, c, q.name, cr.Latency.Quantile(q.p).Nanoseconds())
 		}
-		fmt.Fprintf(&sb, "Benchmarkslo_load/%s_err_ppm 1 %d ns/op\n", c, int64(float64(cr.Errors)*1e6/float64(cr.Sent)))
+		fmt.Fprintf(&sb, "Benchmarkslo_%s/%s_err_ppm 1 %d ns/op\n", group, c, int64(float64(cr.Errors)*1e6/float64(cr.Sent)))
 	}
 	return sb.String()
 }

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,10 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"querypricing/internal/datagen"
+	"querypricing/internal/relational"
+	"querypricing/internal/workloads"
 )
 
 func TestHistQuantiles(t *testing.T) {
@@ -253,5 +258,61 @@ func TestSLOLinesFormat(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("SLO lines missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestNewWorkloadIngestBodies: IngestFraction controls how many update
+// bodies are row-insert batches, and every generated body — ingest or
+// cell-flip — is valid against the source database.
+func TestNewWorkloadIngestBodies(t *testing.T) {
+	db := datagen.World(datagen.WorldConfig{Countries: 20, Cities: 40, Seed: 3})
+	queries := workloads.Skewed(db)[:4]
+
+	for _, frac := range []float64{0, 1} {
+		w, err := NewWorkload(db, queries, WorkloadConfig{Seed: 9, Updates: 32, UpdateBatch: 2, IngestFraction: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserts := 0
+		for i, body := range w.Updates {
+			var changes []relational.CellChange
+			if err := json.Unmarshal(body, &changes); err != nil {
+				t.Fatalf("frac=%g: body %d does not decode: %v", frac, i, err)
+			}
+			if err := db.ValidateChanges(changes); err != nil {
+				t.Fatalf("frac=%g: body %d invalid against db: %v", frac, i, err)
+			}
+			for _, c := range changes {
+				if c.Op == relational.OpRowInsert {
+					inserts++
+					if c.Row != -1 || len(c.Vals) != len(db.Table(c.Table).Schema.Cols) {
+						t.Fatalf("frac=%g: malformed insert %+v", frac, c)
+					}
+				}
+			}
+		}
+		if frac == 0 && inserts != 0 {
+			t.Fatalf("cell-only workload generated %d inserts", inserts)
+		}
+		if frac == 1 && inserts != 2*len(w.Updates) {
+			t.Fatalf("ingest workload generated %d inserts, want %d", inserts, 2*len(w.Updates))
+		}
+	}
+}
+
+// TestStreamingIngestMixShape: the ingest mix is update-heavy but still
+// majority reads, and normalizes cleanly.
+func TestStreamingIngestMixShape(t *testing.T) {
+	m := StreamingIngestMix()
+	if m.Update < 0.2 || m.Quote <= m.Update {
+		t.Fatalf("ingest mix shape off: %s", m.String())
+	}
+	w := m.weights()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ingest mix weights sum to %g", sum)
 	}
 }

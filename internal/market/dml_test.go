@@ -1,0 +1,217 @@
+package market
+
+// DML at the broker layer: the PR 9 acceptance property. Insert/delete
+// batches absorbed through Broker.Update must produce quotes
+// byte-identical to a freshly calibrated broker over the post-change
+// database, across all four workloads and shard counts K ∈ {1, 2,
+// NumCPU} — and metamorphic round-trips (insert a row, then delete it)
+// must restore byte-identical quotes. Runs under -race in CI.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+)
+
+// brokerRandomDML draws a mixed insert/delete/update batch honoring
+// Apply's batch rules, with inserts left un-normalized (Row -1) the way
+// a live client submits them. Tables keep at least three live rows.
+func brokerRandomDML(rng *rand.Rand, db *relational.Database, n int) []relational.CellChange {
+	names := db.TableNames()
+	var out []relational.CellChange
+	type rc struct {
+		table string
+		row   int
+	}
+	usedCell := make(map[[2]interface{}]bool)
+	touched := make(map[rc]bool)
+	deleted := make(map[rc]bool)
+	pendingDeletes := make(map[string]int)
+	for guard := 0; len(out) < n && guard < 200*n; guard++ {
+		tn := names[rng.Intn(len(names))]
+		tab := db.Table(tn)
+		switch op := rng.Intn(10); {
+		case op < 6 && tab.NumRows() > 0: // cell update
+			row, col := rng.Intn(tab.NumRows()), rng.Intn(len(tab.Schema.Cols))
+			k := rc{tn, row}
+			if !tab.Alive(row) || deleted[k] || usedCell[[2]interface{}{k, col}] {
+				continue
+			}
+			domain := db.ActiveDomain(tn, tab.Schema.Cols[col].Name)
+			if len(domain) == 0 {
+				continue
+			}
+			usedCell[[2]interface{}{k, col}] = true
+			touched[k] = true
+			out = append(out, relational.CellChange{
+				Table: tn, Row: row, Col: col, New: domain[rng.Intn(len(domain))],
+			})
+		case op < 8: // insert
+			vals := make([]relational.Value, len(tab.Schema.Cols))
+			for ci := range vals {
+				domain := db.ActiveDomain(tn, tab.Schema.Cols[ci].Name)
+				if len(domain) == 0 {
+					vals[ci] = relational.Null()
+				} else {
+					vals[ci] = domain[rng.Intn(len(domain))]
+				}
+			}
+			out = append(out, relational.RowInsert(tn, vals...))
+		default: // delete
+			if tab.NumRows() == 0 || tab.LiveRows()-pendingDeletes[tn] <= 3 {
+				continue
+			}
+			row := rng.Intn(tab.NumRows())
+			k := rc{tn, row}
+			if !tab.Alive(row) || deleted[k] || touched[k] {
+				continue
+			}
+			deleted[k] = true
+			pendingDeletes[tn]++
+			out = append(out, relational.RowDelete(tn, row))
+		}
+	}
+	return out
+}
+
+// TestUpdateDMLQuotesMatchFreshBroker is the PR 9 acceptance property:
+// for every workload and shard count, a broker that absorbed chained
+// mixed insert/delete/update batches via Broker.Update quotes
+// byte-identically to a fresh broker built over the final database with
+// the same support neighbors and the same calibration.
+func TestUpdateDMLQuotesMatchFreshBroker(t *testing.T) {
+	for _, w := range []string{"skewed", "uniform", "ssb", "tpch"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			db, qs := updateScenario(t, w)
+			rng := rand.New(rand.NewSource(int64(len(w)) * 53))
+			set, err := support.Generate(db, support.GenOptions{Size: 60, Seed: 5, DeltasPerNeighbor: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				cfg := Config{Seed: 5, Shards: k, LPIPCandidates: 4}
+				live, err := NewBrokerWithSupport(db,
+					&support.Set{DB: db, Neighbors: set.Neighbors, Shards: k}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Warm plan caches pre-update so DML maintenance has real
+				// compiled state to carry forward.
+				if _, err := live.QuoteBatch(qs); err != nil {
+					t.Fatal(err)
+				}
+				const rounds = 3
+				for round := 0; round < rounds; round++ {
+					changes := brokerRandomDML(rng, live.DB(), 1+rng.Intn(5))
+					version, _, err := live.Update(changes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if version != uint64(round+1) {
+						t.Fatalf("K=%d: version after DML update %d = %d", k, round+1, version)
+					}
+				}
+				fresh, err := NewBrokerWithSupport(live.DB(),
+					&support.Set{DB: live.DB(), Neighbors: set.Neighbors, Shards: k}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := live.Calibrate(qs, valuation.Uniform{K: 90}, UIP); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fresh.Calibrate(qs, valuation.Uniform{K: 90}, UIP); err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range qs {
+					a, err := live.Quote(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := fresh.Quote(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a != b {
+						t.Fatalf("%s/K=%d/%s: updated broker quote %+v != fresh broker %+v", w, k, q.Name, a, b)
+					}
+					if a.Version != rounds {
+						t.Fatalf("%s: quote version = %d, want %d", q.Name, a.Version, rounds)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInsertThenDeleteRoundTripsQuotes is the metamorphic round-trip
+// property: inserting rows and then deleting exactly those rows restores
+// quotes byte-identical to the pre-insert broker (modulo the version
+// stamp, which records history). Row identity makes this exact: the
+// inserted slots tombstone away and every pre-existing coordinate is
+// untouched.
+func TestInsertThenDeleteRoundTripsQuotes(t *testing.T) {
+	db, qs := updateScenario(t, "skewed")
+	b, err := NewBroker(db, Config{SupportSize: 60, Seed: 9, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Calibrate(qs, valuation.Uniform{K: 80}, UIP); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]Quote, len(qs))
+	for i, q := range qs {
+		quote, err := b.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = quote
+	}
+	// Insert one row per table, learning the assigned slots from
+	// NormalizeChanges — the same assignment Broker.Update performs.
+	rng := rand.New(rand.NewSource(41))
+	var inserts []relational.CellChange
+	for _, tn := range db.TableNames() {
+		tab := db.Table(tn)
+		vals := make([]relational.Value, len(tab.Schema.Cols))
+		for ci := range vals {
+			domain := db.ActiveDomain(tn, tab.Schema.Cols[ci].Name)
+			if len(domain) == 0 {
+				vals[ci] = relational.Null()
+			} else {
+				vals[ci] = domain[rng.Intn(len(domain))]
+			}
+		}
+		inserts = append(inserts, relational.RowInsert(tn, vals...))
+	}
+	norm, err := b.DB().NormalizeChanges(inserts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Update(inserts); err != nil {
+		t.Fatal(err)
+	}
+	var deletes []relational.CellChange
+	for _, c := range norm {
+		deletes = append(deletes, relational.RowDelete(c.Table, c.Row))
+	}
+	if _, _, err := b.Update(deletes); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		after, err := b.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := before[i]
+		want.Version = 2 // two updates happened; everything else round-trips
+		if after != want {
+			t.Fatalf("%s: round-trip quote %+v != pre-insert %+v", q.Name, after, want)
+		}
+	}
+}

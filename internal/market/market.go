@@ -250,7 +250,8 @@ func (b *Broker) Version() uint64 { return b.state.Load().version }
 // evaluate queries against it freely.
 func (b *Broker) DB() *relational.Database { return b.state.Load().db }
 
-// Update applies a batch of cell changes to the seller's database and
+// Update applies a batch of changes — cell updates, row inserts, row
+// deletes (relational.ChangeOp) — to the seller's database and
 // publishes the successor pricing snapshot with one atomic swap: a new
 // database version (relational.Database.Apply), the support set advanced
 // onto it lazily (cached plans carried over with their delta maintenance
@@ -277,11 +278,18 @@ func (b *Broker) Update(changes []relational.CellChange) (uint64, support.Update
 	b.calMu.Lock()
 	defer b.calMu.Unlock()
 	st := b.state.Load()
-	newDB, err := st.db.Apply(changes)
+	// Normalize first so every insert names the slot Apply assigns it;
+	// the engine layers (plan rebasing, pooled join indexes) consume
+	// slot-addressed batches only.
+	norm, err := st.db.NormalizeChanges(changes)
 	if err != nil {
 		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
 	}
-	newSet, stats := st.set.Advance(newDB, changes)
+	newDB, err := st.db.Apply(norm)
+	if err != nil {
+		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
+	}
+	newSet, stats := st.set.Advance(newDB, norm)
 	b.plansDeferred.Add(int64(stats.PlansDeferred))
 	b.state.Store(&marketState{
 		version: newDB.Version(),

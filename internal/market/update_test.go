@@ -58,18 +58,23 @@ func updateScenario(t *testing.T, workload string) (*relational.Database, []*rel
 }
 
 // brokerRandomUpdate draws an update batch from the database's active
-// domains.
+// domains: distinct cells, live rows only (Apply's batch rules).
 func brokerRandomUpdate(rng *rand.Rand, db *relational.Database, n int) []relational.CellChange {
 	names := db.TableNames()
 	var out []relational.CellChange
+	used := make(map[[3]interface{}]bool, n)
 	for len(out) < n {
 		tn := names[rng.Intn(len(names))]
 		tab := db.Table(tn)
 		row, col := rng.Intn(tab.NumRows()), rng.Intn(len(tab.Schema.Cols))
+		if !tab.Alive(row) || used[[3]interface{}{tn, row, col}] {
+			continue
+		}
 		domain := db.ActiveDomain(tn, tab.Schema.Cols[col].Name)
 		if len(domain) == 0 {
 			continue
 		}
+		used[[3]interface{}{tn, row, col}] = true
 		out = append(out, relational.CellChange{
 			Table: tn, Row: row, Col: col, New: domain[rng.Intn(len(domain))],
 		})

@@ -22,20 +22,25 @@ const DefaultCacheSize = 4096
 // per batch, and the log never grows without bound.
 const MaxPendingBatches = 64
 
-// ChangeBatch is one applied update batch in a pending log: the cell
-// changes that carried the base database from version ToVersion-1 to
-// ToVersion. Pool logs additionally capture each cell's pre-change value
-// (Old) at Advance time, so a pending log never pins predecessor database
-// snapshots alive.
+// ChangeBatch is one applied update batch in a pending log: the changes
+// (cell updates, row inserts, row deletes) that carried the base database
+// from version ToVersion-1 to ToVersion. Pool logs additionally capture
+// pre-change values (Old, OldRows) at Advance time, so a pending log
+// never pins predecessor database snapshots alive.
 type ChangeBatch struct {
 	// ToVersion is the database version the batch produced.
 	ToVersion uint64
-	// Changes is the batch's cell-change list, in application order.
+	// Changes is the batch's change list, in application order.
 	Changes []relational.CellChange
-	// Old holds, index-aligned with Changes, each cell's value in the
-	// predecessor snapshot. Only the IndexPool's lazy index patcher reads
-	// it; cache logs leave it nil (Rebase needs no pre-change values).
+	// Old holds, index-aligned with Changes, each cell update's value in
+	// the predecessor snapshot. Only the IndexPool's lazy index patcher
+	// reads it; cache logs leave it nil (Rebase needs no pre-change
+	// values).
 	Old []relational.Value
+	// OldRows holds, index-aligned with Changes, each row delete's full
+	// predecessor row (the patcher must unindex every column's old value).
+	// nil when the batch deletes nothing; non-delete entries are nil.
+	OldRows [][]relational.Value
 }
 
 // coalesceRange concatenates, in order, the changes of every pending batch
@@ -61,6 +66,64 @@ func coalesceRange(pending []ChangeBatch, fromVersion, toVersion uint64) []relat
 		if b.ToVersion > fromVersion && b.ToVersion <= toVersion {
 			out = append(out, b.Changes...)
 		}
+	}
+	return out
+}
+
+// consolidateWindow collapses a composite change window to its net effect
+// before any plan sees it: duplicate cell updates keep their first
+// position with the last value — exactly the consolidation every plan's
+// relevantChanges would otherwise redo. Only rows untouched by inserts or
+// deletes are collapsed; DML rows keep their changes verbatim so the
+// group semantics (births, deaths, in-window invisibility, table-resize
+// accounting) stay with the rebase pass that owns them. A thousand-plan
+// drain then pays per-plan work proportional to the net change set, not
+// the raw window length. Returns the input unchanged when nothing
+// collapses or the window holds a shape it cannot reason about.
+func consolidateWindow(changes []relational.CellChange) []relational.CellChange {
+	type rowKey struct {
+		table string
+		row   int
+	}
+	var dml map[rowKey]bool
+	for _, c := range changes {
+		switch c.Op {
+		case relational.OpCellUpdate:
+			continue
+		case relational.OpRowInsert:
+			if c.Row < 0 {
+				return changes // slot not yet assigned: row is unaddressable
+			}
+		case relational.OpRowDelete:
+		default:
+			return changes // unknown op: let relevantChanges reject it
+		}
+		if dml == nil {
+			dml = make(map[rowKey]bool)
+		}
+		dml[rowKey{c.Table, c.Row}] = true
+	}
+	type cellKey struct {
+		table    string
+		row, col int
+	}
+	idx := make(map[cellKey]int, len(changes))
+	out := make([]relational.CellChange, 0, len(changes))
+	for _, c := range changes {
+		if c.Op != relational.OpCellUpdate || (dml != nil && dml[rowKey{c.Table, c.Row}]) {
+			out = append(out, c)
+			continue
+		}
+		k := cellKey{c.Table, c.Row, c.Col}
+		if i, seen := idx[k]; seen {
+			out[i].New = c.New // later change to the same cell wins
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, c)
+	}
+	if len(out) == len(changes) {
+		return changes // nothing collapsed: keep the shared slice
 	}
 	return out
 }
@@ -162,20 +225,57 @@ func (p *IndexPool) Advance(newDB *relational.Database, changes []relational.Cel
 		scans:   make(map[scanPoolKey]*scanEntry),
 		sorted:  make(map[indexPoolKey]*sortedEntry),
 	}
-	// Capture each valid cell's pre-change value now, from the receiver's
-	// snapshot, so the pending log carries plain values instead of keeping
-	// whole predecessor databases reachable. Invalid coordinates (which
-	// Apply rejects upstream anyway) are dropped here, exactly as the
-	// patcher used to skip them.
+	// Capture each valid change's pre-change state now, from the
+	// receiver's snapshot, so the pending log carries plain values instead
+	// of keeping whole predecessor databases reachable: a cell update's
+	// old value, a delete's full old row (one immutable row slice, not the
+	// whole database), and for inserts the concrete slot Apply assigns
+	// (base slot count plus inserts already seen for the table). Invalid
+	// coordinates (which Apply rejects upstream anyway) are dropped here,
+	// exactly as the patcher used to skip them.
 	cs := make([]relational.CellChange, 0, len(changes))
 	old := make([]relational.Value, 0, len(changes))
+	var oldRows [][]relational.Value // lazily built: nil until a delete is kept
+	var insertsSeen map[string]int
 	for _, c := range changes {
 		t := p.db.Table(c.Table)
-		if t == nil || c.Row < 0 || c.Row >= len(t.Rows) || c.Col < 0 || c.Col >= len(t.Rows[c.Row]) {
+		if t == nil {
 			continue
 		}
-		cs = append(cs, c)
-		old = append(old, t.Rows[c.Row][c.Col])
+		switch c.Op {
+		case relational.OpRowInsert:
+			if insertsSeen == nil {
+				insertsSeen = make(map[string]int)
+			}
+			slot := len(t.Rows) + insertsSeen[c.Table]
+			insertsSeen[c.Table]++
+			if c.Row >= 0 {
+				slot = c.Row // already normalized upstream
+			}
+			c.Row = slot
+			cs = append(cs, c)
+			old = append(old, relational.Value{})
+		case relational.OpRowDelete:
+			if c.Row < 0 || c.Row >= len(t.Rows) || t.Rows[c.Row] == nil {
+				continue
+			}
+			if oldRows == nil {
+				oldRows = make([][]relational.Value, len(cs), cap(cs))
+			}
+			cs = append(cs, c)
+			old = append(old, relational.Value{})
+			oldRows = append(oldRows, t.Rows[c.Row])
+			continue
+		default:
+			if c.Row < 0 || c.Row >= len(t.Rows) || t.Rows[c.Row] == nil || c.Col < 0 || c.Col >= len(t.Rows[c.Row]) {
+				continue
+			}
+			cs = append(cs, c)
+			old = append(old, t.Rows[c.Row][c.Col])
+		}
+		if oldRows != nil {
+			oldRows = append(oldRows, nil) // keep index alignment with cs
+		}
 	}
 	p.mu.Lock()
 	minV := newDB.Version()
@@ -193,7 +293,7 @@ func (p *IndexPool) Advance(newDB *relational.Database, changes []relational.Cel
 			np.pending = append(np.pending, b)
 		}
 	}
-	np.pending = append(np.pending, ChangeBatch{ToVersion: newDB.Version(), Changes: cs, Old: old})
+	np.pending = append(np.pending, ChangeBatch{ToVersion: newDB.Version(), Changes: cs, Old: old, OldRows: oldRows})
 	if len(np.pending) > MaxPendingBatches {
 		for key, e := range np.m {
 			if e.version != np.version {
@@ -212,31 +312,73 @@ func (p *IndexPool) Advance(newDB *relational.Database, changes []relational.Cel
 // data and the entry passed in, never p.m.
 func (p *IndexPool) patchEntry(key indexPoolKey, e *poolEntry) *poolEntry {
 	// Coalesce: per touched row, the value the entry currently indexes
-	// (the first newer batch's captured pre-change value) and the final
-	// value (the last change in the last touching batch).
+	// when the window opens (absent for rows born inside it) and the final
+	// value when it closes (absent for rows dead at its end). A NULL and
+	// an absent value patch identically — neither carries a posting — so
+	// one Value pair with presence flags covers all three ops.
+	type rowState struct {
+		old, new               relational.Value
+		oldPresent, newPresent bool
+	}
 	var order []int
-	oldVals := make(map[int]relational.Value)
-	newVals := make(map[int]relational.Value)
+	states := make(map[int]*rowState)
+	touch := func(row int) (*rowState, bool) {
+		st, seen := states[row]
+		if !seen {
+			st = &rowState{}
+			states[row] = st
+			order = append(order, row)
+		}
+		return st, seen
+	}
 	for _, b := range p.pending {
 		if b.ToVersion <= e.version {
 			continue
 		}
 		for ci, c := range b.Changes {
-			if c.Table != key.table || c.Col != key.col {
+			if c.Table != key.table {
 				continue
 			}
-			if _, seen := oldVals[c.Row]; !seen {
-				oldVals[c.Row] = b.Old[ci]
-				order = append(order, c.Row)
+			switch c.Op {
+			case relational.OpRowInsert:
+				st, _ := touch(c.Row) // born in the window: no old side
+				if key.col < len(c.Vals) {
+					st.new, st.newPresent = c.Vals[key.col], true
+				}
+			case relational.OpRowDelete:
+				st, seen := touch(c.Row)
+				if !seen {
+					// First touch: the entry indexes the predecessor row's
+					// value at this column.
+					if ci < len(b.OldRows) && b.OldRows[ci] != nil && key.col < len(b.OldRows[ci]) {
+						st.old, st.oldPresent = b.OldRows[ci][key.col], true
+					}
+				}
+				st.new, st.newPresent = relational.Value{}, false
+			default:
+				if c.Col != key.col {
+					continue
+				}
+				st, seen := touch(c.Row)
+				if !seen {
+					st.old, st.oldPresent = b.Old[ci], true
+				}
+				st.new, st.newPresent = c.New, true
 			}
-			newVals[c.Row] = c.New
 		}
 	}
 	idx := e.idx
 	cloned := false
 	var oldKey, newKey []byte
 	for _, row := range order {
-		ov, nv := oldVals[row], newVals[row]
+		st := states[row]
+		ov, nv := st.old, st.new
+		if !st.oldPresent {
+			ov = relational.Null() // absent rows carry no posting, like NULL
+		}
+		if !st.newPresent {
+			nv = relational.Null()
+		}
 		if ov.IsNull() && nv.IsNull() || !ov.IsNull() && !nv.IsNull() && sameKey(ov, nv) {
 			continue // key encoding unchanged: postings stay valid
 		}
@@ -318,7 +460,7 @@ func (p *IndexPool) getSorted(table string, col int, rows [][]relational.Value) 
 	p.mu.Unlock()
 	order := make([]int32, 0, len(rows))
 	for ri, row := range rows {
-		if !row[col].IsNull() {
+		if row != nil && !row[col].IsNull() {
 			order = append(order, int32(ri))
 		}
 	}
@@ -368,6 +510,9 @@ func hashRows(rows [][]relational.Value, col int) map[string][]int32 {
 	keys, counts, buf := ar.keys, ar.counts[:0], ar.buf
 	n := 0
 	for _, row := range rows {
+		if row == nil {
+			continue // tombstoned slot
+		}
 		v := row[col]
 		if v.IsNull() {
 			continue
@@ -394,6 +539,9 @@ func hashRows(rows [][]relational.Value, col int) map[string][]int32 {
 		off += int(c)
 	}
 	for pos, row := range rows {
+		if row == nil {
+			continue
+		}
 		v := row[col]
 		if v.IsNull() {
 			continue
@@ -481,6 +629,8 @@ func (s *cacheStore) coalesceLocked(fromVersion, toVersion uint64) []relational.
 	if out == nil {
 		// Distinguish "empty window" from "no memo yet" without a flag.
 		out = []relational.CellChange{}
+	} else {
+		out = consolidateWindow(out)
 	}
 	s.memoFrom, s.memoTo, s.memoChanges = fromVersion, toVersion, out
 	return out

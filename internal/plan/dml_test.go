@@ -1,0 +1,235 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"querypricing/internal/relational"
+)
+
+// applyChangesDML is the test-local ground truth for mixed change batches:
+// a deep clone with inserts appended, deletes tombstoned, and cells
+// overwritten in place. It is deliberately independent of Database.Apply,
+// so the two implementations check each other.
+func applyChangesDML(db *relational.Database, changes []CellChange) *relational.Database {
+	out := db.Clone()
+	for _, c := range changes {
+		t := out.Table(c.Table)
+		switch c.Op {
+		case relational.OpRowInsert:
+			row := make([]relational.Value, len(c.Vals))
+			copy(row, c.Vals)
+			t.Rows = append(t.Rows, row)
+		case relational.OpRowDelete:
+			t.Rows[c.Row] = nil
+		default:
+			t.Rows[c.Row][c.Col] = c.New
+		}
+	}
+	return out
+}
+
+// dmlCandidateValues is candidateValues restricted to what Apply admits in
+// the column: NULL, or the column's declared kind.
+func dmlCandidateValues(db *relational.Database, table string, ci int) []relational.Value {
+	tab := db.Table(table)
+	var cands []relational.Value
+	for _, v := range candidateValues(db, table, ci) {
+		if v.IsNull() || v.K == tab.Schema.Cols[ci].Kind {
+			cands = append(cands, v)
+		}
+	}
+	return cands
+}
+
+// randomDMLChanges draws a mixed insert/delete/update batch that honors
+// Apply's batch rules: distinct cells, no double deletes, no delete of a
+// cell-updated row (or vice versa), deletes and cells only on live rows.
+// Tables are never drained below two live rows so chains keep join
+// structure to exercise.
+func randomDMLChanges(rng *rand.Rand, db *relational.Database, n int) []CellChange {
+	names := db.TableNames()
+	var out []CellChange
+	type rc struct {
+		table string
+		row   int
+	}
+	usedCell := make(map[[2]interface{}]bool)
+	touched := make(map[rc]bool) // rows with cell updates in this batch
+	deleted := make(map[rc]bool)
+	pendingDeletes := make(map[string]int)
+	for guard := 0; len(out) < n && guard < 200*n; guard++ {
+		table := names[rng.Intn(len(names))]
+		tab := db.Table(table)
+		switch op := rng.Intn(10); {
+		case op < 6 && tab.NumRows() > 0: // cell update
+			ri := rng.Intn(tab.NumRows())
+			ci := rng.Intn(len(tab.Schema.Cols))
+			k := rc{table, ri}
+			if !tab.Alive(ri) || deleted[k] || usedCell[[2]interface{}{k, ci}] {
+				continue
+			}
+			cands := dmlCandidateValues(db, table, ci)
+			if len(cands) == 0 {
+				continue
+			}
+			usedCell[[2]interface{}{k, ci}] = true
+			touched[k] = true
+			out = append(out, CellChange{Table: table, Row: ri, Col: ci, New: cands[rng.Intn(len(cands))]})
+		case op < 8: // insert
+			vals := make([]relational.Value, len(tab.Schema.Cols))
+			for ci := range vals {
+				cands := dmlCandidateValues(db, table, ci)
+				if len(cands) == 0 {
+					vals[ci] = relational.Null()
+				} else {
+					vals[ci] = cands[rng.Intn(len(cands))]
+				}
+			}
+			out = append(out, CellChange{Table: table, Row: -1, Op: relational.OpRowInsert, Vals: vals})
+		default: // delete
+			if tab.NumRows() == 0 || tab.LiveRows()-pendingDeletes[table] <= 2 {
+				continue
+			}
+			ri := rng.Intn(tab.NumRows())
+			k := rc{table, ri}
+			if !tab.Alive(ri) || deleted[k] || touched[k] {
+				continue
+			}
+			deleted[k] = true
+			pendingDeletes[table]++
+			out = append(out, CellChange{Table: table, Row: ri, Op: relational.OpRowDelete})
+		}
+	}
+	return out
+}
+
+// checkProbeDML asserts a decisive probe outcome on a mixed change batch
+// against ground truth: a full re-evaluation on an independently patched
+// clone.
+func checkProbeDML(t *testing.T, db *relational.Database, p *Plan, changes []CellChange) {
+	t.Helper()
+	out := p.Probe(changes)
+	if out == NeedFullEval {
+		return // the fallback path is correct by construction
+	}
+	res, err := p.Query().Eval(applyChangesDML(db, changes))
+	if err != nil {
+		t.Fatalf("%s: full eval: %v", p.Query().Name, err)
+	}
+	truth := res.Fingerprint() != p.BaseFingerprint()
+	if (out == Changed) != truth {
+		t.Fatalf("%s: probe says %v, full evaluation says changed=%v for %+v",
+			p.Query().Name, out, truth, changes)
+	}
+}
+
+// TestProbeDMLMatchesFullEval cross-checks decisive probe outcomes on
+// random mixed insert/delete/update batches — including un-normalized
+// inserts (Row -1), exactly what a support neighbor or an ad-hoc caller
+// would pass — against full re-evaluation, for every query shape.
+func TestProbeDMLMatchesFullEval(t *testing.T) {
+	db := testDB()
+	rng := rand.New(rand.NewSource(23))
+	for _, q := range testQueries() {
+		p, err := Compile(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for trial := 0; trial < 120; trial++ {
+			checkProbeDML(t, db, p, randomDMLChanges(rng, db, 1+rng.Intn(4)))
+		}
+	}
+}
+
+// TestRebaseMatchesRecompileDML is the live-update property extended to
+// row inserts and deletes: across chained random mixed batches, whenever
+// Rebase claims success the rebased plan is indistinguishable from a
+// fresh compilation on the post-change snapshot — same fingerprint, same
+// probe decisions — even as tables grow and accumulate tombstones.
+func TestRebaseMatchesRecompileDML(t *testing.T) {
+	baseDB := testDB()
+	rng := rand.New(rand.NewSource(31))
+	for _, q := range testQueries() {
+		db := baseDB
+		p, err := Compile(db, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		rebases := 0
+		for trial := 0; trial < 50; trial++ {
+			changes := randomDMLChanges(rng, db, 1+rng.Intn(3))
+			newDB := applyUpdate(t, db, changes)
+			fresh, err := Compile(newDB, q)
+			if err != nil {
+				t.Fatalf("%s: recompile: %v", q.Name, err)
+			}
+			np, ok := p.Rebase(newDB, changes, nil)
+			if !ok {
+				db, p = newDB, fresh
+				continue
+			}
+			rebases++
+			if trial%5 == 0 {
+				assertPlanEquivalent(t, newDB, np, fresh, q.Name)
+			} else if np.BaseFingerprint() != fresh.BaseFingerprint() {
+				t.Fatalf("%s trial %d: rebased fingerprint %x != fresh %x (changes %+v)",
+					q.Name, trial, np.BaseFingerprint(), fresh.BaseFingerprint(), changes)
+			}
+			// Rebased and fresh plans must agree with ground truth on
+			// follow-up DML probes too.
+			for i := 0; i < 3; i++ {
+				probe := randomDMLChanges(rng, newDB, 1+rng.Intn(3))
+				if g, f := np.Probe(probe), fresh.Probe(probe); g != f {
+					t.Fatalf("%s trial %d: DML probe %+v: rebased %v, fresh %v",
+						q.Name, trial, probe, g, f)
+				}
+				checkProbeDML(t, newDB, np, probe)
+			}
+			db, p = newDB, np
+		}
+		if q.Limit == 0 && rebases == 0 {
+			t.Errorf("%s: no DML batch was ever delta-maintained; suspicious", q.Name)
+		}
+	}
+}
+
+// TestRebaseInsertSlotMismatchRejected pins the defensive range checks:
+// an insert pre-assigned a slot Apply would not choose, or a delete
+// beyond the grown slot range, rejects the window instead of corrupting
+// the plan.
+func TestRebaseInsertSlotMismatchRejected(t *testing.T) {
+	db := testDB()
+	q := testQueries()[0]
+	p, err := Compile(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := db.Table("T").NumRows()
+	vals := []relational.Value{relational.Int(9), relational.Str("q"), relational.Int(1)}
+	bad := [][]CellChange{
+		{{Table: "T", Row: n + 1, Op: relational.OpRowInsert, Vals: vals}},  // skips a slot
+		{{Table: "T", Row: 0, Op: relational.OpRowInsert, Vals: vals}},      // reuses a slot
+		{{Table: "T", Row: n, Op: relational.OpRowDelete}},                  // beyond live range
+		{{Table: "T", Row: -1, Op: relational.OpRowInsert, Vals: vals[:1]}}, // wrong arity
+		{{Table: "T", Row: 0, Op: relational.ChangeOp("upsert")}},           // unknown op
+	}
+	newDB := applyUpdate(t, db, nil)
+	for i, changes := range bad {
+		if _, ok := p.Rebase(newDB, changes, nil); ok {
+			t.Errorf("case %d: Rebase accepted invalid window %+v", i, changes)
+		}
+	}
+	// The happy path still folds: the next slot in order.
+	good := []CellChange{{Table: "T", Row: n, Op: relational.OpRowInsert, Vals: vals}}
+	goodDB := applyUpdate(t, db, good)
+	fresh, err := Compile(goodDB, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, ok := p.Rebase(goodDB, good, nil)
+	if !ok {
+		t.Fatal("Rebase rejected a well-formed pre-normalized insert")
+	}
+	assertPlanEquivalent(t, goodDB, np, fresh, q.Name)
+}

@@ -1,0 +1,92 @@
+package plan
+
+// FuzzProbeDeltaDML decodes arbitrary bytes into a mixed change batch
+// and cross-checks every decisive probe outcome against full
+// re-evaluation on an independently patched clone — the probe's one
+// correctness obligation. Invalid batches (out-of-range rows, wrong
+// kinds, duplicate cells) must not panic the probe: support neighbors
+// are hypothetical databases, so the probe sees unvalidated coordinates
+// by design. CI runs a short -fuzz smoke on the checked-in corpus.
+
+import (
+	"testing"
+
+	"querypricing/internal/relational"
+)
+
+// decodeProbeBatch maps bytes onto a change batch against db: 4 bytes
+// per change (op, table, row, value), same spirit as the relational
+// fuzz decoder but tuned to the plan test fixture's candidate values so
+// probes land on join keys and predicate columns often.
+func decodeProbeBatch(db *relational.Database, data []byte) []CellChange {
+	names := db.TableNames()
+	var out []CellChange
+	for len(data) >= 4 && len(out) < 8 {
+		op, tb, rb, vb := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		table := names[int(tb)%len(names)]
+		t := db.Table(table)
+		row := int(rb) % (t.NumRows() + 2)
+		switch op % 4 {
+		case 0, 1: // cell update (half the op space: the common case)
+			ci := int(vb>>5) % len(t.Schema.Cols)
+			cands := candidateValues(db, table, ci)
+			if len(cands) == 0 {
+				continue
+			}
+			out = append(out, CellChange{Table: table, Row: row, Col: ci, New: cands[int(vb)%len(cands)]})
+		case 2: // delete
+			out = append(out, relational.RowDelete(table, row))
+		default: // insert; alternate un-normalized and pre-slotted
+			vals := make([]relational.Value, len(t.Schema.Cols))
+			for ci := range vals {
+				cands := candidateValues(db, table, ci)
+				if len(cands) == 0 {
+					vals[ci] = relational.Null()
+				} else {
+					vals[ci] = cands[int(vb+byte(ci))%len(cands)]
+				}
+			}
+			row := -1
+			if vb&0x10 != 0 {
+				row = int(rb) % (t.NumRows() + 2)
+			}
+			out = append(out, CellChange{Table: table, Row: row, Op: relational.OpRowInsert, Vals: vals})
+		}
+	}
+	return out
+}
+
+func FuzzProbeDeltaDML(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                            // one cell update
+	f.Add([]byte{2, 0, 1, 0})                            // one delete
+	f.Add([]byte{3, 0, 0, 0})                            // one un-normalized insert
+	f.Add([]byte{3, 0, 0, 0x10})                         // one pre-slotted insert
+	f.Add([]byte{2, 1, 0, 0, 3, 1, 0, 0})                // delete + insert, same table
+	f.Add([]byte{0, 0, 2, 0x40, 2, 0, 2, 0})             // update + delete same row (invalid)
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 3, 0x20, 2, 0, 4, 0}) // mixed three-change batch
+	db := testDB()
+	queries := testQueries()
+	plans := make([]*Plan, len(queries))
+	for i, q := range queries {
+		p, err := Compile(db, q)
+		if err != nil {
+			f.Fatalf("%s: %v", q.Name, err)
+		}
+		plans[i] = p
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch := decodeProbeBatch(db, data)
+		valid := db.ValidateChanges(batch) == nil
+		for _, p := range plans {
+			if !valid {
+				// Hypothetical coordinates: the probe must stay panic-free
+				// and is allowed any answer (there is no ground truth).
+				_ = p.Probe(batch)
+				continue
+			}
+			checkProbeDML(t, db, p, batch)
+		}
+	})
+}

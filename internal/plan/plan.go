@@ -129,9 +129,15 @@ type compiledAlias struct {
 }
 
 // scanPos returns the scan position of a base row, if the row passes the
-// alias's predicates. Bare scans are the table itself, position == index.
+// alias's predicates. Bare scans are the table itself, position == index
+// (a bare scan never contains tombstoned slots: compile demotes aliases on
+// tombstoned tables to filtered scans, and a delete demotes them at
+// rebase, so every in-range bare position is a live row).
 func (ca *compiledAlias) scanPos(ri int) (int32, bool) {
 	if ca.bare {
+		if ri < 0 || ri >= len(ca.rows) {
+			return 0, false
+		}
 		return int32(ri), true
 	}
 	if ri < 0 || ri >= len(ca.posOfBaseRow) {
@@ -379,10 +385,18 @@ func (p *Plan) buildFootprintBitmaps() {
 }
 
 // TouchesChanges implements pruning rule 1: it reports whether any change
-// hits a column in the query's footprint.
+// hits a column in the query's footprint. Row inserts and deletes change
+// scan membership, so they touch whenever their table appears in the query
+// at all — no column test applies.
 func (p *Plan) TouchesChanges(changes []CellChange) bool {
 	for _, c := range changes {
-		cols := p.fpCols[c.Table]
+		cols, inQuery := p.fpCols[c.Table]
+		if c.Op != relational.OpCellUpdate {
+			if inQuery {
+				return true
+			}
+			continue
+		}
 		if c.Col >= 0 && c.Col < len(cols) && cols[c.Col] {
 			return true
 		}
@@ -438,9 +452,12 @@ func (p *Plan) compileAliases(db *relational.Database, shared *IndexPool) error 
 			}
 			ca.preds = append(ca.preds, predAt{col: ci, pred: pr})
 		}
-		if len(ca.preds) == 0 {
+		if len(ca.preds) == 0 && !hasTombstones(t.Rows) {
 			// Bare scan: share the table's row slice outright; positions
-			// are row indices, so no position map is needed.
+			// are row indices, so no position map is needed. Tables with
+			// tombstoned (deleted) slots cannot be scanned bare — dead
+			// slots must be invisible — so they compile as filtered scans
+			// with liveness as the implicit predicate.
 			ca.bare = true
 			ca.rows = t.Rows
 		} else if shared != nil && shared.db == db {
@@ -603,7 +620,22 @@ func predsKey(preds []predAt) string {
 	return string(b)
 }
 
+// hasTombstones reports whether any slot of a table's row slice is dead.
+func hasTombstones(rows [][]relational.Value) bool {
+	for _, row := range rows {
+		if row == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// passes reports predicate visibility; a tombstoned (nil) row is invisible
+// to every scan regardless of predicates.
 func (ca *compiledAlias) passes(row []relational.Value) bool {
+	if row == nil {
+		return false
+	}
 	for _, pa := range ca.preds {
 		if !pa.pred.Matches(row[pa.col]) {
 			return false
@@ -1119,7 +1151,13 @@ func (ap *aliasPatch) isRemoved(pos int32) bool {
 func (p *Plan) buildPatches(changes []CellChange, ps *patchSet, ra *rowArena) {
 	ps.reset(len(p.aliases))
 	sameRow := true
-	for i := 1; i < len(changes); i++ {
+	for i := 0; i < len(changes); i++ {
+		// Un-normalized inserts (Row < 0) have no shared identity, so two
+		// of them must never collapse into one group.
+		if changes[i].Op == relational.OpRowInsert && changes[i].Row < 0 && len(changes) > 1 {
+			sameRow = false
+			break
+		}
 		if changes[i].Table != changes[0].Table || changes[i].Row != changes[0].Row {
 			sameRow = false
 			break
@@ -1138,8 +1176,13 @@ func (p *Plan) buildPatches(changes []CellChange, ps *patchSet, ra *rowArena) {
 	}
 	byRow := make(map[rowKey][]CellChange, len(changes))
 	var order []rowKey
-	for _, c := range changes {
+	for i, c := range changes {
 		k := rowKey{c.Table, c.Row}
+		if c.Op == relational.OpRowInsert && c.Row < 0 {
+			// Synthetic key: each un-normalized insert is its own group
+			// (indices start at -2 so they can't collide with Row -1).
+			k = rowKey{c.Table, -(i + 2)}
+		}
 		if _, seen := byRow[k]; !seen {
 			order = append(order, k)
 		}
@@ -1166,6 +1209,9 @@ func (p *Plan) buildPatches(changes []CellChange, ps *patchSet, ra *rowArena) {
 func relevantToAlias(ca *compiledAlias, table string, row int, changes []CellChange) bool {
 	for i := range changes {
 		c := &changes[i]
+		if c.Op != relational.OpCellUpdate {
+			continue // inserts/deletes change membership, not cells
+		}
 		if c.Table == table && c.Row == row &&
 			c.Col >= 0 && c.Col < len(ca.usedCols) && ca.usedCols[c.Col] {
 			return true
@@ -1186,7 +1232,8 @@ func visibleAfter(ca *compiledAlias, table string, row int, baseRow []relational
 		v := baseRow[pa.col]
 		for j := len(changes) - 1; j >= 0; j-- {
 			c := &changes[j]
-			if c.Table == table && c.Row == row && c.Col == pa.col {
+			if c.Op == relational.OpCellUpdate &&
+				c.Table == table && c.Row == row && c.Col == pa.col {
 				v = c.New
 				break
 			}
@@ -1198,17 +1245,73 @@ func visibleAfter(ca *compiledAlias, table string, row int, baseRow []relational
 	return true
 }
 
+// groupShape summarizes the DML content of one (table, row) change group:
+// born is the inserted row's values when the group contains an insert (the
+// row did not exist before the window), dead reports a delete (the row
+// does not exist after it). A group that is both born and dead is vacuous
+// on both sides of the window.
+func groupShape(group []CellChange) (born []relational.Value, dead bool) {
+	for i := range group {
+		switch group[i].Op {
+		case relational.OpRowInsert:
+			born = group[i].Vals
+		case relational.OpRowDelete:
+			dead = true
+		}
+	}
+	return born, dead
+}
+
+// overlayCells writes the group's cell updates (last-wins) onto a
+// materialized row. Non-cell ops and other rows' changes are ignored.
+func overlayCells(patched []relational.Value, table string, row int, group []CellChange) {
+	for i := range group {
+		c := &group[i]
+		if c.Op == relational.OpCellUpdate && c.Table == table && c.Row == row &&
+			c.Col >= 0 && c.Col < len(patched) {
+			patched[c.Col] = c.New
+		}
+	}
+}
+
 // patchGroup applies one (table, row) change group to every alias over
 // that table, appending to the per-alias patches. Patched rows are carved
-// from the row arena.
+// from the row arena. Groups may mix an insert or a delete with cell
+// updates (coalesced multi-batch windows do): a born row is a pure
+// addition if its final version is visible, a dead row a pure removal if
+// the alias scanned it, and a born-and-dead row is invisible on both
+// sides.
 func (p *Plan) patchGroup(ps *patchSet, ra *rowArena, table string, row int, group []CellChange) {
+	born, dead := groupShape(group)
+	if born != nil && dead {
+		return
+	}
 	for _, ai := range p.aliasesOf(table) {
 		ca := p.aliases[ai]
-		if !relevantToAlias(ca, table, row, group) {
+		if born != nil {
+			if len(born) != len(ca.schema.Cols) {
+				continue // malformed insert: not visible to any scan
+			}
+			if !visibleAfter(ca, table, row, born, group) {
+				continue
+			}
+			patched := ra.row(len(born))
+			copy(patched, born)
+			overlayCells(patched, table, row, group)
+			ps.at(ai).added = append(ps.at(ai).added, patched)
 			continue
 		}
-		if row < 0 || row >= len(ca.baseTableRows) {
-			continue // out-of-range change: nothing to patch
+		if row < 0 || row >= len(ca.baseTableRows) || ca.baseTableRows[row] == nil {
+			continue // out-of-range or already-dead slot: nothing to patch
+		}
+		if dead {
+			if pos, inScan := ca.scanPos(row); inScan {
+				ps.at(ai).removedPos = append(ps.at(ai).removedPos, pos)
+			}
+			continue
+		}
+		if !relevantToAlias(ca, table, row, group) {
+			continue
 		}
 		pos, inScan := ca.scanPos(row)
 		baseRow := ca.baseTableRows[row]
@@ -1223,11 +1326,7 @@ func (p *Plan) patchGroup(ps *patchSet, ra *rowArena, table string, row int, gro
 		if newPass {
 			patched := ra.row(len(baseRow))
 			copy(patched, baseRow)
-			for _, c := range group {
-				if c.Col >= 0 && c.Col < len(patched) {
-					patched[c.Col] = c.New
-				}
-			}
+			overlayCells(patched, table, row, group)
 			ap.added = append(ap.added, patched)
 		}
 	}

@@ -111,6 +111,9 @@ func candidateValues(db *relational.Database, table string, col int) []relationa
 	seen := map[string]bool{}
 	var out []relational.Value
 	for _, row := range t.Rows {
+		if row == nil {
+			continue // tombstoned slot (DML chains)
+		}
 		v := row[col]
 		k := string(v.AppendEncode(nil))
 		if !seen[k] {

@@ -13,8 +13,10 @@ import (
 // false as soon as any change to a footprint column reaches a row that some
 // alias scans — or could scan after the change. Aliases without pushed-down
 // predicates see every row, so any footprint-column change to their table
-// defeats the rule.
+// defeats the rule. Inserts defeat it when the born row's final version is
+// visible to some alias; deletes when any alias scanned the dying row.
 func (p *Plan) LocallyPruned(changes []CellChange) bool {
+	changes = p.normalizeInsertSlots(changes)
 	type rowKey struct {
 		table string
 		row   int
@@ -25,10 +27,22 @@ func (p *Plan) LocallyPruned(changes []CellChange) bool {
 		if len(tableAliases) == 0 {
 			continue // table not in the query
 		}
+		if c.Op == relational.OpRowInsert {
+			for _, ai := range tableAliases {
+				ca := p.aliases[ai]
+				if len(c.Vals) == len(ca.schema.Cols) &&
+					visibleAfter(ca, c.Table, c.Row, c.Vals, changes) {
+					return false // the born row joins some alias's scan
+				}
+			}
+			continue
+		}
 		ca0 := p.aliases[tableAliases[0]]
-		fpc := p.fpCols[c.Table]
-		if c.Col < 0 || c.Col >= len(fpc) || !fpc[c.Col] {
-			continue // rule 1 handles this delta alone
+		if c.Op == relational.OpCellUpdate {
+			fpc := p.fpCols[c.Table]
+			if c.Col < 0 || c.Col >= len(fpc) || !fpc[c.Col] {
+				continue // rule 1 handles this delta alone
+			}
 		}
 		rk := rowKey{c.Table, c.Row}
 		if checked[rk] {
@@ -38,15 +52,22 @@ func (p *Plan) LocallyPruned(changes []CellChange) bool {
 		if c.Row < 0 || c.Row >= len(ca0.baseTableRows) {
 			continue
 		}
-		// Post-change row: the base row with every same-row change applied.
 		baseRow := ca0.baseTableRows[c.Row]
+		if baseRow == nil {
+			continue // slot already dead in the base: invisible either way
+		}
+		if groupHasDelete(changes, c.Table, c.Row) {
+			for _, ai := range tableAliases {
+				if _, inScan := p.aliases[ai].scanPos(c.Row); inScan {
+					return false // the dying row was in some alias's scan
+				}
+			}
+			continue
+		}
+		// Post-change row: the base row with every same-row cell applied.
 		patched := make([]relational.Value, len(baseRow))
 		copy(patched, baseRow)
-		for _, c2 := range changes {
-			if c2.Table == c.Table && c2.Row == c.Row && c2.Col >= 0 && c2.Col < len(patched) {
-				patched[c2.Col] = c2.New
-			}
-		}
+		overlayCells(patched, c.Table, c.Row, changes)
 		for _, ai := range tableAliases {
 			ca := p.aliases[ai]
 			if ca.bare {
@@ -61,6 +82,61 @@ func (p *Plan) LocallyPruned(changes []CellChange) bool {
 		}
 	}
 	return true
+}
+
+// normalizeInsertSlots rewrites every insert's Row to the slot Apply will
+// assign it — len(base rows) + k per table, exactly NormalizeChanges'
+// assignment — ignoring whatever slot the caller claimed, because Apply
+// ignores it too. Without this, a stale pre-assigned slot could collide
+// with a live row's (table, row) change group and corrupt the probe's
+// model of the batch. Inserts into tables outside the plan get unique
+// synthetic negative slots (only group-key distinctness matters there).
+// Batches without inserts are returned as-is, allocation-free.
+func (p *Plan) normalizeInsertSlots(changes []CellChange) []CellChange {
+	var out []CellChange
+	var next map[string]int
+	for i := range changes {
+		if changes[i].Op != relational.OpRowInsert {
+			continue
+		}
+		var slot int
+		if aliases := p.aliasesOf(changes[i].Table); len(aliases) > 0 {
+			if next == nil {
+				next = make(map[string]int, 1)
+			}
+			n, ok := next[changes[i].Table]
+			if !ok {
+				n = len(p.aliases[aliases[0]].baseTableRows)
+			}
+			slot = n
+			next[changes[i].Table] = n + 1
+		} else {
+			slot = -(i + 2) // table not in the plan: any distinct key works
+		}
+		if changes[i].Row == slot {
+			continue
+		}
+		if out == nil {
+			out = append([]CellChange(nil), changes...)
+		}
+		out[i].Row = slot
+	}
+	if out == nil {
+		return changes
+	}
+	return out
+}
+
+// groupHasDelete reports whether any change in the list deletes (table,
+// row) — i.e. the (table, row) group's final state is dead.
+func groupHasDelete(changes []CellChange, table string, row int) bool {
+	for i := range changes {
+		c := &changes[i]
+		if c.Op == relational.OpRowDelete && c.Table == table && c.Row == row {
+			return true
+		}
+	}
+	return false
 }
 
 // runner enumerates joined tuples through the cached indexes. For delta
@@ -216,11 +292,24 @@ func (p *Plan) inputTouched(changes []CellChange) bool {
 		if len(tableAliases) == 0 {
 			continue
 		}
-		// Only the first change of each (table, row) group runs the checks,
-		// on behalf of the whole group.
+		if c.Op == relational.OpRowInsert {
+			// A born row touches the input iff its final version is
+			// visible to some alias (bare scans see every live row).
+			for _, ai := range tableAliases {
+				ca := p.aliases[ai]
+				if len(c.Vals) == len(ca.schema.Cols) &&
+					visibleAfter(ca, c.Table, c.Row, c.Vals, changes) {
+					return true
+				}
+			}
+			continue
+		}
+		// Only the first non-insert change of each (table, row) group runs
+		// the checks, on behalf of the whole group.
 		firstOfGroup := true
 		for j := 0; j < i; j++ {
-			if changes[j].Table == c.Table && changes[j].Row == c.Row {
+			if changes[j].Op != relational.OpRowInsert &&
+				changes[j].Table == c.Table && changes[j].Row == c.Row {
 				firstOfGroup = false
 				break
 			}
@@ -233,6 +322,17 @@ func (p *Plan) inputTouched(changes []CellChange) bool {
 			continue
 		}
 		baseRow := ca0.baseTableRows[c.Row]
+		if baseRow == nil {
+			continue // slot already dead in the base
+		}
+		if groupHasDelete(changes, c.Table, c.Row) {
+			for _, ai := range tableAliases {
+				if _, inScan := p.aliases[ai].scanPos(c.Row); inScan {
+					return true // the dying row was in some alias's scan
+				}
+			}
+			continue
+		}
 		for _, ai := range tableAliases {
 			ca := p.aliases[ai]
 			if !relevantToAlias(ca, c.Table, c.Row, changes) {
@@ -267,6 +367,7 @@ func (p *Plan) ProbeDeltaArena(changes []CellChange, a *Arena) ProbeResult {
 	if a == nil {
 		return p.ProbeDelta(changes)
 	}
+	changes = p.normalizeInsertSlots(changes)
 	if !p.inputTouched(changes) {
 		// The query's input relations are byte-identical.
 		return ProbeResult{Outcome: Unchanged, InputUntouched: true}

@@ -18,8 +18,9 @@ package plan
 //   - a change removes the last occurrence of a group's reported MIN/MAX
 //     encoding while accepted values remain: the new extremum is unknown
 //     without the full value multiset;
-//   - a change list references rows outside the plan's scans (defensive;
-//     Apply validates these before they reach Rebase).
+//   - a change list references rows outside the plan's scans, or assigns
+//     an insert a slot other than the one Apply would (defensive; Apply
+//     validates these before they reach Rebase).
 //
 // Everything else — predicate visibility flips included (the affected
 // alias's scan and indexes are rebuilt from the new table, still far
@@ -33,8 +34,10 @@ import (
 )
 
 // Rebase carries a plan compiled against the predecessor of newDB onto
-// newDB, given the cell changes that produced it (order-insensitive up to
-// last-wins per cell, exactly Apply's semantics). On success it returns a
+// newDB, given the changes that produced it — cell updates, row inserts
+// and row deletes (order-insensitive up to last-wins per cell and
+// append-order slot assignment for inserts, exactly Apply's semantics).
+// On success it returns a
 // new plan equivalent to Compile(newDB, q) — same decisions, same base
 // fingerprint — sharing every artifact the changes did not touch; shared
 // supplies patched bare-scan indexes (a nil or mismatched pool rebuilds
@@ -87,13 +90,19 @@ func (p *Plan) Rebase(newDB *relational.Database, changes []CellChange, shared *
 
 // relevantChanges consolidates the change list down to the plan's tables
 // with last-wins semantics per cell, rejecting (false) out-of-range
-// coordinates.
+// coordinates. Inserts are normalized to the slot Apply assigns them —
+// the table's base slot count plus the inserts already seen for it in
+// this window (deletes never free slots) — so every change downstream of
+// this call has a concrete row id; a pre-assigned slot that disagrees
+// rejects the window. Rows born in the window widen the valid range for
+// the cells and deletes that follow them.
 func (p *Plan) relevantChanges(changes []CellChange) ([]CellChange, bool) {
 	type cell struct {
 		table    string
 		row, col int
 	}
-	var idx map[cell]int // lazily built: most plans see no relevant change
+	var idx map[cell]int     // lazily built: most plans see no relevant change
+	var grown map[string]int // per-table slot count including window inserts
 	var out []CellChange
 	for _, c := range changes {
 		aliases := p.aliasesOf(c.Table)
@@ -101,19 +110,50 @@ func (p *Plan) relevantChanges(changes []CellChange) ([]CellChange, bool) {
 			continue // table not in the query: invisible to this plan
 		}
 		ca := p.aliases[aliases[0]]
-		if c.Row < 0 || c.Row >= len(ca.baseTableRows) || c.Col < 0 || c.Col >= len(ca.schema.Cols) {
-			return nil, false
+		// The common cell-only window never grows a table, so the slot
+		// limit stays the compiled length — keep that path map-free.
+		limit := len(ca.baseTableRows)
+		if grown != nil {
+			if n, ok := grown[c.Table]; ok {
+				limit = n
+			}
 		}
-		k := cell{c.Table, c.Row, c.Col}
-		if i, seen := idx[k]; seen {
-			out[i].New = c.New // later change to the same cell wins
-			continue
+		switch c.Op {
+		case relational.OpRowInsert:
+			if c.Row >= 0 && c.Row != limit {
+				return nil, false // slot assignment disagrees with Apply's
+			}
+			if len(c.Vals) != len(ca.schema.Cols) {
+				return nil, false
+			}
+			c.Row = limit
+			if grown == nil {
+				grown = make(map[string]int)
+			}
+			grown[c.Table] = limit + 1
+			out = append(out, c)
+		case relational.OpRowDelete:
+			if c.Row < 0 || c.Row >= limit {
+				return nil, false
+			}
+			out = append(out, c)
+		case relational.OpCellUpdate:
+			if c.Row < 0 || c.Row >= limit || c.Col < 0 || c.Col >= len(ca.schema.Cols) {
+				return nil, false
+			}
+			k := cell{c.Table, c.Row, c.Col}
+			if i, seen := idx[k]; seen {
+				out[i].New = c.New // later change to the same cell wins
+				continue
+			}
+			if idx == nil {
+				idx = make(map[cell]int)
+			}
+			idx[k] = len(out)
+			out = append(out, c)
+		default:
+			return nil, false // unknown op: recompile rather than guess
 		}
-		if idx == nil {
-			idx = make(map[cell]int)
-		}
-		idx[k] = len(out)
-		out = append(out, c)
 	}
 	return out, true
 }
@@ -415,57 +455,99 @@ func (p *Plan) rebaseAliases(newDB *relational.Database, rel []CellChange, share
 	}
 	byRow := make(map[rowKey][]CellChange, len(rel))
 	var order []rowKey
+	var inserts map[string]int // lazily built: cell-only windows never resize
 	for _, c := range rel {
-		k := rowKey{c.Table, c.Row}
+		k := rowKey{c.Table, c.Row} // rel is normalized: inserts carry slots
 		if _, seen := byRow[k]; !seen {
 			order = append(order, k)
 		}
 		byRow[k] = append(byRow[k], c)
+		if c.Op == relational.OpRowInsert {
+			if inserts == nil {
+				inserts = make(map[string]int)
+			}
+			inserts[c.Table]++
+		}
 	}
 	out := make([]*compiledAlias, len(p.aliases))
 	copy(out, p.aliases)
 	for ai, ca := range p.aliases {
 		nt := newDB.Table(ca.table)
-		if nt == nil || len(nt.Rows) != len(ca.baseTableRows) {
-			return nil, false // cell updates never resize tables
+		want := len(ca.baseTableRows)
+		if inserts != nil {
+			want += inserts[ca.table]
+		}
+		if nt == nil || len(nt.Rows) != want {
+			return nil, false // the window's inserts must account for the resize
 		}
 		touched := false
 		flip := false
+		demote := false // bare alias saw a delete: tombstones end bareness
 		var swaps []rowSwap
+		var appends []int // slots of visible born rows, ascending
 		for _, rk := range order {
 			if rk.table != ca.table {
 				continue
 			}
 			group := byRow[rk]
-			if !relevantToAlias(ca, rk.table, rk.row, group) {
-				continue // only unused columns changed: indistinguishable
+			born, dead := groupShape(group)
+			if born != nil && dead {
+				continue // born and died inside the window: invisible
 			}
-			touched = true
-			if ca.bare {
-				continue // always visible; handled wholesale below
-			}
-			pos, inScan := ca.scanPos(rk.row)
-			newPass := ca.passes(nt.Rows[rk.row])
 			switch {
-			case inScan != newPass:
-				flip = true
-			case inScan:
-				swaps = append(swaps, rowSwap{pos: pos, row: rk.row, oldRow: ca.rows[pos]})
+			case born != nil:
+				touched = true
+				if ca.bare {
+					continue // wholesale re-point below picks up the append
+				}
+				if ca.passes(nt.Rows[rk.row]) {
+					appends = append(appends, rk.row)
+				}
+			case dead:
+				touched = true
+				if ca.bare {
+					demote = true
+					continue
+				}
+				if _, inScan := ca.scanPos(rk.row); inScan {
+					flip = true // survivor positions shift: rebuild the scan
+				}
+			default:
+				if !relevantToAlias(ca, rk.table, rk.row, group) {
+					continue // only unused columns changed: indistinguishable
+				}
+				touched = true
+				if ca.bare {
+					continue // always visible; handled wholesale below
+				}
+				if rk.row >= len(ca.baseTableRows) || ca.baseTableRows[rk.row] == nil {
+					// Defensive: a cell-only group beyond the base slots or
+					// on a dead slot (relevantChanges rejects both shapes).
+					continue
+				}
+				pos, inScan := ca.scanPos(rk.row)
+				newPass := ca.passes(nt.Rows[rk.row])
+				switch {
+				case inScan != newPass:
+					flip = true
+				case inScan:
+					swaps = append(swaps, rowSwap{pos: pos, row: rk.row, oldRow: ca.rows[pos]})
+				}
 			}
-			if flip {
-				break
+			if flip || demote {
+				break // a full rebuild subsumes swaps and appends
 			}
 		}
 		if !touched {
 			continue // share the alias untouched
 		}
 		switch {
+		case flip || demote:
+			out[ai] = rebuildFilteredAlias(ca, nt)
 		case ca.bare:
 			out[ai] = rebaseBareAlias(ca, nt, newDB, shared)
-		case flip:
-			out[ai] = rebuildFilteredAlias(ca, nt)
 		default:
-			out[ai] = patchFilteredAlias(ca, nt, swaps)
+			out[ai] = patchFilteredAlias(ca, nt, swaps, appends)
 		}
 	}
 	return out, true
@@ -490,10 +572,14 @@ func rebaseBareAlias(ca *compiledAlias, nt *relational.Table, newDB *relational.
 }
 
 // rebuildFilteredAlias rescans the new table from scratch: the fallback
-// when a change flips a row across the alias's predicate boundary (scan
-// positions shift, so patching is not worth the bookkeeping).
+// when a change flips a row across the alias's predicate boundary or
+// deletes an in-scan row (scan positions shift, so patching is not worth
+// the bookkeeping), and the demotion path for a bare alias whose table
+// picked up its first tombstone. passes rejects nil rows, so tombstoned
+// slots drop out of the rebuilt scan naturally.
 func rebuildFilteredAlias(ca *compiledAlias, nt *relational.Table) *compiledAlias {
 	nca := *ca
+	nca.bare = false
 	nca.baseTableRows = nt.Rows
 	nca.rows = nil
 	nca.posOfBaseRow = make([]int32, len(nt.Rows))
@@ -519,18 +605,21 @@ type rowSwap struct {
 	oldRow []relational.Value
 }
 
-// patchFilteredAlias handles the visibility-stable case: changed in-scan
+// patchFilteredAlias handles the position-stable case: changed in-scan
 // rows are re-pointed at their new versions (fresh outer slice, positions
 // unchanged) and each join index whose column actually changed gets its
-// postings moved from the old key to the new one.
-func patchFilteredAlias(ca *compiledAlias, nt *relational.Table, swaps []rowSwap) *compiledAlias {
+// postings moved from the old key to the new one. Visible born rows
+// (appends, ascending slot order) join at the end of the scan — after
+// every surviving position, exactly where a fresh compile would place
+// them — with their index postings inserted and the position map grown.
+func patchFilteredAlias(ca *compiledAlias, nt *relational.Table, swaps []rowSwap, appends []int) *compiledAlias {
 	nca := *ca
 	nca.baseTableRows = nt.Rows
-	nca.rows = make([][]relational.Value, len(ca.rows))
+	nca.rows = make([][]relational.Value, len(ca.rows), len(ca.rows)+len(appends))
 	copy(nca.rows, ca.rows)
 	nca.indexes = make(map[int]map[string][]int32, len(ca.indexes))
 	for col, idx := range ca.indexes {
-		nca.indexes[col] = idx // shared until a swap touches the column
+		nca.indexes[col] = idx // shared until a swap or append touches it
 	}
 	cloned := make(map[int]bool, len(ca.indexes))
 	var oldKey, newKey []byte
@@ -554,6 +643,28 @@ func patchFilteredAlias(ca *compiledAlias, nt *relational.Table, swaps []rowSwap
 			if !nv.IsNull() {
 				newKey = nv.AppendEncode(newKey[:0])
 				insertPosting(idx, string(newKey), sw.pos)
+			}
+		}
+	}
+	if len(appends) > 0 {
+		nca.posOfBaseRow = make([]int32, len(nt.Rows))
+		copy(nca.posOfBaseRow, ca.posOfBaseRow) // beyond-base slots start at 0 (not in scan)
+		for _, ri := range appends {
+			row := nt.Rows[ri]
+			pos := int32(len(nca.rows))
+			nca.rows = append(nca.rows, row)
+			nca.posOfBaseRow[ri] = pos + 1
+			for col := range ca.indexes {
+				v := row[col]
+				if v.IsNull() {
+					continue // NULL keys are never indexed
+				}
+				if !cloned[col] {
+					nca.indexes[col] = cloneIndex(nca.indexes[col])
+					cloned[col] = true
+				}
+				newKey = v.AppendEncode(newKey[:0])
+				insertPosting(nca.indexes[col], string(newKey), pos)
 			}
 		}
 	}

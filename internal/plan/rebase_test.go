@@ -31,6 +31,9 @@ func assertPlanEquivalent(t *testing.T, db *relational.Database, got, fresh *Pla
 	for _, table := range db.TableNames() {
 		tab := db.Table(table)
 		for ri := range tab.Rows {
+			if !tab.Alive(ri) {
+				continue // dead slots take no cell deltas
+			}
 			for ci := range tab.Schema.Cols {
 				for _, nv := range candidateValues(db, table, ci) {
 					ch := []CellChange{{Table: table, Row: ri, Col: ci, New: nv}}
@@ -47,15 +50,20 @@ func assertPlanEquivalent(t *testing.T, db *relational.Database, got, fresh *Pla
 }
 
 // randomChanges draws a random update batch against db, restricted to
-// values Apply admits: NULL, or the column's declared kind.
+// values Apply admits: NULL, or the column's declared kind. Cells are
+// distinct within the batch (Apply rejects duplicate-cell batches).
 func randomChanges(rng *rand.Rand, db *relational.Database, n int) []CellChange {
 	names := db.TableNames()
 	var out []CellChange
+	used := make(map[[3]interface{}]bool, n)
 	for len(out) < n {
 		table := names[rng.Intn(len(names))]
 		tab := db.Table(table)
 		ri := rng.Intn(tab.NumRows())
 		ci := rng.Intn(len(tab.Schema.Cols))
+		if !tab.Alive(ri) || used[[3]interface{}{table, ri, ci}] {
+			continue
+		}
 		var cands []relational.Value
 		for _, v := range candidateValues(db, table, ci) {
 			if v.IsNull() || v.K == tab.Schema.Cols[ci].Kind {
@@ -65,6 +73,7 @@ func randomChanges(rng *rand.Rand, db *relational.Database, n int) []CellChange 
 		if len(cands) == 0 {
 			continue
 		}
+		used[[3]interface{}{table, ri, ci}] = true
 		out = append(out, CellChange{Table: table, Row: ri, Col: ci, New: cands[rng.Intn(len(cands))]})
 	}
 	return out

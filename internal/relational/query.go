@@ -425,6 +425,9 @@ func (q *SelectQuery) Eval(db *Database) (*Result, error) {
 			scanned = s.bufA[:0] // the first scan IS the running join result
 		}
 		for _, row := range t.Rows {
+			if row == nil {
+				continue // tombstoned slot: deleted rows are invisible to scans
+			}
 			ok := true
 			for _, ip := range idxPreds {
 				if !ip.p.Matches(row[ip.ci]) {

@@ -39,7 +39,13 @@ func (s *Schema) ColIndex(name string) int {
 	return -1
 }
 
-// Table is a relation instance: a schema plus rows.
+// Table is a relation instance: a schema plus rows. A row's identity is
+// its slot index in Rows, and that identity is stable for the table's
+// whole life: deletes tombstone a slot (the row slice becomes nil) rather
+// than shifting its successors, and inserts append. Scans skip nil slots,
+// so visibility and identity are decoupled — the property every
+// row-coordinate structure above this package (support deltas, shard
+// hashes, index postings, fingerprint row terms) is built on.
 type Table struct {
 	Schema *Schema
 	Rows   [][]Value
@@ -57,8 +63,25 @@ func (t *Table) Append(row ...Value) {
 	t.Rows = append(t.Rows, row)
 }
 
-// NumRows returns the row count.
+// NumRows returns the slot count — live rows plus tombstones. It bounds
+// every valid row id; use LiveRows for the tuple count scans observe.
 func (t *Table) NumRows() int { return len(t.Rows) }
+
+// LiveRows returns the number of live (non-tombstoned) rows.
+func (t *Table) LiveRows() int {
+	n := 0
+	for _, row := range t.Rows {
+		if row != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Alive reports whether row is a valid slot holding a live row.
+func (t *Table) Alive(row int) bool {
+	return row >= 0 && row < len(t.Rows) && t.Rows[row] != nil
+}
 
 // Database is a named collection of tables, stamped with a monotonically
 // increasing version: 0 at construction, +1 per Apply (update.go). Higher
@@ -106,11 +129,12 @@ func (d *Database) TableNames() []string {
 	return out
 }
 
-// TotalRows returns the total number of tuples across all tables.
+// TotalRows returns the total number of live tuples across all tables
+// (tombstoned slots are not tuples).
 func (d *Database) TotalRows() int {
 	n := 0
 	for _, t := range d.tables {
-		n += len(t.Rows)
+		n += t.LiveRows()
 	}
 	return n
 }
@@ -129,6 +153,9 @@ func (d *Database) ActiveDomain(table, col string) []Value {
 	}
 	seen := make(map[string]Value)
 	for _, row := range t.Rows {
+		if row == nil {
+			continue // tombstoned slot
+		}
 		v := row[ci]
 		if v.IsNull() {
 			continue
@@ -144,8 +171,9 @@ func (d *Database) ActiveDomain(table, col string) []Value {
 }
 
 // Clone returns a deep copy of the database (fresh row slices; Values are
-// immutable so cells are shared). The clone starts its own version lineage
-// at 0.
+// immutable so cells are shared). Tombstoned slots stay tombstoned, so
+// row ids in the clone mean what they meant in the original. The clone
+// starts its own version lineage at 0.
 func (d *Database) Clone() *Database {
 	out := NewDatabase()
 	for _, name := range d.order {
@@ -153,6 +181,9 @@ func (d *Database) Clone() *Database {
 		dst := NewTable(src.Schema)
 		dst.Rows = make([][]Value, len(src.Rows))
 		for i, row := range src.Rows {
+			if row == nil {
+				continue // preserve the nil tombstone
+			}
 			r := make([]Value, len(row))
 			copy(r, row)
 			dst.Rows[i] = r

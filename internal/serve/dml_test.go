@@ -1,0 +1,166 @@
+package serve
+
+// DML over the wire: POST /update accepts insert and delete bodies (the
+// same CellChange JSON the WAL speaks), rejects malformed batches with
+// coordinates, and sustains a streaming-ingest load mix — the database
+// grows while quotes keep serving.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"querypricing/internal/loadgen"
+	"querypricing/internal/workloads"
+)
+
+// TestUpdateDMLOverHTTP drives an insert and a delete through the HTTP
+// surface: the insert lands at the slot the broker's database predicts,
+// the delete of that slot round-trips the quote (modulo the version
+// stamp), and invalid DML is refused 422 with cell coordinates.
+func TestUpdateDMLOverHTTP(t *testing.T) {
+	s, err := New(testConfig("")) // in-memory: the wire format is what's under test
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	code, before := post(t, ts.URL+"/quote", countryQuery)
+	if code != http.StatusOK {
+		t.Fatalf("pre-insert quote: %d %s", code, before)
+	}
+	slot := s.Broker().DB().Table("City").NumRows()
+
+	// City(ID int, Name string, CountryCode string, District string,
+	// Population int), as a client would submit it: Row -1, full Vals.
+	insert := `[{"Table":"City","Row":-1,"Op":"insert",` +
+		`"Vals":[{"K":1,"I":90001},{"K":3,"S":"Newtown"},{"K":3,"S":"AAA"},{"K":3,"S":"Central"},{"K":1,"I":12345}]}]`
+	code, body := post(t, ts.URL+"/update", insert)
+	if code != http.StatusOK {
+		t.Fatalf("insert update: %d %s", code, body)
+	}
+	var resp struct {
+		Version uint64 `json:"version"`
+		Changes int    `json:"changes"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 1 || resp.Changes != 1 {
+		t.Fatalf("insert response: %+v", resp)
+	}
+	city := s.Broker().DB().Table("City")
+	if city.NumRows() != slot+1 || !city.Alive(slot) {
+		t.Fatalf("insert did not land at slot %d (rows %d)", slot, city.NumRows())
+	}
+
+	del := fmt.Sprintf(`[{"Table":"City","Row":%d,"Op":"delete"}]`, slot)
+	if code, body := post(t, ts.URL+"/update", del); code != http.StatusOK {
+		t.Fatalf("delete update: %d %s", code, body)
+	}
+	if s.Broker().DB().Table("City").Alive(slot) {
+		t.Fatalf("slot %d still alive after delete", slot)
+	}
+
+	// Deleting the tombstoned slot again is invalid, refused with the
+	// offending coordinates, and must not advance the version.
+	code, body = post(t, ts.URL+"/update", del)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("double delete: %d %s, want 422", code, body)
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &errResp); err != nil {
+		t.Fatal(err)
+	}
+	if errResp.Error == "" {
+		t.Fatal("double delete refused without an error message")
+	}
+	if v := s.Broker().Version(); v != 2 {
+		t.Fatalf("rejected batch advanced version to %d", v)
+	}
+
+	// Insert-then-delete round-trips the quote; only the version moved.
+	code, after := post(t, ts.URL+"/quote", countryQuery)
+	if code != http.StatusOK {
+		t.Fatalf("post-round-trip quote: %d %s", code, after)
+	}
+	var qBefore, qAfter map[string]any
+	if err := json.Unmarshal(before, &qBefore); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(after, &qAfter); err != nil {
+		t.Fatal(err)
+	}
+	if qAfter["Version"] != float64(2) {
+		t.Fatalf("post-round-trip quote version %v, want 2", qAfter["Version"])
+	}
+	qBefore["Version"], qAfter["Version"] = nil, nil
+	if !reflect.DeepEqual(qBefore, qAfter) {
+		t.Fatalf("insert-then-delete changed the quote:\n  before: %s\n  after:  %s", before, after)
+	}
+}
+
+// TestIngestLoadGrowsDatabase runs the streaming-ingest mix against the
+// serving stack: an insert-bearing update pool under StreamingIngestMix
+// must complete with zero non-shed errors while the database grows and
+// quotes keep being served off the moving snapshot.
+func TestIngestLoadGrowsDatabase(t *testing.T) {
+	cfg := testConfig("")
+	cfg.MaxInflight = 32
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	db := s.Broker().DB()
+	rowsBefore := 0
+	for _, tn := range db.TableNames() {
+		rowsBefore += db.Table(tn).NumRows()
+	}
+	queries := workloads.Skewed(db)
+	if len(queries) > 100 {
+		queries = queries[:100]
+	}
+	w, err := loadgen.NewWorkload(db, queries, loadgen.WorkloadConfig{Seed: 17, IngestFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:  ts.URL,
+		Rate:     200,
+		Duration: 900 * time.Millisecond,
+		Mix:      loadgen.StreamingIngestMix(),
+		Seed:     17,
+		Workers:  16,
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ingest:\n%s", res)
+	if res.NonShedErrors() != 0 {
+		t.Fatalf("ingest run produced %d non-shed errors:\n%s", res.NonShedErrors(), res)
+	}
+	if res.VersionRegressions != 0 {
+		t.Fatalf("observed %d version regressions under ingest", res.VersionRegressions)
+	}
+	if got := res.Class(loadgen.ClassUpdate).OK; got == 0 {
+		t.Fatal("no update succeeded: the ingest mix issued none or all failed")
+	}
+	cur := s.Broker().DB()
+	rowsAfter := 0
+	for _, tn := range cur.TableNames() {
+		rowsAfter += cur.Table(tn).NumRows()
+	}
+	if rowsAfter <= rowsBefore {
+		t.Fatalf("database did not grow under ingest: %d -> %d rows", rowsBefore, rowsAfter)
+	}
+}

@@ -186,6 +186,20 @@ const (
 	recReceipt = "receipt"
 )
 
+// WAL record schema versions. Fmt 0 (the historical wire form, absent
+// from its JSON) is a cell-update-only record: every change has the zero
+// Op. Fmt 1 records may additionally carry row inserts and deletes.
+// Separating the record schema from the record's database Version lets
+// recovery distinguish "a record from before DML existed that somehow
+// carries an op" (corruption or a writer bug — refused) from "a record
+// written by a newer store than this binary" (also refused, with a
+// version number the operator can act on).
+const (
+	walFmtCells = 0
+	walFmtDML   = 1
+	walFmtMax   = walFmtDML
+)
+
 // walRecord is one WAL entry. Update records carry the version the batch
 // produced (base version + 1 at append time), so replay can both order
 // and deduplicate them against the snapshot they follow; receipt records
@@ -194,11 +208,46 @@ type walRecord struct {
 	// Seq is the record's store-wide sequence number (LSN): strictly
 	// increasing across segments, never reused. Replay applies a record
 	// exactly when its Seq follows the state built so far.
-	Seq     uint64
-	Kind    string
+	Seq  uint64
+	Kind string
+	// Fmt is the record's schema version (walFmt*). Cell-only update
+	// records stay at 0 and encode byte-identically to the pre-DML store;
+	// records carrying inserts or deletes are stamped walFmtDML.
+	Fmt     uint64                  `json:",omitempty"`
 	Version uint64                  `json:",omitempty"`
 	Changes []relational.CellChange `json:",omitempty"`
 	Receipt *market.Receipt         `json:",omitempty"`
+}
+
+// updateFmt returns the lowest record schema that can carry the batch:
+// walFmtCells unless any change bears a DML op.
+func updateFmt(changes []relational.CellChange) uint64 {
+	for _, c := range changes {
+		if c.Op != relational.OpCellUpdate {
+			return walFmtDML
+		}
+	}
+	return walFmtCells
+}
+
+// validateRecordFmt enforces the record-schema contract on a decoded
+// record: an unknown future format is refused outright, and a fmt-0
+// update record must not carry DML ops (an op in a record that predates
+// ops is corruption or a writer bug, never replayable data).
+func validateRecordFmt(rec walRecord) error {
+	if rec.Fmt > walFmtMax {
+		return fmt.Errorf("store: record seq %d has format %d, newest this binary understands is %d (written by a newer store?)",
+			rec.Seq, rec.Fmt, uint64(walFmtMax))
+	}
+	if rec.Kind == recUpdate && rec.Fmt < walFmtDML {
+		for i, c := range rec.Changes {
+			if c.Op != relational.OpCellUpdate {
+				return fmt.Errorf("store: record seq %d (format %d) carries op %q at change %d; cell-only records must not bear DML",
+					rec.Seq, rec.Fmt, c.Op, i)
+			}
+		}
+	}
+	return nil
 }
 
 // walFrameOverhead is the per-record framing cost: a 4-byte big-endian
@@ -246,6 +295,10 @@ func decodeWAL(data []byte) (recs []walRecord, goodLen int64, err error) {
 		if e := json.Unmarshal(payload, &rec); e != nil {
 			// A CRC-valid frame that does not parse is a writer bug, not a
 			// torn write; surface it rather than silently dropping data.
+			return recs, int64(off), fmt.Errorf("store: WAL record at offset %d: %w", off, e)
+		}
+		if e := validateRecordFmt(rec); e != nil {
+			// Same reasoning: the CRC passed, so this is not a torn write.
 			return recs, int64(off), fmt.Errorf("store: WAL record at offset %d: %w", off, e)
 		}
 		recs = append(recs, rec)

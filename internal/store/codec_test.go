@@ -1,0 +1,128 @@
+package store
+
+// WAL record schema contract: format stamps are the lowest schema that
+// carries the batch, cell-only records stay byte-compatible with the
+// pre-DML wire form, and decode refuses the two non-torn corruption
+// shapes — a record from a newer store, and a cell-only record bearing
+// DML ops.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"querypricing/internal/relational"
+)
+
+func TestUpdateFmtStamping(t *testing.T) {
+	cells := []relational.CellChange{{Table: "T", Row: 1, Col: 0, New: relational.Int(9)}}
+	if got := updateFmt(nil); got != walFmtCells {
+		t.Fatalf("empty batch fmt = %d, want %d", got, walFmtCells)
+	}
+	if got := updateFmt(cells); got != walFmtCells {
+		t.Fatalf("cell batch fmt = %d, want %d", got, walFmtCells)
+	}
+	withInsert := append(append([]relational.CellChange(nil), cells...),
+		relational.RowInsert("T", relational.Int(1)))
+	if got := updateFmt(withInsert); got != walFmtDML {
+		t.Fatalf("insert batch fmt = %d, want %d", got, walFmtDML)
+	}
+	withDelete := []relational.CellChange{relational.RowDelete("T", 0)}
+	if got := updateFmt(withDelete); got != walFmtDML {
+		t.Fatalf("delete batch fmt = %d, want %d", got, walFmtDML)
+	}
+}
+
+// TestCellOnlyRecordWireCompatible: a cell-only update record encodes
+// without Fmt, Op or Vals keys — byte-compatible with WAL segments
+// written before the DML schema existed, which decode as fmt 0.
+func TestCellOnlyRecordWireCompatible(t *testing.T) {
+	rec := walRecord{
+		Seq: 3, Kind: recUpdate, Version: 7,
+		Changes: []relational.CellChange{{Table: "T", Row: 1, Col: 0, New: relational.Int(9)}},
+	}
+	rec.Fmt = updateFmt(rec.Changes)
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Fmt", "Op", "Vals"} {
+		if bytes.Contains(payload, []byte(`"`+key+`"`)) {
+			t.Fatalf("cell-only record leaks %q onto the wire: %s", key, payload)
+		}
+	}
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, n, err := decodeWAL(frame)
+	if err != nil || len(recs) != 1 || int(n) != len(frame) {
+		t.Fatalf("decode: recs=%d n=%d err=%v", len(recs), n, err)
+	}
+	if recs[0].Fmt != walFmtCells {
+		t.Fatalf("decoded fmt = %d, want %d", recs[0].Fmt, walFmtCells)
+	}
+}
+
+// TestDMLRecordRoundTrips: an insert/delete record carries Op and Vals
+// through the frame intact.
+func TestDMLRecordRoundTrips(t *testing.T) {
+	rec := walRecord{
+		Seq: 4, Kind: recUpdate, Version: 8,
+		Changes: []relational.CellChange{
+			relational.RowInsert("T", relational.Int(5), relational.Str("x")),
+			relational.RowDelete("U", 2),
+		},
+	}
+	rec.Fmt = updateFmt(rec.Changes)
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := decodeWAL(frame)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("decode: recs=%d err=%v", len(recs), err)
+	}
+	got := recs[0]
+	if got.Fmt != walFmtDML || len(got.Changes) != 2 {
+		t.Fatalf("decoded fmt=%d changes=%d", got.Fmt, len(got.Changes))
+	}
+	if got.Changes[0].Op != relational.OpRowInsert || len(got.Changes[0].Vals) != 2 {
+		t.Fatalf("insert did not round-trip: %+v", got.Changes[0])
+	}
+	if got.Changes[1].Op != relational.OpRowDelete || got.Changes[1].Table != "U" || got.Changes[1].Row != 2 {
+		t.Fatalf("delete did not round-trip: %+v", got.Changes[1])
+	}
+}
+
+// TestDecodeRefusesFutureFormat: a CRC-valid record stamped with a
+// format this binary does not know is an error, not a torn tail — the
+// operator must not silently lose a newer store's records.
+func TestDecodeRefusesFutureFormat(t *testing.T) {
+	frame, err := encodeWALRecord(walRecord{Seq: 1, Kind: recUpdate, Fmt: walFmtMax + 1, Version: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = decodeWAL(frame)
+	if err == nil || !strings.Contains(err.Error(), "newer store") {
+		t.Fatalf("future-format record decoded: err=%v", err)
+	}
+}
+
+// TestDecodeRefusesOpBearingCellRecord: a fmt-0 update record carrying a
+// DML op is a writer bug or targeted corruption (the CRC passed), never
+// replayable data.
+func TestDecodeRefusesOpBearingCellRecord(t *testing.T) {
+	frame, err := encodeWALRecord(walRecord{
+		Seq: 2, Kind: recUpdate, Fmt: walFmtCells, Version: 3,
+		Changes: []relational.CellChange{relational.RowDelete("T", 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = decodeWAL(frame)
+	if err == nil || !strings.Contains(err.Error(), "must not bear DML") {
+		t.Fatalf("op-bearing fmt-0 record decoded: err=%v", err)
+	}
+}

@@ -6,7 +6,11 @@ package store
 // (torn temp file), crash between snapshot rename and WAL rotation —
 // crossed with all four workloads. In every cell, the broker recovered
 // from the directory must quote byte-identically to an uninterrupted
-// broker holding exactly the durable prefix of the history.
+// broker holding exactly the durable prefix of the history. The batches
+// driven through every kill point are mixed DML (randomDML guarantees
+// each carries an insert, so every crash lands on a walFmtDML record):
+// insert/delete WAL records must replay exactly-once through torn
+// tails and interrupted rotations like cell updates always have.
 
 import (
 	"errors"
@@ -95,7 +99,7 @@ func TestKillPointMatrix(t *testing.T) {
 					}
 
 					// Update u1 lands cleanly at every kill point.
-					u1 := randomChanges(rng, ref.DB(), 2)
+					u1 := randomDML(rng, ref.DB(), 3)
 					if err := st.AppendUpdate(ref.Version()+1, u1); err != nil {
 						t.Fatalf("u1 append: %v", err)
 					}
@@ -106,7 +110,7 @@ func TestKillPointMatrix(t *testing.T) {
 					if kp.atSnapshot {
 						// u2 also lands; the crash fires inside the
 						// snapshot write that follows.
-						u2 := randomChanges(rng, ref.DB(), 2)
+						u2 := randomDML(rng, ref.DB(), 3)
 						if err := st.AppendUpdate(ref.Version()+1, u2); err != nil {
 							t.Fatalf("u2 append: %v", err)
 						}
@@ -118,7 +122,7 @@ func TestKillPointMatrix(t *testing.T) {
 						}
 					} else {
 						// The crash fires inside u2's append.
-						u2 := randomChanges(rng, ref.DB(), 2)
+						u2 := randomDML(rng, ref.DB(), 3)
 						err := st.AppendUpdate(ref.Version()+1, u2)
 						if err == nil {
 							t.Fatal("u2 append survived its kill point")
@@ -138,7 +142,7 @@ func TestKillPointMatrix(t *testing.T) {
 						t.Fatal("kill point did not crash the simulated process")
 					}
 					// The dead process can do nothing further.
-					if err := st.AppendUpdate(ref.Version()+1, randomChanges(rng, ref.DB(), 1)); err == nil {
+					if err := st.AppendUpdate(ref.Version()+1, randomDML(rng, ref.DB(), 1)); err == nil {
 						t.Fatal("append succeeded after the crash")
 					}
 					st.Close()
@@ -150,7 +154,7 @@ func TestKillPointMatrix(t *testing.T) {
 
 					// The recovered store keeps working: one more durable
 					// update, one more recovery.
-					u3 := randomChanges(rng, restored.DB(), 1)
+					u3 := randomDML(rng, restored.DB(), 2)
 					if err := st2.AppendUpdate(restored.Version()+1, u3); err != nil {
 						t.Fatalf("post-recovery append: %v", err)
 					}

@@ -473,11 +473,13 @@ func (s *Store) appendLocked(rec walRecord) error {
 
 // AppendUpdate durably logs one update batch before it is applied in
 // memory (write-ahead): version is the database version the batch will
-// produce. Returns only after the record is fsynced.
+// produce. The record schema is stamped per batch — cell-only batches
+// keep the pre-DML wire form, batches with inserts or deletes are marked
+// walFmtDML. Returns only after the record is fsynced.
 func (s *Store) AppendUpdate(version uint64, changes []relational.CellChange) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(walRecord{Kind: recUpdate, Version: version, Changes: changes})
+	return s.appendLocked(walRecord{Kind: recUpdate, Fmt: updateFmt(changes), Version: version, Changes: changes})
 }
 
 // AppendReceipt durably logs one completed sale.

@@ -66,18 +66,24 @@ func calibratedBroker(t *testing.T, db *relational.Database, qs []*relational.Se
 	return b
 }
 
-// randomChanges draws an update batch from the database's active domains.
+// randomChanges draws a cell-update batch from the database's active
+// domains, honoring the batch rules: distinct cells, live rows only.
 func randomChanges(rng *rand.Rand, db *relational.Database, n int) []relational.CellChange {
 	names := db.TableNames()
 	var out []relational.CellChange
-	for len(out) < n {
+	used := make(map[[3]interface{}]bool)
+	for guard := 0; len(out) < n && guard < 200*n; guard++ {
 		tn := names[rng.Intn(len(names))]
 		tab := db.Table(tn)
 		row, col := rng.Intn(tab.NumRows()), rng.Intn(len(tab.Schema.Cols))
+		if !tab.Alive(row) || used[[3]interface{}{tn, row, col}] {
+			continue
+		}
 		domain := db.ActiveDomain(tn, tab.Schema.Cols[col].Name)
 		if len(domain) == 0 {
 			continue
 		}
+		used[[3]interface{}{tn, row, col}] = true
 		out = append(out, relational.CellChange{Table: tn, Row: row, Col: col, New: domain[rng.Intn(len(domain))]})
 	}
 	return out

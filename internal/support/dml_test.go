@@ -1,0 +1,185 @@
+package support_test
+
+// DML equivalence at the support layer: advancing a set across mixed
+// insert/delete/update batches must produce conflict sets byte-identical
+// to a fresh Set over the post-change database, for every workload and
+// shard count — and identical DML chains must yield identical conflict
+// sets at every K, so sharding stays invisible as tables grow and
+// accumulate tombstones. Runs under -race in CI.
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+)
+
+// randomDMLUpdate draws a mixed insert/delete/update batch honoring
+// Apply's batch rules: distinct cells, live rows only, no double deletes,
+// no delete of a cell-updated row. Inserts are un-normalized (Row -1),
+// exactly what a live caller would submit; tables are never drained below
+// three live rows so join structure survives the chain.
+func randomDMLUpdate(rng *rand.Rand, db *relational.Database, n int) []support.Delta {
+	names := db.TableNames()
+	var out []support.Delta
+	type rc struct {
+		table string
+		row   int
+	}
+	usedCell := make(map[[2]interface{}]bool)
+	touched := make(map[rc]bool)
+	deleted := make(map[rc]bool)
+	pendingDeletes := make(map[string]int)
+	insertVal := func(t *relational.Table, tn string, ci int) relational.Value {
+		domain := db.ActiveDomain(tn, t.Schema.Cols[ci].Name)
+		if len(domain) == 0 {
+			return relational.Null()
+		}
+		return domain[rng.Intn(len(domain))]
+	}
+	for guard := 0; len(out) < n && guard < 200*n; guard++ {
+		tn := names[rng.Intn(len(names))]
+		t := db.Table(tn)
+		switch op := rng.Intn(10); {
+		case op < 6 && t.NumRows() > 0: // cell update
+			row, col := rng.Intn(t.NumRows()), rng.Intn(len(t.Schema.Cols))
+			k := rc{tn, row}
+			if !t.Alive(row) || deleted[k] || usedCell[[2]interface{}{k, col}] {
+				continue
+			}
+			nv := relational.Null()
+			if rng.Intn(10) != 0 {
+				domain := db.ActiveDomain(tn, t.Schema.Cols[col].Name)
+				if len(domain) == 0 {
+					continue
+				}
+				nv = domain[rng.Intn(len(domain))]
+			}
+			usedCell[[2]interface{}{k, col}] = true
+			touched[k] = true
+			out = append(out, support.Delta{Table: tn, Row: row, Col: col, New: nv})
+		case op < 8: // insert
+			vals := make([]relational.Value, len(t.Schema.Cols))
+			for ci := range vals {
+				vals[ci] = insertVal(t, tn, ci)
+			}
+			out = append(out, relational.RowInsert(tn, vals...))
+		default: // delete
+			if t.NumRows() == 0 || t.LiveRows()-pendingDeletes[tn] <= 3 {
+				continue
+			}
+			row := rng.Intn(t.NumRows())
+			k := rc{tn, row}
+			if !t.Alive(row) || deleted[k] || touched[k] {
+				continue
+			}
+			deleted[k] = true
+			pendingDeletes[tn]++
+			out = append(out, relational.RowDelete(tn, row))
+		}
+	}
+	return out
+}
+
+// TestAdvanceMatchesFreshSetDML is the live-update equivalence property
+// extended to row inserts and deletes: after a chain of mixed DML batches,
+// the advanced set's conflict sets equal those of a literal fresh Set over
+// the final database, for every workload and shard count. The same seed
+// drives the chain at every K, so the final conflict sets must also be
+// byte-identical across shard counts.
+func TestAdvanceMatchesFreshSetDML(t *testing.T) {
+	ks := []int{1, 2, runtime.NumCPU()}
+	for _, w := range equivalenceWorkloads {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			db, qs := equivalenceScenario(t, w)
+			var firstK int
+			var acrossShards [][]int
+			for _, k := range ks {
+				// Same seed per K: the DML chain is identical, so the final
+				// conflict sets must match across shard counts.
+				rng := rand.New(rand.NewSource(int64(len(w)) * 137))
+				set := generateSharded(t, db, 50, 7, 2, k)
+				baseline := conflictSets(t, set, qs) // warms every plan cache
+				cur, curDB := set, db
+				for round := 0; round < 3; round++ {
+					changes := randomDMLUpdate(rng, curDB, 1+rng.Intn(6))
+					norm, err := curDB.NormalizeChanges(changes)
+					if err != nil {
+						t.Fatal(err)
+					}
+					newDB, err := curDB.Apply(norm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					adv, _ := cur.Advance(newDB, norm)
+					fresh := &support.Set{DB: newDB, Neighbors: set.Neighbors, Shards: k}
+					assertSameConflictSets(t, w, qs,
+						conflictSets(t, adv, qs), conflictSets(t, fresh, qs))
+					cur, curDB = adv, newDB
+				}
+				final := conflictSets(t, cur, qs)
+				if acrossShards == nil {
+					firstK, acrossShards = k, final
+				} else {
+					assertSameConflictSets(t, w+"/cross-shard", qs, final, acrossShards)
+				}
+				// The original set still serves the original snapshot.
+				assertSameConflictSets(t, w+"/old-snapshot", qs, conflictSets(t, set, qs), baseline)
+				_ = firstK
+			}
+		})
+	}
+}
+
+// TestAdvanceDeleteNeutralizesNeighbor pins the vacuous-delta semantics
+// for deletes: a neighbor whose only deltas target rows an update batch
+// deletes becomes indistinguishable from the base database, so it stops
+// conflicting with every query — on the advanced set just as on a fresh
+// one.
+func TestAdvanceDeleteNeutralizesNeighbor(t *testing.T) {
+	db, qs := equivalenceScenario(t, "skewed")
+	set := generateSharded(t, db, 60, 3, 1, 2)
+	// Find a conflicting neighbor whose (single) delta row we can delete
+	// without draining the table.
+	var q *relational.SelectQuery
+	var nb *support.Neighbor
+	for _, cand := range qs {
+		items, err := support.ConflictSet(set, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			n := &set.Neighbors[it]
+			if len(n.Deltas) == 1 && db.Table(n.Deltas[0].Table).LiveRows() > 3 {
+				q, nb = cand, n
+				break
+			}
+		}
+		if q != nil {
+			break
+		}
+	}
+	if q == nil {
+		t.Skip("no single-delta conflicting neighbor in this scenario")
+	}
+	changes := []support.Delta{relational.RowDelete(nb.Deltas[0].Table, nb.Deltas[0].Row)}
+	newDB, err := db.Apply(changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, _ := set.Advance(newDB, changes)
+	fresh := &support.Set{DB: newDB, Neighbors: set.Neighbors, Shards: 2}
+	got, err := support.ConflictSet(adv, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := support.ConflictSet(fresh, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameConflictSets(t, "delete-neutralized", []*relational.SelectQuery{q}, [][]int{got}, [][]int{want})
+}

@@ -176,21 +176,31 @@ func Generate(db *relational.Database, opts GenOptions) (*Set, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	// Row-weighted table choice and per-column active domains.
+	// Live-row-weighted table choice and per-column active domains.
+	// Sampling maps through each table's live slots so tombstoned rows
+	// (which no scan observes) never take a delta.
 	type colDomain struct {
 		table string
 		col   int
 		vals  []relational.Value
 	}
 	var weights []int
+	liveSlots := make(map[string][]int, len(tables))
 	totalRows := 0
 	for _, name := range tables {
 		t := db.Table(name)
 		if t == nil {
 			return nil, fmt.Errorf("support: unknown table %q", name)
 		}
-		weights = append(weights, t.NumRows())
-		totalRows += t.NumRows()
+		var live []int
+		for ri := range t.Rows {
+			if t.Alive(ri) {
+				live = append(live, ri)
+			}
+		}
+		liveSlots[name] = live
+		weights = append(weights, len(live))
+		totalRows += len(live)
 	}
 	if totalRows == 0 {
 		return nil, fmt.Errorf("support: database has no rows")
@@ -224,7 +234,7 @@ func Generate(db *relational.Database, opts GenOptions) (*Set, error) {
 		for d := 0; d < deltasPer; d++ {
 			tn := pickTable()
 			t := db.Table(tn)
-			row := rng.Intn(t.NumRows())
+			row := liveSlots[tn][rng.Intn(len(liveSlots[tn]))]
 			col := rng.Intn(len(t.Schema.Cols))
 			cur := t.Rows[row][col]
 			nv := perturb(rng, cur, domains[tn][col].vals)
@@ -282,6 +292,9 @@ func (s *Set) view(nb *Neighbor) *relational.Database {
 		copy(t.Rows, src.Rows)
 		copied := make(map[int]bool, len(deltas))
 		for _, d := range deltas {
+			if d.Row < 0 || d.Row >= len(src.Rows) || src.Rows[d.Row] == nil {
+				continue // delta on a row the base deleted: vacuous now
+			}
 			if !copied[d.Row] {
 				row := make([]relational.Value, len(src.Rows[d.Row]))
 				copy(row, src.Rows[d.Row])

@@ -17,15 +17,22 @@ import (
 )
 
 // randomUpdate draws an update batch whose values come from the column's
-// active domain (plus the occasional NULL), mirroring live traffic.
+// active domain (plus the occasional NULL), mirroring live traffic. Cells
+// are distinct within the batch and target live rows only, honoring
+// Apply's batch rules.
 func randomUpdate(rng *rand.Rand, db *relational.Database, n int) []support.Delta {
 	names := db.TableNames()
 	var out []support.Delta
+	used := make(map[[3]interface{}]bool, n)
 	for len(out) < n {
 		tn := names[rng.Intn(len(names))]
 		t := db.Table(tn)
 		row, col := rng.Intn(t.NumRows()), rng.Intn(len(t.Schema.Cols))
+		if !t.Alive(row) || used[[3]interface{}{tn, row, col}] {
+			continue
+		}
 		if rng.Intn(10) == 0 {
+			used[[3]interface{}{tn, row, col}] = true
 			out = append(out, support.Delta{Table: tn, Row: row, Col: col, New: relational.Null()})
 			continue
 		}
@@ -33,6 +40,7 @@ func randomUpdate(rng *rand.Rand, db *relational.Database, n int) []support.Delt
 		if len(domain) == 0 {
 			continue
 		}
+		used[[3]interface{}{tn, row, col}] = true
 		out = append(out, support.Delta{
 			Table: tn, Row: row, Col: col, New: domain[rng.Intn(len(domain))],
 		})

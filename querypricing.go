@@ -242,10 +242,19 @@ type Value = relational.Value
 // ColRef names a column of a table (or alias) inside a query.
 type ColRef = relational.ColRef
 
-// CellChange is a single-cell update to a database: Table.Rows[Row][Col]
-// becomes New. It is the delta currency of the whole stack — live updates
-// (Database.Apply, Broker.Update) and support-set neighbors both speak it.
+// CellChange is a single change to a database, discriminated by Op: the
+// zero Op is a cell update (Table.Rows[Row][Col] becomes New), "insert"
+// appends a full row, "delete" tombstones a slot. It is the delta
+// currency of the whole stack — live updates (Database.Apply,
+// Broker.Update) and support-set neighbors both speak it.
 type CellChange = relational.CellChange
+
+// RowInsert returns a change that appends a full row to table; the slot
+// it lands in is assigned deterministically at apply time.
+func RowInsert(table string, vals ...Value) CellChange { return relational.RowInsert(table, vals...) }
+
+// RowDelete returns a change that tombstones the row at slot row.
+func RowDelete(table string, row int) CellChange { return relational.RowDelete(table, row) }
 
 // IntValue returns an integer cell value.
 func IntValue(v int64) Value { return relational.Int(v) }

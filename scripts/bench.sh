@@ -2,7 +2,7 @@
 # bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
 #
 # Usage: scripts/bench.sh [n] [--compare BENCH_<m>.json]
-#   n                PR / trajectory index (default 8); output lands in BENCH_<n>.json
+#   n                PR / trajectory index (default 9); output lands in BENCH_<n>.json
 #   --compare FILE   after writing BENCH_<n>.json, print a per-benchmark
 #                    delta table (ns/op and allocs/op) against FILE and
 #                    exit nonzero if any benchmark regressed more than
@@ -32,6 +32,10 @@
 #                    slo_load/<class>_{p50,p95,p99,err_ppm} lines land in
 #                    the JSON alongside the microbenchmarks (docs/LOAD.md);
 #                    LOADCOUNT=0 skips the group
+#   INGESTCOUNT      rounds of `pricebench -experiment ingest -slo` — the
+#                    streaming-ingest mix (update-heavy, half the update
+#                    bodies full-row inserts), recorded as slo_ingest/*
+#                    entries (default 2; 0 skips); shares LOADRATE/LOADDUR
 #
 # The tracked set pins the conflict-set engine: hypergraph construction
 # (serial vs parallel vs incremental vs sharded), the online conflict-set
@@ -42,7 +46,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-n="8"
+n="9"
 compare=""
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -67,6 +71,7 @@ quotefilter="${BENCHFILTER_QUOTE:-BenchmarkConflictSet|BenchmarkQuoteBatch|Bench
 loadrate="${LOADRATE:-300}"
 loaddur="${LOADDUR:-4s}"
 loadcount="${LOADCOUNT:-2}"
+ingestcount="${INGESTCOUNT:-2}"
 out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -103,6 +108,14 @@ done
 if [ "$loadcount" -gt 0 ]; then
 	for i in $(seq "$loadcount"); do
 		go run ./cmd/pricebench -experiment load -rate "$loadrate" -duration "$loaddur" -slo | tee -a "$raw"
+	done
+fi
+# The streaming-ingest group: same stack and rate, but under the
+# insert-bearing StreamingIngestMix, so the trajectory also tracks
+# latency while the database itself is growing (slo_ingest/* entries).
+if [ "$ingestcount" -gt 0 ]; then
+	for i in $(seq "$ingestcount"); do
+		go run ./cmd/pricebench -experiment ingest -rate "$loadrate" -duration "$loaddur" -slo | tee -a "$raw"
 	done
 fi
 

@@ -19,6 +19,10 @@ trap 'test -n "$PID" && kill -9 "$PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 QUERY='{"Name":"q","Tables":["Country"],"Where":[{"Col":{"Table":"Country","Col":"Continent"},"Op":0,"Val":{"K":3,"S":"Asia"}}],"Select":[{"Table":"Country","Col":"Name"}]}'
 UPDATE='[{"Table":"Country","Row":3,"Col":2,"New":{"K":3,"S":"Europe"}}]'
+# A mixed DML batch — one row insert (slot assigned server-side) and one
+# row delete — so the crash leaves insert/delete WAL records behind and
+# the second boot proves they replay exactly-once.
+DML='[{"Table":"City","Row":-1,"Op":"insert","Vals":[{"K":1,"I":90001},{"K":3,"S":"Newtown"},{"K":3,"S":"AAA"},{"K":3,"S":"Central"},{"K":1,"I":12345}]},{"Table":"City","Row":7,"Op":"delete"}]'
 
 wait_ready() {
   for _ in $(seq 1 100); do
@@ -38,9 +42,11 @@ echo "== boot 1: bootstrap + calibrate =="
 PID=$!
 wait_ready
 
-# An update and a purchase, so the second boot must replay durable WAL
-# records, not just reread the initial snapshot.
+# A cell update, a DML batch (insert + delete) and a purchase, so the
+# second boot must replay durable WAL records of every kind and format,
+# not just reread the initial snapshot.
 curl -fsS -XPOST -d "$UPDATE" "http://localhost:$PORT/update" >/dev/null
+curl -fsS -XPOST -d "$DML" "http://localhost:$PORT/update" >/dev/null
 curl -fsS -XPOST -d "$QUERY" "http://localhost:$PORT/purchase?budget=1e18" >/dev/null
 QUOTE1="$(curl -fsS -XPOST -d "$QUERY" "http://localhost:$PORT/quote")"
 echo "quote: $QUOTE1"
