@@ -16,7 +16,8 @@
 //	POST /quote              body: SelectQuery -> Quote
 //	POST /quote/batch        body: [SelectQuery, ...] -> [Quote, ...]
 //	POST /purchase?budget=N  body: SelectQuery -> answer + receipt
-//	POST /update             body: [CellChange, ...] -> new version + plan stats
+//	POST /update             body: [CellChange, ...] -> new version + plan stats + assigned insert slots
+//	POST /compact            body: {"tables":[...]} (optional; default all) -> compaction stats
 //
 // A SelectQuery body looks like:
 //
@@ -82,6 +83,9 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		lazyDrain = flag.Bool("background-drain", true, "fold deferred plan rebases in the background after each update")
 
+		compactThresh = flag.Float64("compact-threshold", 0.3, "auto-compact a table when tombstones/slots reaches this fraction (0 = manual POST /compact only)")
+		compactMin    = flag.Int("compact-min-rows", 4096, "exempt tables with fewer physical slots than this from auto-compaction")
+
 		dataDir    = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
 		snapEvery  = flag.Int("snapshot-every", 64, "roll a snapshot after this many durable updates (0 = only at shutdown)")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (0 = none)")
@@ -101,6 +105,9 @@ func main() {
 		BackgroundDrain: *lazyDrain,
 		RequestTimeout:  *reqTimeout,
 		MaxInflight:     *maxInfl,
+
+		CompactThreshold: *compactThresh,
+		CompactMinRows:   *compactMin,
 	})
 	if err != nil {
 		log.Fatalf("marketd: %v", err)

@@ -1,0 +1,237 @@
+package main
+
+// The compaction SLO experiment (docs/OPERATIONS.md, docs/UPDATES.md):
+// drive the delete-heavy churn mix — every pooled update body a full-row
+// insert, half the issued updates deletes of rows the run itself
+// inserted — against two in-process marketd boots that differ only in
+// trigger policy: one auto-compacts at a 30% tombstone fraction, the
+// other never compacts. The run reports quote latency *through* the
+// compaction epochs (the tentpole claim: epochs serialize with writes,
+// never with quotes), physical slot growth with and without compaction
+// (the bounded-growth claim), and a price-identity check across an
+// explicit POST /compact (the correctness claim). With -slo it prints
+// Benchmark-format slo_compact lines for scripts/bench.sh.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"querypricing/internal/loadgen"
+	"querypricing/internal/market"
+	"querypricing/internal/serve"
+	"querypricing/internal/workloads"
+)
+
+// compactBoot is one booted serving stack for the compaction experiment.
+type compactBoot struct {
+	srv *serve.Server
+	ts  *httptest.Server
+	dir string
+}
+
+func (b *compactBoot) close() {
+	b.ts.Close()
+	b.srv.Close()
+	os.RemoveAll(b.dir)
+}
+
+// bootForCompact boots a durable in-process marketd with the given
+// auto-compaction threshold (0 = never compact).
+func (r *runner) bootForCompact(threshold float64) (*compactBoot, error) {
+	supportN := r.supportN
+	if supportN <= 0 {
+		supportN = 200
+	}
+	dir, err := os.MkdirTemp("", "pricebench-compact-*")
+	if err != nil {
+		return nil, err
+	}
+	s, err := serve.New(serve.Config{
+		DataDir:          dir,
+		SnapshotEvery:    64,
+		Algorithm:        "LPIP",
+		SupportSize:      supportN,
+		Shards:           r.shards,
+		Seed:             r.seed,
+		ValK:             100,
+		BackgroundDrain:  true,
+		RequestTimeout:   10 * time.Second,
+		MaxInflight:      256,
+		CompactThreshold: threshold,
+		CompactMinRows:   64,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return &compactBoot{srv: s, ts: httptest.NewServer(s.Routes()), dir: dir}, nil
+}
+
+// churn drives the delete-heavy mix against one boot and returns the
+// run's results.
+func (r *runner) churn(b *compactBoot, mix loadgen.Mix) (*loadgen.Result, error) {
+	db := b.srv.Broker().DB()
+	queries := workloads.Skewed(db)
+	if len(queries) > 200 {
+		queries = queries[:200]
+	}
+	w, err := loadgen.NewWorkload(db, queries, loadgen.WorkloadConfig{
+		Seed:           r.seed,
+		IngestFraction: 1, // every pooled update body is an insert; deletes are built per-lane
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.Run(loadgen.Config{
+		BaseURL:        b.ts.URL,
+		Rate:           r.loadRate,
+		Duration:       r.loadDur,
+		Mix:            mix,
+		Workers:        r.loadWorkers,
+		Seed:           r.seed,
+		DeleteFraction: 0.5,
+	}, w)
+}
+
+func (r *runner) runCompact() error {
+	mix, err := parseMix(r.loadMix)
+	if err != nil {
+		return err
+	}
+	if mix == (loadgen.Mix{}) {
+		mix = loadgen.DeleteHeavyMix()
+	}
+
+	// Leg 1: auto-compaction on, with a trigger policy scaled to a bench
+	// run: the churn tombstones a few percent of each table, so a 5%
+	// threshold keeps epochs firing throughout. Quote latency here rides
+	// through every epoch.
+	on, err := r.bootForCompact(0.05)
+	if err != nil {
+		return err
+	}
+	defer on.close()
+	fmt.Printf("== compact: churn vs auto-compacting marketd (threshold 0.05) ==\n")
+	fmt.Printf("offered %.0f req/s for %v, mix %s, delete fraction 0.5\n", r.loadRate, r.loadDur, mix)
+	resOn, err := r.churn(on, mix)
+	if err != nil {
+		return err
+	}
+	fmt.Println(resOn)
+	if n := resOn.TotalStale(); n > 0 {
+		fmt.Printf("stale-coordinate deletes refused: %d (an epoch renumbered lane slots; lanes resync from the response epoch counter)\n", n)
+	}
+	onSlots, onLive := slotStats(on.srv.Broker())
+	epochs := on.srv.Broker().Compactions()
+	fmt.Printf("compacted run: %d epochs, %d slots / %d live rows (%.2fx)\n",
+		epochs, onSlots, onLive, float64(onSlots)/float64(onLive))
+
+	// Leg 2: identical churn, compaction disabled — the unbounded-growth
+	// baseline.
+	off, err := r.bootForCompact(0)
+	if err != nil {
+		return err
+	}
+	defer off.close()
+	fmt.Printf("== compact: identical churn, compaction disabled ==\n")
+	resOff, err := r.churn(off, mix)
+	if err != nil {
+		return err
+	}
+	offSlots, offLive := slotStats(off.srv.Broker())
+	fmt.Printf("uncompacted run: %d slots / %d live rows (%.2fx)\n",
+		offSlots, offLive, float64(offSlots)/float64(offLive))
+
+	// Correctness leg: the uncompacted boot is full of tombstones — quote
+	// a sample, compact explicitly over HTTP, quote again. Prices,
+	// conflict sizes and informativeness must be identical; only the
+	// version may move (the epoch is a version bump).
+	if err := checkCompactIdentity(off.ts.URL, off.srv.Broker()); err != nil {
+		return err
+	}
+	if err := checkMetrics(on.ts.URL); err != nil {
+		return err
+	}
+
+	if r.loadSLO {
+		fmt.Print(resOn.SLOLinesNamed("compact"))
+		// Slot-growth trajectory: physical slots at run end, with and
+		// without compaction, in the same Benchmark value slot the SLO
+		// lines use (the comparator treats it as a plain magnitude).
+		fmt.Printf("Benchmarkslo_compact/slots_compacted 1 %d ns/op\n", onSlots)
+		fmt.Printf("Benchmarkslo_compact/slots_uncompacted 1 %d ns/op\n", offSlots)
+		fmt.Printf("Benchmarkslo_compact/epochs 1 %d ns/op\n", epochs)
+	}
+	if n := resOn.NonShedErrors() + resOff.NonShedErrors(); n > 0 {
+		return fmt.Errorf("compact runs produced %d non-shed errors", n)
+	}
+	if epochs == 0 {
+		return fmt.Errorf("churn never triggered auto-compaction (threshold 0.05); raise -rate or -duration")
+	}
+	if onSlots >= offSlots && offSlots > 0 {
+		return fmt.Errorf("compaction did not reduce slot growth: %d slots with vs %d without", onSlots, offSlots)
+	}
+	return nil
+}
+
+// slotStats sums physical slots and live rows across all tables.
+func slotStats(b *market.Broker) (slots, live int) {
+	for _, ts := range b.TableStats() {
+		slots += ts.Slots
+		live += ts.Live
+	}
+	return slots, live
+}
+
+// checkCompactIdentity asserts quotes are price-identical across an
+// explicit POST /compact: same Price, ConflictSize and Informative for
+// every sampled query; only Version moves.
+func checkCompactIdentity(baseURL string, b *market.Broker) error {
+	queries := workloads.Skewed(b.DB())
+	if len(queries) > 20 {
+		queries = queries[:20]
+	}
+	before := make([]market.Quote, len(queries))
+	for i, q := range queries {
+		quote, err := b.Quote(q)
+		if err != nil {
+			return fmt.Errorf("pre-compaction quote %q: %w", q.Name, err)
+		}
+		before[i] = quote
+	}
+	resp, err := http.Post(baseURL+"/compact", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		return fmt.Errorf("POST /compact: %w", err)
+	}
+	var body struct {
+		Compacted bool                `json:"compacted"`
+		Stats     market.CompactStats `json:"stats"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /compact: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if !body.Compacted {
+		return fmt.Errorf("POST /compact reclaimed nothing on a churned database")
+	}
+	fmt.Printf("explicit compaction: %d tables, %d slots reclaimed, %d plans carried / %d dropped\n",
+		body.Stats.TablesCompacted, body.Stats.SlotsReclaimed, body.Stats.PlansCarried, body.Stats.PlansDropped)
+	for i, q := range queries {
+		after, err := b.Quote(q)
+		if err != nil {
+			return fmt.Errorf("post-compaction quote %q: %w", q.Name, err)
+		}
+		if after.Price != before[i].Price || after.ConflictSize != before[i].ConflictSize ||
+			after.Informative != before[i].Informative {
+			return fmt.Errorf("quote %q changed across compaction: %+v -> %+v", q.Name, before[i], after)
+		}
+	}
+	fmt.Printf("quote identity: %d queries price-identical across the epoch\n", len(queries))
+	return nil
+}

@@ -54,6 +54,7 @@ var experimentIndex = []struct{ id, what string }{
 	{"restart", "calibrate vs snapshot-restore boot cost and quote identity (docs/OPERATIONS.md)"},
 	{"load", "sustained-load SLO harness: open-loop mixed traffic vs marketd (docs/LOAD.md)"},
 	{"ingest", "streaming-ingest load: insert-bearing update mix vs marketd (docs/LOAD.md)"},
+	{"compact", "delete-heavy churn: quote SLOs through compaction epochs, slot growth with/without (docs/OPERATIONS.md)"},
 }
 
 func main() {
@@ -303,6 +304,8 @@ func (r *runner) run(id string) error {
 		return r.runLoad()
 	case "ingest":
 		return r.runIngest()
+	case "compact":
+		return r.runCompact()
 	default:
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}

@@ -1,0 +1,201 @@
+package loadgen
+
+// Delete-lane correctness: with Config.DeleteFraction set, update
+// arrivals become single-row deletes drawn only from slots the server
+// assigned to that lane's own prior inserts — every delete the server
+// processes targets an assigned, still-live slot exactly once, shed
+// deletes are re-queued rather than leaked, and the draw is a pure
+// function of (seed, arrival) so identical runs delete identically.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"querypricing/internal/relational"
+)
+
+// deleteTrackingStub fakes /update the way marketd answers it: inserts
+// are assigned rising slots per table (reported via "inserts"), and
+// deletes are validated against what this server actually assigned.
+type deleteTrackingStub struct {
+	shedEvery int
+
+	mu       sync.Mutex
+	n        int
+	nextSlot map[string]int
+	live     map[string]map[int]bool
+	deletes  int
+	invalid  []string
+}
+
+func (s *deleteTrackingStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if s.shedEvery > 0 && s.n%s.shedEvery == 0 {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	if r.URL.Path != "/update" {
+		fmt.Fprint(w, `{"Version": 1}`)
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	var changes []relational.CellChange
+	if err := json.Unmarshal(body, &changes); err != nil {
+		s.invalid = append(s.invalid, fmt.Sprintf("undecodable update: %v", err))
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		return
+	}
+	if s.nextSlot == nil {
+		s.nextSlot = map[string]int{}
+		s.live = map[string]map[int]bool{}
+	}
+	inserts := map[string][]int{}
+	for _, c := range changes {
+		switch c.Op {
+		case relational.OpRowInsert:
+			slot := s.nextSlot[c.Table]
+			s.nextSlot[c.Table]++
+			if s.live[c.Table] == nil {
+				s.live[c.Table] = map[int]bool{}
+			}
+			s.live[c.Table][slot] = true
+			inserts[c.Table] = append(inserts[c.Table], slot)
+		case relational.OpRowDelete:
+			if !s.live[c.Table][c.Row] {
+				s.invalid = append(s.invalid,
+					fmt.Sprintf("delete of %s slot %d, which this server never assigned live", c.Table, c.Row))
+			}
+			delete(s.live[c.Table], c.Row)
+			s.deletes++
+		}
+	}
+	resp := map[string]any{"version": s.n}
+	if len(inserts) > 0 {
+		resp["inserts"] = inserts
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// deleteWorkload: every pooled update body is one insert, so lanes
+// learn slots quickly.
+func deleteWorkload() Workload {
+	w := testWorkload()
+	w.Updates = [][]byte{[]byte(
+		`[{"Table":"T","Row":-1,"Op":"insert","Vals":[{"K":1,"I":7}]}]`)}
+	return w
+}
+
+func runDeletes(t *testing.T, shedEvery int, seed int64) (*Result, *deleteTrackingStub) {
+	t.Helper()
+	stub := &deleteTrackingStub{shedEvery: shedEvery}
+	srv := httptest.NewServer(stub)
+	defer srv.Close()
+	res, err := Run(Config{
+		BaseURL:        srv.URL,
+		Rate:           600,
+		Duration:       500 * time.Millisecond,
+		Mix:            Mix{Quote: 0.2, Update: 0.8},
+		Seed:           seed,
+		Workers:        4,
+		DeleteFraction: 0.5,
+	}, deleteWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, stub
+}
+
+func TestDeleteLaneTargetsOwnInsertsExactlyOnce(t *testing.T) {
+	res, stub := runDeletes(t, 0, 42)
+	cr := res.Classes[ClassUpdate]
+	if cr == nil || cr.Deletes == 0 {
+		t.Fatalf("no deletes issued: %+v", res.Classes)
+	}
+	if len(stub.invalid) > 0 {
+		t.Fatalf("server saw %d invalid deletes; first: %s", len(stub.invalid), stub.invalid[0])
+	}
+	if stub.deletes != cr.Deletes {
+		t.Fatalf("server processed %d deletes, client counted %d", stub.deletes, cr.Deletes)
+	}
+	// Roughly half the update arrivals should be deletes once the lanes
+	// are warm; a wide band guards flakiness, zero or all is a bug.
+	if cr.Deletes >= cr.Sent {
+		t.Fatalf("every update was a delete (%d of %d): lanes never insert", cr.Deletes, cr.Sent)
+	}
+}
+
+// TestDeleteLaneShedRequeues: with shedding on, shed deletes go back on
+// the lane's queue, so the server still never sees an invalid delete and
+// accounting still reconciles.
+func TestDeleteLaneShedRequeues(t *testing.T) {
+	res, stub := runDeletes(t, 7, 43)
+	cr := res.Classes[ClassUpdate]
+	if cr == nil || cr.Deletes == 0 {
+		t.Fatalf("no deletes issued under shedding: %+v", res.Classes)
+	}
+	if cr.Shed == 0 {
+		t.Fatal("stub shed nothing; shedEvery misconfigured")
+	}
+	if len(stub.invalid) > 0 {
+		t.Fatalf("server saw invalid deletes under shedding; first: %s", stub.invalid[0])
+	}
+	if stub.deletes != cr.Deletes {
+		t.Fatalf("server processed %d deletes, client counted %d (shed deletes must not count)",
+			stub.deletes, cr.Deletes)
+	}
+}
+
+// TestDeleteDrawDeterministic: the delete decision is a pure function of
+// (seed, arrival index) — two identical runs delete identically, and
+// different seeds draw differently.
+func TestDeleteDrawDeterministic(t *testing.T) {
+	for k := 0; k < 100; k++ {
+		if deleteDraw(11, k) != deleteDraw(11, k) {
+			t.Fatalf("deleteDraw(11, %d) is not deterministic", k)
+		}
+		if d := deleteDraw(11, k); d < 0 || d >= 1 {
+			t.Fatalf("deleteDraw(11, %d) = %v outside [0,1)", k, d)
+		}
+	}
+	same := 0
+	for k := 0; k < 100; k++ {
+		if (deleteDraw(11, k) < 0.5) == (deleteDraw(12, k) < 0.5) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("seed does not influence the delete draw")
+	}
+	a, _ := runDeletes(t, 0, 77)
+	b, _ := runDeletes(t, 0, 77)
+	if a.Classes[ClassUpdate].Deletes != b.Classes[ClassUpdate].Deletes {
+		t.Fatalf("same seed, different delete counts: %d vs %d",
+			a.Classes[ClassUpdate].Deletes, b.Classes[ClassUpdate].Deletes)
+	}
+}
+
+// TestDeleteHeavyMixShape: the delete-heavy soak profile is
+// update-dominated but keeps quoting, and normalizes cleanly.
+func TestDeleteHeavyMixShape(t *testing.T) {
+	m := DeleteHeavyMix()
+	if m.Update <= m.Quote || m.Quote <= 0 {
+		t.Fatalf("delete-heavy mix shape off: %s", m.String())
+	}
+	w := m.weights()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("mix weights sum to %v", sum)
+	}
+}

@@ -72,6 +72,15 @@ func DefaultMix() Mix { return Mix{Quote: 0.85, Batch: 0.05, Update: 0.05, Purch
 // run while quotes keep being served off it.
 func StreamingIngestMix() Mix { return Mix{Quote: 0.55, Batch: 0.05, Update: 0.35, Purchase: 0.05} }
 
+// DeleteHeavyMix returns the churn mix for the compaction experiments:
+// 35% quotes, 5% batches, 55% updates, 5% purchases. Pair it with
+// WorkloadConfig.IngestFraction = 1 and Config.DeleteFraction ≈ 0.5 so
+// the update stream is rows being born and dying at matched rates: the
+// live row count stays roughly flat while tombstones accumulate, which
+// is exactly the load that makes tombstone compaction earn its keep
+// (docs/UPDATES.md).
+func DeleteHeavyMix() Mix { return Mix{Quote: 0.35, Batch: 0.05, Update: 0.55, Purchase: 0.05} }
+
 // weights returns the class weights in Classes order.
 func (m Mix) weights() [4]float64 {
 	return [4]float64{m.Quote, m.Batch, m.Update, m.Purchase}
@@ -114,6 +123,19 @@ type Config struct {
 	// Client overrides the HTTP client (tests); nil builds one with a
 	// keep-alive pool sized to Workers.
 	Client *http.Client
+
+	// DeleteFraction turns that fraction of update arrivals into row
+	// deletes. A delete body cannot come from a replayed pool (a slot is
+	// deletable exactly once), so each lane builds them from its own
+	// prior inserts: the server's /update response reports the slot every
+	// insert was assigned, the lane queues those slots, and a delete
+	// arrival pops the oldest — each learned slot is deleted at most
+	// once, and only by the lane that created it, so every delete body is
+	// valid when issued. Whether arrival k attempts a delete is a pure
+	// function of (seed, k); when the lane's queue is empty the arrival
+	// falls back to its pooled update body. Pair with
+	// WorkloadConfig.IngestFraction > 0 — no inserts, no delete targets.
+	DeleteFraction float64
 }
 
 // Workload holds the pre-encoded request bodies the generator draws
@@ -149,11 +171,11 @@ type WorkloadConfig struct {
 	// inserts (streaming ingest) instead of cell flips; 0 keeps the
 	// historical cell-only pool. Inserts stay valid no matter how often
 	// the run replays them (every insert appends a fresh row), which is
-	// what lets an open-loop generator cycle a fixed body pool. Deletes
-	// are deliberately absent: a delete body is valid at most once (row
-	// identity is born server-side and dies with the tombstone), so
-	// delete traffic belongs to the closed-loop durability and
-	// equivalence suites, not a replayed pool.
+	// what lets an open-loop generator cycle a fixed body pool. Delete
+	// bodies are still absent from the pool — a delete is valid at most
+	// once — but the generator issues them anyway when
+	// Config.DeleteFraction > 0, constructed per-lane from the slots the
+	// server assigned that lane's own inserts (see Config.DeleteFraction).
 	IngestFraction float64
 	// Seed drives the random cell-change generation.
 	Seed int64
@@ -282,6 +304,18 @@ type ClassResult struct {
 	// Status counts responses by HTTP status code; transport failures
 	// count under 0.
 	Status map[int]int
+	// Deletes counts update arrivals issued as row deletes (only the
+	// update class ever has them; see Config.DeleteFraction).
+	Deletes int
+	// Stale counts update bodies the server refused 422 because their
+	// slot coordinates predate a compaction epoch (only possible with
+	// DeleteFraction > 0 against an auto-compacting server): an epoch
+	// renumbers slots, so a coordinate learned before it usually lands
+	// beyond the compacted table's end and is refused. Lanes
+	// resynchronize from the epoch counter in update responses, so only
+	// the one-in-flight-request race window lands here — documented
+	// server behavior, not an error.
+	Stale int
 	// Late counts arrivals issued more than one interval behind their
 	// scheduled time — the generator's own backlog signal (a persistently
 	// climbing Late count means Workers is too low for the latency the
@@ -328,6 +362,27 @@ func (r *Result) TotalSent() int {
 	return n
 }
 
+// TotalDeletes sums row deletes issued across classes.
+func (r *Result) TotalDeletes() int {
+	n := 0
+	for _, cr := range r.Classes {
+		n += cr.Deletes
+	}
+	return n
+}
+
+// TotalStale sums stale-coordinate refusals across classes (see
+// ClassResult.Stale): 422s from slot coordinates that a compaction
+// epoch renumbered before the delete landed. Tracked apart from Errors
+// because the refusal is the documented contract, not a failure.
+func (r *Result) TotalStale() int {
+	n := 0
+	for _, cr := range r.Classes {
+		n += cr.Stale
+	}
+	return n
+}
+
 // NonShedErrors returns the total error count across classes — the
 // number that must be zero for a healthy run (shed responses excluded:
 // they are the admission-control contract working as documented).
@@ -366,6 +421,9 @@ func (r *Result) String() string {
 	}
 	fmt.Fprintf(&sb, "total: %d requests in %v (offered %.0f/s, achieved %.0f/s); max version %d, version regressions %d",
 		r.TotalSent(), r.Elapsed.Round(time.Millisecond), r.Offered, r.Achieved(), r.MaxVersion, r.VersionRegressions)
+	if del, stale := r.TotalDeletes(), r.TotalStale(); del > 0 || stale > 0 {
+		fmt.Fprintf(&sb, "; deletes %d, stale-coordinate refusals %d", del, stale)
+	}
 	return sb.String()
 }
 
@@ -421,6 +479,21 @@ func classOf(thresholds [4]float64, seed int64, k int) Class {
 // bodyOf picks arrival k's request body from its class pool.
 func bodyOf(pool [][]byte, seed int64, k int) []byte {
 	return pool[splitmix64(uint64(seed)*0x2545f4914f6cdd1d+uint64(k))%uint64(len(pool))]
+}
+
+// deleteDraw is arrival k's uniform draw against Config.DeleteFraction —
+// a pure function of (seed, k), like classOf, so whether an update
+// arrival *attempts* a delete never depends on timing (whether it
+// *succeeds* depends on the lane having learned a slot by then).
+func deleteDraw(seed int64, k int) float64 {
+	return float64(splitmix64(uint64(seed)*0x9e3779b97f4a7c15+uint64(k)*0xda942042e4dd58b5)>>11) / (1 << 53)
+}
+
+// slotRef names one row a lane may delete: a (table, slot) pair the
+// server assigned to one of the lane's own inserts.
+type slotRef struct {
+	Table string
+	Row   int
 }
 
 // laneResult is one worker lane's private accounting, merged at the end.
@@ -506,13 +579,28 @@ func Run(cfg Config, w Workload) (*Result, error) {
 			lr := &laneResult{classes: map[Class]*ClassResult{}}
 			lanes[lane] = lr
 			lastVersion := uint64(0)
+			// deletable is this lane's FIFO of slots the server assigned
+			// to its own inserts: the only rows a delete may legally
+			// target (no other lane knows them, and pooled cell bodies
+			// only touch the pre-run rows, which deletes never reach).
+			var deletable []slotRef
+			lastEpochs := uint64(0)
 			for k := lane; k < total; k += workers {
 				sched := start.Add(time.Duration(k) * interval)
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
 				class := classOf(thresholds, cfg.Seed, k)
-				body := bodyOf(w.pool(class), cfg.Seed+int64(len(class)), k)
+				var body []byte
+				var del *slotRef
+				if class == ClassUpdate && len(deletable) > 0 && deleteDraw(cfg.Seed, k) < cfg.DeleteFraction {
+					ref := deletable[0]
+					deletable = deletable[1:]
+					del = &ref
+					body, _ = json.Marshal([]relational.CellChange{relational.RowDelete(ref.Table, ref.Row)})
+				} else {
+					body = bodyOf(w.pool(class), cfg.Seed+int64(len(class)), k)
+				}
 				cr := lr.classes[class]
 				if cr == nil {
 					cr = &ClassResult{Status: map[int]int{}}
@@ -521,17 +609,43 @@ func Run(cfg Config, w Workload) (*Result, error) {
 				if time.Since(sched) > interval {
 					cr.Late++
 				}
-				status, version := issue(client, cfg.BaseURL, class, body, w.Budget, timeout)
+				status, version, inserts, epochs := issue(client, cfg.BaseURL, class, body, w.Budget, timeout)
 				cr.Sent++
 				cr.Status[status]++
 				cr.Latency.Observe(time.Since(sched))
 				switch {
 				case status >= 200 && status < 300:
 					cr.OK++
+					if del != nil {
+						cr.Deletes++
+					}
 				case status == http.StatusTooManyRequests, status == -http.StatusServiceUnavailable:
 					cr.Shed++
+					if del != nil {
+						// A shed delete did not happen: the slot is still
+						// live, so put it back rather than leak it.
+						deletable = append(deletable, *del)
+					}
+				case status == http.StatusUnprocessableEntity &&
+					class == ClassUpdate && cfg.DeleteFraction > 0:
+					// A slot coordinate that predates a compaction epoch is
+					// refused when it falls outside the compacted table
+					// (see ClassResult.Stale).
+					cr.Stale++
 				default:
 					cr.Errors++
+				}
+				// A compaction epoch renumbered every slot this lane has
+				// learned: drop them all before queueing this response's
+				// fresh (post-epoch) assignments.
+				if class == ClassUpdate && status >= 200 && status < 300 && epochs != lastEpochs {
+					deletable = deletable[:0]
+					lastEpochs = epochs
+				}
+				// Bounded so a long ingest-heavy run cannot grow the queue
+				// without limit; dropped slots just stay live.
+				if len(inserts) > 0 && len(deletable) < 1<<16 {
+					deletable = append(deletable, inserts...)
 				}
 				if version > 0 {
 					if version < lastVersion {
@@ -564,6 +678,8 @@ func Run(cfg Config, w Workload) (*Result, error) {
 			dst.OK += cr.OK
 			dst.Shed += cr.Shed
 			dst.Errors += cr.Errors
+			dst.Deletes += cr.Deletes
+			dst.Stale += cr.Stale
 			dst.Late += cr.Late
 			for s, n := range cr.Status {
 				if s < 0 {
@@ -583,9 +699,11 @@ func Run(cfg Config, w Workload) (*Result, error) {
 
 // issue sends one request and returns the status (0 for transport
 // failure; a 503 that carries Retry-After is returned negated so the
-// caller can classify it as shed rather than error) plus the database
-// version parsed from a successful quote response (0 otherwise).
-func issue(client *http.Client, baseURL string, class Class, body []byte, budget float64, timeout time.Duration) (int, uint64) {
+// caller can classify it as shed rather than error), the database
+// version parsed from a successful quote response (0 otherwise), and
+// the slot assignments parsed from a successful update response (nil
+// otherwise) — the lane's delete targets.
+func issue(client *http.Client, baseURL string, class Class, body []byte, budget float64, timeout time.Duration) (int, uint64, []slotRef, uint64) {
 	path := map[Class]string{
 		ClassQuote:    "/quote",
 		ClassBatch:    "/quote/batch",
@@ -602,17 +720,17 @@ func issue(client *http.Client, baseURL string, class Class, body []byte, budget
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, 0
+		return 0, 0, nil, 0
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0
+		return 0, 0, nil, 0
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, 0
+		return 0, 0, nil, 0
 	}
 	version := uint64(0)
 	if class == ClassQuote && resp.StatusCode == http.StatusOK {
@@ -621,10 +739,26 @@ func issue(client *http.Client, baseURL string, class Class, body []byte, budget
 			version = q.Version
 		}
 	}
-	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
-		return -resp.StatusCode, version
+	var inserts []slotRef
+	epochs := uint64(0)
+	if class == ClassUpdate && resp.StatusCode == http.StatusOK {
+		var u struct {
+			Inserts     map[string][]int
+			Compactions uint64
+		}
+		if json.Unmarshal(data, &u) == nil {
+			for table, slots := range u.Inserts {
+				for _, slot := range slots {
+					inserts = append(inserts, slotRef{Table: table, Row: slot})
+				}
+			}
+			epochs = u.Compactions
+		}
 	}
-	return resp.StatusCode, version
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "" {
+		return -resp.StatusCode, version, inserts, epochs
+	}
+	return resp.StatusCode, version, inserts, epochs
 }
 
 // StatusCounts returns the run's responses-by-status totals across all

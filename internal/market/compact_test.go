@@ -1,0 +1,263 @@
+package market
+
+// Compaction at the broker layer: a compaction epoch is a physical
+// rewrite published with one atomic state swap, so quotes must be
+// byte-identical across it (modulo the version stamp, which records the
+// epoch), the calibration must be retained, the lifetime epoch counter
+// must survive snapshot/restore, and concurrent quotes must never block
+// or error while epochs land. Runs under -race in CI.
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"querypricing/internal/relational"
+	"querypricing/internal/support"
+	"querypricing/internal/valuation"
+)
+
+// churnBrokerTombstones drives mixed DML through the broker until the
+// database has at least one tombstoned slot.
+func churnBrokerTombstones(t *testing.T, b *Broker, rng *rand.Rand) {
+	t.Helper()
+	for round := 0; round < 12; round++ {
+		if _, _, err := b.Update(brokerRandomDML(rng, b.DB(), 2+rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+		if specs, err := b.DB().PlanCompaction(nil); err == nil && len(specs) > 0 && round >= 2 {
+			return
+		}
+	}
+	t.Fatal("broker DML churn never produced a tombstone")
+}
+
+// TestCompactQuotesByteIdentical is the tentpole acceptance property at
+// this layer: for every workload and shard count, quotes before and
+// after a compaction epoch are byte-identical except for the version
+// stamp, and the calibration (non-zero prices) rides through the swap.
+func TestCompactQuotesByteIdentical(t *testing.T) {
+	for _, w := range []string{"skewed", "uniform", "ssb", "tpch"} {
+		w := w
+		t.Run(w, func(t *testing.T) {
+			t.Parallel()
+			for _, k := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				db, qs := updateScenario(t, w)
+				rng := rand.New(rand.NewSource(int64(len(w)) * 61))
+				b, err := NewBroker(db, Config{SupportSize: 60, Seed: 7, Shards: k, LPIPCandidates: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.Calibrate(qs, valuation.Uniform{K: 90}, LPIP); err != nil {
+					t.Fatal(err)
+				}
+				// Warm the plan caches so the epoch has real compiled state
+				// to carry, then churn tombstones into the tables.
+				if _, err := b.QuoteBatch(qs); err != nil {
+					t.Fatal(err)
+				}
+				churnBrokerTombstones(t, b, rng)
+				before := make([]Quote, len(qs))
+				for i, q := range qs {
+					if before[i], err = b.Quote(q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				preVersion := b.Version()
+
+				stats, err := b.CompactTables(nil)
+				if err != nil {
+					t.Fatalf("%s/K=%d: CompactTables: %v", w, k, err)
+				}
+				if stats.TablesCompacted == 0 || stats.SlotsReclaimed == 0 {
+					t.Fatalf("%s/K=%d: vacuous compaction stats %+v", w, k, stats)
+				}
+				if stats.Version != preVersion+1 || b.Version() != stats.Version {
+					t.Fatalf("%s/K=%d: epoch version %d, broker %d, pre %d",
+						w, k, stats.Version, b.Version(), preVersion)
+				}
+				if b.Compactions() != 1 {
+					t.Fatalf("%s/K=%d: Compactions() = %d, want 1", w, k, b.Compactions())
+				}
+				for i, q := range qs {
+					after, err := b.Quote(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if after.Version != stats.Version {
+						t.Fatalf("%s/K=%d/%s: post-epoch quote version %d, want %d",
+							w, k, q.Name, after.Version, stats.Version)
+					}
+					after.Version = before[i].Version
+					if after != before[i] {
+						t.Fatalf("%s/K=%d/%s: quote changed across compaction: %+v -> %+v",
+							w, k, q.Name, before[i], after)
+					}
+				}
+				// No tombstones remain, so a second epoch has nothing to do.
+				if _, err := b.CompactTables(nil); !errors.Is(err, ErrNothingToCompact) {
+					t.Fatalf("%s/K=%d: second compaction err = %v, want ErrNothingToCompact", w, k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCompactRefusesStaleSpecs: Broker.Compact validates specs against
+// the snapshot it holds at apply time — specs planned before an
+// intervening update are refused, never misapplied.
+func TestCompactRefusesStaleSpecs(t *testing.T) {
+	db, qs := updateScenario(t, "skewed")
+	b, err := NewBroker(db, Config{SupportSize: 40, Seed: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	churnBrokerTombstones(t, b, rng)
+	specs, err := b.DB().PlanCompaction(nil)
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("PlanCompaction: %d specs, err %v", len(specs), err)
+	}
+	// Advance past the planned state: an insert resizes the slot arrays.
+	tn := specs[0].Table
+	tab := b.DB().Table(tn)
+	vals := make([]relational.Value, len(tab.Schema.Cols))
+	for ci := range vals {
+		vals[ci] = relational.Null()
+	}
+	if _, _, err := b.Update([]relational.CellChange{relational.RowInsert(tn, vals...)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Compact(specs); err == nil {
+		t.Fatal("Compact applied specs planned against a superseded snapshot")
+	}
+	// The broker still works: a freshly planned epoch applies cleanly.
+	if _, err := b.CompactTables(nil); err != nil {
+		t.Fatalf("fresh compaction after refusal: %v", err)
+	}
+	_ = qs
+}
+
+// TestCompactionsPersistRoundTrip: the lifetime epoch counter and the
+// compacted state both survive Snapshot/Restore, and the restored broker
+// quotes byte-identically.
+func TestCompactionsPersistRoundTrip(t *testing.T) {
+	db, qs := updateScenario(t, "ssb")
+	set, err := support.Generate(db, support.GenOptions{Size: 50, Seed: 9, DeltasPerNeighbor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := NewBrokerWithSupport(db, set, Config{Seed: 9, Shards: 2, LPIPCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Calibrate(qs, valuation.Uniform{K: 80}, LPIP); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	churnBrokerTombstones(t, orig, rng)
+	if _, err := orig.CompactTables(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	bs := orig.Snapshot()
+	if bs.Compactions != 1 {
+		t.Fatalf("snapshot carries %d compactions, want 1", bs.Compactions)
+	}
+	got, err := Restore(bs, Config{Seed: 9, Shards: 2, LPIPCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Compactions() != orig.Compactions() {
+		t.Fatalf("restored Compactions() = %d, want %d", got.Compactions(), orig.Compactions())
+	}
+	if got.Version() != orig.Version() {
+		t.Fatalf("restored version %d != %d", got.Version(), orig.Version())
+	}
+	for _, q := range qs {
+		a, err := orig.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Quote(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s: restored quote %+v != original %+v", q.Name, b, a)
+		}
+	}
+}
+
+// TestConcurrentQuotesDuringCompact: quotes and purchases race freely
+// against a stream of DML updates and compaction epochs without error —
+// the epoch is one atomic swap, never a quote-side lock.
+func TestConcurrentQuotesDuringCompact(t *testing.T) {
+	db, qs := updateScenario(t, "skewed")
+	b, err := NewBroker(db, Config{SupportSize: 50, Seed: 13, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Calibrate(qs, valuation.Uniform{K: 90}, UIP); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g%2 == 0 {
+					if _, err := b.Quote(qs[(g+i)%len(qs)]); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, _, err := b.Purchase(qs[(g+i)%len(qs)], 1e12); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	epochs := 0
+	for i := 0; i < 8; i++ {
+		if _, _, err := b.Update(brokerRandomDML(rng, b.DB(), 2+rng.Intn(5))); err != nil {
+			t.Errorf("update %d: %v", i, err)
+			break
+		}
+		switch _, err := b.CompactTables(nil); {
+		case err == nil:
+			epochs++
+		case errors.Is(err, ErrNothingToCompact):
+			// This round's batch happened to delete nothing — fine.
+		default:
+			t.Errorf("compact %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if epochs == 0 {
+		t.Fatal("no round produced an epoch; churn too small")
+	}
+	if b.Compactions() != uint64(epochs) {
+		t.Fatalf("Compactions() = %d, applied %d", b.Compactions(), epochs)
+	}
+}

@@ -162,6 +162,10 @@ type Broker struct {
 	// (Config.BackgroundDrain).
 	draining atomic.Bool
 
+	// compactions counts compaction epochs over the broker's lifetime
+	// (carried across restarts via the snapshot, like the sales log).
+	compactions atomic.Uint64
+
 	// plansDeferred accumulates UpdateStats.PlansDeferred across every
 	// Update: the running total of plan rebases the broker has deferred
 	// to first use instead of paying at update time (see PlanStats).
@@ -275,6 +279,16 @@ func (b *Broker) DB() *relational.Database { return b.state.Load().db }
 // on either. It returns the new version, along with statistics on how much
 // compiled plan state was carried over.
 func (b *Broker) Update(changes []relational.CellChange) (uint64, support.UpdateStats, error) {
+	v, _, stats, err := b.UpdateAssigned(changes)
+	return v, stats, err
+}
+
+// UpdateAssigned is Update, additionally returning the normalized batch:
+// every insert's Row holds the slot Apply assigned it (the batch is
+// returned unchanged when it carries no inserts). Serving layers report
+// those assignments to clients, because a client that wants to delete a
+// row it inserted must name its slot.
+func (b *Broker) UpdateAssigned(changes []relational.CellChange) (uint64, []relational.CellChange, support.UpdateStats, error) {
 	b.calMu.Lock()
 	defer b.calMu.Unlock()
 	st := b.state.Load()
@@ -283,11 +297,11 @@ func (b *Broker) Update(changes []relational.CellChange) (uint64, support.Update
 	// slot-addressed batches only.
 	norm, err := st.db.NormalizeChanges(changes)
 	if err != nil {
-		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
+		return 0, nil, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
 	}
 	newDB, err := st.db.Apply(norm)
 	if err != nil {
-		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
+		return 0, nil, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
 	}
 	newSet, stats := st.set.Advance(newDB, norm)
 	b.plansDeferred.Add(int64(stats.PlansDeferred))
@@ -317,7 +331,7 @@ func (b *Broker) Update(changes []relational.CellChange) (uint64, support.Update
 			}
 		}()
 	}
-	return newDB.Version(), stats, nil
+	return newDB.Version(), norm, stats, nil
 }
 
 // PlanStats is the broker's plan-cache maintenance snapshot: per-shard

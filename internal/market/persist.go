@@ -49,6 +49,8 @@ type BrokerSnapshot struct {
 	Sales []Receipt
 	// Revenue is the total revenue across Sales.
 	Revenue float64
+	// Compactions is the lifetime count of compaction epochs applied.
+	Compactions uint64
 }
 
 // Snapshot captures the broker's durable state. The data state (database,
@@ -59,10 +61,11 @@ type BrokerSnapshot struct {
 func (b *Broker) Snapshot() BrokerSnapshot {
 	st := b.state.Load()
 	out := BrokerSnapshot{
-		Version:   st.version,
-		DB:        st.db,
-		Neighbors: st.set.Neighbors,
-		Shards:    st.set.NumShards(),
+		Version:     st.version,
+		DB:          st.db,
+		Neighbors:   st.set.Neighbors,
+		Shards:      st.set.NumShards(),
+		Compactions: b.compactions.Load(),
 	}
 	if snap := b.snap.Load(); snap != nil {
 		res := snap.result // copy; the broker's snapshot stays immutable
@@ -111,5 +114,6 @@ func Restore(bs BrokerSnapshot, cfg Config) (*Broker, error) {
 	b.sales = append([]Receipt(nil), bs.Sales...)
 	b.revenue = bs.Revenue
 	b.salesMu.Unlock()
+	b.restoreCompactions(bs.Compactions)
 	return b, nil
 }

@@ -44,10 +44,19 @@ type family struct {
 	typ    string // "counter" | "gauge" | "histogram"
 	labels []string
 
-	mu       sync.Mutex
-	children map[string]child // key = joined label values
-	order    []string
-	collect  func() float64 // non-nil for *Func metrics
+	mu         sync.Mutex
+	children   map[string]child // key = joined label values
+	order      []string
+	collect    func() float64  // non-nil for unlabeled *Func metrics
+	collectVec func() []Sample // non-nil for labeled *VecFunc metrics
+}
+
+// Sample is one labeled sample produced by a collect-on-scrape vector
+// family (GaugeVecFunc): the label values, in declaration order, and the
+// sample value.
+type Sample struct {
+	Labels []string
+	Value  float64
 }
 
 // child is anything that can render its sample lines.
@@ -112,6 +121,15 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(&family{name: name, help: help, typ: "gauge", collect: fn})
 }
 
+// GaugeVecFunc registers a labeled gauge family whose entire sample set
+// is read from fn at scrape time: one Sample per label combination, in
+// whatever order fn returns them, and the set may grow or shrink between
+// scrapes (per-table row occupancy after a table appears, say). It is
+// the labeled form of GaugeFunc.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func() []Sample) {
+	r.register(&family{name: name, help: help, typ: "gauge", labels: labels, collectVec: fn})
+}
+
 // Histogram registers an unlabeled cumulative histogram with the given
 // upper bucket bounds (ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
@@ -154,6 +172,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if f.collect != nil {
 			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.collect())); err != nil {
 				return err
+			}
+			continue
+		}
+		if f.collectVec != nil {
+			for _, s := range f.collectVec() {
+				if err := sampleLine(w, f.name, labelPrefix(f.labels, strings.Join(s.Labels, "\x1f")), "", "", s.Value); err != nil {
+					return err
+				}
 			}
 			continue
 		}

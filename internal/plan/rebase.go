@@ -646,7 +646,10 @@ func patchFilteredAlias(ca *compiledAlias, nt *relational.Table, swaps []rowSwap
 			}
 		}
 	}
-	if len(appends) > 0 {
+	if len(appends) > 0 || len(nca.posOfBaseRow) != len(nt.Rows) {
+		// Grow even when no append joins the scan: Remap's currency check
+		// pins len(posOfBaseRow) == slot count, so a predicate-failing
+		// insert must still widen the map (new slots stay 0, not in scan).
 		nca.posOfBaseRow = make([]int32, len(nt.Rows))
 		copy(nca.posOfBaseRow, ca.posOfBaseRow) // beyond-base slots start at 0 (not in scan)
 		for _, ri := range appends {

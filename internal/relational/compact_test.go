@@ -1,0 +1,227 @@
+package relational
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPlanCompactionOmitsCleanTables(t *testing.T) {
+	db := dmlTestDB()
+	next, err := db.Apply([]CellChange{RowDelete("T", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := next.PlanCompaction(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Table != "T" {
+		t.Fatalf("PlanCompaction = %+v, want exactly T (U has no tombstones)", specs)
+	}
+	if specs[0].Slots != 3 || len(specs[0].Dead) != 1 || specs[0].Dead[0] != 1 {
+		t.Fatalf("spec = %+v, want Slots=3 Dead=[1]", specs[0])
+	}
+	if _, err := next.PlanCompaction([]string{"nope"}); err == nil {
+		t.Fatal("PlanCompaction of an unknown table must error")
+	}
+	// A tombstone-free database plans nothing.
+	specs, err = db.PlanCompaction(nil)
+	if err != nil || len(specs) != 0 {
+		t.Fatalf("clean database planned %+v (err %v), want none", specs, err)
+	}
+}
+
+func TestCompactDropsTombstonesKeepsOrder(t *testing.T) {
+	db := dmlTestDB()
+	next, err := db.Apply([]CellChange{RowDelete("T", 0), RowDelete("T", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := next.PlanCompaction(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, maps, err := next.Compact(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := cd.Table("T")
+	if ct.NumRows() != 1 || ct.LiveRows() != 1 {
+		t.Fatalf("compacted T has %d slots / %d live, want 1/1", ct.NumRows(), ct.LiveRows())
+	}
+	if !ct.Rows[0][0].Equal(Int(2)) {
+		t.Fatalf("surviving row = %v, want the old slot-1 row (a=2)", ct.Rows[0])
+	}
+	vec := maps.Lookup("T")
+	if vec == nil || vec[0] != -1 || vec[1] != 0 || vec[2] != -1 {
+		t.Fatalf("slot map = %v, want [-1 0 -1]", vec)
+	}
+	if maps.Lookup("U") != nil {
+		t.Fatal("untouched table must have a nil slot map")
+	}
+	if cd.Table("U") != next.Table("U") {
+		t.Fatal("untouched table must be shared outright")
+	}
+	if cd.Version() != next.Version()+1 {
+		t.Fatalf("compaction must bump the version: %d -> %d", next.Version(), cd.Version())
+	}
+	// Receiver untouched.
+	if next.Table("T").NumRows() != 3 {
+		t.Fatal("Compact mutated the receiver")
+	}
+}
+
+func TestCompactSharesLiveRowSlices(t *testing.T) {
+	db := dmlTestDB()
+	next, err := db.Apply([]CellChange{RowDelete("T", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := next.PlanCompaction(nil)
+	cd, _, err := next.Compact(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &cd.Table("T").Rows[0][0] != &next.Table("T").Rows[0][0] {
+		t.Fatal("compaction must share live row slices, not copy them")
+	}
+}
+
+func TestCompactRejectsDivergentSpecs(t *testing.T) {
+	db := dmlTestDB()
+	next, err := db.Apply([]CellChange{RowDelete("T", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec CompactSpec
+		want string
+	}{
+		{"wrong slot count", CompactSpec{Table: "T", Slots: 99, Dead: []int{1}}, "table has 3"},
+		{"live slot listed dead", CompactSpec{Table: "T", Slots: 3, Dead: []int{0}}, "live slot"},
+		{"identity rewrite", CompactSpec{Table: "T", Slots: 3, Dead: nil}, "drops no slots"},
+		{"unknown table", CompactSpec{Table: "X", Slots: 3, Dead: []int{1}}, "unknown table"},
+		{"out of range", CompactSpec{Table: "T", Slots: 3, Dead: []int{7}}, "outside the table"},
+		{"unsorted dead list", CompactSpec{Table: "T", Slots: 3, Dead: []int{1, 1}}, "unsorted"},
+	}
+	for _, tc := range cases {
+		if _, _, err := next.Compact([]CompactSpec{tc.spec}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Duplicate specs for one table are refused.
+	sp := CompactSpec{Table: "T", Slots: 3, Dead: []int{1}}
+	if _, _, err := next.Compact([]CompactSpec{sp, sp}); err == nil {
+		t.Fatal("duplicate table specs must be refused")
+	}
+	// A spec that misses one of the table's tombstones is refused: the
+	// dead list must be the exact tombstone set.
+	two, err := next.Apply([]CellChange{RowDelete("T", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := CompactSpec{Table: "T", Slots: 3, Dead: []int{1}}
+	if _, _, err := two.Compact([]CompactSpec{missing}); err == nil || !strings.Contains(err.Error(), "tombstoned slot") {
+		t.Fatalf("partial dead list: err = %v, want 'keeps tombstoned slot'", err)
+	}
+	// Empty spec lists are refused (callers decide nothing-to-do).
+	if _, _, err := next.Compact(nil); err == nil {
+		t.Fatal("empty spec list must be refused")
+	}
+}
+
+func TestCompactRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		db := dmlTestDB()
+		// Random DML history: grow, then delete a random subset.
+		var err error
+		for i := 0; i < 20; i++ {
+			db, err = db.Apply([]CellChange{RowInsert("T", Int(int64(100+i)), Str("r"))})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		tt := db.Table("T")
+		var liveBefore []int64
+		var dels []CellChange
+		for i := 0; i < tt.NumRows(); i++ {
+			if rng.Intn(2) == 0 {
+				dels = append(dels, RowDelete("T", i))
+			}
+		}
+		if len(dels) == 0 {
+			continue
+		}
+		db, err = db.Apply(dels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range db.Table("T").Rows {
+			if row != nil {
+				liveBefore = append(liveBefore, row[0].I)
+			}
+		}
+		specs, err := db.PlanCompaction(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, maps, err := db.Compact(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Live-row sequence is preserved exactly, densely packed.
+		ct := cd.Table("T")
+		if ct.NumRows() != len(liveBefore) || ct.LiveRows() != len(liveBefore) {
+			t.Fatalf("trial %d: compacted to %d slots / %d live, want %d dense",
+				trial, ct.NumRows(), ct.LiveRows(), len(liveBefore))
+		}
+		for i, want := range liveBefore {
+			if ct.Rows[i][0].I != want {
+				t.Fatalf("trial %d: compacted row %d = %d, want %d (order must be preserved)",
+					trial, i, ct.Rows[i][0].I, want)
+			}
+		}
+		// The slot map is the monotone map dense packing implies.
+		vec := maps.Lookup("T")
+		nextSlot := int32(0)
+		for old, row := range db.Table("T").Rows {
+			if row == nil {
+				if vec[old] != -1 {
+					t.Fatalf("trial %d: dead slot %d mapped to %d, want -1", trial, old, vec[old])
+				}
+				continue
+			}
+			if vec[old] != nextSlot {
+				t.Fatalf("trial %d: live slot %d mapped to %d, want %d", trial, old, vec[old], nextSlot)
+			}
+			nextSlot++
+		}
+		// TableStats agrees before and after.
+		for _, ts := range cd.TableStats() {
+			if ts.Tombstones != 0 && ts.Table == "T" {
+				t.Fatalf("trial %d: compacted table still reports %d tombstones", trial, ts.Tombstones)
+			}
+		}
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	db := dmlTestDB()
+	next, err := db.Apply([]CellChange{RowDelete("T", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := next.TableStats()
+	if len(stats) != 2 {
+		t.Fatalf("TableStats returned %d entries, want 2", len(stats))
+	}
+	if stats[0].Table != "T" || stats[0].Slots != 3 || stats[0].Live != 2 || stats[0].Tombstones != 1 {
+		t.Fatalf("T stats = %+v", stats[0])
+	}
+	if stats[1].Table != "U" || stats[1].Tombstones != 0 {
+		t.Fatalf("U stats = %+v", stats[1])
+	}
+}

@@ -1,0 +1,352 @@
+package serve
+
+// Compaction over the wire: POST /compact runs an explicit epoch and
+// reports its stats, the auto-trigger policy fires inside /update once a
+// table's tombstone fraction crosses the threshold, update responses
+// report assigned insert slots, /stats and /metrics expose per-table
+// occupancy and epoch counters that reconcile with the broker, and a
+// delete-heavy churn holds physical slots within a constant factor of
+// live rows exactly when compaction is on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"querypricing/internal/market"
+)
+
+// cityInsert is one full-row City insert as a client submits it.
+const cityInsert = `{"Table":"City","Row":-1,"Op":"insert",` +
+	`"Vals":[{"K":1,"I":90001},{"K":3,"S":"Newtown"},{"K":3,"S":"AAA"},{"K":3,"S":"Central"},{"K":1,"I":12345}]}`
+
+// insertRows POSTs n City inserts in one batch and returns the slots the
+// server reports for them.
+func insertRows(t *testing.T, baseURL string, n int) []int {
+	t.Helper()
+	body := "["
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			body += ","
+		}
+		body += cityInsert
+	}
+	body += "]"
+	code, data := post(t, baseURL+"/update", body)
+	if code != http.StatusOK {
+		t.Fatalf("insert batch: %d %s", code, data)
+	}
+	var resp struct {
+		Inserts map[string][]int `json:"inserts"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Inserts["City"]) != n {
+		t.Fatalf("update response reported %v, want %d City slots", resp.Inserts, n)
+	}
+	return resp.Inserts["City"]
+}
+
+// deleteRows POSTs deletes for the given City slots in one batch and
+// returns the decoded response.
+func deleteRows(t *testing.T, baseURL string, slots []int) map[string]json.RawMessage {
+	t.Helper()
+	body := "["
+	for i, slot := range slots {
+		if i > 0 {
+			body += ","
+		}
+		body += fmt.Sprintf(`{"Table":"City","Row":%d,"Op":"delete"}`, slot)
+	}
+	body += "]"
+	code, data := post(t, baseURL+"/update", body)
+	if code != http.StatusOK {
+		t.Fatalf("delete batch: %d %s", code, data)
+	}
+	var resp map[string]json.RawMessage
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestUpdateReportsInsertSlots: every insert in a batch comes back with
+// its assigned slot, in batch order, matching the database's layout.
+func TestUpdateReportsInsertSlots(t *testing.T) {
+	s, err := New(testConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	base := s.Broker().DB().Table("City").NumRows()
+	slots := insertRows(t, ts.URL, 3)
+	for i, slot := range slots {
+		if slot != base+i {
+			t.Fatalf("insert %d assigned slot %d, want %d (slots %v)", i, slot, base+i, slots)
+		}
+		if !s.Broker().DB().Table("City").Alive(slot) {
+			t.Fatalf("reported slot %d is not alive", slot)
+		}
+	}
+	// A cell-only update reports no insert slots.
+	code, data := post(t, ts.URL+"/update", countryUpdate)
+	if code != http.StatusOK {
+		t.Fatalf("cell update: %d %s", code, data)
+	}
+	var resp map[string]json.RawMessage
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp["inserts"]; ok {
+		t.Fatalf("cell-only update response carries inserts: %s", data)
+	}
+}
+
+// TestCompactOverHTTP: an explicit POST /compact reclaims tombstones,
+// quotes are byte-identical across the epoch (modulo the version stamp),
+// a second epoch reports nothing to do, and /stats + /metrics expose the
+// epoch in counters that reconcile with the broker.
+func TestCompactOverHTTP(t *testing.T) {
+	s, err := New(testConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	slots := insertRows(t, ts.URL, 4)
+	deleteRows(t, ts.URL, slots[:3])
+	code, before := post(t, ts.URL+"/quote", countryQuery)
+	if code != http.StatusOK {
+		t.Fatalf("pre-compaction quote: %d %s", code, before)
+	}
+	preSlots := s.Broker().DB().Table("City").NumRows()
+
+	code, data := post(t, ts.URL+"/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("POST /compact: %d %s", code, data)
+	}
+	var resp struct {
+		Compacted bool                `json:"compacted"`
+		Stats     market.CompactStats `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Compacted || resp.Stats.SlotsReclaimed != 3 || resp.Stats.TablesCompacted != 1 {
+		t.Fatalf("compact response: %s", data)
+	}
+	if got := s.Broker().DB().Table("City").NumRows(); got != preSlots-3 {
+		t.Fatalf("City has %d slots after the epoch, want %d", got, preSlots-3)
+	}
+	if s.Broker().Compactions() != 1 {
+		t.Fatalf("Compactions() = %d, want 1", s.Broker().Compactions())
+	}
+
+	// Quote identity: only the version stamp moves.
+	code, after := post(t, ts.URL+"/quote", countryQuery)
+	if code != http.StatusOK {
+		t.Fatalf("post-compaction quote: %d %s", code, after)
+	}
+	var qBefore, qAfter map[string]any
+	if err := json.Unmarshal(before, &qBefore); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(after, &qAfter); err != nil {
+		t.Fatal(err)
+	}
+	qBefore["Version"], qAfter["Version"] = nil, nil
+	if !reflect.DeepEqual(qBefore, qAfter) {
+		t.Fatalf("compaction changed the quote:\n  before: %s\n  after:  %s", before, after)
+	}
+
+	// Nothing left to reclaim.
+	code, data = post(t, ts.URL+"/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("second /compact: %d %s", code, data)
+	}
+	var again struct {
+		Compacted bool   `json:"compacted"`
+		Reason    string `json:"reason"`
+	}
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Compacted || again.Reason == "" {
+		t.Fatalf("second /compact response: %s", data)
+	}
+	// An unknown table is refused with coordinates.
+	if code, data := post(t, ts.URL+"/compact", `{"Tables":["nope"]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown-table /compact: %d %s, want 422", code, data)
+	}
+
+	// /stats reconciles.
+	code, data = get(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	var stats struct {
+		Compactions uint64 `json:"compactions"`
+		Tables      []struct {
+			Table      string `json:"table"`
+			Slots      int    `json:"slots"`
+			Live       int    `json:"live"`
+			Tombstones int    `json:"tombstones"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compactions != 1 || len(stats.Tables) == 0 {
+		t.Fatalf("/stats: %s", data)
+	}
+	for _, ts := range stats.Tables {
+		if ts.Tombstones != 0 {
+			t.Fatalf("/stats reports tombstones after a full epoch: %s", data)
+		}
+	}
+
+	// /metrics reconciles with the broker's table stats.
+	sm := samples(t, scrape(t, ts.URL))
+	if got := sm["marketd_compactions_total"][""]; got != 1 {
+		t.Fatalf("marketd_compactions_total = %v, want 1", got)
+	}
+	if got := sm["marketd_compaction_rows_rewritten_total"][""]; got != float64(resp.Stats.RowsRewritten) {
+		t.Fatalf("rows_rewritten metric %v, stats %d", got, resp.Stats.RowsRewritten)
+	}
+	if got := sm["marketd_compaction_slots_reclaimed_total"][""]; got != 3 {
+		t.Fatalf("slots_reclaimed metric %v, want 3", got)
+	}
+	if got := sm["marketd_compaction_seconds_count"][""]; got != 1 {
+		t.Fatalf("compaction histogram count %v, want 1", got)
+	}
+	for _, bts := range s.Broker().TableStats() {
+		live := fmt.Sprintf(`{table=%q,state="live"}`, bts.Table)
+		tomb := fmt.Sprintf(`{table=%q,state="tombstoned"}`, bts.Table)
+		if got := sm["marketd_table_rows"][live]; got != float64(bts.Live) {
+			t.Fatalf("marketd_table_rows%s = %v, broker %d", live, got, bts.Live)
+		}
+		if got := sm["marketd_table_rows"][tomb]; got != float64(bts.Tombstones) {
+			t.Fatalf("marketd_table_rows%s = %v, broker %d", tomb, got, bts.Tombstones)
+		}
+	}
+}
+
+// TestAutoCompactionTrigger: with a threshold configured, the epoch
+// fires inside /update as soon as a table's tombstone fraction crosses
+// it — the response carries the epoch's stats and the table shrinks
+// without any explicit /compact call.
+func TestAutoCompactionTrigger(t *testing.T) {
+	cfg := testConfig("")
+	cfg.CompactThreshold = 0.3
+	cfg.CompactMinRows = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	baseLive := s.Broker().DB().Table("City").LiveRows()
+	slots := insertRows(t, ts.URL, 2)
+	// City starts with ~120 live rows, so two tombstones stay under the
+	// threshold; the City table alone won't trigger. Delete enough rows
+	// to cross 30% of the table's slots.
+	total := s.Broker().DB().Table("City").NumRows()
+	need := int(0.3*float64(total)) + 2
+	var victims []int
+	victims = append(victims, slots...)
+	for slot := 0; len(victims) < need && slot < total-2; slot++ {
+		victims = append(victims, slot)
+	}
+	var resp map[string]json.RawMessage
+	fired := false
+	// One delete batch per round, a third of the victims at a time, so
+	// the trigger demonstrably fires mid-stream rather than at the end.
+	third := (len(victims) + 2) / 3
+	for off := 0; off < len(victims); off += third {
+		end := off + third
+		if end > len(victims) {
+			end = len(victims)
+		}
+		resp = deleteRows(t, ts.URL, victims[off:end])
+		if _, ok := resp["compacted"]; ok {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatalf("auto-compaction never fired; last response %v", resp)
+	}
+	var cst market.CompactStats
+	if err := json.Unmarshal(resp["compacted"], &cst); err != nil {
+		t.Fatal(err)
+	}
+	if cst.SlotsReclaimed == 0 {
+		t.Fatalf("auto epoch reclaimed nothing: %+v", cst)
+	}
+	if s.Broker().Compactions() == 0 {
+		t.Fatal("broker recorded no epochs")
+	}
+	city := s.Broker().DB().Table("City")
+	if city.NumRows() >= total {
+		t.Fatalf("City still has %d slots (pre-trigger %d)", city.NumRows(), total)
+	}
+	_ = baseLive
+}
+
+// TestBoundedGrowthUnderDeleteChurn is the bounded-growth acceptance
+// property at the serving layer: under sustained insert+delete churn,
+// physical slots stay within a constant factor of live rows exactly when
+// auto-compaction is on; with it off, growth is linear in the delete
+// count.
+func TestBoundedGrowthUnderDeleteChurn(t *testing.T) {
+	churn := func(t *testing.T, threshold float64) (slots, live, rounds int) {
+		cfg := testConfig("")
+		cfg.CompactThreshold = threshold
+		cfg.CompactMinRows = 1
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Routes())
+		defer ts.Close()
+		rounds = 30
+		for i := 0; i < rounds; i++ {
+			assigned := insertRows(t, ts.URL, 4)
+			deleteRows(t, ts.URL, assigned)
+			// Quotes keep serving through every epoch.
+			if code, body := post(t, ts.URL+"/quote", countryQuery); code != http.StatusOK {
+				t.Fatalf("round %d quote: %d %s", i, code, body)
+			}
+		}
+		city := s.Broker().DB().Table("City")
+		return city.NumRows(), city.LiveRows(), rounds
+	}
+
+	// The churn tombstones ~13% of the City table, so a 5% threshold
+	// keeps epochs firing throughout while 0 never fires.
+	onSlots, onLive, rounds := churn(t, 0.05)
+	offSlots, offLive, _ := churn(t, 0)
+	if onLive != offLive {
+		t.Fatalf("identical churn left different live counts: %d vs %d", onLive, offLive)
+	}
+	// Without compaction every deleted slot lingers: live + 4*rounds.
+	if want := offLive + 4*rounds; offSlots != want {
+		t.Fatalf("uncompacted slots = %d, want %d (unbounded growth baseline)", offSlots, want)
+	}
+	// With compaction, slots stay within a constant factor of live rows
+	// (the threshold bounds the tombstone fraction at 5% + one batch).
+	if float64(onSlots) > 1.3*float64(onLive) {
+		t.Fatalf("compacted run grew to %d slots over %d live rows", onSlots, onLive)
+	}
+	if onSlots >= offSlots {
+		t.Fatalf("compaction did not bound growth: %d slots with vs %d without", onSlots, offSlots)
+	}
+}

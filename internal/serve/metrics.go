@@ -21,6 +21,10 @@ type serverMetrics struct {
 	shed     *metrics.CounterVec   // marketd_http_shed_total{route,code}
 	latency  *metrics.HistogramVec // marketd_http_request_seconds{route}
 	fsync    *metrics.HistogramVec // marketd_store_fsync_seconds{op}
+
+	compactSeconds *metrics.Histogram // marketd_compaction_seconds
+	compactRows    *metrics.Counter   // marketd_compaction_rows_rewritten_total
+	compactSlots   *metrics.Counter   // marketd_compaction_slots_reclaimed_total
 }
 
 // newServerMetrics builds the registry and the event-driven instruments;
@@ -38,6 +42,12 @@ func newServerMetrics() *serverMetrics {
 			"HTTP request latency by route.", metrics.DefLatencyBuckets(), "route"),
 		fsync: reg.HistogramVec("marketd_store_fsync_seconds",
 			"Durable-write fsync latency, by operation (wal | snapshot).", metrics.DefFsyncBuckets(), "op"),
+		compactSeconds: reg.Histogram("marketd_compaction_seconds",
+			"Duration of completed compaction epochs (plan + WAL + rewrite + swap).", metrics.DefLatencyBuckets()),
+		compactRows: reg.Counter("marketd_compaction_rows_rewritten_total",
+			"Live rows re-homed to new slots by compaction epochs, cumulative this process."),
+		compactSlots: reg.Counter("marketd_compaction_slots_reclaimed_total",
+			"Tombstoned slots reclaimed by compaction epochs, cumulative this process."),
 	}
 }
 
@@ -68,6 +78,26 @@ func (s *Server) registerStateMetrics() {
 	reg.GaugeFunc("marketd_broker_sales",
 		"Completed sales (receipts held by the broker).",
 		func() float64 { return float64(len(s.broker.Sales())) })
+
+	// Slot occupancy per table: live rows vs tombstoned slots of the
+	// current snapshot. tombstoned/(live+tombstoned) is the fraction the
+	// auto-compaction trigger compares against -compact-threshold.
+	reg.GaugeVecFunc("marketd_table_rows",
+		"Physical slot occupancy of the current snapshot, by table and state (live | tombstoned).",
+		[]string{"table", "state"},
+		func() []metrics.Sample {
+			stats := s.broker.TableStats()
+			out := make([]metrics.Sample, 0, 2*len(stats))
+			for _, ts := range stats {
+				out = append(out,
+					metrics.Sample{Labels: []string{ts.Table, "live"}, Value: float64(ts.Live)},
+					metrics.Sample{Labels: []string{ts.Table, "tombstoned"}, Value: float64(ts.Tombstones)})
+			}
+			return out
+		})
+	reg.CounterFunc("marketd_compactions_total",
+		"Compaction epochs applied over the broker's lifetime (restored across restarts).",
+		func() float64 { return float64(s.broker.Compactions()) })
 
 	reg.CounterFunc("marketd_conflict_cache_hits_total",
 		"Conflict-set cache hits (including in-flight joins), cumulative across version bumps.",

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -71,6 +72,17 @@ type Config struct {
 	// MaxInflight bounds concurrently-processing requests on the quote,
 	// update and purchase endpoints; 0 disables admission control.
 	MaxInflight int
+
+	// CompactThreshold auto-triggers a compaction epoch after an update
+	// leaves some table with tombstones/slots >= this fraction (0
+	// disables auto-compaction; POST /compact always works). The epoch
+	// runs synchronously inside the triggering update request — writes
+	// are serialized anyway, and quotes never block on it.
+	CompactThreshold float64
+	// CompactMinRows exempts tables with fewer physical slots than this
+	// from auto-compaction (tiny tables churn 100% tombstone fractions
+	// cheaply; rewriting them buys nothing). 0 means no minimum.
+	CompactMinRows int
 }
 
 // Server is one booted broker plus its serving policy. Boot it with New,
@@ -356,6 +368,7 @@ func (s *Server) Routes() *http.ServeMux {
 	mux.HandleFunc("POST /quote/batch", s.instrument("/quote/batch", s.guarded(false, s.handleQuoteBatch)))
 	mux.HandleFunc("POST /update", s.instrument("/update", s.guarded(true, s.handleUpdate)))
 	mux.HandleFunc("POST /purchase", s.instrument("/purchase", s.guarded(true, s.handlePurchase)))
+	mux.HandleFunc("POST /compact", s.instrument("/compact", s.guarded(true, s.handleCompact)))
 	return mux
 }
 
@@ -390,6 +403,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// per-shard breakdown of cached/stale plans and pending update
 		// batches (see docs/UPDATES.md).
 		"plans": s.broker.PlanStats(),
+		// Slot occupancy and compaction history: per-table live and
+		// tombstoned rows plus the lifetime epoch count — the same signal
+		// the auto-compaction trigger reads (see docs/OPERATIONS.md).
+		"tables":      s.broker.TableStats(),
+		"compactions": s.broker.Compactions(),
 		// Boot provenance: whether this process restored from disk (and
 		// skipped calibration) and how long boot took.
 		"restored":     s.restored,
@@ -458,7 +476,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ctx contex
 		writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	version, ustats, err := s.update(changes)
+	version, norm, ustats, err := s.update(changes)
 	if err != nil {
 		if errors.Is(err, store.ErrDegraded) {
 			writeRetryable(w, http.StatusServiceUnavailable, err.Error())
@@ -467,11 +485,64 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request, ctx contex
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"version":        version,
 		"changes":        len(changes),
 		"plans_deferred": ustats.PlansDeferred,
-	})
+	}
+	// Report each insert's assigned slot, per table in batch order: a
+	// client that wants to delete (or update) a row it inserted must name
+	// the slot, and only the serialized apply knows which one it got.
+	var inserts map[string][]int
+	for _, c := range norm {
+		if c.Op == relational.OpRowInsert {
+			if inserts == nil {
+				inserts = map[string][]int{}
+			}
+			inserts[c.Table] = append(inserts[c.Table], c.Row)
+		}
+	}
+	if inserts != nil {
+		resp["inserts"] = inserts
+	}
+	// Auto-compaction piggybacks on the write path: the update that tips
+	// a table over the tombstone threshold pays for the epoch, and its
+	// response says so.
+	if cst := s.maybeAutoCompact(); cst != nil {
+		resp["compacted"] = cst
+	}
+	// The lifetime epoch count, post-trigger: a client holding slot
+	// coordinates (e.g. for deletes of rows it inserted) watches this to
+	// learn that an epoch renumbered them (see loadgen's delete lanes).
+	resp["compactions"] = s.broker.Compactions()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompact runs an explicit compaction epoch over the named tables
+// (body {"tables": [...]}; empty or absent body compacts every table
+// with tombstones). Nothing to compact is a success for an operator
+// action — the response says so instead of erroring.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request, ctx context.Context) {
+	tables, err := decodeCompactRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	stats, err := s.compact(tables)
+	switch {
+	case errors.Is(err, market.ErrNothingToCompact):
+		writeJSON(w, http.StatusOK, map[string]any{"compacted": false, "reason": "no tombstones to reclaim"})
+	case errors.Is(err, store.ErrDegraded):
+		writeRetryable(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"compacted": true, "stats": stats})
+	}
 }
 
 func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx context.Context) {
@@ -502,13 +573,67 @@ func (s *Server) handlePurchase(w http.ResponseWriter, r *http.Request, ctx cont
 }
 
 // update routes a mutation through the durability layer when one exists.
-func (s *Server) update(changes []relational.CellChange) (uint64, updateStats, error) {
+// The normalized batch comes back with every insert's assigned slot.
+func (s *Server) update(changes []relational.CellChange) (uint64, []relational.CellChange, updateStats, error) {
 	if s.mgr != nil {
-		v, st, err := s.mgr.Update(changes)
-		return v, updateStats{PlansDeferred: st.PlansDeferred}, err
+		v, norm, st, err := s.mgr.UpdateAssigned(changes)
+		return v, norm, updateStats{PlansDeferred: st.PlansDeferred}, err
 	}
-	v, st, err := s.broker.Update(changes)
-	return v, updateStats{PlansDeferred: st.PlansDeferred}, err
+	v, norm, st, err := s.broker.UpdateAssigned(changes)
+	return v, norm, updateStats{PlansDeferred: st.PlansDeferred}, err
+}
+
+// compact routes a compaction epoch through the durability layer when
+// one exists (the epoch must be write-ahead-logged before it applies),
+// and records the epoch in the compaction metrics.
+func (s *Server) compact(tables []string) (market.CompactStats, error) {
+	start := time.Now()
+	var stats market.CompactStats
+	var err error
+	if s.mgr != nil {
+		stats, err = s.mgr.Compact(tables)
+	} else {
+		stats, err = s.broker.CompactTables(tables)
+	}
+	if err != nil {
+		return stats, err
+	}
+	s.m.compactSeconds.Observe(time.Since(start).Seconds())
+	s.m.compactRows.Add(uint64(stats.RowsRewritten))
+	s.m.compactSlots.Add(uint64(stats.SlotsReclaimed))
+	return stats, nil
+}
+
+// maybeAutoCompact fires a compaction epoch when the trigger policy says
+// some table is due: tombstones/slots >= CompactThreshold on a table
+// with at least CompactMinRows physical slots. Returns the epoch's
+// stats, or nil when the policy is off, nothing is due, or the epoch
+// failed (a racing trigger already reclaimed the tombstones, or the
+// store degraded — the *next* write surfaces that; this one succeeded).
+func (s *Server) maybeAutoCompact() *market.CompactStats {
+	if s.cfg.CompactThreshold <= 0 {
+		return nil
+	}
+	var due []string
+	for _, ts := range s.broker.TableStats() {
+		if ts.Slots < s.cfg.CompactMinRows {
+			continue
+		}
+		if float64(ts.Tombstones) >= s.cfg.CompactThreshold*float64(ts.Slots) {
+			due = append(due, ts.Table)
+		}
+	}
+	if len(due) == 0 {
+		return nil
+	}
+	stats, err := s.compact(due)
+	if err != nil {
+		if !errors.Is(err, market.ErrNothingToCompact) {
+			log.Printf("marketd: auto-compaction of %v: %v", due, err)
+		}
+		return nil
+	}
+	return &stats
 }
 
 // purchase routes a sale through the durability layer when one exists.
@@ -569,6 +694,24 @@ func decodeChanges(r *http.Request) ([]relational.CellChange, error) {
 		return nil, fmt.Errorf("bad update: empty change list")
 	}
 	return changes, nil
+}
+
+// decodeCompactRequest parses an optional {"tables": [...]} body; an
+// empty body (the common operator invocation) means every table.
+func decodeCompactRequest(r *http.Request) ([]string, error) {
+	defer r.Body.Close()
+	var req struct {
+		Tables []string
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("bad compact request: %w", err)
+	}
+	return req.Tables, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -49,6 +49,12 @@ type snapshotDoc struct {
 	ForecastRevenue float64
 	Sales           []market.Receipt
 	Revenue         float64
+	// Compactions is the lifetime count of compaction epochs absorbed by
+	// this snapshot. omitempty keeps pre-compaction snapshot files
+	// byte-identical until the first epoch lands; after it, a snapshot
+	// carrying the field is (deliberately) refused by older binaries —
+	// the same forward-incompatibility discipline as a WAL fmt bump.
+	Compactions uint64 `json:",omitempty"`
 }
 
 // tableDoc flattens a relational table (Database's fields are private by
@@ -89,6 +95,7 @@ func encodeSnapshot(bs market.BrokerSnapshot, lastSeq uint64) ([]byte, error) {
 		ForecastRevenue: bs.ForecastRevenue,
 		Sales:           bs.Sales,
 		Revenue:         bs.Revenue,
+		Compactions:     bs.Compactions,
 	}
 	for _, name := range bs.DB.TableNames() {
 		t := bs.DB.Table(name)
@@ -166,6 +173,7 @@ func decodeSnapshot(data []byte) (market.BrokerSnapshot, uint64, error) {
 		ForecastRevenue: doc.ForecastRevenue,
 		Sales:           doc.Sales,
 		Revenue:         doc.Revenue,
+		Compactions:     doc.Compactions,
 	}
 	if doc.Pricing != nil {
 		bs.Pricing = &pricing.Result{
@@ -184,20 +192,24 @@ func decodeSnapshot(data []byte) (market.BrokerSnapshot, uint64, error) {
 const (
 	recUpdate  = "update"
 	recReceipt = "receipt"
+	recCompact = "compact"
 )
 
 // WAL record schema versions. Fmt 0 (the historical wire form, absent
 // from its JSON) is a cell-update-only record: every change has the zero
 // Op. Fmt 1 records may additionally carry row inserts and deletes.
-// Separating the record schema from the record's database Version lets
-// recovery distinguish "a record from before DML existed that somehow
-// carries an op" (corruption or a writer bug — refused) from "a record
-// written by a newer store than this binary" (also refused, with a
-// version number the operator can act on).
+// Fmt 2 adds compaction epoch records (kind "compact"), which carry the
+// compaction's specs instead of a change list. Separating the record
+// schema from the record's database Version lets recovery distinguish
+// "a record from before DML existed that somehow carries an op"
+// (corruption or a writer bug — refused) from "a record written by a
+// newer store than this binary" (also refused, with a version number the
+// operator can act on).
 const (
-	walFmtCells = 0
-	walFmtDML   = 1
-	walFmtMax   = walFmtDML
+	walFmtCells   = 0
+	walFmtDML     = 1
+	walFmtCompact = 2
+	walFmtMax     = walFmtCompact
 )
 
 // walRecord is one WAL entry. Update records carry the version the batch
@@ -217,6 +229,12 @@ type walRecord struct {
 	Version uint64                  `json:",omitempty"`
 	Changes []relational.CellChange `json:",omitempty"`
 	Receipt *market.Receipt         `json:",omitempty"`
+	// Specs is a compaction epoch's per-table rewrite description
+	// (compact records only). The specs fully determine the old→new slot
+	// map, so replay recomputes the identical rewrite — and the strict
+	// validation inside Database.Compact doubles as a consistency check
+	// against the replayed state.
+	Specs []relational.CompactSpec `json:",omitempty"`
 }
 
 // updateFmt returns the lowest record schema that can carry the batch:
@@ -245,6 +263,15 @@ func validateRecordFmt(rec walRecord) error {
 				return fmt.Errorf("store: record seq %d (format %d) carries op %q at change %d; cell-only records must not bear DML",
 					rec.Seq, rec.Fmt, c.Op, i)
 			}
+		}
+	}
+	if rec.Kind == recCompact {
+		if rec.Fmt < walFmtCompact {
+			return fmt.Errorf("store: record seq %d is a compact record at format %d; compaction requires format %d",
+				rec.Seq, rec.Fmt, uint64(walFmtCompact))
+		}
+		if len(rec.Specs) == 0 {
+			return fmt.Errorf("store: compact record seq %d carries no specs", rec.Seq)
 		}
 	}
 	return nil

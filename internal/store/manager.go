@@ -91,29 +91,39 @@ func (m *Manager) Degraded() (bool, string) {
 // ErrDegraded and leaves the broker exactly as it was; later updates
 // retry the disk and clear the degradation if it heals.
 func (m *Manager) Update(changes []relational.CellChange) (uint64, support.UpdateStats, error) {
+	v, _, stats, err := m.UpdateAssigned(changes)
+	return v, stats, err
+}
+
+// UpdateAssigned is Update, additionally returning the normalized batch
+// with every insert's assigned slot filled in (market.Broker's
+// UpdateAssigned contract). The WAL logs the raw batch — replay
+// re-normalizes against the same pre-state, so the assignment is
+// reproduced exactly.
+func (m *Manager) UpdateAssigned(changes []relational.CellChange) (uint64, []relational.CellChange, support.UpdateStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.broker.DB().ValidateChanges(changes); err != nil {
-		return 0, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
+		return 0, nil, support.UpdateStats{}, fmt.Errorf("market: update: %w", err)
 	}
 	next := m.broker.Version() + 1
 	if err := m.store.AppendUpdate(next, changes); err != nil {
 		m.degrade(err)
-		return 0, support.UpdateStats{}, fmt.Errorf("%w: %v", ErrDegraded, err)
+		return 0, nil, support.UpdateStats{}, fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
-	version, stats, err := m.broker.Update(changes)
+	version, norm, stats, err := m.broker.UpdateAssigned(changes)
 	if err != nil {
 		// Unreachable after validation; if it happens the WAL is ahead of
 		// memory, which recovery resolves in the WAL's favor — degrade so
 		// nothing else widens the gap.
 		m.degrade(err)
-		return 0, stats, err
+		return 0, nil, stats, err
 	}
 	m.recovered()
 	if m.sinceSnap++; m.opts.SnapshotEvery > 0 && m.sinceSnap >= m.opts.SnapshotEvery {
 		m.snapshotLocked() // best-effort; failure degrades but the update is durable
 	}
-	return version, stats, nil
+	return version, norm, stats, nil
 }
 
 // Purchase is Broker.Purchase with a durable receipt: the sale is logged
@@ -141,6 +151,45 @@ func (m *Manager) Purchase(q *relational.SelectQuery, budget float64) (*relation
 	}
 	m.recovered()
 	return ans, receipt, nil
+}
+
+// Compact plans, durably logs, then applies one compaction epoch:
+// write-ahead order, exactly like Update. The epoch's specs are planned
+// against the broker's current snapshot under the manager's mutex, so
+// the logged record and the in-memory rewrite describe the same state.
+// A persistence failure refuses the compaction with ErrDegraded and
+// leaves the broker exactly as it was — uncompacted, read-only until the
+// disk heals. After a successful compaction the manager rolls a snapshot
+// immediately (best-effort): the epoch is already durable in the WAL, so
+// a snapshot failure degrades without losing it, but a successful one
+// bounds replay and rotates pre-compaction records away. Returns
+// market.ErrNothingToCompact when no chosen table has tombstones.
+func (m *Manager) Compact(tables []string) (market.CompactStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	specs, err := m.broker.DB().PlanCompaction(tables)
+	if err != nil {
+		return market.CompactStats{}, fmt.Errorf("market: compact: %w", err)
+	}
+	if len(specs) == 0 {
+		return market.CompactStats{}, market.ErrNothingToCompact
+	}
+	next := m.broker.Version() + 1
+	if err := m.store.AppendCompact(next, specs); err != nil {
+		m.degrade(err)
+		return market.CompactStats{}, fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	stats, err := m.broker.Compact(specs)
+	if err != nil {
+		// Unreachable after planning under the same lock; if it happens
+		// the WAL is ahead of memory, which recovery resolves in the
+		// WAL's favor — degrade so nothing else widens the gap.
+		m.degrade(err)
+		return stats, err
+	}
+	m.recovered()
+	m.snapshotLocked() // best-effort; failure degrades but the epoch is durable
+	return stats, nil
 }
 
 // Snapshot durably persists the broker's full current state and rotates

@@ -37,6 +37,7 @@ import (
 
 	"querypricing/internal/market"
 	"querypricing/internal/relational"
+	"querypricing/internal/support"
 )
 
 // ErrNoWAL is returned by appends before the store has a snapshot (and
@@ -112,10 +113,11 @@ type LoadResult struct {
 	// SnapshotVersion is the version of the snapshot file recovery
 	// started from (Snapshot.Version includes replayed updates on top).
 	SnapshotVersion uint64
-	// ReplayedUpdates and ReplayedReceipts count the WAL records applied
-	// on top of the snapshot file.
-	ReplayedUpdates  int
-	ReplayedReceipts int
+	// ReplayedUpdates, ReplayedReceipts and ReplayedCompactions count the
+	// WAL records applied on top of the snapshot file.
+	ReplayedUpdates     int
+	ReplayedReceipts    int
+	ReplayedCompactions int
 	// SkippedSnapshots counts newer snapshot files that failed their
 	// checksum and were passed over (torn by a crash mid-write).
 	SkippedSnapshots int
@@ -259,6 +261,25 @@ func (s *Store) Load() (LoadResult, error) {
 				base.Sales = append(base.Sales, *rec.Receipt)
 				base.Revenue += rec.Receipt.Price
 				res.ReplayedReceipts++
+			case recCompact:
+				// Recompute the epoch's rewrite from its durable specs; the
+				// strict validation inside Compact doubles as a consistency
+				// check — a record that does not match the replayed state is
+				// refused, never misapplied. The support neighbors re-home
+				// through the recomputed slot map exactly as the live
+				// compaction re-homed them.
+				next, maps, err := db.Compact(rec.Specs)
+				if err != nil {
+					return res, fmt.Errorf("store: %s: replaying compaction seq %d: %w", path, rec.Seq, err)
+				}
+				if next.Version() != rec.Version {
+					return res, fmt.Errorf("store: %s: compaction seq %d produced version %d, record says %d",
+						path, rec.Seq, next.Version(), rec.Version)
+				}
+				base.Neighbors, _, _ = support.RemapNeighbors(base.Neighbors, maps)
+				db = next
+				base.Compactions++
+				res.ReplayedCompactions++
 			default:
 				return res, fmt.Errorf("store: %s: unknown record kind %q (seq %d)", path, rec.Kind, rec.Seq)
 			}
@@ -480,6 +501,16 @@ func (s *Store) AppendUpdate(version uint64, changes []relational.CellChange) er
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.appendLocked(walRecord{Kind: recUpdate, Fmt: updateFmt(changes), Version: version, Changes: changes})
+}
+
+// AppendCompact durably logs one compaction epoch before it is applied
+// in memory (write-ahead): version is the database version the
+// compaction will produce, specs the per-table rewrite it was planned
+// with. Returns only after the record is fsynced.
+func (s *Store) AppendCompact(version uint64, specs []relational.CompactSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(walRecord{Kind: recCompact, Fmt: walFmtCompact, Version: version, Specs: specs})
 }
 
 // AppendReceipt durably logs one completed sale.

@@ -2,7 +2,7 @@
 # bench.sh — run the perf-tracking benchmarks and record BENCH_<n>.json.
 #
 # Usage: scripts/bench.sh [n] [--compare BENCH_<m>.json]
-#   n                PR / trajectory index (default 9); output lands in BENCH_<n>.json
+#   n                PR / trajectory index (default 10); output lands in BENCH_<n>.json
 #   --compare FILE   after writing BENCH_<n>.json, print a per-benchmark
 #                    delta table (ns/op and allocs/op) against FILE and
 #                    exit nonzero if any benchmark regressed more than
@@ -36,6 +36,11 @@
 #                    streaming-ingest mix (update-heavy, half the update
 #                    bodies full-row inserts), recorded as slo_ingest/*
 #                    entries (default 2; 0 skips); shares LOADRATE/LOADDUR
+#   COMPACTCOUNT     rounds of `pricebench -experiment compact -slo` — the
+#                    delete-heavy mix through auto-compaction epochs,
+#                    recorded as slo_compact/* entries including end-of-run
+#                    slot counts with and without compaction (default 2;
+#                    0 skips); shares LOADRATE/LOADDUR
 #
 # The tracked set pins the conflict-set engine: hypergraph construction
 # (serial vs parallel vs incremental vs sharded), the online conflict-set
@@ -46,7 +51,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-n="9"
+n="10"
 compare=""
 while [ $# -gt 0 ]; do
 	case "$1" in
@@ -72,6 +77,7 @@ loadrate="${LOADRATE:-300}"
 loaddur="${LOADDUR:-4s}"
 loadcount="${LOADCOUNT:-2}"
 ingestcount="${INGESTCOUNT:-2}"
+compactcount="${COMPACTCOUNT:-2}"
 out="BENCH_${n}.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -116,6 +122,16 @@ fi
 if [ "$ingestcount" -gt 0 ]; then
 	for i in $(seq "$ingestcount"); do
 		go run ./cmd/pricebench -experiment ingest -rate "$loadrate" -duration "$loaddur" -slo | tee -a "$raw"
+	done
+fi
+# The compaction group: the delete-heavy mix (every pooled update body an
+# insert, half the issued updates deletes) against an auto-compacting
+# boot, so the trajectory tracks quote latency through compaction epochs
+# and the end-of-run slot counts with and without compaction
+# (slo_compact/* entries; docs/OPERATIONS.md).
+if [ "$compactcount" -gt 0 ]; then
+	for i in $(seq "$compactcount"); do
+		go run ./cmd/pricebench -experiment compact -rate "$loadrate" -duration "$loaddur" -slo | tee -a "$raw"
 	done
 fi
 

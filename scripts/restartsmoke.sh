@@ -48,6 +48,18 @@ wait_ready
 curl -fsS -XPOST -d "$UPDATE" "http://localhost:$PORT/update" >/dev/null
 curl -fsS -XPOST -d "$DML" "http://localhost:$PORT/update" >/dev/null
 curl -fsS -XPOST -d "$QUERY" "http://localhost:$PORT/purchase?budget=1e18" >/dev/null
+
+# The DML batch tombstoned City row 7 — compact explicitly so the crash
+# also leaves a durable compaction-epoch WAL record behind, proving the
+# second boot replays the epoch (or absorbs it via snapshot) and still
+# quotes byte-identically on renumbered slots.
+echo "== compaction epoch over HTTP =="
+COMPACT="$(curl -fsS -XPOST "http://localhost:$PORT/compact")"
+case "$COMPACT" in
+  *'"compacted":true'*) echo "compact: $COMPACT" ;;
+  *) echo "restartsmoke: POST /compact reclaimed nothing: $COMPACT" >&2; exit 1 ;;
+esac
+
 QUOTE1="$(curl -fsS -XPOST -d "$QUERY" "http://localhost:$PORT/quote")"
 echo "quote: $QUOTE1"
 
@@ -65,6 +77,14 @@ READY="$(curl -fsS "http://localhost:$PORT/readyz")"
 case "$READY" in
   *'"restored":true'*) ;;
   *) echo "restartsmoke: second boot did not restore: $READY" >&2; exit 1 ;;
+esac
+
+# The lifetime epoch counter must survive the crash (via the WAL epoch
+# record or a snapshot that absorbed it).
+STATS="$(curl -fsS "http://localhost:$PORT/stats")"
+case "$STATS" in
+  *'"compactions":1'*) ;;
+  *) echo "restartsmoke: second boot lost the compaction epoch: $STATS" >&2; exit 1 ;;
 esac
 
 QUOTE2="$(curl -fsS -XPOST -d "$QUERY" "http://localhost:$PORT/quote")"
